@@ -1,0 +1,77 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "workloads/suite.hh"
+
+namespace ev8
+{
+
+void
+printBanner(const std::string &experiment_id, const std::string &title)
+{
+    std::printf("=====================================================\n");
+    std::printf("%s -- %s\n", experiment_id.c_str(), title.c_str());
+    std::printf("Seznec, Felix, Krishnan, Sazeides: \"Design Tradeoffs "
+                "for the Alpha EV8 Conditional Branch Predictor\", "
+                "ISCA 2002\n");
+    std::printf("Workload: synthetic SPECINT95-like suite, %llu base "
+                "conditional branches per benchmark\n",
+                static_cast<unsigned long long>(branchesPerBenchmark()));
+    std::printf("(set EV8_BRANCHES_PER_BENCH to rescale; absolute misp/KI "
+                "shifts with scale, orderings hold)\n");
+    std::printf("=====================================================\n\n");
+}
+
+std::vector<std::vector<BenchResult>>
+runAndPrint(SuiteRunner &runner, const std::vector<ExperimentRow> &rows)
+{
+    TextTable table;
+    std::vector<std::string> header{"configuration"};
+    for (size_t i = 0; i < runner.size(); ++i)
+        header.push_back(runner.name(i));
+    header.push_back("amean");
+    header.push_back("storage");
+    table.header(std::move(header));
+
+    std::vector<std::vector<BenchResult>> all;
+    for (const auto &row : rows) {
+        std::fprintf(stderr, "  running %s ...\n", row.label.c_str());
+        auto results = runner.run(row.factory, row.config);
+        std::vector<std::string> cells{row.label};
+        for (const auto &r : results)
+            cells.push_back(fmt(r.sim.stats.mispKI(), 2));
+        cells.push_back(fmt(SuiteRunner::averageMispKI(results), 3));
+        cells.push_back(formatKbits(row.factory()->storageBits()));
+        table.row(std::move(cells));
+        all.push_back(std::move(results));
+    }
+
+    std::printf("misp/KI (mispredictions per 1000 instructions), lower "
+                "is better:\n\n%s\n", table.render().c_str());
+    return all;
+}
+
+void
+printBars(const std::string &title, const std::vector<BenchResult> &results)
+{
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (const auto &r : results) {
+        labels.push_back(r.bench);
+        values.push_back(r.sim.stats.mispKI());
+    }
+    std::printf("%s\n", renderBarChart(title, labels, values).c_str());
+}
+
+void
+printShapeNotes(const std::vector<std::string> &notes)
+{
+    std::printf("Shape checks against the paper:\n");
+    for (const auto &note : notes)
+        std::printf("  * %s\n", note.c_str());
+    std::printf("\n");
+}
+
+} // namespace ev8

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared scaffolding for the per-table / per-figure reproduction
+ * binaries. Each binary regenerates one table or figure of the paper's
+ * evaluation section: it runs the relevant predictor configurations
+ * over the synthetic SPECINT95 suite and prints the same rows/series
+ * the paper reports, plus the shape expectations to check against.
+ */
+
+#ifndef EV8_BENCH_BENCH_COMMON_HH
+#define EV8_BENCH_BENCH_COMMON_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "predictors/predictor.hh"
+#include "sim/simulator.hh"
+#include "sim/suite_runner.hh"
+
+namespace ev8
+{
+
+/** One experiment row: a labelled predictor configuration. */
+struct ExperimentRow
+{
+    std::string label;
+    PredictorFactory factory;
+    SimConfig config;
+};
+
+/** Prints the standard experiment banner (id, title, scale, caveat). */
+void printBanner(const std::string &experiment_id,
+                 const std::string &title);
+
+/**
+ * Runs every row over the suite and prints the paper-style table:
+ * one line per configuration, one column per benchmark (misp/KI),
+ * plus the arithmetic mean and the configuration's storage budget.
+ * Returns the per-row results for further processing.
+ */
+std::vector<std::vector<BenchResult>> runAndPrint(
+    SuiteRunner &runner, const std::vector<ExperimentRow> &rows);
+
+/** Prints a per-benchmark bar chart of one result row. */
+void printBars(const std::string &title,
+               const std::vector<BenchResult> &results);
+
+/** Prints the bullet list of shapes the paper's figure exhibits. */
+void printShapeNotes(const std::vector<std::string> &notes);
+
+} // namespace ev8
+
+#endif // EV8_BENCH_BENCH_COMMON_HH

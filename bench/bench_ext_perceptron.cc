@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Section 9 extension: the paper's future-work direction -- backup
+ * predictors with different information vectors (perceptron [11],
+ * local history) against the EV8 and its brute-force scaling. Also
+ * demonstrates the 21264-style tournament hybrid the EV8 moved away
+ * from (Section 3).
+ */
+
+#include "bench_common.hh"
+#include "core/ev8_predictor.hh"
+#include "predictors/factory.hh"
+#include "predictors/hierarchy.hh"
+#include "predictors/local.hh"
+#include "predictors/perceptron.hh"
+
+using namespace ev8;
+
+int
+main()
+{
+    printBanner("Extension (Section 9)", "Perceptron / local-history "
+                                         "directions vs. the EV8");
+
+    SuiteRunner runner;
+
+    const std::vector<ExperimentRow> rows = {
+        {"EV8 (352Kb)", [] { return std::make_unique<Ev8Predictor>(); },
+         SimConfig::ev8()},
+        {"perceptron 1K x h32 (~264Kb)",
+         [] { return std::make_unique<PerceptronPredictor>(10, 32); },
+         SimConfig::ghist()},
+        {"perceptron 4K x h24 (~800Kb)",
+         [] { return std::make_unique<PerceptronPredictor>(12, 24); },
+         SimConfig::ghist()},
+        {"tournament 21264 (~29Kb)",
+         [] { return std::make_unique<TournamentPredictor>(); },
+         SimConfig::ghist()},
+        {"local PAg 4K x 12 (~80Kb)",
+         [] { return std::make_unique<LocalPredictor>(12, 12, 14); },
+         SimConfig::ghist()},
+        {"EV8 + perceptron backup",
+         [] {
+             // The Section 9 hierarchy: EV8 primary, perceptron backup
+             // with a longer-history information vector, PC-indexed
+             // chooser. The backup consumes the same lghist register
+             // (its linear dot product reaches deeper than the EV8's
+             // table indices).
+             return std::make_unique<HierarchyPredictor>(
+                 std::make_unique<Ev8Predictor>(),
+                 std::make_unique<PerceptronPredictor>(10, 40),
+                 12, "EV8+perceptron-backup");
+         },
+         SimConfig::ev8()},
+    };
+
+    runAndPrint(runner, rows);
+
+    printShapeNotes({
+        "the perceptron exploits long histories linearly and is "
+        "competitive per bit on correlation-dominated benchmarks -- "
+        "the reason Section 9 names it a promising backup direction",
+        "it cannot express non-linear history functions, so it does "
+        "not dominate the table-based EV8 across the suite",
+        "the previous-generation 21264 tournament, at a fraction of "
+        "the budget, trails the EV8-class predictors everywhere -- and "
+        "its local component is what Section 3 shows cannot scale to "
+        "16 predictions/cycle",
+        "the EV8 + perceptron-backup hierarchy beats both components: "
+        "exactly the Section 9 recipe (a backup with a different "
+        "information vector rescues the primary's hard branches)",
+    });
+    return 0;
+}

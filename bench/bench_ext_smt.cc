@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Section 3 extension: simultaneous multithreading and the branch
+ * predictor. The paper argues (qualitatively -- its evaluation has no
+ * SMT data) that a global-history scheme is the SMT-compatible choice:
+ * per-thread history registers are cheap, the shared tables degrade
+ * gracefully under competition, and parallel threads of one program
+ * can even alias constructively. This bench measures those claims on
+ * the shared EV8 predictor:
+ *
+ *   - single-thread baselines;
+ *   - 2-thread and 4-thread mixes of *different* benchmarks sharing
+ *     one predictor, with per-thread histories (the EV8 design);
+ *   - the same mixes with one naively shared history register (the
+ *     pollution straw man);
+ *   - 2 parallel threads of the *same* program (constructive aliasing).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/ev8_predictor.hh"
+#include "sim/smt.hh"
+#include "workloads/synthetic_program.hh"
+
+using namespace ev8;
+
+namespace
+{
+
+void
+report(const char *title, const std::vector<SmtThreadResult> &threads)
+{
+    std::printf("%s\n", title);
+    double sum = 0;
+    for (const auto &t : threads) {
+        std::printf("    %-10s %8.3f misp/KI  (%llu branches)\n",
+                    t.name.c_str(), t.sim.stats.mispKI(),
+                    static_cast<unsigned long long>(t.sim.condBranches));
+        sum += t.sim.stats.mispKI();
+    }
+    std::printf("    %-10s %8.3f misp/KI\n\n", "amean",
+                sum / double(threads.size()));
+}
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Extension (Section 3)", "SMT: shared predictor tables, "
+                                         "per-thread histories");
+
+    const uint64_t branches = branchesPerBenchmark() / 2;
+    std::fprintf(stderr, "  generating traces ...\n");
+    const Trace gcc = generateTrace(findBenchmark("gcc").profile,
+                                    branches);
+    const Trace go = generateTrace(findBenchmark("go").profile, branches);
+    const Trace perl = generateTrace(findBenchmark("perl").profile,
+                                     branches);
+    const Trace vortex = generateTrace(findBenchmark("vortex").profile,
+                                       branches);
+
+    // A second instance of gcc as a parallel thread of the same
+    // program: identical static CFG, different dynamic input (run
+    // seed), so the threads share static branches -- the constructive
+    // aliasing case of [10].
+    SyntheticProgram gcc_program(findBenchmark("gcc").profile);
+    Trace gcc2 = gcc_program.run(branches, /*run_seed=*/1);
+    gcc2.setName("gcc-t2");
+
+    SmtConfig per_thread;
+    per_thread.sim = SimConfig::ev8();
+    per_thread.perThreadHistory = true;
+
+    SmtConfig shared_hist = per_thread;
+    shared_hist.perThreadHistory = false;
+
+    {
+        std::fprintf(stderr, "  single-thread baselines ...\n");
+        Ev8Predictor p1;
+        report("single thread, gcc:",
+               simulateSmt({&gcc}, p1, per_thread));
+        Ev8Predictor p2;
+        report("single thread, go:", simulateSmt({&go}, p2, per_thread));
+    }
+    {
+        std::fprintf(stderr, "  2 threads, per-thread history ...\n");
+        Ev8Predictor p;
+        report("2 independent threads (gcc+go), per-thread histories:",
+               simulateSmt({&gcc, &go}, p, per_thread));
+    }
+    {
+        std::fprintf(stderr, "  2 threads, shared history ...\n");
+        Ev8Predictor p;
+        report("2 independent threads (gcc+go), ONE shared history "
+               "(straw man):",
+               simulateSmt({&gcc, &go}, p, shared_hist));
+    }
+    {
+        std::fprintf(stderr, "  4 threads ...\n");
+        Ev8Predictor p;
+        report("4 independent threads, per-thread histories:",
+               simulateSmt({&gcc, &go, &perl, &vortex}, p, per_thread));
+    }
+    {
+        std::fprintf(stderr, "  parallel threads of one program ...\n");
+        Ev8Predictor p;
+        report("2 parallel threads of gcc (same program), per-thread "
+               "histories:",
+               simulateSmt({&gcc, &gcc2}, p, per_thread));
+    }
+
+    printShapeNotes({
+        "independent threads sharing the 352 Kbit tables lose only "
+        "modest accuracy vs. running alone (graceful degradation)",
+        "sharing one history register across threads is much worse: "
+        "each thread's correlations are shredded by the other's "
+        "outcomes -- hence one global history register per thread "
+        "(Section 3)",
+        "parallel threads of the same program interfere less than "
+        "independent ones (constructive aliasing on shared branches "
+        "[10])",
+    });
+    return 0;
+}

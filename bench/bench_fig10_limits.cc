@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 10 reproduction: limits of brute-force scaling for global
+ * history prediction (Section 9). A 4*1M-entry (8 Mbit) 2Bc-gskew
+ * against the EV8-class predictors: the return on 16x more storage is
+ * small except for very-large-footprint workloads, motivating hybrid
+ * backup predictors (perceptron, local) instead -- see
+ * bench_ext_perceptron.
+ */
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/ev8_predictor.hh"
+#include "predictors/factory.hh"
+
+using namespace ev8;
+
+int
+main()
+{
+    printBanner("Fig. 10", "Limits of using global history");
+
+    SuiteRunner runner;
+
+    const std::vector<ExperimentRow> rows = {
+        {"EV8 (352Kb, constrained)",
+         [] { return std::make_unique<Ev8Predictor>(); },
+         SimConfig::ev8()},
+        {"2Bc-gskew 4*64K (512Kb)", [] { return make2BcGskew512K(); },
+         SimConfig::ghist()},
+        {"2Bc-gskew 4*1M (8Mb)", [] { return make2BcGskew4M(); },
+         SimConfig::ghist()},
+    };
+
+    const auto results = runAndPrint(runner, rows);
+
+    const double mid = SuiteRunner::averageMispKI(results[1]);
+    const double big = SuiteRunner::averageMispKI(results[2]);
+    const double gain = mid - big;
+    printShapeNotes({
+        "16x the storage changes the suite average by only "
+            + fmt(gain, 3) + " misp/KI (" + fmt(mid, 3) + " -> "
+            + fmt(big, 3) + "): brute force has run out of road",
+        "at short trace scales the 8 Mbit predictor can even lose "
+        "(cold-start dominates its huge tables); with longer traces "
+        "(EV8_BRANCHES_PER_BENCH >= 4M) a small benefit appears, "
+        "concentrated in the large-footprint benchmarks (gcc)",
+        "hence the paper's conclusion: beyond EV8-class sizes, add "
+        "back-up predictors with different information vectors rather "
+        "than more of the same (Section 9)",
+    });
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 1 reproduction: the Alpha EV8 branch predictor configuration --
+ * per-component prediction/hysteresis table sizes and history lengths,
+ * with the storage accounting that reaches the 352 Kbit total.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "core/ev8_predictor.hh"
+#include "predictors/twobcgskew.hh"
+
+using namespace ev8;
+
+int
+main()
+{
+    printBanner("Table 1", "Characteristics of the Alpha EV8 branch "
+                           "predictor");
+
+    const TwoBcGskewConfig cfg = TwoBcGskewConfig::ev8Size();
+    const char *names[kNumTables] = {"BIM", "G0", "G1", "Meta"};
+
+    TextTable table;
+    table.header({"", "prediction table", "hysteresis table",
+                  "history length"});
+    // Paper order: BIM, G0, G1, Meta.
+    for (TableId t : {BIM, G0, G1, META}) {
+        const TableGeometry &geo = cfg.tables[t];
+        table.row({names[t],
+                   std::to_string((1u << geo.log2Pred) / 1024) + "K",
+                   std::to_string((1u << geo.log2Hyst) / 1024) + "K",
+                   std::to_string(geo.histLen)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    uint64_t pred_bits = 0, hyst_bits = 0;
+    for (const auto &geo : cfg.tables) {
+        pred_bits += uint64_t{1} << geo.log2Pred;
+        hyst_bits += uint64_t{1} << geo.log2Hyst;
+    }
+    std::printf("prediction array: %s, hysteresis array: %s, "
+                "total: %s\n",
+                formatKbits(pred_bits).c_str(),
+                formatKbits(hyst_bits).c_str(),
+                formatKbits(pred_bits + hyst_bits).c_str());
+
+    Ev8Predictor hardware;
+    std::printf("physical banked model reports:   %s\n\n",
+                formatKbits(hardware.storageBits()).c_str());
+
+    printShapeNotes({
+        "208 Kbits prediction + 144 Kbits hysteresis = 352 Kbits "
+        "(Section 4.7)",
+        "BIM smaller than the other components (Section 4.6)",
+        "half-size hysteresis on G0 and Meta (Section 4.4)",
+        "history lengths 4 / 13 / 21 / 15 for BIM / G0 / G1 / Meta",
+    });
+    return 0;
+}

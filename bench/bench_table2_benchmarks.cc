@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 2 reproduction: benchmark characteristics of the synthetic
+ * SPECINT95 suite -- dynamic and static conditional branch counts --
+ * side by side with the paper's numbers for the real Atom traces.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "workloads/suite.hh"
+
+using namespace ev8;
+
+namespace
+{
+
+/** The paper's Table 2 (dynamic in thousands; static counts). */
+struct PaperRow
+{
+    const char *name;
+    unsigned dynamicK;
+    unsigned staticCount;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"compress", 12044, 46},  {"gcc", 16035, 12086},
+    {"go", 11285, 3710},      {"ijpeg", 8894, 904},
+    {"li", 16254, 251},       {"m88ksim", 9706, 409},
+    {"perl", 13263, 273},     {"vortex", 12757, 2239},
+};
+
+} // namespace
+
+int
+main()
+{
+    printBanner("Table 2", "Benchmark characteristics");
+
+    SuiteRunner runner;
+    TextTable table;
+    table.header({"benchmark", "dyn. cond. (x1000)", "static cond.",
+                  "paper dyn. (x1000)", "paper static", "taken rate",
+                  "instr/branch"});
+
+    for (size_t i = 0; i < runner.size(); ++i) {
+        std::fprintf(stderr, "  generating %s ...\n",
+                     runner.name(i).c_str());
+        const TraceStats s = runner.trace(i).stats();
+        table.row({runner.name(i),
+                   fmt(double(s.dynamicCondBranches) / 1000.0, 0),
+                   std::to_string(s.staticCondBranches),
+                   std::to_string(kPaper[i].dynamicK),
+                   std::to_string(kPaper[i].staticCount),
+                   fmt(s.takenRate(), 3),
+                   fmt(double(s.instructions)
+                           / double(s.dynamicCondBranches),
+                       1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    printShapeNotes({
+        "relative dynamic volumes proportional to the paper's Table 2 "
+        "(li largest, ijpeg smallest)",
+        "static footprint ordering preserved: gcc >> go > vortex > "
+        "ijpeg > m88ksim/perl/li >> compress",
+        "executed static counts approach the paper's at the default "
+        "scale; they grow with EV8_BRANCHES_PER_BENCH as coverage "
+        "percolates",
+        "not-taken skew of optimized Alpha code (Section 5.1)",
+    });
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: raw simulation throughput
+ * (predictions per second) of every major scheme, and the cost of the
+ * EV8's physical banked model versus the logical one. These are
+ * simulator-engineering numbers, not paper results; they bound how far
+ * EV8_BRANCHES_PER_BENCH can be raised.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/ev8_predictor.hh"
+#include "predictors/factory.hh"
+#include "sim/simulator.hh"
+#include "sim/suite_runner.hh"
+#include "workloads/suite.hh"
+
+namespace ev8
+{
+namespace
+{
+
+/** One shared medium trace for all throughput runs. */
+const Trace &
+benchTrace()
+{
+    static const Trace trace = generateTrace(
+        findBenchmark("gcc").profile, 200000);
+    return trace;
+}
+
+void
+runSim(benchmark::State &state, const PredictorFactory &factory,
+       const SimConfig &config)
+{
+    const Trace &trace = benchTrace();
+    uint64_t branches = 0;
+    for (auto _ : state) {
+        auto predictor = factory();
+        const SimResult r = simulateTrace(trace, *predictor, config);
+        branches += r.condBranches;
+        benchmark::DoNotOptimize(r.stats.mispredictions());
+    }
+    state.counters["branches/s"] = benchmark::Counter(
+        static_cast<double>(branches), benchmark::Counter::kIsRate);
+}
+
+void
+BM_Bimodal(benchmark::State &state)
+{
+    runSim(state, [] { return makePredictor("bimodal:14"); },
+           SimConfig::ghist());
+}
+BENCHMARK(BM_Bimodal)->Unit(benchmark::kMillisecond);
+
+void
+BM_Gshare2M(benchmark::State &state)
+{
+    runSim(state, [] { return makeGshare2M(); }, SimConfig::ghist());
+}
+BENCHMARK(BM_Gshare2M)->Unit(benchmark::kMillisecond);
+
+void
+BM_Yags576K(benchmark::State &state)
+{
+    runSim(state, [] { return makeYags576K(); }, SimConfig::ghist());
+}
+BENCHMARK(BM_Yags576K)->Unit(benchmark::kMillisecond);
+
+void
+BM_TwoBcGskew512K(benchmark::State &state)
+{
+    runSim(state, [] { return make2BcGskew512K(); }, SimConfig::ghist());
+}
+BENCHMARK(BM_TwoBcGskew512K)->Unit(benchmark::kMillisecond);
+
+void
+BM_Ev8Constrained(benchmark::State &state)
+{
+    runSim(state, [] { return std::make_unique<Ev8Predictor>(); },
+           SimConfig::ev8());
+}
+BENCHMARK(BM_Ev8Constrained)->Unit(benchmark::kMillisecond);
+
+void
+BM_Perceptron(benchmark::State &state)
+{
+    runSim(state, [] { return makePredictor("perceptron:12:24"); },
+           SimConfig::ghist());
+}
+BENCHMARK(BM_Perceptron)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const Benchmark &bench = findBenchmark("gcc");
+    uint64_t branches = 0;
+    for (auto _ : state) {
+        const Trace t = generateTrace(bench.profile, 100000);
+        branches += t.stats().dynamicCondBranches;
+        benchmark::DoNotOptimize(t.size());
+    }
+    state.counters["branches/s"] = benchmark::Counter(
+        static_cast<double>(branches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace ev8
+
+BENCHMARK_MAIN();

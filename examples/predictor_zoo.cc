@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Predictor zoo: compare any set of prediction schemes on any suite
+ * benchmark -- the tool for "which predictor fits my storage budget?"
+ * questions.
+ *
+ * Usage:
+ *     predictor_zoo [benchmark] [branches] [spec...]
+ *
+ *     benchmark  one of compress gcc go ijpeg li m88ksim perl vortex
+ *                (default gcc)
+ *     branches   dynamic conditional branches to simulate
+ *                (default 500000)
+ *     spec...    predictor specs (see --help); default: a
+ *                representative set from every family
+ *
+ * Examples:
+ *     predictor_zoo go 1000000
+ *     predictor_zoo gcc 500000 gshare:16:14 yags:13:13:17 ev8size
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/ev8_predictor.hh"
+#include "predictors/factory.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+using namespace ev8;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf("usage: predictor_zoo [benchmark] [branches] [spec...]\n"
+                "known specs:\n");
+    for (const auto &spec : knownPredictorSpecs())
+        std::printf("  %s\n", spec.c_str());
+    std::printf("  ev8hw (the hardware-constrained EV8 model)\n");
+}
+
+PredictorPtr
+make(const std::string &spec)
+{
+    if (spec == "ev8hw")
+        return std::make_unique<Ev8Predictor>();
+    return makePredictor(spec);
+}
+
+/** EV8-family specs want the lghist information vector. */
+SimConfig
+configFor(const std::string &spec)
+{
+    if (spec == "ev8hw" || spec == "ev8size")
+        return SimConfig::ev8();
+    return SimConfig::ghist();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+        usage();
+        return 0;
+    }
+
+    const std::string bench_name = argc > 1 ? argv[1] : "gcc";
+    const uint64_t branches =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500000;
+
+    std::vector<std::string> specs;
+    for (int i = 3; i < argc; ++i)
+        specs.push_back(argv[i]);
+    if (specs.empty()) {
+        specs = {"bimodal:14",       "gshare:16:14",
+                 "gas:16:10",        "agree:16:14",
+                 "egskew:15:14",     "bimode:15:13:15",
+                 "yags:14:14:23",    "2bcgskew:15:0:13:16:23",
+                 "perceptron:11:24", "tournament",
+                 "ev8size",          "ev8hw"};
+    }
+
+    const Benchmark *bench = nullptr;
+    try {
+        bench = &findBenchmark(bench_name);
+    } catch (const std::out_of_range &) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n",
+                     bench_name.c_str());
+        usage();
+        return 1;
+    }
+
+    std::printf("benchmark %s, %llu conditional branches\n\n",
+                bench_name.c_str(),
+                static_cast<unsigned long long>(branches));
+    const Trace trace = generateTrace(bench->profile, branches);
+
+    TextTable table;
+    table.header({"predictor", "storage", "misp/KI", "misp rate %",
+                  "accuracy %"});
+    for (const auto &spec : specs) {
+        PredictorPtr predictor;
+        try {
+            predictor = make(spec);
+        } catch (const std::invalid_argument &e) {
+            std::fprintf(stderr, "skipping '%s': %s\n", spec.c_str(),
+                         e.what());
+            continue;
+        }
+        std::fprintf(stderr, "  %s ...\n", predictor->name().c_str());
+        const SimResult r = simulateTrace(trace, *predictor,
+                                          configFor(spec));
+        table.row({predictor->name(),
+                   formatKbits(predictor->storageBits()),
+                   fmt(r.stats.mispKI(), 3),
+                   fmt(100.0 * r.stats.mispRate(), 3),
+                   fmt(100.0 * r.stats.accuracy(), 3)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Trace utilities: generate, inspect, and verify the binary trace files
+ * the library uses in place of the paper's Atom traces.
+ *
+ * Usage:
+ *     trace_tools gen <benchmark> <branches> <file>   generate a trace
+ *     trace_tools stats <file>                        Table 2 style stats
+ *     trace_tools dump <file> [count]                 print records
+ *     trace_tools verify <file>                       check wellformedness
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "trace/trace_io.hh"
+#include "workloads/suite.hh"
+
+using namespace ev8;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  trace_tools gen <benchmark> <branches> <file>\n"
+                 "  trace_tools stats <file>\n"
+                 "  trace_tools dump <file> [count]\n"
+                 "  trace_tools verify <file>\n");
+    return 2;
+}
+
+int
+cmdGen(int argc, char **argv)
+{
+    if (argc < 5)
+        return usage();
+    const Benchmark &bench = findBenchmark(argv[2]);
+    const uint64_t branches = std::strtoull(argv[3], nullptr, 10);
+    const Trace trace = generateTrace(bench.profile, branches);
+    writeTraceFile(argv[4], trace);
+    std::printf("wrote %zu records (%llu instructions) to %s\n",
+                trace.size(),
+                static_cast<unsigned long long>(trace.instructionCount()),
+                argv[4]);
+    return 0;
+}
+
+int
+cmdStats(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const Trace trace = readTraceFile(argv[2]);
+    const TraceStats s = trace.stats();
+    std::printf("name:                  %s\n", trace.name().c_str());
+    std::printf("records:               %zu\n", trace.size());
+    std::printf("instructions:          %llu\n",
+                static_cast<unsigned long long>(s.instructions));
+    std::printf("dynamic cond branches: %llu\n",
+                static_cast<unsigned long long>(s.dynamicCondBranches));
+    std::printf("static cond branches:  %llu\n",
+                static_cast<unsigned long long>(s.staticCondBranches));
+    std::printf("all dynamic CTIs:      %llu\n",
+                static_cast<unsigned long long>(s.dynamicBranches));
+    std::printf("taken rate:            %.3f\n", s.takenRate());
+    std::printf("cond branch density:   1 per %.1f instructions\n",
+                double(s.instructions) / double(s.dynamicCondBranches));
+    return 0;
+}
+
+int
+cmdDump(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const Trace trace = readTraceFile(argv[2]);
+    const size_t count = argc > 3
+        ? std::strtoull(argv[3], nullptr, 10) : 20;
+    std::printf("start pc 0x%llx\n",
+                static_cast<unsigned long long>(trace.startPc()));
+    for (size_t i = 0; i < trace.size() && i < count; ++i) {
+        const BranchRecord &r = trace.records()[i];
+        std::printf("%6zu  0x%010llx  %-8s %-9s -> 0x%010llx\n", i,
+                    static_cast<unsigned long long>(r.pc),
+                    branchTypeName(r.type),
+                    r.isConditional() ? (r.taken ? "taken" : "not-taken")
+                                      : "",
+                    static_cast<unsigned long long>(r.target));
+    }
+    return 0;
+}
+
+int
+cmdVerify(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const Trace trace = readTraceFile(argv[2]);
+    if (!trace.isWellFormed()) {
+        std::printf("MALFORMED: %s\n", argv[2]);
+        return 1;
+    }
+    std::printf("ok: %zu records, well-formed\n", trace.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    try {
+        if (std::strcmp(argv[1], "gen") == 0)
+            return cmdGen(argc, argv);
+        if (std::strcmp(argv[1], "stats") == 0)
+            return cmdStats(argc, argv);
+        if (std::strcmp(argv[1], "dump") == 0)
+            return cmdDump(argc, argv);
+        if (std::strcmp(argv[1], "verify") == 0)
+            return cmdVerify(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

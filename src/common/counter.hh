@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Saturating counters, including the split prediction/hysteresis view
+ * used by the EV8 predictor's physically separate arrays (Section 4.3).
+ */
+
+#ifndef EV8_COMMON_COUNTER_HH
+#define EV8_COMMON_COUNTER_HH
+
+#include <cassert>
+#include <cstdint>
+
+namespace ev8
+{
+
+/**
+ * A classic n-bit saturating up/down counter. The prediction is the most
+ * significant bit (>= half range predicts taken).
+ */
+class SaturatingCounter
+{
+  public:
+    explicit SaturatingCounter(unsigned num_bits = 2, uint8_t initial = 0)
+        : numBits(num_bits), maxValue((1u << num_bits) - 1), value(initial)
+    {
+        assert(num_bits >= 1 && num_bits <= 7);
+        assert(initial <= maxValue);
+    }
+
+    /** Most-significant-bit prediction: true = predict taken. */
+    bool taken() const { return value > (maxValue >> 1); }
+
+    /** True when the counter is at either extreme (strong state). */
+    bool
+    isStrong() const
+    {
+        return value == 0 || value == maxValue;
+    }
+
+    /** Counts toward taken (saturating). */
+    void
+    increment()
+    {
+        if (value < maxValue)
+            ++value;
+    }
+
+    /** Counts toward not-taken (saturating). */
+    void
+    decrement()
+    {
+        if (value > 0)
+            --value;
+    }
+
+    /** Moves the counter toward outcome @p taken. */
+    void
+    update(bool taken)
+    {
+        taken ? increment() : decrement();
+    }
+
+    uint8_t raw() const { return value; }
+    void set(uint8_t v) { assert(v <= maxValue); value = v; }
+    unsigned bits() const { return numBits; }
+
+  private:
+    unsigned numBits;
+    uint8_t maxValue;
+    uint8_t value;
+};
+
+/**
+ * A 2-bit counter stored as two independent bits: a prediction bit and a
+ * hysteresis bit, matching the EV8 split prediction/hysteresis arrays.
+ *
+ * Mapping onto the classic 2-bit counter states (value = 2*pred + hyst):
+ *   00 strong not-taken, 01 weak not-taken, 10 weak taken, 11 strong taken.
+ *
+ * Semantics of the partial-update operations (Section 4.3):
+ *  - "strengthen": push the hysteresis bit toward the current prediction
+ *    (only the hysteresis array is written).
+ *  - "update on mispredict": classic 2-bit counter step; weak states flip
+ *    the prediction bit, strong states first weaken.
+ */
+struct SplitCounter
+{
+    bool prediction = false; //!< the bit held in the prediction array
+    bool hysteresis = false; //!< the bit held in the hysteresis array
+
+    /** Predicted direction. */
+    bool taken() const { return prediction; }
+
+    /** True when hysteresis backs the prediction (strong state). */
+    bool isStrong() const { return prediction == hysteresis; }
+
+    /**
+     * Strengthen the counter in its current direction: written on correct
+     * predictions under partial update; touches only the hysteresis bit.
+     */
+    void strengthen() { hysteresis = prediction; }
+
+    /**
+     * Full 2-bit-counter step toward @p taken. Equivalent to
+     * increment/decrement of the classic counter with the encoding above.
+     */
+    void
+    update(bool taken)
+    {
+        if (prediction == taken) {
+            hysteresis = prediction;       // move to strong
+        } else if (isStrong()) {
+            hysteresis = !prediction;      // strong -> weak, keep direction
+        } else {
+            prediction = taken;            // weak -> flip direction
+            hysteresis = !taken;           // lands in the weak state
+        }
+    }
+
+    /** The classic 2-bit counter value in [0,3] for checking/debug. */
+    uint8_t
+    raw() const
+    {
+        // 0: strong NT, 1: weak NT, 2: weak T, 3: strong T.
+        return (prediction ? 2 : 1) + (prediction == hysteresis
+                                       ? (prediction ? 1 : -1) : 0);
+    }
+
+    bool operator==(const SplitCounter &) const = default;
+};
+
+} // namespace ev8
+
+#endif // EV8_COMMON_COUNTER_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Branch-history shift registers.
+ *
+ * Three kinds of history feed the predictors in this repository:
+ *  - conventional per-branch global history ("ghist" in Section 8.3),
+ *  - block-compressed history with optional path bit ("lghist", Section 5.1),
+ *  - path history: low-order PC bits of recent fetch blocks (Section 5.2).
+ *
+ * All are modelled as uint64_t shift registers; the longest history any
+ * experiment uses is well below 64 bits (asserted at the consumer side).
+ */
+
+#ifndef EV8_COMMON_HISTORY_HH
+#define EV8_COMMON_HISTORY_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/bits.hh"
+
+namespace ev8
+{
+
+/**
+ * A shift register of branch outcomes (or lghist bits). Bit 0 is the most
+ * recent entry, matching the h0..hN numbering of Section 7.
+ */
+class HistoryRegister
+{
+  public:
+    /** Shifts in one bit as the new most-recent entry (h0). */
+    void
+    push(bool value)
+    {
+        word = (word << 1) | static_cast<uint64_t>(value);
+    }
+
+    /** The @p n most recent bits (h(n-1)..h0). */
+    uint64_t
+    low(unsigned n) const
+    {
+        assert(n <= 64);
+        return n == 64 ? word : word & mask(n);
+    }
+
+    /** Bit @p i, with i = 0 the most recent (the paper's h_i). */
+    bool get(unsigned i) const { return bit(word, i); }
+
+    /** Full 64-bit backing word (most recent in bit 0). */
+    uint64_t raw() const { return word; }
+
+    void clear() { word = 0; }
+    void setRaw(uint64_t value) { word = value; }
+
+    bool operator==(const HistoryRegister &) const = default;
+
+  private:
+    uint64_t word = 0;
+};
+
+/**
+ * Read-only bundle of the history state handed to a predictor at lookup
+ * time. The simulator owns and advances the registers; predictors only
+ * consume the view. Different predictors read different fields:
+ * conventional global-history predictors use @ref ghist, the EV8-family
+ * predictors use @ref indexHist (which the simulator points at either
+ * ghist or an appropriately aged lghist, per the experiment's
+ * information-vector configuration) plus the path fields.
+ */
+struct HistoryView
+{
+    /** Conventional per-conditional-branch global history. */
+    uint64_t ghist = 0;
+
+    /**
+     * The history the predictor's index functions should consume. For
+     * baseline predictors this equals ghist; for EV8 configurations it is
+     * the (possibly 3-blocks-old) lghist.
+     */
+    uint64_t indexHist = 0;
+
+    /** Address of fetch block Z (the most recent completed block). */
+    uint64_t pathZ = 0;
+
+    /** Address of fetch block Y (two blocks back). */
+    uint64_t pathY = 0;
+
+    /** Address of fetch block X (three blocks back). */
+    uint64_t pathX = 0;
+};
+
+} // namespace ev8
+
+#endif // EV8_COMMON_HISTORY_HH

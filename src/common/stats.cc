@@ -1,0 +1,21 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+namespace ev8
+{
+
+std::string
+PredictionStats::summary() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%llu lookups, %llu mispredicts (%.3f%% of branches, "
+                  "%.3f misp/KI)",
+                  static_cast<unsigned long long>(lookups_),
+                  static_cast<unsigned long long>(mispredictions_),
+                  100.0 * mispRate(), mispKI());
+    return buf;
+}
+
+} // namespace ev8

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Statistics accumulators for branch-prediction experiments.
+ *
+ * The paper's metric is mispredictions per 1000 instructions (misp/KI),
+ * computed over traces whose instruction counts we track alongside the
+ * conditional-branch stream.
+ */
+
+#ifndef EV8_COMMON_STATS_HH
+#define EV8_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ev8
+{
+
+/**
+ * Running tally of predictions for one (predictor, benchmark) pair.
+ */
+class PredictionStats
+{
+  public:
+    /** Records one conditional-branch prediction outcome. */
+    void
+    record(bool predicted_taken, bool actual_taken)
+    {
+        ++lookups_;
+        if (predicted_taken != actual_taken)
+            ++mispredictions_;
+    }
+
+    /** Declares how many instructions the measured trace represents. */
+    void setInstructions(uint64_t count) { instructions_ = count; }
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredictions() const { return mispredictions_; }
+    uint64_t instructions() const { return instructions_; }
+
+    /** Mispredictions per 1000 instructions, the paper's metric. */
+    double
+    mispKI() const
+    {
+        return instructions_ == 0
+            ? 0.0
+            : 1000.0 * static_cast<double>(mispredictions_)
+                  / static_cast<double>(instructions_);
+    }
+
+    /** Misprediction rate over conditional branches, in [0,1]. */
+    double
+    mispRate() const
+    {
+        return lookups_ == 0
+            ? 0.0
+            : static_cast<double>(mispredictions_)
+                  / static_cast<double>(lookups_);
+    }
+
+    /** Accuracy over conditional branches, in [0,1]. */
+    double accuracy() const { return 1.0 - mispRate(); }
+
+    /** Merges another tally into this one (for aggregating benchmarks). */
+    void
+    merge(const PredictionStats &other)
+    {
+        lookups_ += other.lookups_;
+        mispredictions_ += other.mispredictions_;
+        instructions_ += other.instructions_;
+    }
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+
+  private:
+    uint64_t lookups_ = 0;
+    uint64_t mispredictions_ = 0;
+    uint64_t instructions_ = 0;
+};
+
+} // namespace ev8
+
+#endif // EV8_COMMON_STATS_HH

@@ -1,0 +1,108 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ev8
+{
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::rowValues(const std::string &label,
+                     const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells{label};
+    for (double v : values)
+        cells.push_back(fmt(v, precision));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cols; ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            const size_t pad = width[i] - cell.size();
+            if (i == 0) {
+                out << cell << std::string(pad, ' ');
+            } else {
+                out << "  " << std::string(pad, ' ') << cell;
+            }
+        }
+        out << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < cols; ++i)
+            total += width[i] + (i ? 2 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return out.str();
+}
+
+std::string
+renderBarChart(const std::string &title,
+               const std::vector<std::string> &labels,
+               const std::vector<double> &values, int width)
+{
+    std::ostringstream out;
+    out << title << '\n';
+
+    double max_value = 0.0;
+    size_t label_width = 0;
+    for (double v : values)
+        max_value = std::max(max_value, v);
+    for (const auto &l : labels)
+        label_width = std::max(label_width, l.size());
+
+    for (size_t i = 0; i < labels.size() && i < values.size(); ++i) {
+        const double v = values[i];
+        const int len = max_value > 0.0
+            ? static_cast<int>(v / max_value * width + 0.5) : 0;
+        out << "  " << labels[i]
+            << std::string(label_width - labels[i].size(), ' ') << " |"
+            << std::string(len, '#') << ' ' << fmt(v, 3) << '\n';
+    }
+    return out.str();
+}
+
+} // namespace ev8

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table and bar-chart rendering for the benchmark harness.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures;
+ * these helpers print them in a consistent, diff-friendly layout.
+ */
+
+#ifndef EV8_COMMON_TABLE_HH
+#define EV8_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ev8
+{
+
+/**
+ * A simple left/right aligned ASCII table. Columns are sized to fit; the
+ * first column is left-aligned (row labels), the rest right-aligned.
+ */
+class TextTable
+{
+  public:
+    /** Sets the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Appends a data row (may be ragged; missing cells print empty). */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: label + doubles formatted with @p precision. */
+    void rowValues(const std::string &label,
+                   const std::vector<double> &values, int precision = 2);
+
+    /** Renders the table, including a rule under the header. */
+    std::string render() const;
+
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Renders a horizontal ASCII bar chart: one bar per (label, value), a
+ * textual stand-in for the paper's per-benchmark bar figures.
+ */
+std::string renderBarChart(const std::string &title,
+                           const std::vector<std::string> &labels,
+                           const std::vector<double> &values,
+                           int width = 50);
+
+/** Formats a double with fixed precision. */
+std::string fmt(double value, int precision = 2);
+
+} // namespace ev8
+
+#endif // EV8_COMMON_TABLE_HH

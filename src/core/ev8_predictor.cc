@@ -1,0 +1,162 @@
+#include "core/ev8_predictor.hh"
+
+#include <cassert>
+
+namespace ev8
+{
+
+namespace
+{
+
+/** Rebuilds word coordinates + bit position from a flat entry index. */
+struct FlatRef
+{
+    Ev8WordCoords coords;
+    unsigned bitpos;
+
+    FlatRef(TableId table, size_t idx)
+        : coords(ev8DecomposeIndex(table, idx)),
+          bitpos(ev8IndexOffset(idx))
+    {}
+};
+
+} // namespace
+
+bool
+Ev8Predictor::PhysicalFacade::taken(TableId t, size_t idx) const
+{
+    const FlatRef ref(t, idx);
+    return arrays.readPredBit(t, ref.coords, ref.bitpos);
+}
+
+void
+Ev8Predictor::PhysicalFacade::strengthen(TableId t, size_t idx)
+{
+    // Partial-update strengthen: copy the prediction bit into the
+    // hysteresis bit -- a hysteresis-array-only write (Section 4.3).
+    const FlatRef ref(t, idx);
+    arrays.writeHystBit(t, ref.coords, ref.bitpos,
+                        arrays.readPredBit(t, ref.coords, ref.bitpos));
+}
+
+void
+Ev8Predictor::PhysicalFacade::update(TableId t, size_t idx, bool v)
+{
+    // Full 2-bit counter step: read both bits, write back the stepped
+    // state (a misprediction-path access, Section 4.3).
+    const FlatRef ref(t, idx);
+    const bool p = arrays.readPredBit(t, ref.coords, ref.bitpos);
+    const bool h = arrays.readHystBit(t, ref.coords, ref.bitpos);
+    if (p == v) {
+        arrays.writeHystBit(t, ref.coords, ref.bitpos, p); // strengthen
+    } else if (h == p) {
+        arrays.writeHystBit(t, ref.coords, ref.bitpos, !p); // weaken
+    } else {
+        arrays.writePredBit(t, ref.coords, ref.bitpos, v);  // flip
+        arrays.writeHystBit(t, ref.coords, ref.bitpos, !v);
+    }
+}
+
+Ev8Predictor::Ev8Predictor(const Ev8Config &config) : cfg(config)
+{
+}
+
+Ev8IndexInput
+Ev8Predictor::indexInput(const BranchSnapshot &snap)
+{
+    Ev8IndexInput in;
+    in.blockAddr = snap.blockAddr;
+    in.hist = snap.hist.indexHist;
+    in.zAddr = snap.hist.pathZ;
+    in.bank = snap.bank;
+    return in;
+}
+
+size_t
+Ev8Predictor::tableIndex(TableId table, const BranchSnapshot &snap) const
+{
+    return ev8EntryIndex(table, indexInput(snap), snap.pc, cfg.wordline);
+}
+
+GskewLookup
+Ev8Predictor::lookup(const BranchSnapshot &snap) const
+{
+    GskewLookup look;
+    const Ev8IndexInput in = indexInput(snap);
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        look.idx[t] = ev8EntryIndex(static_cast<TableId>(t), in, snap.pc,
+                                    cfg.wordline);
+    }
+    const PhysicalFacade facade{
+        const_cast<Ev8PhysicalStorage &>(arrays)};
+    computeGskewVotes(facade, look);
+    return look;
+}
+
+bool
+Ev8Predictor::predict(const BranchSnapshot &snap)
+{
+    last = lookup(snap);
+    return last.overall;
+}
+
+void
+Ev8Predictor::update(const BranchSnapshot &snap, bool taken, bool)
+{
+    assert(last.idx[G1] == tableIndex(G1, snap));
+    (void)snap;
+    PhysicalFacade facade{arrays};
+    if (cfg.partialUpdate)
+        gskewPartialUpdate(facade, last, taken);
+    else
+        gskewTotalUpdate(facade, last, taken);
+}
+
+Ev8BlockPrediction
+Ev8Predictor::predictBlock(const Ev8IndexInput &in) const
+{
+    Ev8BlockPrediction out;
+    std::array<uint8_t, kNumTables> words{};
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        const auto id = static_cast<TableId>(t);
+        out.coords[t] = ev8WordCoords(id, in, cfg.wordline);
+        words[t] = arrays.readPredWord(id, out.coords[t]);
+    }
+    for (unsigned offset = 0; offset < Ev8BlockPrediction::kSlots;
+         ++offset) {
+        // The unshuffle: the instruction at in-block offset o consumes
+        // bit (o XOR u_table) of each table's word.
+        auto bitOf = [&](TableId t) {
+            const unsigned pos = offset ^ (out.coords[t].unshuffle & 7);
+            return ((words[t] >> pos) & 1) != 0;
+        };
+        const bool bim = bitOf(BIM);
+        const bool g0 = bitOf(G0);
+        const bool g1 = bitOf(G1);
+        const bool meta = bitOf(META);
+        const bool majority =
+            (static_cast<int>(bim) + g0 + g1) >= 2;
+        out.takenAtOffset[offset] = meta ? majority : bim;
+    }
+    return out;
+}
+
+uint64_t
+Ev8Predictor::storageBits() const
+{
+    return Ev8PhysicalStorage::storageBits();
+}
+
+std::string
+Ev8Predictor::name() const
+{
+    return cfg.label;
+}
+
+void
+Ev8Predictor::reset()
+{
+    arrays.reset();
+}
+
+} // namespace ev8

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The Alpha EV8 conditional branch predictor -- the paper's artifact.
+ *
+ * A 352 Kbit 2Bc-gskew (Table 1 geometry) implemented over the physical
+ * banked storage of Section 7.1, indexed with the hardware-constrained
+ * functions of Sections 7.3-7.5, driven by the EV8 information vector
+ * (three-fetch-blocks-old lghist + path, Section 5), and trained with
+ * the partial-update policy of Section 4.2.
+ *
+ * The class exposes two equivalent access paths:
+ *  - the ConditionalBranchPredictor interface used by the trace
+ *    simulator (one conditional branch at a time);
+ *  - predictBlock(), the hardware-faithful path that reads one 8-bit
+ *    word per logical table and produces all up-to-8 predictions of a
+ *    fetch block from a single access, exactly as the arrays do.
+ */
+
+#ifndef EV8_CORE_EV8_PREDICTOR_HH
+#define EV8_CORE_EV8_PREDICTOR_HH
+
+#include <array>
+#include <string>
+
+#include "core/index_functions.hh"
+#include "core/physical_storage.hh"
+#include "predictors/gskew_policy.hh"
+#include "predictors/predictor.hh"
+
+namespace ev8
+{
+
+/** Configuration switches of the constrained EV8 model. */
+struct Ev8Config
+{
+    /** Shared wordline selection (the Fig. 9 ablation axis). */
+    WordlineMode wordline = WordlineMode::Ev8;
+
+    /** Section 4.2 partial update (false = total update ablation). */
+    bool partialUpdate = true;
+
+    std::string label = "EV8";
+};
+
+/** All eight predictions of one fetch block, plus the word coordinates
+ *  of the access that produced them. */
+struct Ev8BlockPrediction
+{
+    /** Instruction slots per fetch block. */
+    static constexpr unsigned kSlots = 8;
+
+    std::array<bool, kSlots> takenAtOffset{};
+    std::array<Ev8WordCoords, kNumTables> coords{};
+};
+
+class Ev8Predictor : public ConditionalBranchPredictor
+{
+  public:
+    explicit Ev8Predictor(const Ev8Config &config = Ev8Config{});
+
+    bool predict(const BranchSnapshot &snap) override;
+    void update(const BranchSnapshot &snap, bool taken,
+                bool predicted_taken) override;
+    uint64_t storageBits() const override;
+    std::string name() const override;
+    void reset() override;
+
+    /**
+     * Hardware-faithful block-wide prediction: one 8-bit word read per
+     * logical table; the prediction for the instruction at in-block
+     * offset o combines bit (o XOR u_table) of each table's word.
+     */
+    Ev8BlockPrediction predictBlock(const Ev8IndexInput &in) const;
+
+    /** Flat entry index for one branch (exposed for tests). */
+    size_t tableIndex(TableId table, const BranchSnapshot &snap) const;
+
+    const Ev8Config &config() const { return cfg; }
+    const Ev8PhysicalStorage &storage() const { return arrays; }
+
+  private:
+    /** Adapter mapping flat indices onto the physical arrays for the
+     *  shared 2Bc-gskew policy. */
+    struct PhysicalFacade
+    {
+        Ev8PhysicalStorage &arrays;
+
+        bool taken(TableId t, size_t idx) const;
+        void strengthen(TableId t, size_t idx);
+        void update(TableId t, size_t idx, bool v);
+    };
+
+    static Ev8IndexInput indexInput(const BranchSnapshot &snap);
+    GskewLookup lookup(const BranchSnapshot &snap) const;
+
+    Ev8Config cfg;
+    Ev8PhysicalStorage arrays;
+    GskewLookup last;
+};
+
+} // namespace ev8
+
+#endif // EV8_CORE_EV8_PREDICTOR_HH

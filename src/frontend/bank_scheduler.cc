@@ -1,0 +1,16 @@
+// All of the bank scheduler is constexpr/inline in the header; this
+// translation unit exists to give the header a home in the library and
+// to force a standalone compile of its contents.
+#include "frontend/bank_scheduler.hh"
+
+namespace ev8
+{
+
+static_assert(computeBankNumber(0x00, 0) == 1,
+              "candidate equal to Z's bank must flip the low bit");
+static_assert(computeBankNumber(0x20, 0) == 1, "(y6,y5) = 01");
+static_assert(computeBankNumber(0x40, 0) == 2, "(y6,y5) = 10");
+static_assert(computeBankNumber(0x60, 3) == 2,
+              "conflict with bank 3 resolves to bank 2");
+
+} // namespace ev8

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Conflict-free bank-number computation (Section 6.2).
+ *
+ * The EV8 predictor is 4-way bank interleaved with single-ported memory
+ * cells, yet must serve predictions for two dynamically successive fetch
+ * blocks every cycle. Instead of resolving conflicts, the EV8 computes
+ * bank numbers such that conflicts never occur: the bank for fetch
+ * block A is derived from the address of block Y (two slots earlier) and
+ * the bank used by block Z (the immediately preceding slot):
+ *
+ *     if ((y6, y5) == Bz)  Ba = (y6, y5 XOR 1)   else  Ba = (y6, y5)
+ *
+ * Since the adjustment only ever flips the low bit away from Bz, any two
+ * dynamically successive fetch blocks land in distinct banks, by
+ * construction. The inputs are available one cycle before the predictor
+ * access ("two-block ahead" computation [18]), so no latency is added.
+ */
+
+#ifndef EV8_FRONTEND_BANK_SCHEDULER_HH
+#define EV8_FRONTEND_BANK_SCHEDULER_HH
+
+#include <cstdint>
+
+namespace ev8
+{
+
+/** Number of predictor banks on the EV8. */
+constexpr unsigned kNumBanks = 4;
+
+/**
+ * The pure combinational function: bank for a block given the address of
+ * the block two slots earlier (@p y_addr) and the bank of the previous
+ * block (@p z_bank).
+ */
+constexpr unsigned
+computeBankNumber(uint64_t y_addr, unsigned z_bank)
+{
+    const unsigned candidate =
+        static_cast<unsigned>((y_addr >> 5) & 0x3); // (y6, y5)
+    if (candidate == (z_bank & 0x3))
+        return candidate ^ 0x1; // (y6, y5 XOR 1)
+    return candidate;
+}
+
+/**
+ * Stateful wrapper that walks a fetch-block stream assigning bank
+ * numbers, tracking the one-slot (Z bank) and two-slot (Y address)
+ * recurrences.
+ */
+class BankScheduler
+{
+  public:
+    /**
+     * Assigns the bank for the next fetch block. @p block_addr is that
+     * block's own address, recorded so it can serve as the "Y address"
+     * two slots later.
+     */
+    unsigned
+    assign(uint64_t block_addr)
+    {
+        const unsigned bank = computeBankNumber(yAddr, zBank);
+        yAddr = zAddr;
+        zAddr = block_addr;
+        zBank = bank;
+        return bank;
+    }
+
+    unsigned lastBank() const { return zBank; }
+
+    void
+    clear()
+    {
+        yAddr = 0;
+        zAddr = 0;
+        zBank = 0;
+    }
+
+  private:
+    uint64_t yAddr = 0; //!< address of the block two slots back
+    uint64_t zAddr = 0; //!< address of the previous block
+    unsigned zBank = 0; //!< bank used by the previous block
+};
+
+} // namespace ev8
+
+#endif // EV8_FRONTEND_BANK_SCHEDULER_HH

@@ -1,0 +1,28 @@
+#include "frontend/fetch_block.hh"
+
+#include "frontend/fetch_block_util.hh"
+#include "trace/trace.hh"
+
+namespace ev8
+{
+
+std::vector<FetchBlock>
+buildFetchBlocks(const Trace &trace)
+{
+    std::vector<FetchBlock> blocks;
+    FetchBlockBuilder builder;
+    builder.begin(trace.startPc());
+    auto sink = [&blocks](const FetchBlock &b) { blocks.push_back(b); };
+    for (const auto &rec : trace.records())
+        builder.feed(rec, sink);
+    builder.flush(sink);
+    return blocks;
+}
+
+void
+FetchBlockBuilder::begin(uint64_t start_pc)
+{
+    resetAt(start_pc);
+}
+
+} // namespace ev8

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Convenience helpers over the streaming FetchBlockBuilder.
+ */
+
+#ifndef EV8_FRONTEND_FETCH_BLOCK_UTIL_HH
+#define EV8_FRONTEND_FETCH_BLOCK_UTIL_HH
+
+#include <vector>
+
+#include "frontend/fetch_block.hh"
+
+namespace ev8
+{
+
+class Trace;
+
+/**
+ * Materializes the whole fetch-block sequence of @p trace. Convenient
+ * for tests and small examples; large runs should stream through
+ * FetchBlockBuilder::feed instead.
+ */
+std::vector<FetchBlock> buildFetchBlocks(const Trace &trace);
+
+} // namespace ev8
+
+#endif // EV8_FRONTEND_FETCH_BLOCK_UTIL_HH

@@ -1,0 +1,66 @@
+#include "frontend/jump_predictor.hh"
+
+#include "common/bits.hh"
+
+namespace ev8
+{
+
+JumpPredictor::JumpPredictor(unsigned log2_entries, unsigned tag_bits)
+    : log2Entries(log2_entries), tagBits(tag_bits),
+      table(size_t{1} << log2_entries)
+{
+}
+
+size_t
+JumpPredictor::index(uint64_t pc) const
+{
+    const uint64_t line = pc >> 2;
+    return static_cast<size_t>((line ^ (line >> log2Entries))
+                               & mask(log2Entries));
+}
+
+uint16_t
+JumpPredictor::tagOf(uint64_t pc) const
+{
+    return static_cast<uint16_t>((pc >> (2 + log2Entries))
+                                 & mask(tagBits));
+}
+
+uint64_t
+JumpPredictor::predict(uint64_t pc) const
+{
+    const Entry &e = table[index(pc)];
+    if (!e.valid || (tagBits > 0 && e.tag != tagOf(pc)))
+        return 0;
+    return e.target;
+}
+
+void
+JumpPredictor::update(uint64_t pc, uint64_t actual_target)
+{
+    ++lookups_;
+    Entry &e = table[index(pc)];
+    const bool hit = e.valid && (tagBits == 0 || e.tag == tagOf(pc));
+    if (!hit || e.target != actual_target)
+        ++mispredicts_;
+    e.valid = true;
+    e.tag = tagOf(pc);
+    e.target = actual_target;
+}
+
+uint64_t
+JumpPredictor::storageBits() const
+{
+    // 43-bit Alpha-era virtual target + the partial tag per entry.
+    return (uint64_t{1} << log2Entries) * (43 + tagBits);
+}
+
+void
+JumpPredictor::clear()
+{
+    table.assign(table.size(), Entry{});
+    lookups_ = 0;
+    mispredicts_ = 0;
+}
+
+} // namespace ev8

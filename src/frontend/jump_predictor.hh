@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Indirect-jump target predictor (Section 2: the PC address generator
+ * includes "a jump predictor" for computed jumps and indirect calls).
+ *
+ * Modelled as a tagged, direct-mapped target cache: last-seen target
+ * per (partial-tag) jump site. Dispatch-style indirect calls with
+ * phase-sticky callees -- which is what our synthetic programs emit --
+ * predict well; rapidly switching sites mispredict, as in hardware.
+ */
+
+#ifndef EV8_FRONTEND_JUMP_PREDICTOR_HH
+#define EV8_FRONTEND_JUMP_PREDICTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ev8
+{
+
+class JumpPredictor
+{
+  public:
+    /**
+     * @param log2_entries target-cache entries
+     * @param tag_bits partial tag width (0 = untagged)
+     */
+    explicit JumpPredictor(unsigned log2_entries = 10,
+                           unsigned tag_bits = 8);
+
+    /**
+     * Predicted target of the indirect jump at @p pc; 0 when the entry
+     * is cold or the tag mismatches (no prediction).
+     */
+    uint64_t predict(uint64_t pc) const;
+
+    /** Trains with the observed target and updates the statistics. */
+    void update(uint64_t pc, uint64_t actual_target);
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    double
+    accuracy() const
+    {
+        return lookups_ == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(mispredicts_)
+                  / static_cast<double>(lookups_);
+    }
+
+    /** Storage: target + tag bits per entry. */
+    uint64_t storageBits() const;
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        uint64_t target = 0;
+        uint16_t tag = 0;
+        bool valid = false;
+    };
+
+    size_t index(uint64_t pc) const;
+    uint16_t tagOf(uint64_t pc) const;
+
+    unsigned log2Entries;
+    unsigned tagBits;
+    std::vector<Entry> table;
+    uint64_t lookups_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace ev8
+
+#endif // EV8_FRONTEND_JUMP_PREDICTOR_HH

@@ -1,0 +1,11 @@
+// LghistTracker and DelayedHistory are header-only; this translation
+// unit forces a standalone compile of the header's contents.
+#include "frontend/lghist.hh"
+
+namespace ev8
+{
+
+static_assert(kFetchBlockInstrs == 8, "EV8 fetches 8-instruction blocks");
+static_assert(kFetchBlockBytes == 32, "8 x 4-byte instructions");
+
+} // namespace ev8

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Block-compressed branch history -- the paper's "lghist" (Section 5.1).
+ *
+ * Instead of shifting up to 16 outcome bits per cycle into a global
+ * history register, the EV8 inserts a single bit per fetch block that
+ * contains at least one conditional branch: the outcome of the *last*
+ * conditional branch in the block, exclusive-ORed with bit 4 of that
+ * branch's PC. The PC bit injects path information, flattening the
+ * taken/not-taken skew of optimized code into a more uniform history
+ * distribution (and de-aliasing otherwise identical histories).
+ */
+
+#ifndef EV8_FRONTEND_LGHIST_HH
+#define EV8_FRONTEND_LGHIST_HH
+
+#include <cstdint>
+
+#include "common/history.hh"
+#include "frontend/fetch_block.hh"
+
+namespace ev8
+{
+
+/**
+ * Maintains the lghist register over a stream of fetch blocks.
+ */
+class LghistTracker
+{
+  public:
+    /**
+     * @param include_path if true (the EV8 choice), XOR the outcome with
+     *        bit 4 of the last conditional branch's PC; if false, the
+     *        "lghist, no path" variant of Fig. 7.
+     */
+    explicit LghistTracker(bool include_path = true)
+        : includePath(include_path)
+    {}
+
+    /**
+     * The history bit a block inserts, or no insertion for blocks
+     * without conditional branches.
+     */
+    static bool
+    blockBit(const FetchBlock &block, bool include_path)
+    {
+        const BlockBranch &last = block.lastBranch();
+        bool value = last.taken;
+        if (include_path)
+            value ^= bit(last.pc, 4) != 0;
+        return value;
+    }
+
+    /**
+     * Advances the register past @p block. Returns true if a bit was
+     * inserted (i.e. the block contained a conditional branch).
+     */
+    bool
+    onBlock(const FetchBlock &block)
+    {
+        if (block.numBranches == 0)
+            return false;
+        reg.push(blockBit(block, includePath));
+        ++bitsInserted_;
+        return true;
+    }
+
+    /** Current register value, most recent block bit in bit 0. */
+    uint64_t value() const { return reg.raw(); }
+
+    const HistoryRegister &reg64() const { return reg; }
+
+    /** Total lghist bits inserted so far (Table 3 denominator). */
+    uint64_t bitsInserted() const { return bitsInserted_; }
+
+    void
+    clear()
+    {
+        reg.clear();
+        bitsInserted_ = 0;
+    }
+
+  private:
+    bool includePath;
+    HistoryRegister reg;
+    uint64_t bitsInserted_ = 0;
+};
+
+/**
+ * A ring of recent history-register snapshots giving the "N fetch blocks
+ * old" view the EV8 pipeline imposes (Section 5.1): predicting block D
+ * may not see history bits from its three predecessors, so the predictor
+ * indexes with the register as it stood after block D-4.
+ *
+ * age = 0 reproduces an ideally up-to-date history.
+ */
+class DelayedHistory
+{
+  public:
+    /** @param age number of predecessor blocks whose bits are unseen. */
+    explicit DelayedHistory(unsigned age) : age_(age)
+    {
+        assert(age < kMaxAge);
+    }
+
+    /**
+     * History available for predicting the current block: the register
+     * value as it stood after block (current - age - 1), i.e. excluding
+     * the @ref age_ most recent blocks (zero until enough blocks have
+     * been seen, matching a cleared register at program start).
+     *
+     * Call view() for block t before calling advance() for block t.
+     */
+    uint64_t
+    view() const
+    {
+        return ring[slot];
+    }
+
+    /**
+     * Records @p post_value, the register value after the current block
+     * was processed, and rotates the window by one block slot. The value
+     * becomes visible through view() after age_ + 1 advances, which is
+     * exactly when the block age_ + 1 slots downstream is predicted.
+     */
+    void
+    advance(uint64_t post_value)
+    {
+        ring[slot] = post_value;
+        slot = (slot + 1) % (age_ + 1);
+    }
+
+    unsigned age() const { return age_; }
+
+    void
+    clear()
+    {
+        ring.fill(0);
+        slot = 0;
+    }
+
+  private:
+    static constexpr unsigned kMaxAge = 16;
+
+    unsigned age_;
+    unsigned slot = 0;
+    std::array<uint64_t, kMaxAge> ring{};
+};
+
+} // namespace ev8
+
+#endif // EV8_FRONTEND_LGHIST_HH

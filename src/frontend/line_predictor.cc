@@ -1,0 +1,51 @@
+#include "frontend/line_predictor.hh"
+
+#include "common/bits.hh"
+
+namespace ev8
+{
+
+LinePredictor::LinePredictor(unsigned log2_entries)
+    : log2Entries(log2_entries), table(size_t{1} << log2_entries, 0)
+{
+}
+
+size_t
+LinePredictor::index(uint64_t addr) const
+{
+    // "Very limited hashing": block-granular address bits with a single
+    // XOR of a higher slice, nothing more.
+    const uint64_t line = addr >> 2;
+    return static_cast<size_t>(
+        (line ^ (line >> log2Entries)) & mask(log2Entries));
+}
+
+uint64_t
+LinePredictor::predict(uint64_t addr) const
+{
+    const uint64_t entry = table[index(addr)];
+    // Empty entries fall back to sequential fetch.
+    return entry != 0 ? entry : (addr & ~uint64_t{31}) + 32;
+}
+
+void
+LinePredictor::train(uint64_t addr, uint64_t next_addr)
+{
+    table[index(addr)] = next_addr;
+}
+
+uint64_t
+LinePredictor::storageBits() const
+{
+    // Model cost: each entry stores a 43-bit fetch-block address
+    // (Alpha virtual addresses are 43-bit in EV6-era implementations).
+    return (uint64_t{1} << log2Entries) * 43;
+}
+
+void
+LinePredictor::clear()
+{
+    table.assign(table.size(), 0);
+}
+
+} // namespace ev8

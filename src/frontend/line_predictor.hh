@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The EV8 line predictor model (Section 2).
+ *
+ * On every cycle the EV8 must produce the addresses of the next two
+ * fetch blocks within a single cycle, which only leaves room for very
+ * fast hardware: a set of tables indexed with the address of the most
+ * recent fetch block through "very limited hashing logic". The
+ * consequence is relatively low line-prediction accuracy, which is why
+ * the line predictor is backed by the powerful (but 2-cycle) PC address
+ * generator containing the conditional branch predictor this repository
+ * is about.
+ *
+ * We model the line predictor as a direct-mapped next-fetch-block table:
+ * index = low block-address bits (no de-aliasing tags -- mispredictions
+ * from aliasing are precisely the realistic behaviour), trained with the
+ * actual successor after the fact.
+ */
+
+#ifndef EV8_FRONTEND_LINE_PREDICTOR_HH
+#define EV8_FRONTEND_LINE_PREDICTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ev8
+{
+
+/**
+ * Direct-mapped next-fetch-block-address predictor.
+ */
+class LinePredictor
+{
+  public:
+    /** @param log2_entries table size; the EV8 line predictor was large
+     *  but cheap per entry. */
+    explicit LinePredictor(unsigned log2_entries = 12);
+
+    /** Predicted address of the block following the one at @p addr. */
+    uint64_t predict(uint64_t addr) const;
+
+    /** Trains the entry for @p addr with the observed successor. */
+    void train(uint64_t addr, uint64_t next_addr);
+
+    /** Storage cost in bits (entries x stored address width). */
+    uint64_t storageBits() const;
+
+    void clear();
+
+  private:
+    size_t index(uint64_t addr) const;
+
+    unsigned log2Entries;
+    std::vector<uint64_t> table;
+};
+
+} // namespace ev8
+
+#endif // EV8_FRONTEND_LINE_PREDICTOR_HH

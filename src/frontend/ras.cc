@@ -1,0 +1,42 @@
+#include "frontend/ras.hh"
+
+#include "trace/branch_record.hh"
+
+namespace ev8
+{
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth)
+    : depth_(depth), stack(depth, 0)
+{
+}
+
+void
+ReturnAddressStack::pushCall(uint64_t call_pc)
+{
+    stack[top] = call_pc + kInstrBytes;
+    top = (top + 1) % depth_;
+    if (occupancy_ < depth_)
+        ++occupancy_;
+}
+
+uint64_t
+ReturnAddressStack::popReturn()
+{
+    if (occupancy_ == 0)
+        return 0; // underflow: no prediction
+    top = (top + depth_ - 1) % depth_;
+    --occupancy_;
+    return stack[top];
+}
+
+void
+ReturnAddressStack::clear()
+{
+    top = 0;
+    occupancy_ = 0;
+    stack.assign(depth_, 0);
+    returns_ = 0;
+    mispredicts_ = 0;
+}
+
+} // namespace ev8

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Return-address-stack predictor (Section 2: the EV8 PC address
+ * generator includes "a return address stack predictor" next to the
+ * conditional and jump predictors).
+ *
+ * Classic circular-overwrite stack: calls push their return address,
+ * returns pop a prediction. Overflow silently wraps (overwriting the
+ * oldest entries), underflow predicts garbage -- both the realistic
+ * hardware behaviours whose cost the stats expose.
+ */
+
+#ifndef EV8_FRONTEND_RAS_HH
+#define EV8_FRONTEND_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ev8
+{
+
+class ReturnAddressStack
+{
+  public:
+    /** @param depth entries in the circular stack (16-32 typical). */
+    explicit ReturnAddressStack(unsigned depth = 16);
+
+    /** A call at @p call_pc: pushes the sequential return address. */
+    void pushCall(uint64_t call_pc);
+
+    /**
+     * A return: pops and returns the predicted return address (0 when
+     * the stack has underflowed).
+     */
+    uint64_t popReturn();
+
+    /** Records whether the popped prediction matched reality. */
+    void
+    recordOutcome(uint64_t predicted, uint64_t actual)
+    {
+        ++returns_;
+        if (predicted != actual)
+            ++mispredicts_;
+    }
+
+    /** Live entries (saturates at the stack depth). */
+    unsigned occupancy() const { return occupancy_; }
+    unsigned depth() const { return depth_; }
+    uint64_t returnsSeen() const { return returns_; }
+    uint64_t mispredicts() const { return mispredicts_; }
+
+    double
+    accuracy() const
+    {
+        return returns_ == 0
+            ? 1.0
+            : 1.0 - static_cast<double>(mispredicts_)
+                  / static_cast<double>(returns_);
+    }
+
+    void clear();
+
+  private:
+    unsigned depth_;
+    unsigned top = 0;        //!< index of the next free slot
+    unsigned occupancy_ = 0;
+    std::vector<uint64_t> stack;
+    uint64_t returns_ = 0;
+    uint64_t mispredicts_ = 0;
+};
+
+} // namespace ev8
+
+#endif // EV8_FRONTEND_RAS_HH

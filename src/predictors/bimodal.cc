@@ -1,0 +1,49 @@
+#include "predictors/bimodal.hh"
+
+#include "common/bits.hh"
+
+namespace ev8
+{
+
+BimodalPredictor::BimodalPredictor(unsigned log2_entries)
+    : log2Entries(log2_entries), table(size_t{1} << log2_entries)
+{
+}
+
+size_t
+BimodalPredictor::index(uint64_t pc) const
+{
+    return static_cast<size_t>((pc >> 2) & mask(log2Entries));
+}
+
+bool
+BimodalPredictor::predict(const BranchSnapshot &snap)
+{
+    return table.taken(index(snap.pc));
+}
+
+void
+BimodalPredictor::update(const BranchSnapshot &snap, bool taken, bool)
+{
+    table.update(index(snap.pc), taken);
+}
+
+uint64_t
+BimodalPredictor::storageBits() const
+{
+    return table.storageBits();
+}
+
+std::string
+BimodalPredictor::name() const
+{
+    return "bimodal-" + std::to_string(size_t{1} << log2Entries);
+}
+
+void
+BimodalPredictor::reset()
+{
+    table.reset();
+}
+
+} // namespace ev8

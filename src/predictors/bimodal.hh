@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Smith's bimodal predictor [21]: a table of 2-bit counters indexed by
+ * branch address. The baseline component of every hybrid in the paper.
+ */
+
+#ifndef EV8_PREDICTORS_BIMODAL_HH
+#define EV8_PREDICTORS_BIMODAL_HH
+
+#include "predictors/predictor.hh"
+#include "predictors/tables.hh"
+
+namespace ev8
+{
+
+class BimodalPredictor : public ConditionalBranchPredictor
+{
+  public:
+    /** @param log2_entries table holds 2^log2_entries 2-bit counters. */
+    explicit BimodalPredictor(unsigned log2_entries);
+
+    bool predict(const BranchSnapshot &snap) override;
+    void update(const BranchSnapshot &snap, bool taken,
+                bool predicted_taken) override;
+    uint64_t storageBits() const override;
+    std::string name() const override;
+    void reset() override;
+
+  private:
+    size_t index(uint64_t pc) const;
+
+    unsigned log2Entries;
+    TwoBitCounterTable table;
+};
+
+} // namespace ev8
+
+#endif // EV8_PREDICTORS_BIMODAL_HH

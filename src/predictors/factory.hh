@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Construction helpers: the paper's named configurations plus a spec
+ * string parser for the example CLIs.
+ */
+
+#ifndef EV8_PREDICTORS_FACTORY_HH
+#define EV8_PREDICTORS_FACTORY_HH
+
+#include <string>
+#include <vector>
+
+#include "predictors/predictor.hh"
+
+namespace ev8
+{
+
+/// @name Fig. 5 configurations (sizes and best history lengths from
+/// Section 8.2).
+/// @{
+
+/** 4*32K-entry 2Bc-gskew, 256 Kbits, histories (0, 13, 16, 23). */
+PredictorPtr make2BcGskew256K();
+
+/** 4*64K-entry 2Bc-gskew, 512 Kbits, histories (0, 17, 20, 27). */
+PredictorPtr make2BcGskew512K();
+
+/** Bi-mode with 2x128K direction tables + 16K choice, 544 Kbits, h=20. */
+PredictorPtr makeBimode544K();
+
+/** 1M-entry gshare, 2 Mbits, best history 20. */
+PredictorPtr makeGshare2M();
+
+/** YAGS, 16K choice + 2x16K 6-bit-tag caches, 288 Kbits, h=23. */
+PredictorPtr makeYags288K();
+
+/** YAGS, 32K choice + 2x32K 6-bit-tag caches, 576 Kbits, h=25. */
+PredictorPtr makeYags576K();
+
+/** The Fig. 10 brute-force point: 4*1M-entry 2Bc-gskew (8 Mbits). */
+PredictorPtr make2BcGskew4M();
+
+/** The EV8-budget logical 2Bc-gskew (Table 1 geometry, 352 Kbits). */
+PredictorPtr make2BcGskewEv8Size();
+
+/// @}
+
+/**
+ * Parses a predictor spec string, e.g. "gshare:20:20",
+ * "2bcgskew:16:0:17:20:27", "yags:14:14:23", "bimodal:14",
+ * "perceptron:12:24", "tournament", or a named configuration
+ * ("fig5-gshare2M", "ev8size", ...). Throws std::invalid_argument on an
+ * unknown spec. See factory.cc for the full grammar.
+ */
+PredictorPtr makePredictor(const std::string &spec);
+
+/** All spec names understood by makePredictor, for --help output. */
+std::vector<std::string> knownPredictorSpecs();
+
+} // namespace ev8
+
+#endif // EV8_PREDICTORS_FACTORY_HH

@@ -1,0 +1,55 @@
+#include "predictors/gshare.hh"
+
+#include "common/bits.hh"
+
+namespace ev8
+{
+
+GsharePredictor::GsharePredictor(unsigned log2_entries,
+                                 unsigned history_length)
+    : log2Entries(log2_entries), histLen(history_length),
+      table(size_t{1} << log2_entries)
+{
+}
+
+size_t
+GsharePredictor::index(const BranchSnapshot &snap) const
+{
+    const uint64_t h = snap.hist.indexHist & mask(histLen);
+    const uint64_t folded = histLen == 0 ? 0 : xorFold(h, log2Entries);
+    return static_cast<size_t>(((snap.pc >> 2) ^ folded)
+                               & mask(log2Entries));
+}
+
+bool
+GsharePredictor::predict(const BranchSnapshot &snap)
+{
+    return table.taken(index(snap));
+}
+
+void
+GsharePredictor::update(const BranchSnapshot &snap, bool taken, bool)
+{
+    table.update(index(snap), taken);
+}
+
+uint64_t
+GsharePredictor::storageBits() const
+{
+    return table.storageBits();
+}
+
+std::string
+GsharePredictor::name() const
+{
+    return "gshare-" + std::to_string(size_t{1} << log2Entries) + "-h"
+        + std::to_string(histLen);
+}
+
+void
+GsharePredictor::reset()
+{
+    table.reset();
+}
+
+} // namespace ev8

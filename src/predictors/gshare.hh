@@ -1,0 +1,49 @@
+/**
+ * @file
+ * McFarling's gshare predictor [14]: a single table of 2-bit counters
+ * indexed by (global history XOR branch address). The paper's large
+ * "aliased" reference point (Fig. 5 uses a 1M-entry / 2 Mbit gshare).
+ *
+ * Histories longer than the index width are XOR-folded onto it, which
+ * is how the paper explores history lengths wider than log2(size).
+ */
+
+#ifndef EV8_PREDICTORS_GSHARE_HH
+#define EV8_PREDICTORS_GSHARE_HH
+
+#include "predictors/predictor.hh"
+#include "predictors/tables.hh"
+
+namespace ev8
+{
+
+class GsharePredictor : public ConditionalBranchPredictor
+{
+  public:
+    /**
+     * @param log2_entries table holds 2^log2_entries 2-bit counters
+     * @param history_length global history bits consumed (may exceed
+     *        log2_entries; the excess is XOR-folded)
+     */
+    GsharePredictor(unsigned log2_entries, unsigned history_length);
+
+    bool predict(const BranchSnapshot &snap) override;
+    void update(const BranchSnapshot &snap, bool taken,
+                bool predicted_taken) override;
+    uint64_t storageBits() const override;
+    std::string name() const override;
+    void reset() override;
+
+    unsigned historyLength() const { return histLen; }
+
+  private:
+    size_t index(const BranchSnapshot &snap) const;
+
+    unsigned log2Entries;
+    unsigned histLen;
+    TwoBitCounterTable table;
+};
+
+} // namespace ev8
+
+#endif // EV8_PREDICTORS_GSHARE_HH

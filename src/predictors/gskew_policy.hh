@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The 2Bc-gskew prediction combination and partial-update policy
+ * (Sections 4.1-4.2), shared between the unconstrained
+ * TwoBcGskewPredictor and the hardware-constrained Ev8Predictor so the
+ * two models cannot drift apart.
+ *
+ * The Banks type must provide:
+ *     bool taken(TableId, size_t idx) const;
+ *     void strengthen(TableId, size_t idx);   // hysteresis-only write
+ *     void update(TableId, size_t idx, bool taken); // full 2-bit step
+ */
+
+#ifndef EV8_PREDICTORS_GSKEW_POLICY_HH
+#define EV8_PREDICTORS_GSKEW_POLICY_HH
+
+#include <array>
+#include <cstddef>
+
+namespace ev8
+{
+
+/** Table identifiers, in the paper's order. */
+enum TableId : unsigned
+{
+    BIM = 0,
+    G0 = 1,
+    G1 = 2,
+    META = 3,
+    kNumTables = 4,
+};
+
+/** One lookup's indices and component votes. */
+struct GskewLookup
+{
+    std::array<size_t, kNumTables> idx{};
+    bool bimPred = false;
+    bool g0Pred = false;
+    bool g1Pred = false;
+    bool metaPred = false; //!< true: the e-gskew majority is selected
+    bool majority = false;
+    bool overall = false;
+};
+
+/** Fills the vote fields of @p look from the current bank contents. */
+template <typename Banks>
+inline void
+computeGskewVotes(const Banks &banks, GskewLookup &look)
+{
+    look.bimPred = banks.taken(BIM, look.idx[BIM]);
+    look.g0Pred = banks.taken(G0, look.idx[G0]);
+    look.g1Pred = banks.taken(G1, look.idx[G1]);
+    look.metaPred = banks.taken(META, look.idx[META]);
+    look.majority = (static_cast<int>(look.bimPred) + look.g0Pred
+                     + look.g1Pred) >= 2;
+    look.overall = look.metaPred ? look.majority : look.bimPred;
+}
+
+namespace detail
+{
+
+/** Strengthens every majority-vote participant that voted @p taken. */
+template <typename Banks>
+inline void
+strengthenCorrectVoters(Banks &banks, const GskewLookup &look, bool taken)
+{
+    if (look.bimPred == taken)
+        banks.strengthen(BIM, look.idx[BIM]);
+    if (look.g0Pred == taken)
+        banks.strengthen(G0, look.idx[G0]);
+    if (look.g1Pred == taken)
+        banks.strengthen(G1, look.idx[G1]);
+}
+
+} // namespace detail
+
+/**
+ * The partial-update policy of Section 4.2, verbatim:
+ *
+ * on a correct prediction:
+ *   - when all predictors were agreeing: do not update (Rationale 1);
+ *   - otherwise strengthen Meta if the two predictions differed, and
+ *     strengthen the correct prediction on the participating tables
+ *     (BIM when the bimodal prediction was used; every correctly-voting
+ *     bank when the majority vote was used).
+ *
+ * on a misprediction:
+ *   - when the two predictions differed: first update the chooser
+ *     (Rationale 2), then recompute the overall prediction under the
+ *     new chooser value -- if now correct, strengthen the participating
+ *     tables; if still wrong, update all banks;
+ *   - when both predictions agreed (both wrong): update all banks.
+ */
+template <typename Banks>
+inline void
+gskewPartialUpdate(Banks &banks, const GskewLookup &look, bool taken)
+{
+    if (look.overall == taken) {
+        if (look.bimPred == look.g0Pred && look.g0Pred == look.g1Pred) {
+            // Rationale 1: all three agree; leave every counter soft so
+            // a colliding (address, history) pair can steal one without
+            // breaking the majority.
+            return;
+        }
+        if (look.majority != look.bimPred)
+            banks.strengthen(META, look.idx[META]);
+        if (!look.metaPred)
+            banks.strengthen(BIM, look.idx[BIM]);
+        else
+            detail::strengthenCorrectVoters(banks, look, taken);
+        return;
+    }
+
+    if (look.majority != look.bimPred) {
+        // Rationale 2: the other component was right; retrain only the
+        // chooser, then check whether that alone fixes the prediction.
+        banks.update(META, look.idx[META], look.majority == taken);
+        const bool new_meta = banks.taken(META, look.idx[META]);
+        const bool new_overall = new_meta ? look.majority : look.bimPred;
+        if (new_overall == taken) {
+            if (!new_meta)
+                banks.strengthen(BIM, look.idx[BIM]);
+            else
+                detail::strengthenCorrectVoters(banks, look, taken);
+            return;
+        }
+    }
+    banks.update(BIM, look.idx[BIM], taken);
+    banks.update(G0, look.idx[G0], taken);
+    banks.update(G1, look.idx[G1], taken);
+}
+
+/** The reference total-update policy, for the update-policy ablation. */
+template <typename Banks>
+inline void
+gskewTotalUpdate(Banks &banks, const GskewLookup &look, bool taken)
+{
+    banks.update(BIM, look.idx[BIM], taken);
+    banks.update(G0, look.idx[G0], taken);
+    banks.update(G1, look.idx[G1], taken);
+    if (look.majority != look.bimPred)
+        banks.update(META, look.idx[META], look.majority == taken);
+}
+
+} // namespace ev8
+
+#endif // EV8_PREDICTORS_GSKEW_POLICY_HH

@@ -1,0 +1,21 @@
+#include "predictors/predictor.hh"
+
+#include <cstdio>
+
+namespace ev8
+{
+
+std::string
+formatKbits(uint64_t bits)
+{
+    char buf[48];
+    const double kbits = static_cast<double>(bits) / 1024.0;
+    if (kbits >= 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.1f Mbits", kbits / 1024.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.0f Kbits", kbits);
+    }
+    return buf;
+}
+
+} // namespace ev8

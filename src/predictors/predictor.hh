@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The common conditional-branch-predictor interface.
+ *
+ * Every prediction scheme in the repository -- the baselines of Fig. 5,
+ * the generic 2Bc-gskew, and the constrained EV8 predictor -- implements
+ * this interface and is driven by the trace simulator in
+ * src/sim/simulator.hh with the paper's immediate-update methodology
+ * (Section 8.1.1).
+ */
+
+#ifndef EV8_PREDICTORS_PREDICTOR_HH
+#define EV8_PREDICTORS_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/history.hh"
+
+namespace ev8
+{
+
+/**
+ * Everything a predictor may look at when predicting one conditional
+ * branch. The simulator fills it in; which fields a scheme consumes is
+ * the scheme's business (a bimodal reads only pc; the EV8 predictor
+ * reads blockAddr, hist.indexHist and the path fields).
+ */
+struct BranchSnapshot
+{
+    uint64_t pc = 0;        //!< address of the conditional branch
+    uint64_t blockAddr = 0; //!< address of its fetch block
+    HistoryView hist;       //!< history registers at lookup time
+    uint8_t bank = 0;       //!< EV8 bank number assigned to the block
+};
+
+/**
+ * Abstract conditional branch predictor.
+ *
+ * Contract: the simulator calls predict() and then update() for the
+ * same dynamic branch, in order, with no interleaving (immediate
+ * update). Implementations may therefore cache lookup state from the
+ * last predict() call and reuse it in update().
+ */
+class ConditionalBranchPredictor
+{
+  public:
+    virtual ~ConditionalBranchPredictor() = default;
+
+    /** Predicts the direction of the branch described by @p snap. */
+    virtual bool predict(const BranchSnapshot &snap) = 0;
+
+    /**
+     * Trains on the resolved outcome. @p predicted_taken is the value
+     * predict() returned for this branch (some update policies depend
+     * on whether the overall prediction was correct).
+     */
+    virtual void update(const BranchSnapshot &snap, bool taken,
+                        bool predicted_taken) = 0;
+
+    /** Total memorization cost in bits, as the paper accounts it. */
+    virtual uint64_t storageBits() const = 0;
+
+    /** Scheme name with its configuration, e.g. "gshare-1M". */
+    virtual std::string name() const = 0;
+
+    /** Returns all tables to their initial state (weakly not-taken). */
+    virtual void reset() = 0;
+};
+
+using PredictorPtr = std::unique_ptr<ConditionalBranchPredictor>;
+
+/** Formats a bit count the way the paper does ("352 Kbits"). */
+std::string formatKbits(uint64_t bits);
+
+} // namespace ev8
+
+#endif // EV8_PREDICTORS_PREDICTOR_HH

@@ -1,0 +1,43 @@
+#include "predictors/skew.hh"
+
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace ev8
+{
+
+SkewSlices
+makeSkewSlices(uint64_t addr, uint64_t hist, unsigned hist_len, unsigned n)
+{
+    assert(n >= 2 && n < 64);
+    assert(hist_len <= 63);
+
+    const uint64_t a = addr >> 2; // instruction-granular address
+    const uint64_t h = hist & mask(hist_len);
+
+    // v1 carries the address, v2 the history (each XOR-folded to n
+    // bits). Keeping the components in separate slices guarantees --
+    // by linearity of the fold and bijectivity of H/H' -- that any
+    // single-bit change of either component always moves the index
+    // (Section 7.5, principle 2).
+    const uint64_t v1 = xorFold(a, n);
+    const uint64_t v2 = hist_len == 0 ? 0 : xorFold(h, n);
+    return {v1 & mask(n), v2 & mask(n)};
+}
+
+uint64_t
+skewIndex(unsigned table, uint64_t addr, uint64_t hist, unsigned hist_len,
+          unsigned n)
+{
+    const SkewSlices s = makeSkewSlices(addr, hist, hist_len, n);
+    return skewHPow(s.v1, table, n) ^ skewHInvPow(s.v2, table, n);
+}
+
+uint64_t
+addressIndex(uint64_t addr, unsigned n)
+{
+    return xorFold(addr >> 2, n);
+}
+
+} // namespace ev8

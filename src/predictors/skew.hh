@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The inter-bank dispersing hash family used by skewed predictors.
+ *
+ * Section 8.1.1: "indexing functions from the family presented in
+ * [17, 15] were used for all predictors" when experimenting with history
+ * lengths wider than log2 of the table size. The family builds on an
+ * invertible one-bit-feedback map H (and its inverse H') over n-bit
+ * values; bank i of a skewed structure is indexed with
+ *
+ *     f_i(v1, v2) = H^i(v1) XOR H'^i(v2)
+ *
+ * where (v1, v2) are two n-bit slices of the (address, history)
+ * information vector. The H^i being distinct bijections gives the
+ * defining skewed-cache property: two vectors that conflict in one bank
+ * are unlikely to conflict in another.
+ */
+
+#ifndef EV8_PREDICTORS_SKEW_HH
+#define EV8_PREDICTORS_SKEW_HH
+
+#include <cstdint>
+
+namespace ev8
+{
+
+/**
+ * Builds the two n-bit information slices from a branch/block address
+ * and a global history of @p hist_len bits. The history occupies the
+ * "v2" slice (folded when longer than n); the address, XOR-folded with
+ * the overflowing history, forms "v1". This deliberately mixes a large
+ * number of information bits into every index bit, the "complete hash"
+ * reference point of Fig. 9.
+ */
+struct SkewSlices
+{
+    uint64_t v1;
+    uint64_t v2;
+};
+
+SkewSlices makeSkewSlices(uint64_t addr, uint64_t hist, unsigned hist_len,
+                          unsigned n);
+
+/**
+ * Index of bank @p table (0-based) into a 2^n-entry table for the given
+ * information vector. Table 0 degenerates to v1 XOR v2.
+ */
+uint64_t skewIndex(unsigned table, uint64_t addr, uint64_t hist,
+                   unsigned hist_len, unsigned n);
+
+/**
+ * Address-only index (the bimodal component of skewed hybrids): the
+ * fetch-granular address bits folded to n.
+ */
+uint64_t addressIndex(uint64_t addr, unsigned n);
+
+} // namespace ev8
+
+#endif // EV8_PREDICTORS_SKEW_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Compact counter-table storage shared by the predictor implementations.
+ */
+
+#ifndef EV8_PREDICTORS_TABLES_HH
+#define EV8_PREDICTORS_TABLES_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+
+namespace ev8
+{
+
+/**
+ * A dense table of 2-bit saturating counters (one byte each for speed).
+ * All entries initialize to weakly-not-taken (value 1), the initial
+ * state the paper uses for its simulations (Section 8.1.1).
+ */
+class TwoBitCounterTable
+{
+  public:
+    static constexpr uint8_t kWeaklyNotTaken = 1;
+
+    explicit TwoBitCounterTable(size_t entries = 0)
+        : table(entries, kWeaklyNotTaken)
+    {
+        assert(entries == 0 || isPowerOf2(entries));
+    }
+
+    size_t size() const { return table.size(); }
+
+    bool taken(size_t idx) const { return table[idx] >= 2; }
+
+    /** True at either saturated extreme. */
+    bool
+    isStrong(size_t idx) const
+    {
+        return table[idx] == 0 || table[idx] == 3;
+    }
+
+    uint8_t raw(size_t idx) const { return table[idx]; }
+    void set(size_t idx, uint8_t value) { assert(value <= 3); table[idx] = value; }
+
+    void
+    update(size_t idx, bool taken)
+    {
+        uint8_t &c = table[idx];
+        if (taken) {
+            if (c < 3)
+                ++c;
+        } else {
+            if (c > 0)
+                --c;
+        }
+    }
+
+    /** Pushes the counter deeper in its current direction. */
+    void
+    strengthen(size_t idx)
+    {
+        update(idx, taken(idx));
+    }
+
+    void
+    reset()
+    {
+        table.assign(table.size(), kWeaklyNotTaken);
+    }
+
+    /** Storage cost: 2 bits per entry. */
+    uint64_t storageBits() const { return table.size() * 2; }
+
+  private:
+    std::vector<uint8_t> table;
+};
+
+/**
+ * A 2-bit counter table physically split into a prediction-bit array and
+ * a (possibly smaller) hysteresis-bit array, as on the EV8 (Sections
+ * 4.3-4.4). When the hysteresis array has half as many entries as the
+ * prediction array, two prediction entries share one hysteresis entry:
+ * same index minus the most significant bit.
+ *
+ * Initial state is weakly not-taken: prediction 0, hysteresis 1.
+ */
+class SplitCounterArray
+{
+  public:
+    SplitCounterArray() = default;
+
+    SplitCounterArray(size_t pred_entries, size_t hyst_entries)
+        : pred(pred_entries, 0), hyst(hyst_entries, 1),
+          hystMask(hyst_entries - 1)
+    {
+        assert(isPowerOf2(pred_entries));
+        assert(isPowerOf2(hyst_entries));
+        assert(hyst_entries <= pred_entries);
+    }
+
+    size_t predSize() const { return pred.size(); }
+    size_t hystSize() const { return hyst.size(); }
+
+    /** Maps a prediction index onto its (possibly shared) hysteresis
+     *  entry by dropping high-order index bits (Section 4.4). */
+    size_t hystIndex(size_t idx) const { return idx & hystMask; }
+
+    bool taken(size_t idx) const { return pred[idx] != 0; }
+
+    /** Strong = hysteresis agrees with the prediction bit. */
+    bool
+    isStrong(size_t idx) const
+    {
+        return hyst[hystIndex(idx)] == pred[idx];
+    }
+
+    /**
+     * Partial-update "strengthen": only the hysteresis array is written
+     * (a correct prediction never touches the prediction array).
+     */
+    void
+    strengthen(size_t idx)
+    {
+        hyst[hystIndex(idx)] = pred[idx];
+    }
+
+    /**
+     * Full 2-bit-counter step toward @p taken: reads the hysteresis bit
+     * and writes prediction and/or hysteresis as needed.
+     */
+    void
+    update(size_t idx, bool taken)
+    {
+        const uint8_t p = pred[idx];
+        uint8_t &h = hyst[hystIndex(idx)];
+        const uint8_t t = taken ? 1 : 0;
+        if (p == t) {
+            h = p;                 // strengthen
+        } else if (h == p) {
+            h = !p;                // strong -> weak
+        } else {
+            pred[idx] = t;         // weak -> flip direction (stays weak)
+            h = !t;
+        }
+    }
+
+    void
+    reset()
+    {
+        pred.assign(pred.size(), 0);
+        hyst.assign(hyst.size(), 1);
+    }
+
+    uint64_t storageBits() const { return pred.size() + hyst.size(); }
+
+    uint8_t rawPred(size_t idx) const { return pred[idx]; }
+    uint8_t rawHyst(size_t idx) const { return hyst[hystIndex(idx)]; }
+
+    void
+    setRaw(size_t idx, bool prediction, bool hysteresis)
+    {
+        pred[idx] = prediction;
+        hyst[hystIndex(idx)] = hysteresis;
+    }
+
+  private:
+    std::vector<uint8_t> pred;
+    std::vector<uint8_t> hyst;
+    size_t hystMask = 0;
+};
+
+} // namespace ev8
+
+#endif // EV8_PREDICTORS_TABLES_HH

@@ -1,0 +1,142 @@
+#include "predictors/twobcgskew.hh"
+
+#include <cassert>
+
+#include "common/bits.hh"
+#include "predictors/skew.hh"
+
+namespace ev8
+{
+
+TwoBcGskewConfig
+TwoBcGskewConfig::symmetric(unsigned log2_entries, unsigned h_bim,
+                            unsigned h_g0, unsigned h_meta, unsigned h_g1,
+                            const std::string &label)
+{
+    TwoBcGskewConfig cfg;
+    cfg.tables[BIM] = {log2_entries, log2_entries, h_bim};
+    cfg.tables[G0] = {log2_entries, log2_entries, h_g0};
+    cfg.tables[G1] = {log2_entries, log2_entries, h_g1};
+    cfg.tables[META] = {log2_entries, log2_entries, h_meta};
+    cfg.label = label;
+    return cfg;
+}
+
+TwoBcGskewConfig
+TwoBcGskewConfig::ev8Size()
+{
+    TwoBcGskewConfig cfg;
+    cfg.tables[BIM] = {14, 14, 4};   // 16K / 16K, history 4
+    cfg.tables[G0] = {16, 15, 13};   // 64K / 32K, history 13
+    cfg.tables[G1] = {16, 16, 21};   // 64K / 64K, history 21
+    cfg.tables[META] = {16, 15, 15}; // 64K / 32K, history 15
+    cfg.usePathInfo = true;          // the EV8 information vector
+    cfg.label = "2Bc-gskew-EV8size";
+    return cfg;
+}
+
+uint64_t
+TwoBcGskewConfig::storageBits() const
+{
+    uint64_t bits = 0;
+    for (const auto &t : tables)
+        bits += (uint64_t{1} << t.log2Pred) + (uint64_t{1} << t.log2Hyst);
+    return bits;
+}
+
+TwoBcGskewPredictor::TwoBcGskewPredictor(const TwoBcGskewConfig &config)
+    : cfg(config)
+{
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        banksStorage[t] =
+            SplitCounterArray(size_t{1} << cfg.tables[t].log2Pred,
+                              size_t{1} << cfg.tables[t].log2Hyst);
+    }
+}
+
+size_t
+TwoBcGskewPredictor::tableIndex(TableId table,
+                                const BranchSnapshot &snap) const
+{
+    const TableGeometry &geo = cfg.tables[table];
+    uint64_t addr = snap.pc;
+    if (cfg.usePathInfo) {
+        if (table == BIM) {
+            // Mirror the EV8's light touch of path on BIM: only the
+            // previous block's (z6, z5) bits (Section 7.4).
+            addr ^= ((snap.hist.pathZ >> 5) & 0x3) << 5;
+        } else {
+            // Fold the addresses of the three previous fetch blocks
+            // into the hashed information vector (Section 5.2).
+            const uint64_t pathword =
+                ((snap.hist.pathZ >> 2) & 0xfff)
+                ^ rotl((snap.hist.pathY >> 2) & 0xfff, 4, 24)
+                ^ rotl((snap.hist.pathX >> 2) & 0xfff, 8, 24);
+            addr ^= pathword << 2;
+        }
+    }
+    if (table == BIM && geo.histLen == 0)
+        return static_cast<size_t>(addressIndex(addr, geo.log2Pred));
+    // Distinct skewing functions per table (the family of [17]); the
+    // table id selects the bijection pair.
+    return static_cast<size_t>(skewIndex(table, addr,
+                                         snap.hist.indexHist, geo.histLen,
+                                         geo.log2Pred));
+}
+
+GskewLookup
+TwoBcGskewPredictor::lookup(const BranchSnapshot &snap) const
+{
+    GskewLookup look;
+    for (unsigned t = 0; t < kNumTables; ++t)
+        look.idx[t] = tableIndex(static_cast<TableId>(t), snap);
+    const BankFacade facade{
+        const_cast<std::array<SplitCounterArray, kNumTables> &>(
+            banksStorage)};
+    computeGskewVotes(facade, look);
+    return look;
+}
+
+bool
+TwoBcGskewPredictor::predict(const BranchSnapshot &snap)
+{
+    last = lookup(snap);
+    return last.overall;
+}
+
+void
+TwoBcGskewPredictor::update(const BranchSnapshot &snap, bool taken, bool)
+{
+    // Immediate-update contract: `last` was filled by predict() on this
+    // same branch.
+    assert(last.idx[BIM] == tableIndex(BIM, snap));
+    (void)snap;
+    BankFacade facade{banksStorage};
+    if (cfg.partialUpdate)
+        gskewPartialUpdate(facade, last, taken);
+    else
+        gskewTotalUpdate(facade, last, taken);
+}
+
+uint64_t
+TwoBcGskewPredictor::storageBits() const
+{
+    return cfg.storageBits();
+}
+
+std::string
+TwoBcGskewPredictor::name() const
+{
+    if (!cfg.label.empty())
+        return cfg.label;
+    return "2Bc-gskew";
+}
+
+void
+TwoBcGskewPredictor::reset()
+{
+    for (auto &bank : banksStorage)
+        bank.reset();
+}
+
+} // namespace ev8

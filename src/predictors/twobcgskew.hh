@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The hybrid skewed branch predictor 2Bc-gskew (Seznec & Michaud [19]),
+ * in its unconstrained "academic" form: the reference design the EV8
+ * predictor is derived from, and the configuration vehicle for most of
+ * the paper's evaluation (Figs. 5, 6, 8, 10).
+ *
+ * Four banks of 2-bit counters (Section 4.1):
+ *   BIM  -- bimodal, address-indexed; also the third e-gskew bank;
+ *   G0   -- e-gskew bank, skew-indexed with a medium history;
+ *   G1   -- e-gskew bank, skew-indexed with a longer history;
+ *   Meta -- metapredictor choosing BIM vs. the e-gskew majority vote.
+ *
+ * The three design degrees of freedom the paper exploits are all
+ * configurable here: per-table history lengths (Section 4.5), per-table
+ * prediction sizes (Section 4.6), and hysteresis arrays smaller than
+ * prediction arrays (Sections 4.3-4.4).
+ */
+
+#ifndef EV8_PREDICTORS_TWOBCGSKEW_HH
+#define EV8_PREDICTORS_TWOBCGSKEW_HH
+
+#include <array>
+#include <string>
+
+#include "predictors/gskew_policy.hh"
+#include "predictors/predictor.hh"
+#include "predictors/tables.hh"
+
+namespace ev8
+{
+
+/** Per-table geometry and history length. */
+struct TableGeometry
+{
+    unsigned log2Pred = 0;  //!< log2 of prediction entries
+    unsigned log2Hyst = 0;  //!< log2 of hysteresis entries (<= log2Pred)
+    unsigned histLen = 0;   //!< history bits consumed by the index
+};
+
+/** Full 2Bc-gskew configuration. */
+struct TwoBcGskewConfig
+{
+    std::array<TableGeometry, kNumTables> tables{};
+    bool partialUpdate = true; //!< Section 4.2 policy (vs. total update)
+
+    /**
+     * Hash the last-three-fetch-block path registers (hist.pathZ/Y/X)
+     * into the indices, alongside the history. Off for the paper's
+     * conventional-ghist experiments (Figs. 5/6/10); on for the EV8
+     * information vector (Section 5.2), where path information from the
+     * three blocks missing from the aged lghist recovers most of the
+     * aging loss -- this is the "complete hash" reference of Fig. 9.
+     */
+    bool usePathInfo = false;
+
+    std::string label;         //!< short name for reports
+
+    /**
+     * Four equal banks of 2^log2_entries counters, full-size hysteresis:
+     * the "academic" baseline of Fig. 5 (e.g. 4*64K entries = 512 Kbits).
+     * History lengths are given per table: BIM conventionally 0, medium
+     * G0, medium Meta, long G1.
+     */
+    static TwoBcGskewConfig symmetric(unsigned log2_entries,
+                                      unsigned h_bim, unsigned h_g0,
+                                      unsigned h_meta, unsigned h_g1,
+                                      const std::string &label);
+
+    /**
+     * The EV8-budget logical configuration of Table 1 (352 Kbits total):
+     * BIM 16K/16K h4, G0 64K/32K h13, G1 64K/64K h21, Meta 64K/32K h15.
+     * (This is the *logical* predictor; hardware index-function
+     * constraints live in src/core.)
+     */
+    static TwoBcGskewConfig ev8Size();
+
+    /** Total memorization bits. */
+    uint64_t storageBits() const;
+};
+
+/**
+ * The working predictor. Indexing uses the skewed-cache hash family of
+ * [17] over the full (address, history) information vector -- the
+ * "complete hash" reference of Fig. 9. The history consumed is
+ * hist.indexHist, so the same class serves conventional-ghist and
+ * lghist experiments; the simulator decides what that register holds.
+ */
+class TwoBcGskewPredictor : public ConditionalBranchPredictor
+{
+  public:
+    explicit TwoBcGskewPredictor(const TwoBcGskewConfig &config);
+
+    bool predict(const BranchSnapshot &snap) override;
+    void update(const BranchSnapshot &snap, bool taken,
+                bool predicted_taken) override;
+    uint64_t storageBits() const override;
+    std::string name() const override;
+    void reset() override;
+
+    const TwoBcGskewConfig &config() const { return cfg; }
+
+    /** Per-table index for a snapshot (exposed for tests). */
+    size_t tableIndex(TableId table, const BranchSnapshot &snap) const;
+
+    /** Direct bank access for white-box tests. */
+    const SplitCounterArray &bank(TableId table) const
+    {
+        return banksStorage[table];
+    }
+
+  private:
+    /** Adapter giving the shared policy its Banks interface. */
+    struct BankFacade
+    {
+        std::array<SplitCounterArray, kNumTables> &arrays;
+
+        bool
+        taken(TableId t, size_t idx) const
+        {
+            return arrays[t].taken(idx);
+        }
+        void strengthen(TableId t, size_t idx) { arrays[t].strengthen(idx); }
+        void update(TableId t, size_t idx, bool v)
+        {
+            arrays[t].update(idx, v);
+        }
+    };
+
+    GskewLookup lookup(const BranchSnapshot &snap) const;
+
+    TwoBcGskewConfig cfg;
+    std::array<SplitCounterArray, kNumTables> banksStorage;
+    GskewLookup last; //!< cached between predict() and update()
+};
+
+} // namespace ev8
+
+#endif // EV8_PREDICTORS_TWOBCGSKEW_HH

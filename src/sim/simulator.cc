@@ -1,0 +1,77 @@
+#include "sim/simulator.hh"
+
+#include "frontend/bank_scheduler.hh"
+#include "frontend/fetch_block.hh"
+#include "frontend/lghist.hh"
+
+namespace ev8
+{
+
+SimResult
+simulateTrace(const Trace &trace, ConditionalBranchPredictor &predictor,
+              const SimConfig &config)
+{
+    SimResult result;
+    result.stats.setInstructions(trace.instructionCount());
+
+    const bool lghist_mode = config.history != HistoryMode::Ghist;
+    const bool lghist_path = config.history == HistoryMode::LghistPath;
+
+    HistoryRegister ghist;
+    LghistTracker lghist(lghist_path);
+    DelayedHistory delayed(config.historyAge);
+    BankScheduler bank_sched;
+
+    // Path registers: addresses of the last three fetch blocks.
+    uint64_t path_z = 0, path_y = 0, path_x = 0;
+
+    FetchBlockBuilder builder;
+    builder.begin(trace.startPc());
+
+    auto on_block = [&](const FetchBlock &block) {
+        ++result.fetchBlocks;
+
+        BranchSnapshot snap;
+        snap.blockAddr = block.address;
+        snap.hist.pathZ = path_z;
+        snap.hist.pathY = path_y;
+        snap.hist.pathX = path_x;
+        if (config.assignBanks)
+            snap.bank = static_cast<uint8_t>(bank_sched.assign(
+                block.address));
+
+        // The index history for every branch of this block: the aged
+        // lghist view, or per-branch ghist filled in below.
+        const uint64_t block_hist = delayed.view();
+
+        for (unsigned i = 0; i < block.numBranches; ++i) {
+            const BlockBranch &br = block.branches[i];
+            snap.pc = br.pc;
+            snap.hist.ghist = ghist.raw();
+            snap.hist.indexHist = lghist_mode ? block_hist : ghist.raw();
+
+            const bool predicted = predictor.predict(snap);
+            result.stats.record(predicted, br.taken);
+            predictor.update(snap, br.taken, predicted);
+
+            ghist.push(br.taken);
+            ++result.condBranches;
+        }
+
+        if (lghist.onBlock(block))
+            ++result.lghistBits;
+        delayed.advance(lghist.value());
+
+        path_x = path_y;
+        path_y = path_z;
+        path_z = block.address;
+    };
+
+    for (const auto &rec : trace.records())
+        builder.feed(rec, on_block);
+    builder.flush(on_block);
+
+    return result;
+}
+
+} // namespace ev8

@@ -1,0 +1,152 @@
+#include "sim/smt.hh"
+
+#include <deque>
+#include <memory>
+
+#include "frontend/bank_scheduler.hh"
+#include "frontend/fetch_block.hh"
+#include "frontend/lghist.hh"
+
+namespace ev8
+{
+
+namespace
+{
+
+/** Streaming fetch-block source over one trace. */
+class BlockStream
+{
+  public:
+    explicit BlockStream(const Trace &trace) : trace(trace)
+    {
+        builder.begin(trace.startPc());
+    }
+
+    /** Produces the next fetch block; false when the trace is done. */
+    bool
+    next(FetchBlock &out)
+    {
+        auto sink = [this](const FetchBlock &b) { queue.push_back(b); };
+        while (queue.empty()) {
+            if (pos < trace.records().size()) {
+                builder.feed(trace.records()[pos++], sink);
+            } else if (!flushed) {
+                builder.flush(sink);
+                flushed = true;
+            } else {
+                return false;
+            }
+        }
+        out = queue.front();
+        queue.pop_front();
+        return true;
+    }
+
+  private:
+    const Trace &trace;
+    size_t pos = 0;
+    bool flushed = false;
+    FetchBlockBuilder builder;
+    std::deque<FetchBlock> queue;
+};
+
+/** One thread's architectural history state (per-thread on EV8). */
+struct HistoryState
+{
+    HistoryState(bool lghist_path, unsigned age)
+        : lghist(lghist_path), delayed(age)
+    {}
+
+    HistoryRegister ghist;
+    LghistTracker lghist;
+    DelayedHistory delayed;
+    uint64_t pathZ = 0, pathY = 0, pathX = 0;
+};
+
+} // namespace
+
+std::vector<SmtThreadResult>
+simulateSmt(const std::vector<const Trace *> &threads,
+            ConditionalBranchPredictor &predictor, const SmtConfig &config)
+{
+    const SimConfig &sim = config.sim;
+    const bool lghist_mode = sim.history != HistoryMode::Ghist;
+    const bool lghist_path = sim.history == HistoryMode::LghistPath;
+
+    std::vector<SmtThreadResult> results(threads.size());
+    std::vector<std::unique_ptr<BlockStream>> streams;
+    std::vector<std::unique_ptr<HistoryState>> states;
+    std::vector<bool> alive(threads.size(), true);
+
+    // The bank-number recurrence lives in the fetch hardware and spans
+    // threads (fetch slots interleave on the real machine).
+    BankScheduler bank_sched;
+
+    for (size_t t = 0; t < threads.size(); ++t) {
+        results[t].name = threads[t]->name();
+        results[t].sim.stats.setInstructions(
+            threads[t]->instructionCount());
+        streams.push_back(std::make_unique<BlockStream>(*threads[t]));
+        states.push_back(std::make_unique<HistoryState>(
+            lghist_path, sim.historyAge));
+    }
+    // Shared-history straw man: every thread reads and writes state 0.
+    auto state_of = [&](size_t t) -> HistoryState & {
+        return config.perThreadHistory ? *states[t] : *states[0];
+    };
+
+    size_t running = threads.size();
+    size_t turn = 0;
+    while (running > 0) {
+        const size_t t = turn++ % threads.size();
+        if (!alive[t])
+            continue;
+
+        FetchBlock block;
+        if (!streams[t]->next(block)) {
+            alive[t] = false;
+            --running;
+            continue;
+        }
+
+        HistoryState &hs = state_of(t);
+        SimResult &out = results[t].sim;
+        ++out.fetchBlocks;
+
+        BranchSnapshot snap;
+        snap.blockAddr = block.address;
+        snap.hist.pathZ = hs.pathZ;
+        snap.hist.pathY = hs.pathY;
+        snap.hist.pathX = hs.pathX;
+        if (sim.assignBanks)
+            snap.bank = static_cast<uint8_t>(
+                bank_sched.assign(block.address));
+
+        const uint64_t block_hist = hs.delayed.view();
+        for (unsigned i = 0; i < block.numBranches; ++i) {
+            const BlockBranch &br = block.branches[i];
+            snap.pc = br.pc;
+            snap.hist.ghist = hs.ghist.raw();
+            snap.hist.indexHist =
+                lghist_mode ? block_hist : hs.ghist.raw();
+
+            const bool predicted = predictor.predict(snap);
+            out.stats.record(predicted, br.taken);
+            predictor.update(snap, br.taken, predicted);
+
+            hs.ghist.push(br.taken);
+            ++out.condBranches;
+        }
+
+        if (hs.lghist.onBlock(block))
+            ++out.lghistBits;
+        hs.delayed.advance(hs.lghist.value());
+
+        hs.pathX = hs.pathY;
+        hs.pathY = hs.pathZ;
+        hs.pathZ = block.address;
+    }
+    return results;
+}
+
+} // namespace ev8

@@ -1,0 +1,56 @@
+#include "sim/suite_runner.hh"
+
+#include "workloads/synthetic_program.hh"
+
+namespace ev8
+{
+
+SuiteRunner::SuiteRunner(uint64_t base_branches)
+    : baseBranches(base_branches), traces(specint95Suite().size())
+{
+}
+
+const std::string &
+SuiteRunner::name(size_t i) const
+{
+    return specint95Suite()[i].profile.name;
+}
+
+const Trace &
+SuiteRunner::trace(size_t i)
+{
+    if (traces[i].empty()) {
+        const Benchmark &bench = specint95Suite()[i];
+        traces[i] = generateTrace(bench.profile,
+                                  bench.branchesAt(baseBranches));
+    }
+    return traces[i];
+}
+
+std::vector<BenchResult>
+SuiteRunner::run(const PredictorFactory &factory, const SimConfig &config)
+{
+    std::vector<BenchResult> results;
+    results.reserve(size());
+    for (size_t i = 0; i < size(); ++i) {
+        PredictorPtr predictor = factory();
+        BenchResult r;
+        r.bench = name(i);
+        r.sim = simulateTrace(trace(i), *predictor, config);
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+double
+SuiteRunner::averageMispKI(const std::vector<BenchResult> &results)
+{
+    if (results.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : results)
+        sum += r.sim.stats.mispKI();
+    return sum / static_cast<double>(results.size());
+}
+
+} // namespace ev8

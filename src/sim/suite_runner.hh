@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Runs predictors over the whole synthetic SPECINT95 suite, caching
+ * generated traces so a bench binary pays trace synthesis once no
+ * matter how many configurations it evaluates.
+ */
+
+#ifndef EV8_SIM_SUITE_RUNNER_HH
+#define EV8_SIM_SUITE_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "predictors/predictor.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+#include "workloads/suite.hh"
+
+namespace ev8
+{
+
+/** One benchmark's outcome for one configuration. */
+struct BenchResult
+{
+    std::string bench;
+    SimResult sim;
+};
+
+/** Builds a fresh predictor instance (cold tables) for each benchmark. */
+using PredictorFactory = std::function<PredictorPtr()>;
+
+class SuiteRunner
+{
+  public:
+    /**
+     * @param base_branches per-benchmark dynamic conditional-branch
+     *        budget before the Table 2 weights are applied; defaults to
+     *        branchesPerBenchmark() (EV8_BRANCHES_PER_BENCH env var).
+     */
+    explicit SuiteRunner(uint64_t base_branches = branchesPerBenchmark());
+
+    size_t size() const { return specint95Suite().size(); }
+    const std::string &name(size_t i) const;
+
+    /** The i-th benchmark's trace; generated on first use and cached. */
+    const Trace &trace(size_t i);
+
+    /**
+     * Simulates a fresh predictor from @p factory on every benchmark
+     * under @p config. One cold predictor per benchmark, matching the
+     * paper's per-trace methodology.
+     */
+    std::vector<BenchResult> run(const PredictorFactory &factory,
+                                 const SimConfig &config);
+
+    /** Arithmetic mean of misp/KI over a result set. */
+    static double averageMispKI(const std::vector<BenchResult> &results);
+
+  private:
+    uint64_t baseBranches;
+    std::vector<Trace> traces; //!< lazily filled, index-aligned to suite
+};
+
+} // namespace ev8
+
+#endif // EV8_SIM_SUITE_RUNNER_HH

@@ -1,0 +1,37 @@
+#include "sim/sweep.hh"
+
+#include <cassert>
+
+namespace ev8
+{
+
+std::vector<SweepPoint>
+sweepHistoryLengths(SuiteRunner &runner, const HistoryFactory &make,
+                    const std::vector<unsigned> &lengths,
+                    const SimConfig &config)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(lengths.size());
+    for (unsigned len : lengths) {
+        SweepPoint p;
+        p.histLen = len;
+        p.perBench = runner.run([&] { return make(len); }, config);
+        p.avgMispKI = SuiteRunner::averageMispKI(p.perBench);
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+const SweepPoint &
+bestPoint(const std::vector<SweepPoint> &points)
+{
+    assert(!points.empty());
+    const SweepPoint *best = &points.front();
+    for (const auto &p : points) {
+        if (p.avgMispKI < best->avgMispKI)
+            best = &p;
+    }
+    return *best;
+}
+
+} // namespace ev8

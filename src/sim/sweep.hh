@@ -1,0 +1,45 @@
+/**
+ * @file
+ * History-length exploration ("best history length" methodology).
+ *
+ * Throughout Section 8 the paper reports each scheme at its best
+ * history length, found by sweeping; Fig. 6 contrasts that best against
+ * the conventional log2(table size) choice. This harness implements the
+ * sweep.
+ */
+
+#ifndef EV8_SIM_SWEEP_HH
+#define EV8_SIM_SWEEP_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/suite_runner.hh"
+
+namespace ev8
+{
+
+/** One sweep sample: a history length and its suite-average misp/KI. */
+struct SweepPoint
+{
+    unsigned histLen = 0;
+    double avgMispKI = 0.0;
+    std::vector<BenchResult> perBench;
+};
+
+/** Builds a predictor for a candidate history length. */
+using HistoryFactory = std::function<PredictorPtr(unsigned hist_len)>;
+
+/**
+ * Evaluates @p make at every length in @p lengths over the whole suite.
+ */
+std::vector<SweepPoint> sweepHistoryLengths(
+    SuiteRunner &runner, const HistoryFactory &make,
+    const std::vector<unsigned> &lengths, const SimConfig &config);
+
+/** The sweep point with the lowest suite-average misp/KI. */
+const SweepPoint &bestPoint(const std::vector<SweepPoint> &points);
+
+} // namespace ev8
+
+#endif // EV8_SIM_SWEEP_HH

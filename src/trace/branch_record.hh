@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The unit of a branch trace: one dynamic control-transfer instruction.
+ *
+ * This plays the role of the paper's Atom-collected SPECINT95 traces
+ * (Section 8.1.2): a stream of control transfers from which the fetch
+ * pipeline, histories, and predictor inputs are reconstructed. Ordinary
+ * (non-CTI) instructions are implicit: between two consecutive records
+ * the PC advances sequentially in 4-byte steps from the previous record's
+ * successor address, so instruction counts are derivable without storing
+ * every instruction.
+ */
+
+#ifndef EV8_TRACE_BRANCH_RECORD_HH
+#define EV8_TRACE_BRANCH_RECORD_HH
+
+#include <cstdint>
+
+namespace ev8
+{
+
+/** Instruction bytes on Alpha; all PCs are multiples of this. */
+constexpr uint64_t kInstrBytes = 4;
+
+/** Classification of a control-transfer instruction. */
+enum class BranchType : uint8_t
+{
+    Conditional,    //!< conditional direct branch (the predicted kind)
+    Unconditional,  //!< always-taken direct branch / jump
+    Call,           //!< subroutine call (pushes return address)
+    Return,         //!< subroutine return (pops return address)
+    Indirect,       //!< computed jump through a register
+};
+
+/** Human-readable name of a branch type. */
+const char *branchTypeName(BranchType type);
+
+/**
+ * One dynamic control-transfer instruction.
+ */
+struct BranchRecord
+{
+    uint64_t pc = 0;      //!< address of the CTI itself
+    uint64_t target = 0;  //!< destination if taken
+    BranchType type = BranchType::Conditional;
+    bool taken = false;   //!< actual outcome (always true for non-cond.)
+
+    /** True for the conditional branches the predictor must predict. */
+    bool isConditional() const { return type == BranchType::Conditional; }
+
+    /** Address of the instruction executed after this one. */
+    uint64_t
+    nextPc() const
+    {
+        return taken ? target : pc + kInstrBytes;
+    }
+
+    bool operator==(const BranchRecord &) const = default;
+};
+
+} // namespace ev8
+
+#endif // EV8_TRACE_BRANCH_RECORD_HH

@@ -1,0 +1,73 @@
+#include "trace/trace.hh"
+
+#include <unordered_set>
+
+namespace ev8
+{
+
+const char *
+branchTypeName(BranchType type)
+{
+    switch (type) {
+      case BranchType::Conditional: return "cond";
+      case BranchType::Unconditional: return "uncond";
+      case BranchType::Call: return "call";
+      case BranchType::Return: return "return";
+      case BranchType::Indirect: return "indirect";
+    }
+    return "?";
+}
+
+uint64_t
+Trace::instructionCount() const
+{
+    uint64_t count = 0;
+    uint64_t flow_pc = startPc_;
+    for (const auto &rec : records_) {
+        // Sequential instructions from flow_pc up to and including the CTI.
+        count += (rec.pc - flow_pc) / kInstrBytes + 1;
+        flow_pc = rec.nextPc();
+    }
+    return count;
+}
+
+TraceStats
+Trace::stats() const
+{
+    TraceStats s;
+    std::unordered_set<uint64_t> static_pcs;
+    uint64_t flow_pc = startPc_;
+    for (const auto &rec : records_) {
+        s.instructions += (rec.pc - flow_pc) / kInstrBytes + 1;
+        flow_pc = rec.nextPc();
+        ++s.dynamicBranches;
+        if (rec.isConditional()) {
+            ++s.dynamicCondBranches;
+            if (rec.taken)
+                ++s.takenCondBranches;
+            static_pcs.insert(rec.pc);
+        }
+    }
+    s.staticCondBranches = static_pcs.size();
+    return s;
+}
+
+bool
+Trace::isWellFormed() const
+{
+    uint64_t flow_pc = startPc_;
+    if (startPc_ % kInstrBytes != 0)
+        return false;
+    for (const auto &rec : records_) {
+        if (rec.pc % kInstrBytes != 0 || rec.target % kInstrBytes != 0)
+            return false;
+        if (rec.pc < flow_pc)
+            return false;
+        if (!rec.isConditional() && !rec.taken)
+            return false;
+        flow_pc = rec.nextPc();
+    }
+    return true;
+}
+
+} // namespace ev8

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * In-memory branch trace plus derived statistics.
+ */
+
+#ifndef EV8_TRACE_TRACE_HH
+#define EV8_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/branch_record.hh"
+
+namespace ev8
+{
+
+/**
+ * Aggregate statistics of a trace; the columns of the paper's Table 2.
+ */
+struct TraceStats
+{
+    uint64_t dynamicCondBranches = 0;  //!< dynamic conditional branches
+    uint64_t staticCondBranches = 0;   //!< distinct conditional branch PCs
+    uint64_t dynamicBranches = 0;      //!< all dynamic CTIs
+    uint64_t instructions = 0;         //!< total instructions represented
+    uint64_t takenCondBranches = 0;    //!< taken conditional branches
+
+    /** Fraction of conditional branches that were taken. */
+    double
+    takenRate() const
+    {
+        return dynamicCondBranches == 0
+            ? 0.0
+            : static_cast<double>(takenCondBranches)
+                  / static_cast<double>(dynamicCondBranches);
+    }
+};
+
+/**
+ * An executable's dynamic control-transfer stream. The trace alone fully
+ * determines the instruction-by-instruction PC sequence (see
+ * branch_record.hh), which is what the fetch-block builder consumes.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Creates a named trace starting execution at @p start_pc. */
+    Trace(std::string name, uint64_t start_pc)
+        : name_(std::move(name)), startPc_(start_pc)
+    {}
+
+    /**
+     * Appends a record. The record's PC must be reachable by sequential
+     * execution from the previous record's successor (checked in debug
+     * builds via isWellFormed()).
+     */
+    void append(const BranchRecord &record) { records_.push_back(record); }
+
+    const std::vector<BranchRecord> &records() const { return records_; }
+    std::vector<BranchRecord> &records() { return records_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+    uint64_t startPc() const { return startPc_; }
+    void setStartPc(uint64_t pc) { startPc_ = pc; }
+    size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    /**
+     * Total instructions the trace represents: every sequential run
+     * between CTIs plus the CTIs themselves.
+     */
+    uint64_t instructionCount() const;
+
+    /** Computes the Table 2 style statistics of this trace. */
+    TraceStats stats() const;
+
+    /**
+     * Validates internal consistency: each record's PC is >= the flow
+     * PC left by its predecessor, on the same 4-byte grid, and targets
+     * are 4-byte aligned.
+     */
+    bool isWellFormed() const;
+
+  private:
+    std::string name_;
+    uint64_t startPc_ = 0;
+    std::vector<BranchRecord> records_;
+};
+
+} // namespace ev8
+
+#endif // EV8_TRACE_TRACE_HH

@@ -1,0 +1,173 @@
+#include "trace/trace_io.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace ev8
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'E', 'V', '8', 'T'};
+constexpr uint32_t kVersion = 1;
+
+void
+putVarint(std::ostream &out, uint64_t value)
+{
+    while (value >= 0x80) {
+        out.put(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    out.put(static_cast<char>(value));
+}
+
+uint64_t
+getVarint(std::istream &in)
+{
+    uint64_t value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        const int c = in.get();
+        if (c == std::char_traits<char>::eof())
+            throw TraceIoError("truncated varint");
+        value |= static_cast<uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return value;
+    }
+    throw TraceIoError("varint too long");
+}
+
+uint64_t
+zigzag(int64_t value)
+{
+    return (static_cast<uint64_t>(value) << 1)
+        ^ static_cast<uint64_t>(value >> 63);
+}
+
+int64_t
+unzigzag(uint64_t value)
+{
+    return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+void
+putU32(std::ostream &out, uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out.put(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+uint32_t
+getU32(std::istream &in)
+{
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+        const int c = in.get();
+        if (c == std::char_traits<char>::eof())
+            throw TraceIoError("truncated header");
+        value |= static_cast<uint32_t>(c & 0xff) << (8 * i);
+    }
+    return value;
+}
+
+} // namespace
+
+void
+writeTrace(std::ostream &out, const Trace &trace)
+{
+    out.write(kMagic, sizeof(kMagic));
+    putU32(out, kVersion);
+    putU32(out, static_cast<uint32_t>(trace.name().size()));
+    out.write(trace.name().data(),
+              static_cast<std::streamsize>(trace.name().size()));
+    putVarint(out, trace.startPc() / kInstrBytes);
+    putVarint(out, trace.size());
+
+    uint64_t flow_pc = trace.startPc();
+    for (const auto &rec : trace.records()) {
+        const uint8_t flags = static_cast<uint8_t>(rec.type)
+            | (rec.taken ? 0x08 : 0x00);
+        out.put(static_cast<char>(flags));
+        putVarint(out, (rec.pc - flow_pc) / kInstrBytes);
+        putVarint(out, zigzag(
+            (static_cast<int64_t>(rec.target)
+             - static_cast<int64_t>(rec.pc)) / 4));
+        flow_pc = rec.nextPc();
+    }
+    if (!out)
+        throw TraceIoError("write failure");
+}
+
+Trace
+readTrace(std::istream &in)
+{
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::char_traits<char>::compare(magic, kMagic, 4) != 0)
+        throw TraceIoError("bad magic");
+    const uint32_t version = getU32(in);
+    if (version != kVersion)
+        throw TraceIoError("unsupported trace version");
+
+    const uint32_t name_len = getU32(in);
+    if (name_len > (1u << 20))
+        throw TraceIoError("implausible name length");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in)
+        throw TraceIoError("truncated name");
+
+    const uint64_t start_pc = getVarint(in) * kInstrBytes;
+    const uint64_t count = getVarint(in);
+
+    Trace trace(std::move(name), start_pc);
+    // The count is untrusted input: cap the up-front reservation (a
+    // lying header fails at the first missing record, after bounded
+    // memory use, instead of triggering a giant allocation here).
+    trace.records().reserve(
+        static_cast<size_t>(std::min<uint64_t>(count, 1u << 20)));
+
+    uint64_t flow_pc = start_pc;
+    for (uint64_t i = 0; i < count; ++i) {
+        const int flags = in.get();
+        if (flags == std::char_traits<char>::eof())
+            throw TraceIoError("truncated record");
+        if ((flags & 0x07) > static_cast<int>(BranchType::Indirect))
+            throw TraceIoError("bad branch type");
+
+        BranchRecord rec;
+        rec.type = static_cast<BranchType>(flags & 0x07);
+        rec.taken = (flags & 0x08) != 0;
+        rec.pc = flow_pc + getVarint(in) * kInstrBytes;
+        rec.target = static_cast<uint64_t>(
+            static_cast<int64_t>(rec.pc) + unzigzag(getVarint(in)) * 4);
+        flow_pc = rec.nextPc();
+        trace.append(rec);
+    }
+    return trace;
+}
+
+void
+writeTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw TraceIoError("cannot open for writing: " + path);
+    writeTrace(out, trace);
+    out.flush();
+    if (!out)
+        throw TraceIoError("write failure: " + path);
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw TraceIoError("cannot open: " + path);
+    return readTrace(in);
+}
+
+} // namespace ev8

@@ -1,0 +1,229 @@
+#include "workloads/branch_behavior.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.hh"
+
+namespace ev8
+{
+
+bool
+BiasedBehavior::nextOutcome(BehaviorContext &ctx)
+{
+    return ctx.rng->chance(pTaken);
+}
+
+LoopBehavior::LoopBehavior(unsigned trip, unsigned min_trip,
+                           unsigned max_trip, double reroll_chance)
+    : trip(std::max(1u, trip)), minTrip(std::max(1u, min_trip)),
+      maxTrip(std::max(min_trip, max_trip)), rerollChance(reroll_chance)
+{
+}
+
+bool
+LoopBehavior::nextOutcome(BehaviorContext &ctx)
+{
+    ++position;
+    if (position >= trip) {
+        position = 0;
+        if (rerollChance > 0.0 && ctx.rng->chance(rerollChance))
+            trip = static_cast<unsigned>(ctx.rng->range(minTrip, maxTrip));
+        return false; // loop exit: fall through
+    }
+    return true; // loop again
+}
+
+PatternBehavior::PatternBehavior(std::vector<bool> pattern)
+    : pattern_(std::move(pattern))
+{
+    if (pattern_.empty())
+        pattern_.push_back(false);
+}
+
+bool
+PatternBehavior::nextOutcome(BehaviorContext &)
+{
+    const bool out = pattern_[position];
+    position = (position + 1) % pattern_.size();
+    return out;
+}
+
+GlobalCorrelatedBehavior::GlobalCorrelatedBehavior(uint64_t tap_mask,
+                                                   CorrKind kind,
+                                                   bool invert, double noise)
+    : taps(tap_mask ? tap_mask : 1), form(kind), invert(invert),
+      noise(noise)
+{
+    // Split the taps into two halves for the And/Or forms. With a single
+    // tap both halves see the same bit, degenerating gracefully.
+    unsigned seen = 0;
+    unsigned total = 0;
+    for (unsigned i = 0; i < 64; ++i)
+        total += bit(taps, i) ? 1 : 0;
+    for (unsigned i = 0; i < 64; ++i) {
+        if (!bit(taps, i))
+            continue;
+        if (seen < (total + 1) / 2)
+            tapsLow |= uint64_t{1} << i;
+        else
+            tapsHigh |= uint64_t{1} << i;
+        ++seen;
+    }
+    if (tapsHigh == 0)
+        tapsHigh = tapsLow;
+}
+
+bool
+GlobalCorrelatedBehavior::nextOutcome(BehaviorContext &ctx)
+{
+    bool out;
+    switch (form) {
+      case CorrKind::Xor:
+        out = parity(ctx.ghist & taps) != 0;
+        break;
+      case CorrKind::And:
+        out = (parity(ctx.ghist & tapsLow) & parity(ctx.ghist & tapsHigh))
+            != 0;
+        break;
+      case CorrKind::Or:
+      default:
+        out = (parity(ctx.ghist & tapsLow) | parity(ctx.ghist & tapsHigh))
+            != 0;
+        break;
+    }
+    if (invert)
+        out = !out;
+    if (noise > 0.0 && ctx.rng->chance(noise))
+        out = !out;
+    return out;
+}
+
+unsigned
+GlobalCorrelatedBehavior::deepestTap() const
+{
+    unsigned deepest = 0;
+    for (unsigned i = 0; i < 64; ++i) {
+        if (bit(taps, i))
+            deepest = i + 1;
+    }
+    return deepest;
+}
+
+PathCorrelatedBehavior::PathCorrelatedBehavior(uint64_t tap_mask,
+                                               bool invert, double noise)
+    : taps(tap_mask ? tap_mask : 1), invert(invert), noise(noise)
+{
+}
+
+bool
+PathCorrelatedBehavior::nextOutcome(BehaviorContext &ctx)
+{
+    bool out = parity(ctx.path & taps) != 0;
+    if (invert)
+        out = !out;
+    if (noise > 0.0 && ctx.rng->chance(noise))
+        out = !out;
+    return out;
+}
+
+bool
+RandomBehavior::nextOutcome(BehaviorContext &ctx)
+{
+    return ctx.rng->chance(0.5);
+}
+
+namespace
+{
+
+/** Draws a tap mask with @p num_taps distinct bits in [min_d, max_d). */
+uint64_t
+drawTapMask(unsigned num_taps, unsigned min_d, unsigned max_d, Rng &rng)
+{
+    assert(max_d > min_d && max_d <= 63);
+    uint64_t taps = 0;
+    for (unsigned t = 0; t < num_taps; ++t)
+        taps |= uint64_t{1} << rng.range(min_d, max_d - 1);
+    return taps;
+}
+
+std::unique_ptr<BranchBehavior>
+sampleBiased(const BehaviorTuning &tuning, Rng &rng)
+{
+    // Strong bias with a little per-branch spread. Optimized Alpha code
+    // skews not-taken (Section 5.1), hence the NT skew knob.
+    double strength = tuning.biasedStrength
+        + (rng.uniform() - 0.5) * 2.0 * tuning.biasedNoise;
+    strength = std::clamp(strength, 0.5, 1.0);
+    const bool nt_biased = rng.chance(tuning.biasedNotTakenSkew);
+    return std::make_unique<BiasedBehavior>(nt_biased ? 1.0 - strength
+                                                      : strength);
+}
+
+} // namespace
+
+std::unique_ptr<BranchBehavior>
+sampleLoopBehavior(const BehaviorTuning &tuning, Rng &rng)
+{
+    // Geometric-ish trip counts: short loops common, long loops rare.
+    const unsigned span = tuning.loopMaxTrip - tuning.loopMinTrip;
+    const double u = rng.uniform();
+    const unsigned trip = tuning.loopMinTrip
+        + static_cast<unsigned>(span * u * u);
+    return std::make_unique<LoopBehavior>(trip, tuning.loopMinTrip,
+                                          tuning.loopMaxTrip,
+                                          tuning.loopReroll);
+}
+
+std::unique_ptr<BranchBehavior>
+sampleBehavior(const BehaviorMix &mix, const BehaviorTuning &tuning,
+               Rng &rng)
+{
+    const double total = mix.biased + mix.loop + mix.pattern
+        + mix.globalCorrelated + mix.pathCorrelated + mix.random;
+    assert(total > 0.0);
+    double draw = rng.uniform() * total;
+
+    if ((draw -= mix.biased) < 0.0)
+        return sampleBiased(tuning, rng);
+
+    if ((draw -= mix.loop) < 0.0)
+        return sampleLoopBehavior(tuning, rng);
+
+    if ((draw -= mix.pattern) < 0.0) {
+        const unsigned len = static_cast<unsigned>(
+            rng.range(tuning.patternMinLen, tuning.patternMaxLen));
+        std::vector<bool> pattern(len);
+        for (unsigned i = 0; i < len; ++i)
+            pattern[i] = !rng.chance(tuning.patternNotTakenSkew);
+        return std::make_unique<PatternBehavior>(std::move(pattern));
+    }
+
+    if ((draw -= mix.globalCorrelated) < 0.0) {
+        const uint64_t taps = drawTapMask(tuning.corrTaps,
+                                          tuning.corrMinDepth,
+                                          tuning.corrMaxDepth, rng);
+        const double total_w = tuning.corrAndWeight + tuning.corrXorWeight
+            + tuning.corrOrWeight;
+        double w = rng.uniform() * total_w;
+        CorrKind kind = CorrKind::Or;
+        if ((w -= tuning.corrAndWeight) < 0.0)
+            kind = CorrKind::And;
+        else if ((w -= tuning.corrXorWeight) < 0.0)
+            kind = CorrKind::Xor;
+        // Rare inversion keeps variety without washing out the
+        // suite-level not-taken skew.
+        return std::make_unique<GlobalCorrelatedBehavior>(
+            taps, kind, rng.chance(0.15), tuning.corrNoise);
+    }
+
+    if ((draw -= mix.pathCorrelated) < 0.0) {
+        const uint64_t taps = drawTapMask(tuning.corrTaps, 0, 16, rng);
+        return std::make_unique<PathCorrelatedBehavior>(
+            taps, rng.chance(0.5), tuning.corrNoise);
+    }
+
+    return std::make_unique<RandomBehavior>();
+}
+
+} // namespace ev8

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Outcome models for synthetic static branches.
+ *
+ * The paper evaluates on SPECINT95 Atom traces we cannot obtain, so each
+ * static conditional branch in our synthetic programs is driven by one of
+ * these behaviour models. The mix is chosen per benchmark so that the
+ * suite exposes the same axes the paper's benchmarks exercise:
+ *
+ *  - Biased: strongly taken or not-taken branches -- the bread and butter
+ *    of the bimodal component (Section 4.2's "strongly biased static
+ *    branches").
+ *  - Loop: trip-count loops; learnable by a global predictor whose
+ *    history covers the trip count, hence a direct source of the "longer
+ *    history helps" effect (Section 5.3, Fig. 6).
+ *  - Pattern: short repeating local patterns.
+ *  - GlobalCorrelated: outcome is a boolean function of recent *global*
+ *    outcome history; the mechanism behind inter-branch correlation that
+ *    global-history predictors exploit.
+ *  - PathCorrelated: outcome depends on the recent *path* (block
+ *    addresses), learnable only when path information is part of the
+ *    information vector (Sections 5.1-5.2, Fig. 7/9).
+ *  - Random: data-dependent unpredictable branches (go is full of them).
+ */
+
+#ifndef EV8_WORKLOADS_BRANCH_BEHAVIOR_HH
+#define EV8_WORKLOADS_BRANCH_BEHAVIOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace ev8
+{
+
+/**
+ * Dynamic context a behaviour may consult when producing an outcome.
+ * Maintained by the synthetic program's executor.
+ */
+struct BehaviorContext
+{
+    uint64_t ghist = 0;   //!< global outcome history, bit 0 most recent
+    uint64_t path = 0;    //!< folded recent-path register
+    Rng *rng = nullptr;   //!< noise source (deterministic per program)
+};
+
+/** Base class of all outcome models; one instance per static branch. */
+class BranchBehavior
+{
+  public:
+    virtual ~BranchBehavior() = default;
+
+    /** Produces the next dynamic outcome of this static branch. */
+    virtual bool nextOutcome(BehaviorContext &ctx) = 0;
+
+    /** Model name for debugging and workload reports. */
+    virtual const char *name() const = 0;
+};
+
+/** Taken with fixed probability @p p_taken, independently each time. */
+class BiasedBehavior : public BranchBehavior
+{
+  public:
+    explicit BiasedBehavior(double p_taken) : pTaken(p_taken) {}
+    bool nextOutcome(BehaviorContext &ctx) override;
+    const char *name() const override { return "biased"; }
+    double takenProbability() const { return pTaken; }
+
+  private:
+    double pTaken;
+};
+
+/**
+ * A loop-closing branch: taken (trip - 1) consecutive times, then
+ * not-taken once, repeating. With @p rerollChance > 0 the trip count is
+ * occasionally re-sampled from [minTrip, maxTrip], modelling
+ * data-dependent loop bounds.
+ */
+class LoopBehavior : public BranchBehavior
+{
+  public:
+    LoopBehavior(unsigned trip, unsigned min_trip, unsigned max_trip,
+                 double reroll_chance);
+    bool nextOutcome(BehaviorContext &ctx) override;
+    const char *name() const override { return "loop"; }
+    unsigned currentTrip() const { return trip; }
+
+  private:
+    unsigned trip;
+    unsigned minTrip;
+    unsigned maxTrip;
+    double rerollChance;
+    unsigned position = 0;
+};
+
+/** Cycles through a fixed outcome pattern. */
+class PatternBehavior : public BranchBehavior
+{
+  public:
+    explicit PatternBehavior(std::vector<bool> pattern);
+    bool nextOutcome(BehaviorContext &ctx) override;
+    const char *name() const override { return "pattern"; }
+    const std::vector<bool> &pattern() const { return pattern_; }
+
+  private:
+    std::vector<bool> pattern_;
+    size_t position = 0;
+};
+
+/**
+ * Functional form of a history-correlated outcome. All three forms are
+ * deterministic boolean functions of the tapped history bits (hence
+ * perfectly learnable by a sufficiently long-history predictor), but
+ * their taken rates differ: Xor is balanced, And is taken-rare, Or is
+ * taken-often. Mixing them lets a workload hit the not-taken skew of
+ * optimized code (Section 5.1) without losing learnability.
+ */
+enum class CorrKind : uint8_t
+{
+    Xor, //!< parity of all taps (~50% taken)
+    And, //!< parity(low half) AND parity(high half) (~25% taken)
+    Or,  //!< parity(low half) OR parity(high half) (~75% taken)
+};
+
+/**
+ * Outcome = boolean function of selected global-history bits,
+ * optionally inverted, flipped with probability @p noise. A table-based
+ * global predictor learns this exactly once its history length covers
+ * the deepest tap.
+ */
+class GlobalCorrelatedBehavior : public BranchBehavior
+{
+  public:
+    GlobalCorrelatedBehavior(uint64_t tap_mask, CorrKind kind, bool invert,
+                             double noise);
+    bool nextOutcome(BehaviorContext &ctx) override;
+    const char *name() const override { return "gcorr"; }
+    uint64_t tapMask() const { return taps; }
+    CorrKind kind() const { return form; }
+
+    /** Depth (1-based) of the deepest history bit consulted. */
+    unsigned deepestTap() const;
+
+  private:
+    uint64_t taps;
+    uint64_t tapsLow = 0;  //!< lower-half taps for And/Or forms
+    uint64_t tapsHigh = 0; //!< upper-half taps for And/Or forms
+    CorrKind form;
+    bool invert;
+    double noise;
+};
+
+/** Outcome = parity of selected bits of the folded path register. */
+class PathCorrelatedBehavior : public BranchBehavior
+{
+  public:
+    PathCorrelatedBehavior(uint64_t tap_mask, bool invert, double noise);
+    bool nextOutcome(BehaviorContext &ctx) override;
+    const char *name() const override { return "pcorr"; }
+
+  private:
+    uint64_t taps;
+    bool invert;
+    double noise;
+};
+
+/** Fair-coin outcomes: inherently unpredictable. */
+class RandomBehavior : public BranchBehavior
+{
+  public:
+    bool nextOutcome(BehaviorContext &ctx) override;
+    const char *name() const override { return "random"; }
+};
+
+/**
+ * Relative weights of the behaviour classes when sampling a static
+ * branch's model. Weights need not sum to 1; they are normalized.
+ */
+struct BehaviorMix
+{
+    double biased = 1.0;
+    double loop = 0.0;       //!< only used for forward branches; loops
+                             //!< proper are assigned structurally
+    double pattern = 0.0;
+    double globalCorrelated = 0.0;
+    double pathCorrelated = 0.0;
+    double random = 0.0;
+};
+
+/** Tuning knobs for sampled behaviour instances. */
+struct BehaviorTuning
+{
+    double biasedNotTakenSkew = 0.78; //!< P(a biased branch is NT-biased)
+    double biasedStrength = 0.97;     //!< mean |bias| of biased branches
+    double biasedNoise = 0.02;        //!< spread around the strength
+    unsigned loopMinTrip = 2;
+    unsigned loopMaxTrip = 12;
+    double loopReroll = 0.0;
+    unsigned patternMinLen = 3;
+    unsigned patternMaxLen = 10;
+    double patternNotTakenSkew = 0.7; //!< P(each pattern bit is NT)
+    unsigned corrMinDepth = 2;        //!< shallowest correlation tap
+    unsigned corrMaxDepth = 16;       //!< deepest correlation tap
+    unsigned corrTaps = 2;            //!< taps per correlated branch (low
+                                      //!< counts avoid LFSR-like feedback
+                                      //!< chaos through shared history)
+    double corrNoise = 0.01;
+    double corrAndWeight = 0.5;       //!< P(And form): taken-rare
+    double corrXorWeight = 0.3;       //!< P(Xor form): balanced
+    double corrOrWeight = 0.2;        //!< P(Or form): taken-often
+};
+
+/**
+ * Samples a concrete behaviour instance for one static branch according
+ * to @p mix and @p tuning, consuming randomness from @p rng.
+ */
+std::unique_ptr<BranchBehavior> sampleBehavior(const BehaviorMix &mix,
+                                               const BehaviorTuning &tuning,
+                                               Rng &rng);
+
+/**
+ * Samples a loop-closing behaviour (used for structurally backward
+ * branches) according to @p tuning.
+ */
+std::unique_ptr<BranchBehavior> sampleLoopBehavior(
+    const BehaviorTuning &tuning, Rng &rng);
+
+} // namespace ev8
+
+#endif // EV8_WORKLOADS_BRANCH_BEHAVIOR_HH

@@ -1,0 +1,246 @@
+#include "workloads/suite.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ev8
+{
+
+namespace
+{
+
+/**
+ * Builds one suite profile. The shape parameters target the Table 2
+ * static footprints: static conditional branches ~= numFunctions *
+ * meanBlocksPerFunction * condFraction (most sites execute at least
+ * once thanks to dispatch calls spreading coverage).
+ */
+WorkloadProfile
+makeProfile(const std::string &name, uint64_t seed, unsigned num_functions,
+            unsigned min_blocks, unsigned max_blocks)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.seed = seed;
+    p.shape.numFunctions = num_functions;
+    p.shape.minBlocksPerFunction = min_blocks;
+    p.shape.maxBlocksPerFunction = max_blocks;
+    return p;
+}
+
+std::vector<Benchmark>
+buildSuite()
+{
+    std::vector<Benchmark> suite;
+
+    // ---- compress: tiny footprint (~46 static), tight loops over a
+    // hash table; data-dependent bit-twiddling keeps it mid-pack in
+    // difficulty despite the tiny footprint.
+    {
+        Benchmark b;
+        b.profile = makeProfile("compress", 0xc0301, 3, 14, 22);
+        b.profile.shape.condFraction = 0.62;
+        b.profile.shape.loopBackFraction = 0.15;
+        b.profile.shape.callFraction = 0.05;
+        b.profile.mix = {.biased = 0.56, .loop = 0.01, .pattern = 0.01,
+                         .globalCorrelated = 0.29, .pathCorrelated = 0.04,
+                         .random = 0.09};
+        b.profile.tuning.biasedStrength = 0.995;
+        b.profile.tuning.biasedNoise = 0.004;
+        b.profile.tuning.corrMaxDepth = 10;
+        b.profile.tuning.corrNoise = 0.02;
+        b.profile.tuning.loopMaxTrip = 12;
+        b.dynamicWeight = 12044.0 / 12000.0;
+        suite.push_back(std::move(b));
+    }
+
+    // ---- gcc: the giant (~12k static branches): big aliasing pressure,
+    // deep correlations (long history pays off), moderate noise.
+    {
+        Benchmark b;
+        b.profile = makeProfile("gcc", 0x6cc02, 380, 28, 62);
+        b.profile.shape.minBlockInstrs = 1;
+        b.profile.shape.maxBlockInstrs = 6;
+        b.profile.shape.condFraction = 0.64;
+        b.profile.shape.callFraction = 0.10;
+        b.profile.shape.driverDispatchWidth = 64;
+        b.profile.shape.driverCallFraction = 0.30;
+        b.profile.shape.dispatchSwitchChance = 0.05;
+        b.profile.mix = {.biased = 0.51, .loop = 0.01, .pattern = 0.02,
+                         .globalCorrelated = 0.32, .pathCorrelated = 0.08,
+                         .random = 0.045};
+        b.profile.tuning.biasedStrength = 0.997;
+        b.profile.tuning.biasedNoise = 0.003;
+        b.profile.tuning.corrMaxDepth = 22;
+        b.profile.tuning.corrTaps = 2;
+        b.profile.tuning.corrNoise = 0.008;
+        b.dynamicWeight = 16035.0 / 12000.0;
+        suite.push_back(std::move(b));
+    }
+
+    // ---- go: the hardest benchmark: large footprint (~3.7k static) and
+    // a heavy dose of data-dependent (random) decisions.
+    {
+        Benchmark b;
+        b.profile = makeProfile("go", 0x90003, 125, 26, 56);
+        b.profile.shape.condFraction = 0.65;
+        b.profile.shape.callFraction = 0.09;
+        b.profile.shape.driverDispatchWidth = 40;
+        b.profile.shape.driverCallFraction = 0.26;
+        b.profile.shape.dispatchSwitchChance = 0.05;
+        b.profile.mix = {.biased = 0.38, .loop = 0.01, .pattern = 0.03,
+                         .globalCorrelated = 0.27, .pathCorrelated = 0.08,
+                         .random = 0.23};
+        b.profile.tuning.biasedStrength = 0.96;
+        b.profile.tuning.biasedNoise = 0.03;
+        b.profile.tuning.corrMaxDepth = 12;
+        b.profile.tuning.corrNoise = 0.03;
+        b.dynamicWeight = 11285.0 / 12000.0;
+        suite.push_back(std::move(b));
+    }
+
+    // ---- ijpeg: loop-dominated numeric kernels (~0.9k static); highly
+    // predictable once history covers the trip counts.
+    {
+        Benchmark b;
+        b.profile = makeProfile("ijpeg", 0x17e604, 38, 22, 44);
+        b.profile.shape.condFraction = 0.58;
+        b.profile.shape.loopBackFraction = 0.35;
+        b.profile.shape.callFraction = 0.07;
+        b.profile.mix = {.biased = 0.62, .loop = 0.02, .pattern = 0.02,
+                         .globalCorrelated = 0.26, .pathCorrelated = 0.03,
+                         .random = 0.05};
+        b.profile.tuning.biasedStrength = 0.998;
+        b.profile.tuning.biasedNoise = 0.002;
+        b.profile.tuning.corrMaxDepth = 12;
+        b.profile.tuning.corrNoise = 0.004;
+        b.profile.tuning.loopMaxTrip = 24;
+        b.dynamicWeight = 8894.0 / 12000.0;
+        suite.push_back(std::move(b));
+    }
+
+    // ---- li: lisp interpreter (~250 static): recursion-heavy, strongly
+    // correlated through global history and path.
+    {
+        Benchmark b;
+        b.profile = makeProfile("li", 0x11905, 22, 14, 30);
+        b.profile.shape.loopBackFraction = 0.12;
+        b.profile.shape.minBlockInstrs = 1;
+        b.profile.shape.maxBlockInstrs = 6;
+        b.profile.shape.condFraction = 0.60;
+        b.profile.shape.callFraction = 0.14;
+        b.profile.shape.driverDispatchWidth = 10;
+        b.profile.mix = {.biased = 0.52, .loop = 0.01, .pattern = 0.02,
+                         .globalCorrelated = 0.35, .pathCorrelated = 0.06,
+                         .random = 0.022};
+        b.profile.tuning.loopMaxTrip = 10;
+        b.profile.tuning.biasedStrength = 0.998;
+        b.profile.tuning.biasedNoise = 0.002;
+        b.profile.tuning.corrMaxDepth = 14;
+        b.profile.tuning.corrNoise = 0.004;
+        b.dynamicWeight = 16254.0 / 12000.0;
+        suite.push_back(std::move(b));
+    }
+
+    // ---- m88ksim: CPU simulator main loop (~400 static): extremely
+    // predictable, strongly biased dispatch branches.
+    {
+        Benchmark b;
+        b.profile = makeProfile("m88ksim", 0x880006, 22, 16, 34);
+        b.profile.shape.loopBackFraction = 0.10;
+        b.profile.shape.minBlockInstrs = 1;
+        b.profile.shape.maxBlockInstrs = 6;
+        b.profile.shape.condFraction = 0.60;
+        b.profile.shape.callFraction = 0.10;
+        b.profile.mix = {.biased = 0.66, .loop = 0.01, .pattern = 0.01,
+                         .globalCorrelated = 0.28, .pathCorrelated = 0.03,
+                         .random = 0.008};
+        b.profile.tuning.loopMaxTrip = 8;
+        b.profile.tuning.biasedStrength = 0.999;
+        b.profile.tuning.biasedNoise = 0.001;
+        b.profile.tuning.corrMaxDepth = 14;
+        b.profile.tuning.corrNoise = 0.002;
+        b.dynamicWeight = 9706.0 / 12000.0;
+        suite.push_back(std::move(b));
+    }
+
+    // ---- perl: interpreter dispatch (~270 static): predictable, deep
+    // global correlation from the opcode dispatch chain.
+    {
+        Benchmark b;
+        b.profile = makeProfile("perl", 0x9e1207, 20, 14, 30);
+        b.profile.shape.loopBackFraction = 0.10;
+        b.profile.shape.condFraction = 0.62;
+        b.profile.shape.callFraction = 0.12;
+        b.profile.shape.driverDispatchWidth = 12;
+        b.profile.mix = {.biased = 0.54, .loop = 0.01, .pattern = 0.01,
+                         .globalCorrelated = 0.34, .pathCorrelated = 0.08,
+                         .random = 0.014};
+        b.profile.tuning.loopMaxTrip = 8;
+        b.profile.tuning.biasedStrength = 0.999;
+        b.profile.tuning.biasedNoise = 0.001;
+        b.profile.tuning.corrMaxDepth = 16;
+        b.profile.tuning.corrNoise = 0.003;
+        b.dynamicWeight = 13263.0 / 12000.0;
+        suite.push_back(std::move(b));
+    }
+
+    // ---- vortex: OO database (~2.2k static): the most predictable of
+    // the suite; heavily biased checks with mild correlation, and the
+    // highest branch density (Table 3's largest lghist ratio).
+    {
+        Benchmark b;
+        b.profile = makeProfile("vortex", 0x0e7e08, 85, 18, 38);
+        b.profile.shape.loopBackFraction = 0.08;
+        b.profile.shape.condFraction = 0.68;
+        b.profile.shape.callFraction = 0.10;
+        b.profile.shape.driverDispatchWidth = 32;
+        b.profile.shape.driverCallFraction = 0.24;
+        b.profile.shape.minBlockInstrs = 1;
+        b.profile.shape.maxBlockInstrs = 7;
+        b.profile.mix = {.biased = 0.70, .loop = 0.01, .pattern = 0.01,
+                         .globalCorrelated = 0.23, .pathCorrelated = 0.04,
+                         .random = 0.005};
+        b.profile.tuning.loopMaxTrip = 6;
+        b.profile.tuning.biasedStrength = 0.9995;
+        b.profile.tuning.biasedNoise = 0.0005;
+        b.profile.tuning.corrMaxDepth = 14;
+        b.profile.tuning.corrNoise = 0.0015;
+        b.dynamicWeight = 12757.0 / 12000.0;
+        suite.push_back(std::move(b));
+    }
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &
+specint95Suite()
+{
+    static const std::vector<Benchmark> suite = buildSuite();
+    return suite;
+}
+
+const Benchmark &
+findBenchmark(const std::string &name)
+{
+    for (const auto &b : specint95Suite()) {
+        if (b.profile.name == name)
+            return b;
+    }
+    throw std::out_of_range("no such benchmark: " + name);
+}
+
+uint64_t
+branchesPerBenchmark()
+{
+    if (const char *env = std::getenv("EV8_BRANCHES_PER_BENCH")) {
+        const unsigned long long v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 1000000;
+}
+
+} // namespace ev8

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The synthetic SPECINT95 benchmark suite.
+ *
+ * Eight deterministic synthetic workloads named after the paper's
+ * benchmark set (Table 2). Each profile is calibrated on the axes that
+ * matter to the paper's experiments:
+ *
+ *  - static conditional-branch footprint, scaled to Table 2's counts
+ *    (compress tiny at ~46, gcc huge at ~12k) -- this drives aliasing
+ *    pressure and the benefit of de-aliased predictors;
+ *  - relative dynamic branch volume, proportional to Table 2;
+ *  - intrinsic predictability (noise floors), reproducing the paper's
+ *    difficulty ordering: go hardest, then compress/gcc, with
+ *    m88ksim/vortex/perl nearly perfectly predictable;
+ *  - correlation depth and loop trip counts, so optimal history lengths
+ *    land in the paper's 13-27 bit range and differ per benchmark;
+ *  - path-correlated branches, so path information in the information
+ *    vector pays off (Figs. 7 and 9).
+ */
+
+#ifndef EV8_WORKLOADS_SUITE_HH
+#define EV8_WORKLOADS_SUITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic_program.hh"
+
+namespace ev8
+{
+
+/** One suite entry: a workload profile plus its relative trace length. */
+struct Benchmark
+{
+    WorkloadProfile profile;
+
+    /**
+     * Relative weight of this benchmark's dynamic conditional branch
+     * count, proportional to Table 2 (compress 12044K ... vortex 12757K).
+     */
+    double dynamicWeight = 1.0;
+
+    /** Dynamic conditional branches at scale @p base (weight applied). */
+    uint64_t
+    branchesAt(uint64_t base) const
+    {
+        return static_cast<uint64_t>(
+            static_cast<double>(base) * dynamicWeight);
+    }
+};
+
+/** The eight SPECINT95-like benchmarks, in the paper's Table 2 order. */
+const std::vector<Benchmark> &specint95Suite();
+
+/** Looks up a suite benchmark by name; throws std::out_of_range. */
+const Benchmark &findBenchmark(const std::string &name);
+
+/**
+ * The per-benchmark base dynamic conditional-branch count used by the
+ * bench binaries: the EV8_BRANCHES_PER_BENCH environment variable, or
+ * 1,000,000 by default (the paper's traces carry ~10-16M).
+ */
+uint64_t branchesPerBenchmark();
+
+} // namespace ev8
+
+#endif // EV8_WORKLOADS_SUITE_HH

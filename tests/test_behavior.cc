@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the synthetic branch behaviour models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "workloads/branch_behavior.hh"
+
+namespace ev8
+{
+namespace
+{
+
+BehaviorContext
+ctxWith(Rng &rng, uint64_t ghist = 0, uint64_t path = 0)
+{
+    BehaviorContext ctx;
+    ctx.rng = &rng;
+    ctx.ghist = ghist;
+    ctx.path = path;
+    return ctx;
+}
+
+TEST(BiasedBehavior, RespectsProbability)
+{
+    Rng rng(1);
+    auto ctx = ctxWith(rng);
+    BiasedBehavior b(0.9);
+    int taken = 0;
+    for (int i = 0; i < 10000; ++i)
+        taken += b.nextOutcome(ctx);
+    EXPECT_NEAR(taken / 10000.0, 0.9, 0.02);
+}
+
+TEST(BiasedBehavior, ExtremesAreDeterministic)
+{
+    Rng rng(2);
+    auto ctx = ctxWith(rng);
+    BiasedBehavior always(1.0), never(0.0);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(always.nextOutcome(ctx));
+        EXPECT_FALSE(never.nextOutcome(ctx));
+    }
+}
+
+TEST(LoopBehavior, PeriodicTakenRuns)
+{
+    Rng rng(3);
+    auto ctx = ctxWith(rng);
+    LoopBehavior loop(5, 5, 5, 0.0);
+    // Expect (trip-1)=4 taken then 1 not-taken, repeating.
+    for (int rep = 0; rep < 3; ++rep) {
+        for (int i = 0; i < 4; ++i)
+            EXPECT_TRUE(loop.nextOutcome(ctx)) << rep << "," << i;
+        EXPECT_FALSE(loop.nextOutcome(ctx)) << rep;
+    }
+}
+
+TEST(LoopBehavior, TripOneNeverTaken)
+{
+    Rng rng(4);
+    auto ctx = ctxWith(rng);
+    LoopBehavior loop(1, 1, 1, 0.0);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(loop.nextOutcome(ctx));
+}
+
+TEST(LoopBehavior, RerollChangesTripWithinBounds)
+{
+    Rng rng(5);
+    auto ctx = ctxWith(rng);
+    LoopBehavior loop(4, 2, 8, 1.0); // re-roll after every exit
+    for (int rep = 0; rep < 50; ++rep) {
+        unsigned run = 0;
+        while (loop.nextOutcome(ctx))
+            ++run;
+        EXPECT_GE(run + 1, 1u);
+        EXPECT_LE(run + 1, 8u);
+    }
+}
+
+TEST(PatternBehavior, CyclesExactly)
+{
+    Rng rng(6);
+    auto ctx = ctxWith(rng);
+    PatternBehavior p({true, false, false, true});
+    for (int rep = 0; rep < 3; ++rep) {
+        EXPECT_TRUE(p.nextOutcome(ctx));
+        EXPECT_FALSE(p.nextOutcome(ctx));
+        EXPECT_FALSE(p.nextOutcome(ctx));
+        EXPECT_TRUE(p.nextOutcome(ctx));
+    }
+}
+
+TEST(PatternBehavior, EmptyPatternDegradesGracefully)
+{
+    Rng rng(7);
+    auto ctx = ctxWith(rng);
+    PatternBehavior p({});
+    EXPECT_FALSE(p.nextOutcome(ctx));
+}
+
+TEST(GlobalCorrelated, XorIsParityOfTaps)
+{
+    Rng rng(8);
+    auto ctx = ctxWith(rng);
+    GlobalCorrelatedBehavior b(0b101, CorrKind::Xor, false, 0.0);
+    ctx.ghist = 0b001; // taps 0 and 2 -> parity(1,0)=1
+    EXPECT_TRUE(b.nextOutcome(ctx));
+    ctx.ghist = 0b101; // parity(1,1)=0
+    EXPECT_FALSE(b.nextOutcome(ctx));
+    ctx.ghist = 0b110; // parity(0,1)=1
+    EXPECT_TRUE(b.nextOutcome(ctx));
+}
+
+TEST(GlobalCorrelated, InvertFlips)
+{
+    Rng rng(9);
+    auto ctx = ctxWith(rng);
+    GlobalCorrelatedBehavior plain(0b1, CorrKind::Xor, false, 0.0);
+    GlobalCorrelatedBehavior inv(0b1, CorrKind::Xor, true, 0.0);
+    for (uint64_t h : {0ull, 1ull}) {
+        ctx.ghist = h;
+        EXPECT_NE(plain.nextOutcome(ctx), inv.nextOutcome(ctx));
+    }
+}
+
+TEST(GlobalCorrelated, AndFormIsTakenRare)
+{
+    Rng rng(10);
+    auto ctx = ctxWith(rng);
+    GlobalCorrelatedBehavior b(0b11, CorrKind::And, false, 0.0);
+    int taken = 0;
+    for (int i = 0; i < 4096; ++i) {
+        ctx.ghist = rng.next();
+        taken += b.nextOutcome(ctx);
+    }
+    EXPECT_NEAR(taken / 4096.0, 0.25, 0.05);
+}
+
+TEST(GlobalCorrelated, OrFormIsTakenOften)
+{
+    Rng rng(11);
+    auto ctx = ctxWith(rng);
+    GlobalCorrelatedBehavior b(0b11, CorrKind::Or, false, 0.0);
+    int taken = 0;
+    for (int i = 0; i < 4096; ++i) {
+        ctx.ghist = rng.next();
+        taken += b.nextOutcome(ctx);
+    }
+    EXPECT_NEAR(taken / 4096.0, 0.75, 0.05);
+}
+
+TEST(GlobalCorrelated, DeterministicWithoutNoise)
+{
+    Rng rng(12);
+    auto ctx = ctxWith(rng);
+    GlobalCorrelatedBehavior b(0b1101, CorrKind::And, false, 0.0);
+    for (uint64_t h = 0; h < 16; ++h) {
+        ctx.ghist = h;
+        const bool first = b.nextOutcome(ctx);
+        ctx.ghist = h;
+        EXPECT_EQ(b.nextOutcome(ctx), first) << "h=" << h;
+    }
+}
+
+TEST(GlobalCorrelated, DeepestTap)
+{
+    GlobalCorrelatedBehavior b(0b1000100, CorrKind::Xor, false, 0.0);
+    EXPECT_EQ(b.deepestTap(), 7u);
+    GlobalCorrelatedBehavior one(0b1, CorrKind::Xor, false, 0.0);
+    EXPECT_EQ(one.deepestTap(), 1u);
+}
+
+TEST(GlobalCorrelated, NoiseFlipsApproximatelyAtRate)
+{
+    Rng rng(13);
+    auto ctx = ctxWith(rng);
+    GlobalCorrelatedBehavior noisy(0b1, CorrKind::Xor, false, 0.1);
+    int flips = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        ctx.ghist = i & 1;
+        const bool expected = (i & 1) != 0;
+        flips += noisy.nextOutcome(ctx) != expected;
+    }
+    EXPECT_NEAR(flips / double(n), 0.1, 0.02);
+}
+
+TEST(PathCorrelated, DependsOnPathOnly)
+{
+    Rng rng(14);
+    auto ctx = ctxWith(rng);
+    PathCorrelatedBehavior b(0b11, false, 0.0);
+    ctx.path = 0b01;
+    ctx.ghist = 0xdead; // must be ignored
+    const bool v1 = b.nextOutcome(ctx);
+    ctx.ghist = 0xbeef;
+    EXPECT_EQ(b.nextOutcome(ctx), v1);
+    ctx.path = 0b11;
+    EXPECT_NE(b.nextOutcome(ctx), v1);
+}
+
+TEST(RandomBehavior, RoughlyFair)
+{
+    Rng rng(15);
+    auto ctx = ctxWith(rng);
+    RandomBehavior b;
+    int taken = 0;
+    for (int i = 0; i < 10000; ++i)
+        taken += b.nextOutcome(ctx);
+    EXPECT_NEAR(taken / 10000.0, 0.5, 0.02);
+}
+
+TEST(SampleBehavior, PureWeightsPickTheClass)
+{
+    BehaviorTuning tuning;
+    Rng rng(16);
+    BehaviorMix only_random;
+    only_random.biased = 0.0;
+    only_random.random = 1.0;
+    for (int i = 0; i < 20; ++i) {
+        auto b = sampleBehavior(only_random, tuning, rng);
+        EXPECT_STREQ(b->name(), "random");
+    }
+    BehaviorMix only_biased; // default biased = 1.0
+    for (int i = 0; i < 20; ++i) {
+        auto b = sampleBehavior(only_biased, tuning, rng);
+        EXPECT_STREQ(b->name(), "biased");
+    }
+}
+
+TEST(SampleBehavior, BiasedSkewsNotTaken)
+{
+    BehaviorTuning tuning;
+    tuning.biasedNotTakenSkew = 0.8;
+    Rng rng(17);
+    BehaviorMix mix;
+    int nt_biased = 0;
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        auto b = sampleBehavior(mix, tuning, rng);
+        auto *biased = dynamic_cast<BiasedBehavior *>(b.get());
+        ASSERT_NE(biased, nullptr);
+        nt_biased += biased->takenProbability() < 0.5;
+    }
+    EXPECT_NEAR(nt_biased / double(n), 0.8, 0.06);
+}
+
+TEST(SampleLoopBehavior, TripsWithinBounds)
+{
+    BehaviorTuning tuning;
+    tuning.loopMinTrip = 3;
+    tuning.loopMaxTrip = 9;
+    Rng rng(18);
+    for (int i = 0; i < 200; ++i) {
+        auto b = sampleLoopBehavior(tuning, rng);
+        auto *loop = dynamic_cast<LoopBehavior *>(b.get());
+        ASSERT_NE(loop, nullptr);
+        EXPECT_GE(loop->currentTrip(), 3u);
+        EXPECT_LE(loop->currentTrip(), 9u);
+    }
+}
+
+TEST(SampleBehavior, CorrTapsWithinConfiguredDepth)
+{
+    BehaviorTuning tuning;
+    tuning.corrMinDepth = 4;
+    tuning.corrMaxDepth = 12;
+    Rng rng(19);
+    BehaviorMix mix;
+    mix.biased = 0.0;
+    mix.globalCorrelated = 1.0;
+    for (int i = 0; i < 100; ++i) {
+        auto b = sampleBehavior(mix, tuning, rng);
+        auto *corr = dynamic_cast<GlobalCorrelatedBehavior *>(b.get());
+        ASSERT_NE(corr, nullptr);
+        EXPECT_LE(corr->deepestTap(), 12u);
+        EXPECT_EQ(corr->tapMask() & mask(4), 0u)
+            << "taps must start at depth 4";
+    }
+}
+
+} // namespace
+} // namespace ev8

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers in common/bits.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace ev8
+{
+namespace
+{
+
+TEST(Bits, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(63), 0x7fffffffffffffffULL);
+    EXPECT_EQ(mask(64), ~uint64_t{0});
+}
+
+TEST(Bits, BitExtraction)
+{
+    EXPECT_EQ(bit(0b1010, 0), 0u);
+    EXPECT_EQ(bit(0b1010, 1), 1u);
+    EXPECT_EQ(bit(0b1010, 3), 1u);
+    EXPECT_EQ(bit(uint64_t{1} << 63, 63), 1u);
+}
+
+TEST(Bits, BitFieldExtraction)
+{
+    // The paper's (y6,y5) notation: bits 6..5.
+    EXPECT_EQ(bits(0b1100000, 6, 5), 0b11u);
+    EXPECT_EQ(bits(0b0100000, 6, 5), 0b01u);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(~uint64_t{0}, 63, 0), ~uint64_t{0});
+}
+
+TEST(Bits, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 3, 0, 0xf), 0xfu);
+    EXPECT_EQ(insertBits(0xff, 3, 0, 0), 0xf0u);
+    EXPECT_EQ(insertBits(0, 7, 4, 0xa), 0xa0u);
+    // Field wider than the slot is masked.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(Bits, RotationInverses)
+{
+    for (unsigned n : {3u, 8u, 16u, 21u, 63u}) {
+        for (uint64_t raw : {uint64_t{1}, uint64_t{0x5a}, mask(n),
+                             uint64_t{0x123456789abcdefULL}}) {
+            const uint64_t v = raw & mask(n);
+            for (unsigned k = 0; k <= n; ++k) {
+                EXPECT_EQ(rotr(rotl(v, k, n), k, n), v)
+                    << "n=" << n << " k=" << k << " v=" << v;
+            }
+        }
+    }
+}
+
+TEST(Bits, RotlKnownValues)
+{
+    EXPECT_EQ(rotl(0b001, 1, 3), 0b010u);
+    EXPECT_EQ(rotl(0b100, 1, 3), 0b001u);
+    EXPECT_EQ(rotl(0b100, 3, 3), 0b100u); // full rotation
+    EXPECT_EQ(rotl(0x80, 1, 8), 0x01u);
+}
+
+TEST(Bits, Parity)
+{
+    EXPECT_EQ(parity(0), 0u);
+    EXPECT_EQ(parity(1), 1u);
+    EXPECT_EQ(parity(0b11), 0u);
+    EXPECT_EQ(parity(0b111), 1u);
+    EXPECT_EQ(parity(~uint64_t{0}), 0u);
+    EXPECT_EQ(parity(uint64_t{1} << 63), 1u);
+}
+
+TEST(Bits, XorFoldPreservesParity)
+{
+    // XOR-folding is linear: the parity of the folded value equals the
+    // parity of the input for odd... not in general; instead verify the
+    // defining property directly on examples.
+    EXPECT_EQ(xorFold(0x0, 8), 0u);
+    EXPECT_EQ(xorFold(0xff, 8), 0xffu);
+    EXPECT_EQ(xorFold(0x1234, 8), 0x12u ^ 0x34u);
+    EXPECT_EQ(xorFold(0xabcdef, 8), 0xabu ^ 0xcdu ^ 0xefu);
+    // Folding to n bits always fits in n bits.
+    for (unsigned n = 2; n < 24; ++n)
+        EXPECT_EQ(xorFold(0xdeadbeefcafeULL, n) & ~mask(n), 0u);
+}
+
+TEST(Bits, XorFoldLinearity)
+{
+    // fold(a ^ b) == fold(a) ^ fold(b): the property the skewed index
+    // functions rely on so single-bit history differences always move
+    // the index.
+    const uint64_t a = 0x123456789abcdefULL;
+    const uint64_t b = 0xfedcba987654321ULL;
+    for (unsigned n : {5u, 13u, 16u, 20u})
+        EXPECT_EQ(xorFold(a ^ b, n), xorFold(a, n) ^ xorFold(b, n));
+}
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(12));
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(65536), 16u);
+}
+
+class SkewHTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SkewHTest, InverseRoundtrip)
+{
+    const unsigned n = GetParam();
+    // Exhaustive for small widths, sampled for larger ones.
+    const uint64_t limit = n <= 12 ? (uint64_t{1} << n) : 4096;
+    for (uint64_t i = 0; i < limit; ++i) {
+        const uint64_t v =
+            n <= 12 ? i : (i * 0x9e3779b97f4a7c15ULL) & mask(n);
+        EXPECT_EQ(skewHInv(skewH(v, n), n), v) << "n=" << n;
+        EXPECT_EQ(skewH(skewHInv(v, n), n), v) << "n=" << n;
+    }
+}
+
+TEST_P(SkewHTest, IsBijection)
+{
+    const unsigned n = GetParam();
+    if (n > 12)
+        GTEST_SKIP() << "exhaustive check limited to small widths";
+    std::vector<bool> seen(size_t{1} << n, false);
+    for (uint64_t v = 0; v < (uint64_t{1} << n); ++v) {
+        const uint64_t y = skewH(v, n);
+        ASSERT_LT(y, uint64_t{1} << n);
+        EXPECT_FALSE(seen[y]) << "collision at " << v;
+        seen[y] = true;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SkewHTest,
+                         ::testing::Values(2u, 3u, 5u, 8u, 10u, 12u, 14u,
+                                           16u, 20u));
+
+TEST(Bits, SkewHPowComposition)
+{
+    const unsigned n = 16;
+    const uint64_t v = 0xbeef & mask(n);
+    EXPECT_EQ(skewHPow(v, 0, n), v);
+    EXPECT_EQ(skewHPow(v, 3, n), skewH(skewH(skewH(v, n), n), n));
+    EXPECT_EQ(skewHInvPow(skewHPow(v, 5, n), 5, n), v);
+}
+
+} // namespace
+} // namespace ev8

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for saturating counters and the split
+ * prediction/hysteresis counter of Section 4.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/counter.hh"
+
+namespace ev8
+{
+namespace
+{
+
+TEST(SaturatingCounter, TwoBitStateMachine)
+{
+    SaturatingCounter c(2, 0); // strong not-taken
+    EXPECT_FALSE(c.taken());
+    EXPECT_TRUE(c.isStrong());
+
+    c.increment(); // -> 1 weak NT
+    EXPECT_FALSE(c.taken());
+    EXPECT_FALSE(c.isStrong());
+
+    c.increment(); // -> 2 weak T
+    EXPECT_TRUE(c.taken());
+
+    c.increment(); // -> 3 strong T
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.isStrong());
+
+    c.increment(); // saturates at 3
+    EXPECT_EQ(c.raw(), 3);
+
+    c.decrement();
+    EXPECT_EQ(c.raw(), 2);
+}
+
+TEST(SaturatingCounter, SaturatesLow)
+{
+    SaturatingCounter c(2, 0);
+    c.decrement();
+    EXPECT_EQ(c.raw(), 0);
+}
+
+TEST(SaturatingCounter, UpdateFollowsOutcome)
+{
+    SaturatingCounter c(2, 1);
+    c.update(true);
+    EXPECT_EQ(c.raw(), 2);
+    c.update(false);
+    EXPECT_EQ(c.raw(), 1);
+}
+
+TEST(SaturatingCounter, WiderCounters)
+{
+    SaturatingCounter c(3, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.raw(), 7);
+    EXPECT_TRUE(c.taken());
+    for (int i = 0; i < 4; ++i)
+        c.decrement();
+    EXPECT_EQ(c.raw(), 3);
+    EXPECT_FALSE(c.taken()); // 3 <= 7/2
+}
+
+/** The four canonical 2-bit states as (prediction, hysteresis). */
+struct SplitState
+{
+    bool pred;
+    bool hyst;
+    uint8_t classic; // value of the equivalent classic 2-bit counter
+};
+
+const SplitState kStates[] = {
+    {false, false, 0}, // strong not-taken
+    {false, true, 1},  // weak not-taken
+    {true, false, 2},  // weak taken
+    {true, true, 3},   // strong taken
+};
+
+TEST(SplitCounter, RawEncodingMatchesClassic)
+{
+    for (const auto &s : kStates) {
+        SplitCounter c{s.pred, s.hyst};
+        EXPECT_EQ(c.raw(), s.classic);
+        EXPECT_EQ(c.taken(), s.classic >= 2);
+        EXPECT_EQ(c.isStrong(), s.classic == 0 || s.classic == 3);
+    }
+}
+
+TEST(SplitCounter, UpdateMatchesClassicCounterExhaustively)
+{
+    // For every state and outcome, the split counter must step exactly
+    // like the classic 2-bit saturating counter.
+    for (const auto &s : kStates) {
+        for (bool taken : {false, true}) {
+            SplitCounter c{s.pred, s.hyst};
+            SaturatingCounter ref(2, s.classic);
+            c.update(taken);
+            ref.update(taken);
+            EXPECT_EQ(c.raw(), ref.raw())
+                << "state=" << int(s.classic) << " taken=" << taken;
+        }
+    }
+}
+
+TEST(SplitCounter, StrengthenOnlyTouchesHysteresis)
+{
+    for (const auto &s : kStates) {
+        SplitCounter c{s.pred, s.hyst};
+        c.strengthen();
+        EXPECT_EQ(c.prediction, s.pred) << "prediction bit must not move";
+        EXPECT_TRUE(c.isStrong());
+    }
+}
+
+TEST(SplitCounter, WeakStatesFlipOnMispredict)
+{
+    SplitCounter weak_nt{false, true};
+    weak_nt.update(true);
+    EXPECT_TRUE(weak_nt.prediction);
+
+    SplitCounter weak_t{true, false};
+    weak_t.update(false);
+    EXPECT_FALSE(weak_t.prediction);
+}
+
+TEST(SplitCounter, StrongStatesResistOneMispredict)
+{
+    SplitCounter strong_t{true, true};
+    strong_t.update(false);
+    EXPECT_TRUE(strong_t.prediction) << "one mispredict only weakens";
+    strong_t.update(false);
+    EXPECT_FALSE(strong_t.prediction) << "two mispredicts flip";
+}
+
+} // namespace
+} // namespace ev8

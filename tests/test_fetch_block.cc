@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit and property tests for fetch-block reconstruction (Section 2
+ * rules: blocks end at an aligned 8-instruction boundary or a taken
+ * CTI; not-taken conditionals do not end a block).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "frontend/fetch_block_util.hh"
+#include "trace/trace.hh"
+
+namespace ev8
+{
+namespace
+{
+
+BranchRecord
+rec(uint64_t pc, uint64_t target, BranchType type, bool taken)
+{
+    return BranchRecord{pc, target, type, taken};
+}
+
+TEST(FetchBlock, TakenBranchEndsBlock)
+{
+    Trace t("t", 0x1000);
+    t.append(rec(0x1008, 0x2000, BranchType::Conditional, true));
+    const auto blocks = buildFetchBlocks(t);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].address, 0x1000u);
+    EXPECT_EQ(blocks[0].endPc, 0x100cu);
+    EXPECT_EQ(blocks[0].numInstrs(), 3u);
+    EXPECT_TRUE(blocks[0].endsTaken);
+    EXPECT_EQ(blocks[0].takenTarget, 0x2000u);
+    EXPECT_EQ(blocks[0].nextAddress(), 0x2000u);
+    ASSERT_EQ(blocks[0].numBranches, 1);
+    EXPECT_EQ(blocks[0].branches[0].pc, 0x1008u);
+    EXPECT_TRUE(blocks[0].branches[0].taken);
+}
+
+TEST(FetchBlock, NotTakenBranchDoesNotEndBlock)
+{
+    Trace t("t", 0x1000);
+    t.append(rec(0x1004, 0x2000, BranchType::Conditional, false));
+    t.append(rec(0x1010, 0x2000, BranchType::Conditional, true));
+    const auto blocks = buildFetchBlocks(t);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].numBranches, 2);
+    EXPECT_FALSE(blocks[0].branches[0].taken);
+    EXPECT_TRUE(blocks[0].branches[1].taken);
+    EXPECT_EQ(blocks[0].lastBranch().pc, 0x1010u);
+}
+
+TEST(FetchBlock, AlignmentBoundaryEndsBlock)
+{
+    // Start at 0x1000 (32-byte aligned); a not-taken branch beyond the
+    // row boundary forces an aligned block [0x1000, 0x1020).
+    Trace t("t", 0x1000);
+    t.append(rec(0x1024, 0x2000, BranchType::Conditional, true));
+    const auto blocks = buildFetchBlocks(t);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0].address, 0x1000u);
+    EXPECT_EQ(blocks[0].endPc, 0x1020u);
+    EXPECT_EQ(blocks[0].numInstrs(), 8u);
+    EXPECT_FALSE(blocks[0].endsTaken);
+    EXPECT_EQ(blocks[0].numBranches, 0);
+    EXPECT_EQ(blocks[1].address, 0x1020u);
+    EXPECT_TRUE(blocks[1].endsTaken);
+}
+
+TEST(FetchBlock, UnalignedStartShortensBlock)
+{
+    // A taken branch lands mid-row: the next block runs only to the
+    // next 32-byte boundary.
+    Trace t("t", 0x1014);
+    t.append(rec(0x1018, 0x3004, BranchType::Unconditional, true));
+    t.append(rec(0x3028, 0x1000, BranchType::Unconditional, true));
+    const auto blocks = buildFetchBlocks(t);
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(blocks[0].address, 0x1014u);
+    EXPECT_EQ(blocks[0].numInstrs(), 2u);
+    // Block 1: from 0x3004 to the row end 0x3020.
+    EXPECT_EQ(blocks[1].address, 0x3004u);
+    EXPECT_EQ(blocks[1].endPc, 0x3020u);
+    EXPECT_FALSE(blocks[1].endsTaken);
+    // Block 2: 0x3020 .. taken at 0x3028.
+    EXPECT_EQ(blocks[2].address, 0x3020u);
+    EXPECT_TRUE(blocks[2].endsTaken);
+}
+
+TEST(FetchBlock, NotTakenOnLastRowSlotClosesAtBoundary)
+{
+    Trace t("t", 0x1000);
+    t.append(rec(0x101c, 0x2000, BranchType::Conditional, false));
+    t.append(rec(0x1020, 0x3000, BranchType::Unconditional, true));
+    const auto blocks = buildFetchBlocks(t);
+    ASSERT_EQ(blocks.size(), 2u);
+    EXPECT_EQ(blocks[0].endPc, 0x1020u);
+    EXPECT_EQ(blocks[0].numBranches, 1);
+    EXPECT_FALSE(blocks[0].endsTaken);
+}
+
+TEST(FetchBlock, UpToEightBranchesPerBlock)
+{
+    // 8 consecutive not-taken conditionals filling an aligned row.
+    Trace t("t", 0x1000);
+    for (int i = 0; i < 8; ++i)
+        t.append(rec(0x1000 + 4 * i, 0x2000, BranchType::Conditional,
+                     false));
+    const auto blocks = buildFetchBlocks(t);
+    ASSERT_EQ(blocks.size(), 1u);
+    EXPECT_EQ(blocks[0].numBranches, 8);
+    EXPECT_EQ(blocks[0].numInstrs(), 8u);
+}
+
+TEST(FetchBlock, FlushEmitsPendingPartialBlock)
+{
+    Trace t("t", 0x1000);
+    t.append(rec(0x1004, 0x2000, BranchType::Conditional, false));
+    const auto blocks = buildFetchBlocks(t);
+    ASSERT_EQ(blocks.size(), 1u); // flushed partial block
+    EXPECT_EQ(blocks[0].numBranches, 1);
+}
+
+TEST(FetchBlockProperty, InvariantsOnRandomTraces)
+{
+    Rng rng(77);
+    Trace t("rand", 0x120000000ULL);
+    uint64_t flow = t.startPc();
+    for (int i = 0; i < 20000; ++i) {
+        BranchRecord r;
+        r.pc = flow + rng.below(12) * kInstrBytes;
+        r.type = rng.chance(0.8) ? BranchType::Conditional
+                                 : BranchType::Unconditional;
+        r.taken = r.type == BranchType::Conditional ? rng.chance(0.4)
+                                                    : true;
+        r.target = 0x120000000ULL + rng.below(1 << 16) * kInstrBytes;
+        t.append(r);
+        flow = r.nextPc();
+    }
+
+    const auto blocks = buildFetchBlocks(t);
+    ASSERT_FALSE(blocks.empty());
+    uint64_t cond_seen = 0;
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        const FetchBlock &b = blocks[i];
+        // 1..8 instructions, never spanning an aligned row.
+        ASSERT_GE(b.numInstrs(), 1u);
+        ASSERT_LE(b.numInstrs(), 8u);
+        ASSERT_EQ(b.address / 32, (b.endPc - 1) / 32)
+            << "block spans an aligned row";
+        // Non-taken-ending blocks stop exactly at the row boundary.
+        if (!b.endsTaken && i + 1 < blocks.size()) {
+            ASSERT_EQ(b.endPc % 32, 0u);
+        }
+        // Chain: each block starts where the previous said it would.
+        if (i + 1 < blocks.size()) {
+            ASSERT_EQ(blocks[i + 1].address, b.nextAddress());
+        }
+        // Branches lie inside the block, in order.
+        for (unsigned j = 0; j < b.numBranches; ++j) {
+            ASSERT_GE(b.branches[j].pc, b.address);
+            ASSERT_LT(b.branches[j].pc, b.endPc);
+            if (j > 0) {
+                ASSERT_GT(b.branches[j].pc, b.branches[j - 1].pc);
+            }
+        }
+        // Only the last branch of a taken-ending block may be taken.
+        for (unsigned j = 0; j + 1 < b.numBranches; ++j)
+            ASSERT_FALSE(b.branches[j].taken);
+        cond_seen += b.numBranches;
+    }
+    EXPECT_EQ(cond_seen, t.stats().dynamicCondBranches);
+
+    // Total instructions in blocks equal the trace's instruction count.
+    uint64_t instrs = 0;
+    for (const auto &b : blocks)
+        instrs += b.numInstrs();
+    // The final flushed block is padded to its row boundary, so allow
+    // up to 7 extra slots.
+    EXPECT_GE(instrs, t.instructionCount());
+    EXPECT_LE(instrs, t.instructionCount() + 7);
+}
+
+} // namespace
+} // namespace ev8

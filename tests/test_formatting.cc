@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Tests for the small formatting helpers used by reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/predictor.hh"
+
+namespace ev8
+{
+namespace
+{
+
+TEST(FormatKbits, KbitRange)
+{
+    EXPECT_EQ(formatKbits(352 * 1024), "352 Kbits");
+    EXPECT_EQ(formatKbits(256 * 1024), "256 Kbits");
+    EXPECT_EQ(formatKbits(1024), "1 Kbits");
+}
+
+TEST(FormatKbits, MbitRange)
+{
+    EXPECT_EQ(formatKbits(2 * 1024 * 1024), "2.0 Mbits");
+    EXPECT_EQ(formatKbits(8 * 1024 * 1024), "8.0 Mbits");
+    EXPECT_EQ(formatKbits(1536 * 1024), "1.5 Mbits");
+}
+
+TEST(FormatKbits, SubKbitRoundsSensibly)
+{
+    EXPECT_EQ(formatKbits(512), "0 Kbits"); // 0.5 rounds down via %.0f
+}
+
+} // namespace
+} // namespace ev8

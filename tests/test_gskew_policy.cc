@@ -1,0 +1,251 @@
+/**
+ * @file
+ * White-box tests of the shared 2Bc-gskew combination and partial-update
+ * policy (Section 4.2), run against a mock bank recorder so every write
+ * the policy performs is visible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "predictors/gskew_policy.hh"
+
+namespace ev8
+{
+namespace
+{
+
+/** Mock banks: fixed predictions, recorded writes. */
+struct MockBanks
+{
+    struct Write
+    {
+        enum Kind { Strengthen, Update } kind;
+        TableId table;
+        size_t idx;
+        bool value; // for Update
+
+        bool operator==(const Write &) const = default;
+    };
+
+    bool preds[kNumTables] = {};
+    mutable std::vector<Write> writes;
+
+    bool taken(TableId t, size_t) const { return preds[t]; }
+
+    void
+    strengthen(TableId t, size_t idx)
+    {
+        writes.push_back({Write::Strengthen, t, idx, false});
+    }
+
+    void
+    update(TableId t, size_t idx, bool v)
+    {
+        writes.push_back({Write::Update, t, idx, v});
+        if (t == META)
+            preds[META] = v; // meta may flip; the policy re-reads it
+    }
+
+    bool wrote(TableId t) const
+    {
+        for (const auto &w : writes)
+            if (w.table == t)
+                return true;
+        return false;
+    }
+};
+
+GskewLookup
+lookupFor(const MockBanks &banks)
+{
+    GskewLookup look;
+    look.idx = {0, 1, 2, 3};
+    computeGskewVotes(banks, look);
+    return look;
+}
+
+TEST(GskewVotes, MajorityAndSelection)
+{
+    MockBanks banks;
+    banks.preds[BIM] = true;
+    banks.preds[G0] = true;
+    banks.preds[G1] = false;
+    banks.preds[META] = true; // majority selected
+    const GskewLookup look = lookupFor(banks);
+    EXPECT_TRUE(look.majority);
+    EXPECT_TRUE(look.overall);
+
+    banks.preds[META] = false; // bimodal selected
+    const GskewLookup look2 = lookupFor(banks);
+    EXPECT_TRUE(look2.overall); // BIM says taken
+
+    banks.preds[BIM] = false;
+    const GskewLookup look3 = lookupFor(banks);
+    EXPECT_FALSE(look3.majority) << "1 of 3 votes taken";
+    EXPECT_FALSE(look3.overall);
+}
+
+TEST(PartialUpdate, Rationale1_NoWriteWhenAllAgreeAndCorrect)
+{
+    MockBanks banks;
+    banks.preds[BIM] = banks.preds[G0] = banks.preds[G1] = true;
+    banks.preds[META] = true;
+    const GskewLookup look = lookupFor(banks);
+    gskewPartialUpdate(banks, look, /*taken=*/true);
+    EXPECT_TRUE(banks.writes.empty())
+        << "all-agreeing correct prediction must not touch any counter";
+}
+
+TEST(PartialUpdate, CorrectViaBimodal_StrengthensOnlyBim)
+{
+    MockBanks banks;
+    banks.preds[BIM] = true;             // correct
+    banks.preds[G0] = banks.preds[G1] = false;
+    banks.preds[META] = false;           // bimodal selected
+    const GskewLookup look = lookupFor(banks);
+    // majority = false, bim = true -> predictions differ -> Meta
+    // strengthened; BIM (the used, correct one) strengthened.
+    gskewPartialUpdate(banks, look, true);
+    ASSERT_EQ(banks.writes.size(), 2u);
+    EXPECT_EQ(banks.writes[0].table, META);
+    EXPECT_EQ(banks.writes[0].kind, MockBanks::Write::Strengthen);
+    EXPECT_EQ(banks.writes[1].table, BIM);
+    EXPECT_EQ(banks.writes[1].kind, MockBanks::Write::Strengthen);
+}
+
+TEST(PartialUpdate, CorrectViaMajority_StrengthensCorrectVotersOnly)
+{
+    MockBanks banks;
+    banks.preds[BIM] = false; // wrong voter
+    banks.preds[G0] = true;
+    banks.preds[G1] = true;
+    banks.preds[META] = true; // majority selected
+    const GskewLookup look = lookupFor(banks);
+    gskewPartialUpdate(banks, look, true);
+    // Meta strengthened (predictions differed) + G0 + G1; never BIM.
+    EXPECT_TRUE(banks.wrote(META));
+    EXPECT_TRUE(banks.wrote(G0));
+    EXPECT_TRUE(banks.wrote(G1));
+    EXPECT_FALSE(banks.wrote(BIM))
+        << "a wrong voter must not be strengthened";
+    for (const auto &w : banks.writes)
+        EXPECT_EQ(w.kind, MockBanks::Write::Strengthen);
+}
+
+TEST(PartialUpdate, CorrectSameComponents_NoMetaStrengthen)
+{
+    MockBanks banks;
+    banks.preds[BIM] = true;
+    banks.preds[G0] = true;
+    banks.preds[G1] = false; // disagreement inside the vote
+    banks.preds[META] = true;
+    const GskewLookup look = lookupFor(banks);
+    // bim == majority == taken: Meta gave no distinguishing choice.
+    gskewPartialUpdate(banks, look, true);
+    EXPECT_FALSE(banks.wrote(META));
+    EXPECT_TRUE(banks.wrote(BIM));
+    EXPECT_TRUE(banks.wrote(G0));
+    EXPECT_FALSE(banks.wrote(G1));
+}
+
+TEST(PartialUpdate, Rationale2_ChooserFlipRescuesPrediction)
+{
+    MockBanks banks;
+    banks.preds[BIM] = false;       // bimodal wrong... actually correct:
+    banks.preds[G0] = true;         // outcome will be false
+    banks.preds[G1] = true;
+    banks.preds[META] = true;       // majority (taken) selected -> wrong
+    GskewLookup look = lookupFor(banks);
+    ASSERT_TRUE(look.overall);
+    gskewPartialUpdate(banks, look, /*taken=*/false);
+
+    // First write: Meta full update toward "bimodal was right" (false).
+    ASSERT_FALSE(banks.writes.empty());
+    EXPECT_EQ(banks.writes[0].table, META);
+    EXPECT_EQ(banks.writes[0].kind, MockBanks::Write::Update);
+    EXPECT_FALSE(banks.writes[0].value);
+
+    // The mock flips meta immediately, so the recomputed prediction is
+    // BIM = false = correct: only BIM gets strengthened, G0/G1 (wrong)
+    // are left alone -- no stealing (Rationale 2).
+    EXPECT_TRUE(banks.wrote(BIM));
+    EXPECT_FALSE(banks.wrote(G0));
+    EXPECT_FALSE(banks.wrote(G1));
+    EXPECT_EQ(banks.writes[1].kind, MockBanks::Write::Strengthen);
+}
+
+TEST(PartialUpdate, MispredictBothComponentsWrong_UpdatesAllBanks)
+{
+    MockBanks banks;
+    banks.preds[BIM] = true;
+    banks.preds[G0] = true;
+    banks.preds[G1] = true;
+    banks.preds[META] = false;
+    const GskewLookup look = lookupFor(banks);
+    gskewPartialUpdate(banks, look, /*taken=*/false);
+    // Predictions agree (both taken) -> no chooser signal; all three
+    // prediction banks retrain toward not-taken.
+    EXPECT_FALSE(banks.wrote(META));
+    int updates = 0;
+    for (const auto &w : banks.writes) {
+        EXPECT_EQ(w.kind, MockBanks::Write::Update);
+        EXPECT_FALSE(w.value);
+        ++updates;
+    }
+    EXPECT_EQ(updates, 3);
+}
+
+TEST(PartialUpdate, ChooserUpdateInsufficient_UpdatesAllBanks)
+{
+    // Meta update that does NOT flip the selection: banks must retrain.
+    struct StickyBanks : MockBanks
+    {
+        void
+        update(TableId t, size_t idx, bool v)
+        {
+            writes.push_back({Write::Update, t, idx, v});
+            // meta stays strong: selection unchanged
+        }
+    } banks;
+    banks.preds[BIM] = false;
+    banks.preds[G0] = true;
+    banks.preds[G1] = true;
+    banks.preds[META] = true; // majority selected, strongly
+    const GskewLookup look = lookupFor(banks);
+    gskewPartialUpdate(banks, look, /*taken=*/false);
+    // Meta updated first, then all three banks.
+    EXPECT_TRUE(banks.wrote(META));
+    EXPECT_TRUE(banks.wrote(BIM));
+    EXPECT_TRUE(banks.wrote(G0));
+    EXPECT_TRUE(banks.wrote(G1));
+}
+
+TEST(TotalUpdate, AlwaysWritesAllPredictionBanks)
+{
+    MockBanks banks;
+    banks.preds[BIM] = banks.preds[G0] = banks.preds[G1] = true;
+    banks.preds[META] = true;
+    const GskewLookup look = lookupFor(banks);
+    gskewTotalUpdate(banks, look, true);
+    EXPECT_TRUE(banks.wrote(BIM));
+    EXPECT_TRUE(banks.wrote(G0));
+    EXPECT_TRUE(banks.wrote(G1));
+    EXPECT_FALSE(banks.wrote(META)) << "agreeing components: no signal";
+}
+
+TEST(TotalUpdate, TrainsChooserWhenComponentsDiffer)
+{
+    MockBanks banks;
+    banks.preds[BIM] = false;
+    banks.preds[G0] = true;
+    banks.preds[G1] = true;
+    banks.preds[META] = false;
+    const GskewLookup look = lookupFor(banks);
+    gskewTotalUpdate(banks, look, true);
+    EXPECT_TRUE(banks.wrote(META));
+}
+
+} // namespace
+} // namespace ev8

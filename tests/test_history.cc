@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for the history shift registers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/history.hh"
+
+namespace ev8
+{
+namespace
+{
+
+TEST(HistoryRegister, PushShiftsMostRecentIntoBitZero)
+{
+    HistoryRegister h;
+    h.push(true);
+    h.push(false);
+    h.push(true);
+    // Sequence (oldest..newest) = 1, 0, 1 -> register 0b101.
+    EXPECT_EQ(h.raw(), 0b101u);
+    EXPECT_TRUE(h.get(0));
+    EXPECT_FALSE(h.get(1));
+    EXPECT_TRUE(h.get(2));
+}
+
+TEST(HistoryRegister, LowMasksToLength)
+{
+    HistoryRegister h;
+    for (int i = 0; i < 10; ++i)
+        h.push(true);
+    EXPECT_EQ(h.low(4), 0xfu);
+    EXPECT_EQ(h.low(10), 0x3ffu);
+    EXPECT_EQ(h.low(64), h.raw());
+}
+
+TEST(HistoryRegister, OldBitsFallOffAfter64)
+{
+    HistoryRegister h;
+    h.push(true);
+    for (int i = 0; i < 64; ++i)
+        h.push(false);
+    EXPECT_EQ(h.raw(), 0u);
+}
+
+TEST(HistoryRegister, ClearAndSetRaw)
+{
+    HistoryRegister h;
+    h.setRaw(0xdead);
+    EXPECT_EQ(h.raw(), 0xdeadu);
+    h.clear();
+    EXPECT_EQ(h.raw(), 0u);
+}
+
+TEST(HistoryView, DefaultsAreZero)
+{
+    HistoryView v;
+    EXPECT_EQ(v.ghist, 0u);
+    EXPECT_EQ(v.indexHist, 0u);
+    EXPECT_EQ(v.pathZ, 0u);
+    EXPECT_EQ(v.pathY, 0u);
+    EXPECT_EQ(v.pathX, 0u);
+}
+
+} // namespace
+} // namespace ev8

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * End-to-end integration tests: small-scale versions of the paper's
+ * qualitative claims. These use reduced trace lengths so they stay fast;
+ * the full-scale reproductions live in bench/.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ev8_predictor.hh"
+#include "predictors/bimodal.hh"
+#include "predictors/factory.hh"
+#include "predictors/twobcgskew.hh"
+#include "sim/suite_runner.hh"
+
+namespace ev8
+{
+namespace
+{
+
+/** Shared runner so the traces are generated once for the whole file. */
+SuiteRunner &
+runner()
+{
+    static SuiteRunner instance(120000);
+    return instance;
+}
+
+double
+avgMispKI(const PredictorFactory &factory, const SimConfig &config)
+{
+    return SuiteRunner::averageMispKI(runner().run(factory, config));
+}
+
+TEST(Integration, Ev8BeatsBimodalEverywhere)
+{
+    const auto ev8 = runner().run(
+        [] { return std::make_unique<Ev8Predictor>(); }, SimConfig::ev8());
+    const auto bim = runner().run(
+        [] { return std::make_unique<BimodalPredictor>(14); },
+        SimConfig::ghist());
+    for (size_t i = 0; i < ev8.size(); ++i) {
+        EXPECT_LT(ev8[i].sim.stats.mispKI(), bim[i].sim.stats.mispKI())
+            << ev8[i].bench;
+    }
+}
+
+TEST(Integration, DealiasedSchemesBeatGshareAtSmallerBudget)
+{
+    // Fig. 5's core finding: 2Bc-gskew at 256-512 Kbits outperforms a
+    // 2 Mbit gshare.
+    const double gshare = avgMispKI([] { return makeGshare2M(); },
+                                    SimConfig::ghist());
+    const double gskew512 = avgMispKI([] { return make2BcGskew512K(); },
+                                      SimConfig::ghist());
+    EXPECT_LT(gskew512, gshare);
+}
+
+TEST(Integration, VariableHistoryLengthsBeatUniformLog2Size)
+{
+    // Figs. 5/6 + Section 4.5: per-table history lengths, with G1's
+    // history longer than log2 of the table size, beat the conventional
+    // uniform log2(size) choice. (The full-scale best-length sweep is
+    // bench_fig6_history_length; at this reduced scale we compare the
+    // Table 1 style lengths against uniform 16.)
+    const double uniform_log2 = avgMispKI(
+        [] { return makePredictor("2bcgskew:16:0:16:16:16"); },
+        SimConfig::ghist());
+    const double variable = avgMispKI(
+        [] { return makePredictor("2bcgskew:16:0:13:15:21"); },
+        SimConfig::ghist());
+    EXPECT_LT(variable, uniform_log2);
+}
+
+TEST(Integration, Ev8InfoVectorCloseToConventionalHistory)
+{
+    // Fig. 7's bottom line: the constrained EV8 information vector
+    // achieves approximately the accuracy of unconstrained conventional
+    // history (we allow 30% slack at this reduced scale).
+    const double ghist = avgMispKI([] { return make2BcGskew512K(); },
+                                   SimConfig::ghist());
+    const double ev8 = avgMispKI(
+        [] { return std::make_unique<Ev8Predictor>(); }, SimConfig::ev8());
+    EXPECT_LT(ev8, ghist * 1.3);
+}
+
+TEST(Integration, PathInformationRecoversAgingLoss)
+{
+    // Fig. 7: three-blocks-old lghist alone degrades accuracy; path
+    // information recovers most of the loss. Compare the generic
+    // predictor without path info against the same with path info,
+    // both on aged lghist.
+    SimConfig aged;
+    aged.history = HistoryMode::LghistPath;
+    aged.historyAge = 3;
+
+    auto cfg = TwoBcGskewConfig::ev8Size();
+    cfg.usePathInfo = false;
+    const double without = avgMispKI(
+        [&] { return std::make_unique<TwoBcGskewPredictor>(cfg); }, aged);
+    cfg.usePathInfo = true;
+    const double with_path = avgMispKI(
+        [&] { return std::make_unique<TwoBcGskewPredictor>(cfg); }, aged);
+    EXPECT_LT(with_path, without);
+}
+
+TEST(Integration, SmallBimCostsNothing)
+{
+    // Fig. 8: shrinking BIM from 64K to 16K entries has no impact for
+    // the large predictor (the bimodal table is sparsely used).
+    const double full = avgMispKI([] { return make2BcGskew512K(); },
+                                  SimConfig::ghist());
+    const double small_bim = avgMispKI(
+        [] {
+            TwoBcGskewConfig cfg =
+                TwoBcGskewConfig::symmetric(16, 0, 17, 20, 27, "smallBIM");
+            cfg.tables[BIM].log2Pred = 14;
+            cfg.tables[BIM].log2Hyst = 14;
+            return std::make_unique<TwoBcGskewPredictor>(cfg);
+        },
+        SimConfig::ghist());
+    EXPECT_LT(small_bim, full * 1.06);
+}
+
+TEST(Integration, HalfHysteresisNearlyFree)
+{
+    // Fig. 8: half-size hysteresis on G0 and Meta is barely noticeable.
+    const double full = avgMispKI(
+        [] {
+            TwoBcGskewConfig cfg =
+                TwoBcGskewConfig::symmetric(16, 4, 13, 15, 21, "full");
+            cfg.tables[BIM].log2Pred = 14;
+            cfg.tables[BIM].log2Hyst = 14;
+            return std::make_unique<TwoBcGskewPredictor>(cfg);
+        },
+        SimConfig::ghist());
+    const double half = avgMispKI(
+        [] {
+            auto cfg = TwoBcGskewConfig::ev8Size();
+            cfg.usePathInfo = false;
+            return std::make_unique<TwoBcGskewPredictor>(cfg);
+        },
+        SimConfig::ghist());
+    EXPECT_LT(half, full * 1.10);
+}
+
+TEST(Integration, HardwareEv8WithinReachOfUnconstrainedSameGeometry)
+{
+    // Fig. 9's bottom line: the constrained index functions do not
+    // compromise accuracy relative to a complete hash of the same
+    // information vector.
+    const double complete_hash = avgMispKI(
+        [] { return make2BcGskewEv8Size(); }, SimConfig::ev8());
+    const double constrained = avgMispKI(
+        [] { return std::make_unique<Ev8Predictor>(); }, SimConfig::ev8());
+    EXPECT_LT(constrained, complete_hash * 1.15);
+}
+
+TEST(Integration, AddressOnlyWordlineHurts)
+{
+    // Fig. 9: a pure-PC shared index restricts the distribution and
+    // loses accuracy against the EV8's history-mixed wordline.
+    const double ev8 = avgMispKI(
+        [] { return std::make_unique<Ev8Predictor>(); }, SimConfig::ev8());
+    Ev8Config addr_cfg;
+    addr_cfg.wordline = WordlineMode::AddressOnly;
+    const double addr_only = avgMispKI(
+        [&] { return std::make_unique<Ev8Predictor>(addr_cfg); },
+        SimConfig::ev8());
+    EXPECT_LT(ev8, addr_only);
+}
+
+TEST(Integration, PartialUpdateBeatsTotalUpdate)
+{
+    // Section 4.2: partial update improves accuracy.
+    const double partial = avgMispKI(
+        [] { return std::make_unique<Ev8Predictor>(); }, SimConfig::ev8());
+    Ev8Config total_cfg;
+    total_cfg.partialUpdate = false;
+    const double total = avgMispKI(
+        [&] { return std::make_unique<Ev8Predictor>(total_cfg); },
+        SimConfig::ev8());
+    EXPECT_LT(partial, total);
+}
+
+TEST(Integration, GoIsTheHardestBenchmark)
+{
+    const auto rows = runner().run(
+        [] { return std::make_unique<Ev8Predictor>(); }, SimConfig::ev8());
+    double go = 0, worst_other = 0;
+    for (const auto &r : rows) {
+        if (r.bench == "go")
+            go = r.sim.stats.mispKI();
+        else
+            worst_other = std::max(worst_other, r.sim.stats.mispKI());
+    }
+    EXPECT_GT(go, worst_other);
+}
+
+} // namespace
+} // namespace ev8

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for lghist (block-compressed history, Section 5.1) and the
+ * N-fetch-blocks-old delayed view.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/random.hh"
+#include "frontend/lghist.hh"
+
+namespace ev8
+{
+namespace
+{
+
+FetchBlock
+blockWithLastBranch(uint64_t branch_pc, bool taken)
+{
+    FetchBlock b;
+    b.address = branch_pc & ~uint64_t{31};
+    b.endPc = b.address + 32;
+    b.addBranch(branch_pc, taken);
+    return b;
+}
+
+TEST(Lghist, BitIsOutcomeXorPcBit4)
+{
+    // pc bit 4 set: outcome is inverted in the history bit.
+    FetchBlock b = blockWithLastBranch(0x1010, true);
+    EXPECT_FALSE(LghistTracker::blockBit(b, /*include_path=*/true));
+    EXPECT_TRUE(LghistTracker::blockBit(b, /*include_path=*/false));
+
+    // pc bit 4 clear: outcome passes through.
+    FetchBlock c = blockWithLastBranch(0x1000, true);
+    EXPECT_TRUE(LghistTracker::blockBit(c, true));
+    EXPECT_TRUE(LghistTracker::blockBit(c, false));
+}
+
+TEST(Lghist, UsesLastConditionalBranchOfBlock)
+{
+    FetchBlock b;
+    b.address = 0x1000;
+    b.endPc = 0x1020;
+    b.addBranch(0x1000, false);
+    b.addBranch(0x1008, true); // last branch decides
+    EXPECT_TRUE(LghistTracker::blockBit(b, false));
+}
+
+TEST(Lghist, BranchlessBlockInsertsNothing)
+{
+    LghistTracker tracker(true);
+    FetchBlock empty;
+    empty.address = 0x1000;
+    empty.endPc = 0x1020;
+    EXPECT_FALSE(tracker.onBlock(empty));
+    EXPECT_EQ(tracker.bitsInserted(), 0u);
+    EXPECT_EQ(tracker.value(), 0u);
+}
+
+TEST(Lghist, OneBitPerBranchyBlock)
+{
+    LghistTracker tracker(false);
+    tracker.onBlock(blockWithLastBranch(0x1000, true));
+    tracker.onBlock(blockWithLastBranch(0x2000, false));
+    tracker.onBlock(blockWithLastBranch(0x3000, true));
+    EXPECT_EQ(tracker.bitsInserted(), 3u);
+    // Sequence T, NT, T -> register 0b101 (most recent in bit 0).
+    EXPECT_EQ(tracker.value(), 0b101u);
+}
+
+TEST(Lghist, ClearResets)
+{
+    LghistTracker tracker(true);
+    tracker.onBlock(blockWithLastBranch(0x1000, true));
+    tracker.clear();
+    EXPECT_EQ(tracker.value(), 0u);
+    EXPECT_EQ(tracker.bitsInserted(), 0u);
+}
+
+TEST(DelayedHistory, AgeZeroSeesLatest)
+{
+    DelayedHistory d(0);
+    EXPECT_EQ(d.view(), 0u);
+    d.advance(11);
+    EXPECT_EQ(d.view(), 11u);
+    d.advance(22);
+    EXPECT_EQ(d.view(), 22u);
+}
+
+TEST(DelayedHistory, AgeThreeSkipsThreeBlocks)
+{
+    DelayedHistory d(3);
+    // Predicting block t must see the register as of block t-4
+    // (Section 5.1: blocks t-1, t-2, t-3 are still in flight).
+    std::deque<uint64_t> posts;
+    for (uint64_t t = 0; t < 50; ++t) {
+        const uint64_t expected =
+            t >= 4 ? posts[posts.size() - 4] : 0;
+        EXPECT_EQ(d.view(), expected) << "block " << t;
+        const uint64_t post = (t + 1) * 100;
+        d.advance(post);
+        posts.push_back(post);
+    }
+}
+
+class DelayedHistoryAges : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DelayedHistoryAges, MatchesReferenceDeque)
+{
+    const unsigned age = GetParam();
+    DelayedHistory d(age);
+    Rng rng(123 + age);
+    std::deque<uint64_t> posts;
+    for (int t = 0; t < 500; ++t) {
+        uint64_t expected = 0;
+        if (posts.size() >= age + 1)
+            expected = posts[posts.size() - (age + 1)];
+        ASSERT_EQ(d.view(), expected) << "age=" << age << " t=" << t;
+        const uint64_t post = rng.next();
+        d.advance(post);
+        posts.push_back(post);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ages, DelayedHistoryAges,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u, 7u));
+
+TEST(DelayedHistory, ClearRestartsCold)
+{
+    DelayedHistory d(2);
+    d.advance(1);
+    d.advance(2);
+    d.advance(3);
+    d.clear();
+    EXPECT_EQ(d.view(), 0u);
+}
+
+} // namespace
+} // namespace ev8

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the coarse front-end timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/pipeline.hh"
+
+namespace ev8
+{
+namespace
+{
+
+FetchBlock
+block(uint64_t address, unsigned instrs, uint64_t next, bool taken_end)
+{
+    FetchBlock b;
+    b.address = address;
+    b.endPc = address + instrs * kInstrBytes;
+    b.endsTaken = taken_end;
+    b.takenTarget = taken_end ? next : 0;
+    return b;
+}
+
+TEST(FrontEndPipeline, TwoBlocksPerCycle)
+{
+    FrontEndPipeline fe(8);
+    // Sequential full rows: the line predictor's cold fallback predicts
+    // sequential, so there are no line mispredicts.
+    for (int i = 0; i < 10; ++i)
+        fe.onBlock(block(0x1000 + i * 32, 8, 0, false), false);
+    EXPECT_EQ(fe.stats().blocks, 10u);
+    EXPECT_EQ(fe.stats().instructions, 80u);
+    EXPECT_EQ(fe.stats().lineMispredicts, 0u);
+    EXPECT_EQ(fe.stats().cycles, 5u);
+    EXPECT_DOUBLE_EQ(fe.stats().fetchIpc(), 16.0);
+}
+
+TEST(FrontEndPipeline, LineMispredictCostsBubble)
+{
+    FrontEndPipeline fe(8, /*line penalty*/ 2, /*branch penalty*/ 14);
+    fe.onBlock(block(0x1000, 8, 0, false), false);
+    // Taken jump the cold line predictor cannot know about.
+    fe.onBlock(block(0x1020, 8, 0x9000, true), false);
+    fe.onBlock(block(0x9000, 8, 0, false), false); // line mispredict here
+    const auto &s = fe.stats();
+    EXPECT_EQ(s.lineMispredicts, 1u);
+    // 2 cycles of fetch (blocks 1+2, then block 3 after redirect
+    // restarts the pair) + 2 bubble cycles.
+    EXPECT_EQ(s.cycles, 2u + 2u);
+}
+
+TEST(FrontEndPipeline, BranchMispredictDominates)
+{
+    FrontEndPipeline fe(8, 2, 14);
+    fe.onBlock(block(0x1000, 8, 0, false), true);
+    EXPECT_EQ(fe.stats().branchMispredicts, 1u);
+    EXPECT_EQ(fe.stats().cycles, 1u + 14u);
+}
+
+TEST(FrontEndPipeline, LinePredictorLearnsStableFlow)
+{
+    FrontEndPipeline fe(10);
+    // A stable 2-block loop: after one cold pass the line predictor
+    // should be perfect.
+    for (int iter = 0; iter < 50; ++iter) {
+        fe.onBlock(block(0x1000, 8, 0x5000, true), false);
+        fe.onBlock(block(0x5000, 4, 0x1000, true), false);
+    }
+    // Only the first transitions are cold.
+    EXPECT_LE(fe.stats().lineMispredicts, 3u);
+    EXPECT_GT(fe.stats().lineAccuracy(), 0.95);
+}
+
+TEST(FrontEndPipeline, ClearResets)
+{
+    FrontEndPipeline fe(8);
+    fe.onBlock(block(0x1000, 8, 0, false), true);
+    fe.clear();
+    EXPECT_EQ(fe.stats().blocks, 0u);
+    EXPECT_EQ(fe.stats().cycles, 0u);
+}
+
+} // namespace
+} // namespace ev8

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Exhaustive invariant checks of the Section 4.2 partial-update policy
+ * over ALL 256 combinations of (prediction, hysteresis) states of the
+ * four tables, for both outcomes: 512 scenarios, each verified against
+ * the properties the paper's rationales imply.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/gskew_policy.hh"
+#include "predictors/tables.hh"
+
+namespace ev8
+{
+namespace
+{
+
+/** Four single-entry banks so states can be enumerated exhaustively. */
+struct TinyBanks
+{
+    std::array<SplitCounterArray, kNumTables> arrays{
+        SplitCounterArray(1, 1), SplitCounterArray(1, 1),
+        SplitCounterArray(1, 1), SplitCounterArray(1, 1)};
+
+    bool taken(TableId t, size_t i) const { return arrays[t].taken(i); }
+    void strengthen(TableId t, size_t i) { arrays[t].strengthen(i); }
+    void update(TableId t, size_t i, bool v) { arrays[t].update(i, v); }
+
+    void
+    setState(unsigned code)
+    {
+        // 2 bits per table: (prediction, hysteresis).
+        for (unsigned t = 0; t < kNumTables; ++t) {
+            arrays[t].setRaw(0, (code >> (2 * t)) & 1,
+                             (code >> (2 * t + 1)) & 1);
+        }
+    }
+
+    bool pred(TableId t) const { return arrays[t].taken(0); }
+};
+
+GskewLookup
+lookupOf(const TinyBanks &banks)
+{
+    GskewLookup look;
+    look.idx = {0, 0, 0, 0};
+    computeGskewVotes(banks, look);
+    return look;
+}
+
+class PolicyExhaustive : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(PolicyExhaustive, CorrectPredictionNeverTouchesPredictionBits)
+{
+    // Under partial update, a correct prediction writes only hysteresis
+    // (that is what allows the physically split arrays of Section 4.3).
+    const bool taken = GetParam();
+    for (unsigned code = 0; code < 256; ++code) {
+        TinyBanks banks;
+        banks.setState(code);
+        const GskewLookup look = lookupOf(banks);
+        if (look.overall != taken)
+            continue;
+        const bool before[3] = {banks.pred(BIM), banks.pred(G0),
+                                banks.pred(G1)};
+        const bool meta_before = banks.pred(META);
+        gskewPartialUpdate(banks, look, taken);
+        EXPECT_EQ(banks.pred(BIM), before[0]) << "state " << code;
+        EXPECT_EQ(banks.pred(G0), before[1]) << "state " << code;
+        EXPECT_EQ(banks.pred(G1), before[2]) << "state " << code;
+        EXPECT_EQ(banks.pred(META), meta_before) << "state " << code;
+    }
+}
+
+TEST_P(PolicyExhaustive, AllAgreeingCorrectLeavesEverythingUntouched)
+{
+    // Rationale 1, over every state where it applies.
+    const bool taken = GetParam();
+    for (unsigned code = 0; code < 256; ++code) {
+        TinyBanks banks;
+        banks.setState(code);
+        const GskewLookup look = lookupOf(banks);
+        if (look.overall != taken)
+            continue;
+        if (!(look.bimPred == look.g0Pred && look.g0Pred == look.g1Pred))
+            continue;
+        TinyBanks reference;
+        reference.setState(code);
+        gskewPartialUpdate(banks, look, taken);
+        for (unsigned t = 0; t < kNumTables; ++t) {
+            EXPECT_EQ(banks.arrays[t].rawPred(0),
+                      reference.arrays[t].rawPred(0))
+                << "state " << code;
+            EXPECT_EQ(banks.arrays[t].rawHyst(0),
+                      reference.arrays[t].rawHyst(0))
+                << "state " << code;
+        }
+    }
+}
+
+TEST_P(PolicyExhaustive, PredictionBitsNeverFlipAwayFromOutcome)
+{
+    // Every prediction-bank write moves toward the outcome: a bank that
+    // already predicted the outcome may never be flipped off it.
+    const bool taken = GetParam();
+    for (unsigned code = 0; code < 256; ++code) {
+        TinyBanks banks;
+        banks.setState(code);
+        const GskewLookup look = lookupOf(banks);
+        const bool agreed[3] = {banks.pred(BIM) == taken,
+                                banks.pred(G0) == taken,
+                                banks.pred(G1) == taken};
+        gskewPartialUpdate(banks, look, taken);
+        const TableId tables[3] = {BIM, G0, G1};
+        for (int i = 0; i < 3; ++i) {
+            if (agreed[i]) {
+                EXPECT_EQ(banks.pred(tables[i]), taken)
+                    << "state " << code << " table " << tables[i];
+            }
+        }
+    }
+}
+
+TEST_P(PolicyExhaustive, RepeatedOutcomeConverges)
+{
+    // Feeding the same outcome repeatedly must reach a fixed point that
+    // predicts that outcome, from any start state, within 4 rounds.
+    const bool taken = GetParam();
+    for (unsigned code = 0; code < 256; ++code) {
+        TinyBanks banks;
+        banks.setState(code);
+        for (int round = 0; round < 4; ++round) {
+            const GskewLookup look = lookupOf(banks);
+            gskewPartialUpdate(banks, look, taken);
+        }
+        EXPECT_EQ(lookupOf(banks).overall, taken) << "state " << code;
+        // And a genuine fixed point: one more round changes nothing.
+        TinyBanks reference = banks;
+        gskewPartialUpdate(banks, lookupOf(banks), taken);
+        for (unsigned t = 0; t < kNumTables; ++t) {
+            EXPECT_EQ(banks.arrays[t].rawPred(0),
+                      reference.arrays[t].rawPred(0));
+        }
+    }
+}
+
+TEST_P(PolicyExhaustive, TotalUpdateAlwaysMovesPredictionBanksToOutcome)
+{
+    const bool taken = GetParam();
+    for (unsigned code = 0; code < 256; ++code) {
+        TinyBanks banks;
+        banks.setState(code);
+        gskewTotalUpdate(banks, lookupOf(banks), taken);
+        gskewTotalUpdate(banks, lookupOf(banks), taken);
+        // Two total updates saturate every bank toward the outcome.
+        EXPECT_EQ(banks.pred(BIM), taken) << "state " << code;
+        EXPECT_EQ(banks.pred(G0), taken) << "state " << code;
+        EXPECT_EQ(banks.pred(G1), taken) << "state " << code;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothOutcomes, PolicyExhaustive,
+                         ::testing::Bool());
+
+} // namespace
+} // namespace ev8

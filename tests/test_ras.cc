@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the return-address stack (Section 2 front end).
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/ras.hh"
+#include "trace/branch_record.hh"
+#include "workloads/synthetic_program.hh"
+
+namespace ev8
+{
+namespace
+{
+
+TEST(ReturnAddressStack, PushPopPairsPredictPerfectly)
+{
+    ReturnAddressStack ras(8);
+    ras.pushCall(0x1000);
+    ras.pushCall(0x2000);
+    EXPECT_EQ(ras.popReturn(), 0x2004u);
+    EXPECT_EQ(ras.popReturn(), 0x1004u);
+}
+
+TEST(ReturnAddressStack, UnderflowReturnsNoPrediction)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.popReturn(), 0u);
+    ras.pushCall(0x1000);
+    ras.popReturn();
+    EXPECT_EQ(ras.popReturn(), 0u);
+}
+
+TEST(ReturnAddressStack, OverflowWrapsAndLosesOldest)
+{
+    ReturnAddressStack ras(2);
+    ras.pushCall(0x1000);
+    ras.pushCall(0x2000);
+    ras.pushCall(0x3000); // overwrites the 0x1000 entry
+    EXPECT_EQ(ras.popReturn(), 0x3004u);
+    EXPECT_EQ(ras.popReturn(), 0x2004u);
+    // The wrapped slot now replays stale data -- realistic hardware.
+    EXPECT_EQ(ras.occupancy(), 0u);
+}
+
+TEST(ReturnAddressStack, OccupancySaturates)
+{
+    ReturnAddressStack ras(3);
+    for (int i = 0; i < 10; ++i)
+        ras.pushCall(0x1000 + i * 0x100);
+    EXPECT_EQ(ras.occupancy(), 3u);
+}
+
+TEST(ReturnAddressStack, StatsTrackMispredicts)
+{
+    ReturnAddressStack ras(4);
+    ras.recordOutcome(0x1004, 0x1004);
+    ras.recordOutcome(0x1004, 0x2004);
+    EXPECT_EQ(ras.returnsSeen(), 2u);
+    EXPECT_EQ(ras.mispredicts(), 1u);
+    EXPECT_DOUBLE_EQ(ras.accuracy(), 0.5);
+}
+
+TEST(ReturnAddressStack, ClearResets)
+{
+    ReturnAddressStack ras(4);
+    ras.pushCall(0x1000);
+    ras.recordOutcome(1, 2);
+    ras.clear();
+    EXPECT_EQ(ras.occupancy(), 0u);
+    EXPECT_EQ(ras.returnsSeen(), 0u);
+    EXPECT_EQ(ras.popReturn(), 0u);
+}
+
+TEST(ReturnAddressStack, PerfectOnSyntheticProgramCallDepth)
+{
+    // Our programs bound call depth by the function count; a deep
+    // enough RAS must predict every return exactly.
+    WorkloadProfile p;
+    p.name = "ras";
+    p.seed = 42;
+    p.shape.numFunctions = 6;
+    p.shape.minBlocksPerFunction = 6;
+    p.shape.maxBlocksPerFunction = 14;
+    p.shape.callFraction = 0.2;
+    p.mix.biased = 1.0;
+    const Trace trace = generateTrace(p, 20000);
+
+    ReturnAddressStack ras(16);
+    for (const auto &rec : trace.records()) {
+        if (rec.type == BranchType::Call
+            || rec.type == BranchType::Indirect) {
+            ras.pushCall(rec.pc);
+        } else if (rec.type == BranchType::Return) {
+            ras.recordOutcome(ras.popReturn(), rec.target);
+        }
+    }
+    EXPECT_GT(ras.returnsSeen(), 100u);
+    EXPECT_EQ(ras.mispredicts(), 0u)
+        << "bounded call depth must fit a 16-deep RAS";
+}
+
+} // namespace
+} // namespace ev8

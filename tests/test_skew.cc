@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the skewed-indexing hash family ([17] style): index range,
+ * sensitivity to every information bit, and the inter-bank dispersion
+ * property that makes skewed predictors work.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bits.hh"
+#include "common/random.hh"
+#include "predictors/skew.hh"
+
+namespace ev8
+{
+namespace
+{
+
+TEST(Skew, IndicesStayInRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t addr = rng.next();
+        const uint64_t hist = rng.next();
+        for (unsigned t = 0; t < 4; ++t) {
+            for (unsigned n : {10u, 14u, 16u, 20u}) {
+                EXPECT_EQ(skewIndex(t, addr, hist, 21, n) & ~mask(n), 0u);
+            }
+        }
+    }
+}
+
+TEST(Skew, HistoryLengthZeroIgnoresHistory)
+{
+    EXPECT_EQ(skewIndex(1, 0x4000, 0xdead, 0, 14),
+              skewIndex(1, 0x4000, 0xbeef, 0, 14));
+}
+
+TEST(Skew, SingleHistoryBitAlwaysMovesIndex)
+{
+    // xorFold linearity guarantees any single history-bit flip changes
+    // the index -- the de-aliasing property for close histories.
+    Rng rng(2);
+    const unsigned n = 14;
+    for (int trial = 0; trial < 200; ++trial) {
+        const uint64_t addr = rng.next() & mask(30);
+        const uint64_t hist = rng.next() & mask(21);
+        for (unsigned b = 0; b < 21; ++b) {
+            for (unsigned t = 1; t <= 3; ++t) {
+                EXPECT_NE(skewIndex(t, addr, hist, 21, n),
+                          skewIndex(t, addr, hist ^ (1ull << b), 21, n))
+                    << "table " << t << " bit " << b;
+            }
+        }
+    }
+}
+
+TEST(Skew, TablesDisagreeOnIndices)
+{
+    // Different tables use different bijections; for random inputs they
+    // should rarely produce the same index.
+    Rng rng(3);
+    int same01 = 0, same12 = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+        const uint64_t addr = rng.next();
+        const uint64_t hist = rng.next();
+        same01 += skewIndex(1, addr, hist, 21, 14)
+            == skewIndex(2, addr, hist, 21, 14);
+        same12 += skewIndex(2, addr, hist, 21, 14)
+            == skewIndex(3, addr, hist, 21, 14);
+    }
+    // Expected collision rate ~ 1/2^14.
+    EXPECT_LT(same01, 5);
+    EXPECT_LT(same12, 5);
+}
+
+TEST(Skew, InterBankDispersion)
+{
+    // The skewed-cache property: pairs of inputs that collide in one
+    // table should mostly NOT collide in the others ([17], and the
+    // index-function principle 3 of Section 7.5).
+    Rng rng(4);
+    const unsigned n = 10; // small tables to force collisions
+    std::map<uint64_t, std::pair<uint64_t, uint64_t>> first_in_t1;
+    int collisions_t1 = 0, also_t2 = 0;
+    for (int i = 0; i < 40000; ++i) {
+        const uint64_t addr = rng.next() & mask(24);
+        const uint64_t hist = rng.next() & mask(16);
+        const uint64_t i1 = skewIndex(1, addr, hist, 16, n);
+        auto [it, fresh] = first_in_t1.try_emplace(i1,
+                                                   std::make_pair(addr,
+                                                                  hist));
+        if (fresh)
+            continue;
+        const auto [a0, h0] = it->second;
+        if (a0 == addr && h0 == hist)
+            continue;
+        ++collisions_t1;
+        if (skewIndex(2, a0, h0, 16, n)
+            == skewIndex(2, addr, hist, 16, n))
+            ++also_t2;
+    }
+    ASSERT_GT(collisions_t1, 1000) << "test needs collisions to matter";
+    // Far fewer double collisions than single ones.
+    EXPECT_LT(also_t2 * 20, collisions_t1);
+}
+
+TEST(Skew, AddressIndexFoldsHighBits)
+{
+    EXPECT_EQ(addressIndex(0x1000, 14), (0x1000u >> 2) & mask(14));
+    // Addresses differing only above the fold width still separate.
+    EXPECT_NE(addressIndex(0x1000, 10), addressIndex(0x1000 + (1 << 14),
+                                                     10));
+}
+
+TEST(Skew, SlicesCoverBothComponents)
+{
+    const SkewSlices s = makeSkewSlices(0xabcd00, 0x1f2f3f, 22, 16);
+    EXPECT_NE(s.v1, 0u);
+    EXPECT_NE(s.v2, 0u);
+    EXPECT_EQ(s.v1 & ~mask(16), 0u);
+    EXPECT_EQ(s.v2 & ~mask(16), 0u);
+}
+
+} // namespace
+} // namespace ev8

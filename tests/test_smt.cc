@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the SMT simulation layer (Section 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ev8_predictor.hh"
+#include "predictors/factory.hh"
+#include "sim/smt.hh"
+#include "workloads/suite.hh"
+
+namespace ev8
+{
+namespace
+{
+
+Trace
+traceOf(const char *name, uint64_t branches)
+{
+    return generateTrace(findBenchmark(name).profile, branches);
+}
+
+TEST(Smt, SingleThreadMatchesPlainSimulator)
+{
+    // One SMT "thread" must be bit-identical to simulateTrace.
+    const Trace t = traceOf("perl", 30000);
+    SmtConfig cfg;
+    cfg.sim = SimConfig::ev8();
+
+    Ev8Predictor smt_pred;
+    const auto smt = simulateSmt({&t}, smt_pred, cfg);
+
+    Ev8Predictor plain_pred;
+    const SimResult plain = simulateTrace(t, plain_pred, cfg.sim);
+
+    ASSERT_EQ(smt.size(), 1u);
+    EXPECT_EQ(smt[0].sim.stats.mispredictions(),
+              plain.stats.mispredictions());
+    EXPECT_EQ(smt[0].sim.condBranches, plain.condBranches);
+    EXPECT_EQ(smt[0].sim.lghistBits, plain.lghistBits);
+    EXPECT_EQ(smt[0].sim.fetchBlocks, plain.fetchBlocks);
+}
+
+TEST(Smt, EveryThreadRunsToCompletion)
+{
+    const Trace a = traceOf("compress", 20000);
+    const Trace b = traceOf("vortex", 10000);
+    SmtConfig cfg;
+    cfg.sim = SimConfig::ev8();
+    Ev8Predictor p;
+    const auto results = simulateSmt({&a, &b}, p, cfg);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].name, "compress");
+    EXPECT_EQ(results[1].name, "vortex");
+    EXPECT_EQ(results[0].sim.condBranches, 20000u);
+    EXPECT_EQ(results[1].sim.condBranches, 10000u);
+}
+
+TEST(Smt, DeterministicAcrossRuns)
+{
+    const Trace a = traceOf("go", 15000);
+    const Trace b = traceOf("li", 15000);
+    SmtConfig cfg;
+    cfg.sim = SimConfig::ev8();
+    Ev8Predictor p1, p2;
+    const auto r1 = simulateSmt({&a, &b}, p1, cfg);
+    const auto r2 = simulateSmt({&a, &b}, p2, cfg);
+    for (size_t i = 0; i < r1.size(); ++i) {
+        EXPECT_EQ(r1[i].sim.stats.mispredictions(),
+                  r2[i].sim.stats.mispredictions());
+    }
+}
+
+TEST(Smt, SharingTablesDegradesGracefully)
+{
+    // Section 3: independent threads compete for entries; the global
+    // scheme must lose some accuracy but not collapse.
+    const Trace a = traceOf("gcc", 60000);
+    const Trace b = traceOf("go", 60000);
+    SmtConfig cfg;
+    cfg.sim = SimConfig::ev8();
+
+    Ev8Predictor alone_pred;
+    const double alone =
+        simulateTrace(a, alone_pred, cfg.sim).stats.mispKI();
+
+    Ev8Predictor shared_pred;
+    const auto both = simulateSmt({&a, &b}, shared_pred, cfg);
+    const double together = both[0].sim.stats.mispKI();
+
+    EXPECT_GE(together, alone * 0.98) << "sharing cannot help gcc here";
+    EXPECT_LT(together, alone * 2.0) << "degradation must be graceful";
+}
+
+TEST(Smt, PerThreadHistoryBeatsSharedHistory)
+{
+    // The paper's core SMT argument: one history register per thread.
+    const Trace a = traceOf("gcc", 50000);
+    const Trace b = traceOf("go", 50000);
+
+    SmtConfig per_thread;
+    per_thread.sim = SimConfig::ev8();
+    per_thread.perThreadHistory = true;
+
+    SmtConfig shared = per_thread;
+    shared.perThreadHistory = false;
+
+    Ev8Predictor p1;
+    const auto good = simulateSmt({&a, &b}, p1, per_thread);
+    Ev8Predictor p2;
+    const auto bad = simulateSmt({&a, &b}, p2, shared);
+
+    const double good_avg = (good[0].sim.stats.mispKI()
+                             + good[1].sim.stats.mispKI()) / 2;
+    const double bad_avg = (bad[0].sim.stats.mispKI()
+                            + bad[1].sim.stats.mispKI()) / 2;
+    EXPECT_LT(good_avg, bad_avg);
+}
+
+TEST(Smt, WorksWithAnyPredictorScheme)
+{
+    const Trace a = traceOf("perl", 10000);
+    const Trace b = traceOf("li", 10000);
+    SmtConfig cfg;
+    cfg.sim = SimConfig::ghist();
+    auto gshare = makePredictor("gshare:14:12");
+    const auto results = simulateSmt({&a, &b}, *gshare, cfg);
+    EXPECT_EQ(results[0].sim.condBranches, 10000u);
+    EXPECT_EQ(results[1].sim.condBranches, 10000u);
+}
+
+} // namespace
+} // namespace ev8

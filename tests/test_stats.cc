@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for the prediction statistics accumulator (misp/KI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace ev8
+{
+namespace
+{
+
+TEST(PredictionStats, EmptyIsZero)
+{
+    PredictionStats s;
+    EXPECT_EQ(s.lookups(), 0u);
+    EXPECT_EQ(s.mispredictions(), 0u);
+    EXPECT_DOUBLE_EQ(s.mispKI(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mispRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.accuracy(), 1.0);
+}
+
+TEST(PredictionStats, CountsCorrectAndWrong)
+{
+    PredictionStats s;
+    s.record(true, true);   // correct
+    s.record(true, false);  // wrong
+    s.record(false, false); // correct
+    s.record(false, true);  // wrong
+    EXPECT_EQ(s.lookups(), 4u);
+    EXPECT_EQ(s.mispredictions(), 2u);
+    EXPECT_DOUBLE_EQ(s.mispRate(), 0.5);
+}
+
+TEST(PredictionStats, MispKiUsesInstructions)
+{
+    PredictionStats s;
+    s.setInstructions(10000);
+    for (int i = 0; i < 25; ++i)
+        s.record(true, false);
+    // 25 mispredictions per 10K instructions = 2.5 misp/KI.
+    EXPECT_DOUBLE_EQ(s.mispKI(), 2.5);
+}
+
+TEST(PredictionStats, MergeAccumulates)
+{
+    PredictionStats a, b;
+    a.setInstructions(1000);
+    b.setInstructions(3000);
+    a.record(true, false);
+    b.record(true, false);
+    b.record(false, false);
+    a.merge(b);
+    EXPECT_EQ(a.lookups(), 3u);
+    EXPECT_EQ(a.mispredictions(), 2u);
+    EXPECT_EQ(a.instructions(), 4000u);
+    EXPECT_DOUBLE_EQ(a.mispKI(), 0.5);
+}
+
+TEST(PredictionStats, SummaryMentionsNumbers)
+{
+    PredictionStats s;
+    s.setInstructions(1000);
+    s.record(true, false);
+    const std::string text = s.summary();
+    EXPECT_NE(text.find("1 lookups"), std::string::npos) << text;
+    EXPECT_NE(text.find("misp/KI"), std::string::npos) << text;
+}
+
+} // namespace
+} // namespace ev8

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the SPECINT95-like benchmark suite definitions, checking the
+ * Table 2 calibration axes at small scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "workloads/suite.hh"
+
+namespace ev8
+{
+namespace
+{
+
+TEST(Suite, HasTheEightBenchmarksInTable2Order)
+{
+    const auto &suite = specint95Suite();
+    ASSERT_EQ(suite.size(), 8u);
+    const char *expected[] = {"compress", "gcc", "go", "ijpeg",
+                              "li", "m88ksim", "perl", "vortex"};
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(suite[i].profile.name, expected[i]);
+}
+
+TEST(Suite, FindBenchmark)
+{
+    EXPECT_EQ(findBenchmark("gcc").profile.name, "gcc");
+    EXPECT_THROW(findBenchmark("nosuch"), std::out_of_range);
+}
+
+TEST(Suite, DynamicWeightsFollowTable2)
+{
+    // Table 2: li (16254K) has the most dynamic conditional branches,
+    // ijpeg (8894K) the fewest.
+    const auto &suite = specint95Suite();
+    double max_w = 0, min_w = 1e9;
+    std::string max_name, min_name;
+    for (const auto &b : suite) {
+        if (b.dynamicWeight > max_w) {
+            max_w = b.dynamicWeight;
+            max_name = b.profile.name;
+        }
+        if (b.dynamicWeight < min_w) {
+            min_w = b.dynamicWeight;
+            min_name = b.profile.name;
+        }
+    }
+    EXPECT_EQ(max_name, "li");
+    EXPECT_EQ(min_name, "ijpeg");
+    EXPECT_EQ(findBenchmark("gcc").branchesAt(12000), 16035u);
+}
+
+TEST(Suite, StaticFootprintOrderingMatchesTable2)
+{
+    // The CFG footprint ordering must match Table 2's static counts:
+    // gcc >> go > vortex > ijpeg > ... > compress (the tiny one).
+    auto static_count = [](const std::string &name) {
+        return SyntheticProgram(findBenchmark(name).profile)
+            .staticCondBranches();
+    };
+    const size_t gcc = static_count("gcc");
+    const size_t go = static_count("go");
+    const size_t vortex = static_count("vortex");
+    const size_t ijpeg = static_count("ijpeg");
+    const size_t compress = static_count("compress");
+    EXPECT_GT(gcc, go);
+    EXPECT_GT(go, vortex);
+    EXPECT_GT(vortex, ijpeg);
+    EXPECT_GT(ijpeg, compress);
+    EXPECT_LT(compress, 100u);
+    EXPECT_GT(gcc, 8000u);
+}
+
+TEST(Suite, TracesHaveRealisticShape)
+{
+    // Small-scale sanity of the traces the experiments consume.
+    for (const auto &bench : specint95Suite()) {
+        const Trace t = generateTrace(bench.profile, 20000);
+        const TraceStats s = t.stats();
+        EXPECT_EQ(s.dynamicCondBranches, 20000u) << bench.profile.name;
+        // Branch density: SPECINT conditional branches are roughly one
+        // per 5..20 instructions.
+        const double density = double(s.dynamicCondBranches)
+            / double(s.instructions);
+        EXPECT_GT(density, 0.04) << bench.profile.name;
+        EXPECT_LT(density, 0.35) << bench.profile.name;
+        // Optimized-code taken-rate skew (Section 5.1): no benchmark is
+        // overwhelmingly taken.
+        EXPECT_LT(s.takenRate(), 0.80) << bench.profile.name;
+        EXPECT_GT(s.takenRate(), 0.10) << bench.profile.name;
+    }
+}
+
+TEST(Suite, BranchesPerBenchmarkReadsEnv)
+{
+    ASSERT_EQ(setenv("EV8_BRANCHES_PER_BENCH", "12345", 1), 0);
+    EXPECT_EQ(branchesPerBenchmark(), 12345u);
+    ASSERT_EQ(setenv("EV8_BRANCHES_PER_BENCH", "garbage", 1), 0);
+    EXPECT_EQ(branchesPerBenchmark(), 1000000u);
+    ASSERT_EQ(unsetenv("EV8_BRANCHES_PER_BENCH"), 0);
+    EXPECT_EQ(branchesPerBenchmark(), 1000000u);
+}
+
+TEST(Suite, SeedsAreDistinct)
+{
+    const auto &suite = specint95Suite();
+    for (size_t i = 0; i < suite.size(); ++i)
+        for (size_t j = i + 1; j < suite.size(); ++j)
+            EXPECT_NE(suite[i].profile.seed, suite[j].profile.seed);
+}
+
+} // namespace
+} // namespace ev8

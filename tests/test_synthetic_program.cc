@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit and property tests for the synthetic CFG program generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/suite.hh"
+#include "workloads/synthetic_program.hh"
+
+namespace ev8
+{
+namespace
+{
+
+WorkloadProfile
+smallProfile(uint64_t seed = 0xabc)
+{
+    WorkloadProfile p;
+    p.name = "test";
+    p.seed = seed;
+    p.shape.numFunctions = 6;
+    p.shape.minBlocksPerFunction = 8;
+    p.shape.maxBlocksPerFunction = 20;
+    p.mix.biased = 0.5;
+    p.mix.globalCorrelated = 0.3;
+    p.mix.random = 0.2;
+    return p;
+}
+
+TEST(SyntheticProgram, CfgStructureInvariants)
+{
+    SyntheticProgram prog(smallProfile());
+    const auto &blocks = prog.blocks();
+    const auto &entries = prog.functionEntries();
+    ASSERT_EQ(entries.size(), 6u);
+    ASSERT_FALSE(blocks.empty());
+
+    for (size_t f = 0; f < entries.size(); ++f) {
+        const int first = entries[f];
+        const int last = (f + 1 < entries.size()
+                          ? entries[f + 1] : int(blocks.size())) - 1;
+        ASSERT_LE(first, last);
+        // Last block of function 0 jumps back to its entry; all other
+        // functions end in a return.
+        if (f == 0) {
+            EXPECT_EQ(blocks[last].term, TermKind::Jump);
+            EXPECT_EQ(blocks[last].target, entries[0]);
+        } else {
+            EXPECT_EQ(blocks[last].term, TermKind::Return);
+        }
+        // Cond/Jump targets stay within the function.
+        for (int i = first; i <= last; ++i) {
+            const BasicBlock &b = blocks[size_t(i)];
+            if (b.term == TermKind::Cond
+                || (b.term == TermKind::Jump && !(f == 0 && i == last))) {
+                EXPECT_GE(b.target, first);
+                EXPECT_LE(b.target, last);
+                if (b.term == TermKind::Cond) {
+                    EXPECT_NE(b.target, i + 1)
+                        << "taken target equals fall-through";
+                }
+            }
+            if (b.term == TermKind::Cond) {
+                EXPECT_GE(b.behavior, 0);
+            }
+        }
+    }
+}
+
+TEST(SyntheticProgram, CallSetsTargetFunctionEntries)
+{
+    SyntheticProgram prog(smallProfile());
+    const auto &blocks = prog.blocks();
+    std::set<int> entry_set(prog.functionEntries().begin(),
+                            prog.functionEntries().end());
+    for (const auto &b : blocks) {
+        if (b.term != TermKind::Call)
+            continue;
+        ASSERT_GE(b.target, 0);
+        ASSERT_LT(size_t(b.target), prog.callTargetSets().size());
+        const auto &callees = prog.callTargetSets()[size_t(b.target)];
+        ASSERT_FALSE(callees.empty());
+        for (int callee : callees)
+            EXPECT_TRUE(entry_set.count(callee)) << "callee not an entry";
+    }
+}
+
+TEST(SyntheticProgram, AddressesAreMonotoneAndAligned)
+{
+    SyntheticProgram prog(smallProfile());
+    const auto &blocks = prog.blocks();
+    uint64_t prev_end = 0;
+    for (const auto &b : blocks) {
+        EXPECT_EQ(b.pc % kInstrBytes, 0u);
+        EXPECT_GE(b.pc, prev_end);
+        prev_end = b.endPc();
+    }
+    // Function entries are aligned to 32-byte fetch rows.
+    for (int e : prog.functionEntries())
+        EXPECT_EQ(blocks[size_t(e)].pc % 32, 0u);
+}
+
+TEST(SyntheticProgram, RunIsDeterministic)
+{
+    SyntheticProgram prog(smallProfile());
+    const Trace a = prog.run(5000);
+    const Trace b = prog.run(5000);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.records(), b.records());
+}
+
+TEST(SyntheticProgram, DifferentSeedsDiffer)
+{
+    const Trace a = generateTrace(smallProfile(1), 2000);
+    const Trace b = generateTrace(smallProfile(2), 2000);
+    EXPECT_NE(a.records(), b.records());
+}
+
+TEST(SyntheticProgram, TraceIsWellFormed)
+{
+    const Trace t = generateTrace(smallProfile(), 20000);
+    EXPECT_TRUE(t.isWellFormed());
+}
+
+TEST(SyntheticProgram, HitsRequestedBranchCount)
+{
+    const Trace t = generateTrace(smallProfile(), 12345);
+    EXPECT_EQ(t.stats().dynamicCondBranches, 12345u);
+}
+
+TEST(SyntheticProgram, PrefixProperty)
+{
+    // A longer run begins with exactly the records of a shorter run.
+    SyntheticProgram prog(smallProfile());
+    const Trace small = prog.run(1000);
+    const Trace big = prog.run(3000);
+    ASSERT_GE(big.size(), small.size());
+    for (size_t i = 0; i < small.size(); ++i)
+        ASSERT_EQ(big.records()[i], small.records()[i]) << "record " << i;
+}
+
+TEST(SyntheticProgram, CallsAndReturnsBalance)
+{
+    const Trace t = generateTrace(smallProfile(), 30000);
+    int64_t depth = 0;
+    int64_t max_depth = 0;
+    for (const auto &rec : t.records()) {
+        if (rec.type == BranchType::Call
+            || rec.type == BranchType::Indirect)
+            ++depth;
+        else if (rec.type == BranchType::Return)
+            --depth;
+        ASSERT_GE(depth, 0) << "return without call";
+        max_depth = std::max(max_depth, depth);
+    }
+    // Acyclic call graph: depth bounded by the function count.
+    EXPECT_LE(max_depth, 6);
+}
+
+TEST(SyntheticProgram, DispatchSpreadsCoverage)
+{
+    // With dispatch, a long trace must execute branches in many
+    // functions, not just the driver.
+    WorkloadProfile p = smallProfile();
+    p.shape.driverDispatchWidth = 5;
+    p.shape.driverCallFraction = 0.3;
+    SyntheticProgram prog(p);
+    const Trace t = prog.run(50000);
+
+    std::set<size_t> funcs_hit;
+    const auto &entries = prog.functionEntries();
+    const auto &blocks = prog.blocks();
+    for (const auto &rec : t.records()) {
+        if (!rec.isConditional())
+            continue;
+        // Find the function whose block range covers this pc.
+        for (size_t f = 0; f < entries.size(); ++f) {
+            const uint64_t lo = blocks[size_t(entries[f])].pc;
+            const uint64_t hi = f + 1 < entries.size()
+                ? blocks[size_t(entries[f + 1])].pc : ~uint64_t{0};
+            if (rec.pc >= lo && rec.pc < hi) {
+                funcs_hit.insert(f);
+                break;
+            }
+        }
+    }
+    EXPECT_GE(funcs_hit.size(), 4u) << "dispatch failed to spread";
+}
+
+TEST(SyntheticProgram, StaticFootprintScalesWithShape)
+{
+    WorkloadProfile small = smallProfile();
+    WorkloadProfile big = smallProfile();
+    big.shape.numFunctions = 40;
+    EXPECT_GT(SyntheticProgram(big).staticCondBranches(),
+              SyntheticProgram(small).staticCondBranches() * 3);
+}
+
+TEST(GenerateTrace, MatchesProgramRun)
+{
+    const WorkloadProfile p = smallProfile();
+    SyntheticProgram prog(p);
+    EXPECT_EQ(generateTrace(p, 500).records(), prog.run(500).records());
+}
+
+} // namespace
+} // namespace ev8

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the ASCII table / bar chart renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace ev8
+{
+namespace
+{
+
+TEST(Fmt, Precision)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(1.0, 0), "1");
+    EXPECT_EQ(fmt(-2.5, 1), "-2.5");
+}
+
+TEST(TextTable, RendersHeaderRuleAndRows)
+{
+    TextTable t;
+    t.header({"bench", "a", "b"});
+    t.row({"gcc", "1.0", "2.0"});
+    t.row({"go", "10.5", "3.25"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_NE(out.find("gcc"), std::string::npos);
+    EXPECT_NE(out.find("10.5"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t;
+    t.header({"x", "value"});
+    t.row({"longlabel", "1.0"});
+    t.row({"s", "22.0"});
+    const std::string out = t.render();
+    // Each line has the same length (alignment padding).
+    size_t first_len = out.find('\n');
+    size_t pos = 0;
+    int lines = 0;
+    while (pos < out.size()) {
+        size_t next = out.find('\n', pos);
+        if (next == std::string::npos)
+            break;
+        EXPECT_EQ(next - pos, first_len) << "line " << lines;
+        pos = next + 1;
+        ++lines;
+    }
+    EXPECT_GE(lines, 4);
+}
+
+TEST(TextTable, RowValuesFormatsDoubles)
+{
+    TextTable t;
+    t.rowValues("gcc", {1.234, 5.678}, 1);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("1.2"), std::string::npos);
+    EXPECT_NE(out.find("5.7"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsTolerated)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"only-one"});
+    EXPECT_NO_THROW({ auto s = t.render(); (void)s; });
+}
+
+TEST(BarChart, BarsScaleWithValues)
+{
+    const std::string out = renderBarChart("title", {"x", "y"},
+                                           {1.0, 2.0}, 10);
+    // y's bar should be twice as long as x's.
+    const size_t x_line = out.find("x |");
+    const size_t y_line = out.find("y |");
+    ASSERT_NE(x_line, std::string::npos);
+    ASSERT_NE(y_line, std::string::npos);
+    auto count_hashes = [&](size_t from) {
+        size_t n = 0;
+        for (size_t i = out.find('|', from) + 1; out[i] == '#'; ++i)
+            ++n;
+        return n;
+    };
+    EXPECT_EQ(count_hashes(x_line), 5u);
+    EXPECT_EQ(count_hashes(y_line), 10u);
+}
+
+TEST(BarChart, ZeroValuesRenderEmptyBars)
+{
+    const std::string out = renderBarChart("t", {"a"}, {0.0}, 10);
+    EXPECT_NE(out.find("a |"), std::string::npos);
+}
+
+} // namespace
+} // namespace ev8

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the branch-trace container and its derived statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hh"
+
+namespace ev8
+{
+namespace
+{
+
+BranchRecord
+rec(uint64_t pc, uint64_t target, BranchType type, bool taken)
+{
+    BranchRecord r;
+    r.pc = pc;
+    r.target = target;
+    r.type = type;
+    r.taken = taken;
+    return r;
+}
+
+TEST(BranchRecord, NextPcFollowsOutcome)
+{
+    const auto taken = rec(0x100, 0x200, BranchType::Conditional, true);
+    EXPECT_EQ(taken.nextPc(), 0x200u);
+    const auto fallthru = rec(0x100, 0x200, BranchType::Conditional, false);
+    EXPECT_EQ(fallthru.nextPc(), 0x104u);
+}
+
+TEST(BranchRecord, OnlyConditionalIsPredicted)
+{
+    EXPECT_TRUE(rec(0, 0, BranchType::Conditional, true).isConditional());
+    EXPECT_FALSE(rec(0, 0, BranchType::Call, true).isConditional());
+    EXPECT_FALSE(rec(0, 0, BranchType::Return, true).isConditional());
+    EXPECT_FALSE(rec(0, 0, BranchType::Indirect, true).isConditional());
+}
+
+TEST(BranchTypeName, AllNamed)
+{
+    EXPECT_STREQ(branchTypeName(BranchType::Conditional), "cond");
+    EXPECT_STREQ(branchTypeName(BranchType::Unconditional), "uncond");
+    EXPECT_STREQ(branchTypeName(BranchType::Call), "call");
+    EXPECT_STREQ(branchTypeName(BranchType::Return), "return");
+    EXPECT_STREQ(branchTypeName(BranchType::Indirect), "indirect");
+}
+
+TEST(Trace, InstructionCountCoversSequentialRuns)
+{
+    Trace t("t", 0x1000);
+    // 0x1000..0x1008: 3 instructions up to the branch at 0x1008.
+    t.append(rec(0x1008, 0x2000, BranchType::Conditional, true));
+    // From 0x2000, 1 instruction (the branch itself at 0x2000).
+    t.append(rec(0x2000, 0x3000, BranchType::Unconditional, true));
+    EXPECT_EQ(t.instructionCount(), 3u + 1u);
+}
+
+TEST(Trace, EmptyTrace)
+{
+    Trace t("empty", 0x1000);
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.instructionCount(), 0u);
+    const TraceStats s = t.stats();
+    EXPECT_EQ(s.dynamicCondBranches, 0u);
+    EXPECT_EQ(s.instructions, 0u);
+}
+
+TEST(Trace, StatsCountStaticAndDynamic)
+{
+    Trace t("t", 0x1000);
+    t.append(rec(0x1000, 0x2000, BranchType::Conditional, false));
+    t.append(rec(0x1004, 0x2000, BranchType::Conditional, true));
+    t.append(rec(0x2000, 0x1000, BranchType::Unconditional, true));
+    t.append(rec(0x1000, 0x2000, BranchType::Conditional, false));
+    const TraceStats s = t.stats();
+    EXPECT_EQ(s.dynamicCondBranches, 3u);
+    EXPECT_EQ(s.staticCondBranches, 2u); // 0x1000 and 0x1004
+    EXPECT_EQ(s.dynamicBranches, 4u);
+    EXPECT_EQ(s.takenCondBranches, 1u);
+    EXPECT_NEAR(s.takenRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Trace, WellFormedAcceptsValidFlow)
+{
+    Trace t("ok", 0x1000);
+    t.append(rec(0x1008, 0x2000, BranchType::Conditional, false));
+    t.append(rec(0x100c, 0x2000, BranchType::Unconditional, true));
+    t.append(rec(0x2004, 0x1000, BranchType::Return, true));
+    EXPECT_TRUE(t.isWellFormed());
+}
+
+TEST(Trace, WellFormedRejectsBackwardFlow)
+{
+    Trace t("bad", 0x1000);
+    t.append(rec(0x1008, 0x2000, BranchType::Conditional, false));
+    t.append(rec(0x1004, 0x2000, BranchType::Conditional, false));
+    EXPECT_FALSE(t.isWellFormed());
+}
+
+TEST(Trace, WellFormedRejectsMisalignedPc)
+{
+    Trace t("bad", 0x1000);
+    t.append(rec(0x1001, 0x2000, BranchType::Conditional, true));
+    EXPECT_FALSE(t.isWellFormed());
+}
+
+TEST(Trace, WellFormedRejectsNotTakenUnconditional)
+{
+    Trace t("bad", 0x1000);
+    t.append(rec(0x1000, 0x2000, BranchType::Unconditional, false));
+    EXPECT_FALSE(t.isWellFormed());
+}
+
+} // namespace
+} // namespace ev8
