@@ -25,10 +25,12 @@
 using namespace ev8;
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Ablation (Section 6)", "Conflict-free bank-interleaved "
-                                        "predictor access");
+    BenchContext ctx(argc, argv,
+                     "Ablation (Section 6)", "Conflict-free "
+                                             "bank-interleaved predictor "
+                                             "access");
 
     SuiteRunner runner;
     TextTable table;
@@ -65,6 +67,7 @@ main()
             builder.feed(rec, sink);
         builder.flush(sink);
 
+        sched.publishMetrics(ctx.metrics(), "frontend.banks");
         table.row({runner.name(i), std::to_string(blocks),
                    std::to_string(naive_conflicts),
                    fmt(100.0 * double(naive_conflicts) / double(blocks),
@@ -72,6 +75,14 @@ main()
                    std::to_string(ev8_conflicts),
                    fmt(pipeline.stats().lineAccuracy(), 3),
                    fmt(pipeline.stats().fetchIpc(), 2)});
+        ctx.recordRow(runner.name(i), 0,
+                      {"blocks", "naive_conflicts", "naive_pct",
+                       "ev8_conflicts", "line_accuracy", "fetch_ipc"},
+                      {double(blocks), double(naive_conflicts),
+                       100.0 * double(naive_conflicts) / double(blocks),
+                       double(ev8_conflicts),
+                       pipeline.stats().lineAccuracy(),
+                       pipeline.stats().fetchIpc()});
         std::printf("    %s bank usage: %.1f%% %.1f%% %.1f%% %.1f%%\n",
                     runner.name(i).c_str(),
                     100.0 * double(usage[0]) / double(blocks),
@@ -90,5 +101,5 @@ main()
         "benchmark -- the Section 6.2 theorem, measured",
         "bank usage stays roughly balanced, so capacity is not wasted",
     });
-    return 0;
+    return ctx.finish();
 }

@@ -14,10 +14,11 @@
 using namespace ev8;
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Ablation (Section 4.2)", "Partial vs. total update "
-                                          "policy");
+    BenchContext ctx(argc, argv,
+                     "Ablation (Section 4.2)", "Partial vs. total "
+                                               "update policy");
 
     SuiteRunner runner;
 
@@ -56,7 +57,7 @@ main()
          SimConfig::ghist()},
     };
 
-    runAndPrint(runner, rows);
+    runAndPrint(ctx, runner, rows);
 
     printShapeNotes({
         "partial update beats total update for 2Bc-gskew and e-gskew "
@@ -66,5 +67,5 @@ main()
         "arrays: a correct prediction writes only the hysteresis array "
         "(Section 4.3)",
     });
-    return 0;
+    return ctx.finish();
 }

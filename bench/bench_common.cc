@@ -1,12 +1,220 @@
 #include "bench_common.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/table.hh"
 #include "workloads/suite.hh"
 
 namespace ev8
 {
+
+namespace
+{
+
+void
+printUsage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "Reproduces one table/figure of the EV8 branch predictor paper\n"
+        "over the synthetic SPECINT95 suite.\n"
+        "\n"
+        "options:\n"
+        "  --json=<path>    write the ev8-bench-v1 JSON artifact\n"
+        "                   (results + metric registry + timing)\n"
+        "  --csv=<path>     write the result rows as CSV\n"
+        "  --events=<path>  write sampled misprediction events (JSONL)\n"
+        "  --sample=<N>     event sampling period, every Nth\n"
+        "                   misprediction (default 64)\n"
+        "  --branches=<N>   per-benchmark dynamic conditional-branch\n"
+        "                   budget (same as EV8_BRANCHES_PER_BENCH)\n"
+        "  --no-timing      skip the lookup/update/history timing split\n"
+        "  --help           this message\n",
+        prog);
+}
+
+/** Returns the value of "--opt=value" when @p arg matches, else null. */
+const char *
+optValue(const char *arg, const char *opt)
+{
+    const size_t len = std::strlen(opt);
+    if (std::strncmp(arg, opt, len) == 0 && arg[len] == '=')
+        return arg + len + 1;
+    return nullptr;
+}
+
+uint64_t
+parseCount(const char *text, const char *opt, const char *prog)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "%s: bad value for %s: '%s'\n\n", prog, opt,
+                     text);
+        printUsage(prog);
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
+BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    const char *prog = argc > 0 ? argv[0] : "bench";
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0
+            || std::strcmp(arg, "-h") == 0) {
+            printUsage(prog);
+            std::exit(0);
+        } else if (const char *v = optValue(arg, "--json")) {
+            args.jsonPath = v;
+        } else if (const char *v = optValue(arg, "--csv")) {
+            args.csvPath = v;
+        } else if (const char *v = optValue(arg, "--events")) {
+            args.eventsPath = v;
+        } else if (const char *v = optValue(arg, "--sample")) {
+            args.sampleEvery = parseCount(v, "--sample", prog);
+            if (args.sampleEvery == 0)
+                args.sampleEvery = 1;
+        } else if (const char *v = optValue(arg, "--branches")) {
+            const uint64_t n = parseCount(v, "--branches", prog);
+            setenv("EV8_BRANCHES_PER_BENCH",
+                   std::to_string(n).c_str(), /*overwrite=*/1);
+        } else if (std::strcmp(arg, "--no-timing") == 0) {
+            args.timing = false;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n\n", prog,
+                         arg);
+            printUsage(prog);
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+BenchContext::BenchContext(int argc, char **argv,
+                           std::string experiment_id, std::string title)
+    : args_(parseBenchArgs(argc, argv))
+{
+    data_.experimentId = std::move(experiment_id);
+    data_.title = std::move(title);
+    data_.branchesPerBenchmark = branchesPerBenchmark();
+    for (const Benchmark &b : specint95Suite())
+        data_.benchmarks.push_back(b.profile.name);
+
+    if (!args_.eventsPath.empty()) {
+        eventsOut = std::make_unique<std::ofstream>(args_.eventsPath);
+        if (!*eventsOut) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         args_.eventsPath.c_str());
+            std::exit(1);
+        }
+        events = std::make_unique<EventTraceSink>(*eventsOut,
+                                                  args_.sampleEvery);
+    }
+
+    printBanner(data_.experimentId, data_.title);
+}
+
+SimConfig
+BenchContext::instrument(SimConfig config)
+{
+    config.metrics = &registry_;
+    config.events = events.get();
+    config.profileTiming = args_.timing && args_.wantsArtifacts();
+    return config;
+}
+
+void
+BenchContext::recordRow(const std::string &label, uint64_t storage_bits,
+                        std::vector<std::string> columns,
+                        std::vector<double> values)
+{
+    BenchRowExport row;
+    row.label = label;
+    row.storageBits = storage_bits;
+    row.columns = std::move(columns);
+    row.values = std::move(values);
+    data_.rows.push_back(std::move(row));
+}
+
+void
+BenchContext::recordResults(const std::string &label,
+                            uint64_t storage_bits,
+                            const std::vector<BenchResult> &results)
+{
+    std::vector<std::string> columns;
+    std::vector<double> values;
+    for (const auto &r : results) {
+        columns.push_back(r.bench);
+        values.push_back(r.sim.stats.mispKI());
+        noteTiming(r.sim.timing);
+    }
+    columns.push_back("amean");
+    values.push_back(SuiteRunner::averageMispKI(results));
+    recordRow(label, storage_bits, std::move(columns), std::move(values));
+}
+
+void
+BenchContext::noteTiming(const SimTiming &timing)
+{
+    data_.timing.merge(timing);
+}
+
+int
+BenchContext::finish()
+{
+    data_.metrics = &registry_;
+
+    if (!args_.jsonPath.empty()) {
+        std::ofstream out(args_.jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         args_.jsonPath.c_str());
+            return 1;
+        }
+        writeBenchJson(out, data_);
+        std::fprintf(stderr, "wrote %s\n", args_.jsonPath.c_str());
+    }
+    if (!args_.csvPath.empty()) {
+        std::ofstream out(args_.csvPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         args_.csvPath.c_str());
+            return 1;
+        }
+        writeBenchCsv(out, data_);
+        std::fprintf(stderr, "wrote %s\n", args_.csvPath.c_str());
+    }
+    if (events) {
+        eventsOut->flush();
+        std::fprintf(stderr,
+                     "wrote %s (%llu of %llu mispredictions, 1-in-%llu "
+                     "sampling)\n",
+                     args_.eventsPath.c_str(),
+                     static_cast<unsigned long long>(events->emitted()),
+                     static_cast<unsigned long long>(events->seen()),
+                     static_cast<unsigned long long>(
+                         events->sampleEvery()));
+    }
+
+    if (args_.timing && args_.wantsArtifacts()
+        && data_.timing.lookup.calls > 0) {
+        std::printf("timing: lookup %.1f ns/call, update %.1f ns/call, "
+                    "history %.1f ns/block\n\n",
+                    data_.timing.lookup.nsPerCall(),
+                    data_.timing.update.nsPerCall(),
+                    data_.timing.history.nsPerCall());
+    }
+    return 0;
+}
 
 void
 printBanner(const std::string &experiment_id, const std::string &title)
@@ -25,7 +233,8 @@ printBanner(const std::string &experiment_id, const std::string &title)
 }
 
 std::vector<std::vector<BenchResult>>
-runAndPrint(SuiteRunner &runner, const std::vector<ExperimentRow> &rows)
+runAndPrint(BenchContext &ctx, SuiteRunner &runner,
+            const std::vector<ExperimentRow> &rows)
 {
     TextTable table;
     std::vector<std::string> header{"configuration"};
@@ -38,13 +247,15 @@ runAndPrint(SuiteRunner &runner, const std::vector<ExperimentRow> &rows)
     std::vector<std::vector<BenchResult>> all;
     for (const auto &row : rows) {
         std::fprintf(stderr, "  running %s ...\n", row.label.c_str());
-        auto results = runner.run(row.factory, row.config);
+        auto results = runner.run(row.factory, ctx.instrument(row.config));
         std::vector<std::string> cells{row.label};
         for (const auto &r : results)
             cells.push_back(fmt(r.sim.stats.mispKI(), 2));
         cells.push_back(fmt(SuiteRunner::averageMispKI(results), 3));
-        cells.push_back(formatKbits(row.factory()->storageBits()));
+        const uint64_t storage_bits = row.factory()->storageBits();
+        cells.push_back(formatKbits(storage_bits));
         table.row(std::move(cells));
+        ctx.recordResults(row.label, storage_bits, results);
         all.push_back(std::move(results));
     }
 

@@ -5,15 +5,40 @@
  * evaluation section: it runs the relevant predictor configurations
  * over the synthetic SPECINT95 suite and prints the same rows/series
  * the paper reports, plus the shape expectations to check against.
+ *
+ * Every binary speaks the same command line (parseBenchArgs):
+ *
+ *     --json=<path>    machine-readable artifact (schema ev8-bench-v1)
+ *     --csv=<path>     result rows as CSV
+ *     --events=<path>  sampled misprediction JSONL
+ *     --sample=<N>     event sampling period (default 64)
+ *     --branches=<N>   per-benchmark branch budget (sets
+ *                      EV8_BRANCHES_PER_BENCH for the process)
+ *     --no-timing      skip the lookup/update/history ScopedTimer split
+ *     --help           usage
+ *
+ * BenchContext bundles the parsed arguments with the metric registry,
+ * the event sink and the export document, so a bench main() is:
+ *
+ *     BenchContext ctx(argc, argv, "Fig. 5", "...");
+ *     ...
+ *     runAndPrint(ctx, runner, rows);
+ *     return ctx.finish();
  */
 
 #ifndef EV8_BENCH_BENCH_COMMON_HH
 #define EV8_BENCH_BENCH_COMMON_HH
 
+#include <cstdint>
+#include <fstream>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/event_trace.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
 #include "predictors/predictor.hh"
 #include "sim/simulator.hh"
 #include "sim/suite_runner.hh"
@@ -29,6 +54,76 @@ struct ExperimentRow
     SimConfig config;
 };
 
+/** The unified bench command line, parsed. */
+struct BenchArgs
+{
+    std::string jsonPath;     //!< --json=<path>, empty = no artifact
+    std::string csvPath;      //!< --csv=<path>, empty = no artifact
+    std::string eventsPath;   //!< --events=<path>, empty = no trace
+    uint64_t sampleEvery = 64; //!< --sample=<N>
+    bool timing = true;        //!< cleared by --no-timing
+
+    /** Any machine-readable output requested? */
+    bool
+    wantsArtifacts() const
+    {
+        return !jsonPath.empty() || !csvPath.empty()
+            || !eventsPath.empty();
+    }
+};
+
+/**
+ * Parses the unified bench options. --help prints usage and exits 0;
+ * an unrecognized or malformed option prints usage and exits 2.
+ * --branches=<N> is applied immediately by setting the
+ * EV8_BRANCHES_PER_BENCH environment variable.
+ */
+BenchArgs parseBenchArgs(int argc, char **argv);
+
+/**
+ * Everything one bench binary shares across its experiment: the parsed
+ * arguments, the metric registry, the (optional) misprediction event
+ * sink, and the export document that finish() writes out.
+ */
+class BenchContext
+{
+  public:
+    /** Parses argv (may exit, see parseBenchArgs), prints the banner. */
+    BenchContext(int argc, char **argv, std::string experiment_id,
+                 std::string title);
+
+    const BenchArgs &args() const { return args_; }
+    MetricRegistry &metrics() { return registry_; }
+
+    /** Returns @p config with the observability hooks attached. */
+    SimConfig instrument(SimConfig config);
+
+    /** Records one export row with explicit column names. */
+    void recordRow(const std::string &label, uint64_t storage_bits,
+                   std::vector<std::string> columns,
+                   std::vector<double> values);
+
+    /** Convenience: per-benchmark misp/KI columns plus "amean". */
+    void recordResults(const std::string &label, uint64_t storage_bits,
+                       const std::vector<BenchResult> &results);
+
+    /** Folds one run's timing split into the exported totals. */
+    void noteTiming(const SimTiming &timing);
+
+    /**
+     * Writes the requested --json/--csv artifacts and closes the event
+     * stream. Returns main()'s exit code (1 on artifact I/O failure).
+     */
+    int finish();
+
+  private:
+    BenchArgs args_;
+    BenchExport data_;
+    MetricRegistry registry_;
+    std::unique_ptr<std::ofstream> eventsOut;
+    std::unique_ptr<EventTraceSink> events;
+};
+
 /** Prints the standard experiment banner (id, title, scale, caveat). */
 void printBanner(const std::string &experiment_id,
                  const std::string &title);
@@ -37,10 +132,12 @@ void printBanner(const std::string &experiment_id,
  * Runs every row over the suite and prints the paper-style table:
  * one line per configuration, one column per benchmark (misp/KI),
  * plus the arithmetic mean and the configuration's storage budget.
- * Returns the per-row results for further processing.
+ * Each row's SimConfig is instrumented through @p ctx and its results
+ * recorded for export. Returns the per-row results.
  */
 std::vector<std::vector<BenchResult>> runAndPrint(
-    SuiteRunner &runner, const std::vector<ExperimentRow> &rows);
+    BenchContext &ctx, SuiteRunner &runner,
+    const std::vector<ExperimentRow> &rows);
 
 /** Prints a per-benchmark bar chart of one result row. */
 void printBars(const std::string &title,

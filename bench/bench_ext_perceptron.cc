@@ -17,10 +17,12 @@
 using namespace ev8;
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Extension (Section 9)", "Perceptron / local-history "
-                                         "directions vs. the EV8");
+    BenchContext ctx(argc, argv,
+                     "Extension (Section 9)", "Perceptron / "
+                                              "local-history directions "
+                                              "vs. the EV8");
 
     SuiteRunner runner;
 
@@ -54,7 +56,7 @@ main()
          SimConfig::ev8()},
     };
 
-    runAndPrint(runner, rows);
+    runAndPrint(ctx, runner, rows);
 
     printShapeNotes({
         "the perceptron exploits long histories linearly and is "
@@ -70,5 +72,5 @@ main()
         "exactly the Section 9 recipe (a backup with a different "
         "information vector rescues the primary's hard branches)",
     });
-    return 0;
+    return ctx.finish();
 }

@@ -30,27 +30,37 @@ namespace
 {
 
 void
-report(const char *title, const std::vector<SmtThreadResult> &threads)
+report(BenchContext &ctx, const char *label, const char *title,
+       const std::vector<SmtThreadResult> &threads)
 {
     std::printf("%s\n", title);
     double sum = 0;
+    std::vector<std::string> columns;
+    std::vector<double> values;
     for (const auto &t : threads) {
         std::printf("    %-10s %8.3f misp/KI  (%llu branches)\n",
                     t.name.c_str(), t.sim.stats.mispKI(),
                     static_cast<unsigned long long>(t.sim.condBranches));
         sum += t.sim.stats.mispKI();
+        columns.push_back(t.name);
+        values.push_back(t.sim.stats.mispKI());
     }
-    std::printf("    %-10s %8.3f misp/KI\n\n", "amean",
-                sum / double(threads.size()));
+    const double amean = sum / double(threads.size());
+    std::printf("    %-10s %8.3f misp/KI\n\n", "amean", amean);
+    columns.push_back("amean");
+    values.push_back(amean);
+    ctx.recordRow(label, 0, std::move(columns), std::move(values));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Extension (Section 3)", "SMT: shared predictor tables, "
-                                         "per-thread histories");
+    BenchContext ctx(argc, argv,
+                     "Extension (Section 3)", "SMT: shared predictor "
+                                              "tables, per-thread "
+                                              "histories");
 
     const uint64_t branches = branchesPerBenchmark() / 2;
     std::fprintf(stderr, "  generating traces ...\n");
@@ -80,34 +90,39 @@ main()
     {
         std::fprintf(stderr, "  single-thread baselines ...\n");
         Ev8Predictor p1;
-        report("single thread, gcc:",
+        report(ctx, "1T gcc", "single thread, gcc:",
                simulateSmt({&gcc}, p1, per_thread));
         Ev8Predictor p2;
-        report("single thread, go:", simulateSmt({&go}, p2, per_thread));
+        report(ctx, "1T go", "single thread, go:",
+               simulateSmt({&go}, p2, per_thread));
     }
     {
         std::fprintf(stderr, "  2 threads, per-thread history ...\n");
         Ev8Predictor p;
-        report("2 independent threads (gcc+go), per-thread histories:",
+        report(ctx, "2T gcc+go per-thread hist",
+               "2 independent threads (gcc+go), per-thread histories:",
                simulateSmt({&gcc, &go}, p, per_thread));
     }
     {
         std::fprintf(stderr, "  2 threads, shared history ...\n");
         Ev8Predictor p;
-        report("2 independent threads (gcc+go), ONE shared history "
+        report(ctx, "2T gcc+go shared hist",
+               "2 independent threads (gcc+go), ONE shared history "
                "(straw man):",
                simulateSmt({&gcc, &go}, p, shared_hist));
     }
     {
         std::fprintf(stderr, "  4 threads ...\n");
         Ev8Predictor p;
-        report("4 independent threads, per-thread histories:",
+        report(ctx, "4T per-thread hist",
+               "4 independent threads, per-thread histories:",
                simulateSmt({&gcc, &go, &perl, &vortex}, p, per_thread));
     }
     {
         std::fprintf(stderr, "  parallel threads of one program ...\n");
         Ev8Predictor p;
-        report("2 parallel threads of gcc (same program), per-thread "
+        report(ctx, "2T gcc parallel",
+               "2 parallel threads of gcc (same program), per-thread "
                "histories:",
                simulateSmt({&gcc, &gcc2}, p, per_thread));
     }
@@ -123,5 +138,5 @@ main()
         "independent ones (constructive aliasing on shared branches "
         "[10])",
     });
-    return 0;
+    return ctx.finish();
 }

@@ -16,9 +16,10 @@
 using namespace ev8;
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Fig. 10", "Limits of using global history");
+    BenchContext ctx(argc, argv,
+                     "Fig. 10", "Limits of using global history");
 
     SuiteRunner runner;
 
@@ -32,7 +33,7 @@ main()
          SimConfig::ghist()},
     };
 
-    const auto results = runAndPrint(runner, rows);
+    const auto results = runAndPrint(ctx, runner, rows);
 
     const double mid = SuiteRunner::averageMispKI(results[1]);
     const double big = SuiteRunner::averageMispKI(results[2]);
@@ -49,5 +50,5 @@ main()
         "back-up predictors with different information vectors rather "
         "than more of the same (Section 9)",
     });
-    return 0;
+    return ctx.finish();
 }

@@ -11,10 +11,11 @@
 using namespace ev8;
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Fig. 5", "Branch prediction accuracy for various "
-                          "global history schemes");
+    BenchContext ctx(argc, argv,
+                     "Fig. 5", "Branch prediction accuracy for various "
+                               "global history schemes");
 
     SuiteRunner runner;
     const SimConfig ghist = SimConfig::ghist();
@@ -31,7 +32,7 @@ main()
         {"YAGS 576Kb", [] { return makeYags576K(); }, ghist},
     };
 
-    const auto results = runAndPrint(runner, rows);
+    const auto results = runAndPrint(ctx, runner, rows);
     printBars("2Bc-gskew 512Kb, misp/KI per benchmark:", results[1]);
 
     printShapeNotes({
@@ -44,5 +45,5 @@ main()
         "doubling 2Bc-gskew from 256Kb to 512Kb helps most on the "
         "large-footprint benchmarks (gcc, go)",
     });
-    return 0;
+    return ctx.finish();
 }

@@ -33,13 +33,15 @@ struct Scheme
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Fig. 6", "Additional mispredictions with history "
-                          "length = log2(table size) instead of best");
+    BenchContext ctx(argc, argv,
+                     "Fig. 6", "Additional mispredictions with history "
+                               "length = log2(table size) instead of "
+                               "best");
 
     SuiteRunner runner;
-    const SimConfig ghist = SimConfig::ghist();
+    const SimConfig ghist = ctx.instrument(SimConfig::ghist());
     const std::vector<unsigned> lengths{8, 12, 16, 20, 24, 28};
 
     // For 2Bc-gskew, one length parameter scales all three history
@@ -104,6 +106,11 @@ main()
         table.row({scheme.label, std::to_string(best.histLen),
                    fmt(best.avgMispKI, 3), std::to_string(scheme.log2Size),
                    fmt(log2_value, 3), fmt(extra, 3)});
+        ctx.recordRow(scheme.label, 0,
+                      {"best_len", "best_mispki", "log2_len",
+                       "log2_mispki", "extra_mispki"},
+                      {double(best.histLen), best.avgMispKI,
+                       double(scheme.log2Size), log2_value, extra});
         extra_labels.push_back(scheme.label);
         extra_values.push_back(extra);
     }
@@ -127,5 +134,5 @@ main()
         "instruction scale the best lengths were 23-27 bits for the "
         "256-512 Kbit 2Bc-gskew",
     });
-    return 0;
+    return ctx.finish();
 }

@@ -32,10 +32,12 @@ gskew64K(bool use_path, const char *label)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Fig. 7", "Impact of the information vector on branch "
-                          "prediction accuracy (4*64K 2Bc-gskew)");
+    BenchContext ctx(argc, argv,
+                     "Fig. 7", "Impact of the information vector on "
+                               "branch prediction accuracy (4*64K "
+                               "2Bc-gskew)");
 
     SuiteRunner runner;
 
@@ -62,7 +64,7 @@ main()
         {"EV8 info vector", gskew64K(true, "ev8-vector"), ev8_vector},
     };
 
-    const auto results = runAndPrint(runner, rows);
+    const auto results = runAndPrint(ctx, runner, rows);
     printBars("EV8 info vector, misp/KI per benchmark:", results[4]);
 
     printShapeNotes({
@@ -77,5 +79,5 @@ main()
         "path information from the three skipped blocks recovers most "
         "of the aging loss: the EV8 vector ends close to ghist",
     });
-    return 0;
+    return ctx.finish();
 }

@@ -35,9 +35,10 @@ configOf(unsigned log2_bim, bool half_hysteresis, const char *label)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Fig. 8", "Adjusting table sizes in the predictor");
+    BenchContext ctx(argc, argv,
+                     "Fig. 8", "Adjusting table sizes in the predictor");
 
     SuiteRunner runner;
     const SimConfig ev8_vector = SimConfig::ev8();
@@ -51,7 +52,8 @@ main()
          ev8_vector},
     };
 
-    const auto results = runAndPrint(runner, rows);
+    const auto results = runAndPrint(ctx, runner, rows);
+    (void)results;
 
     printShapeNotes({
         "shrinking BIM from 64K to 16K entries has no impact: each "
@@ -62,5 +64,5 @@ main()
         "the full EV8-size predictor (352Kb) stays within a whisker of "
         "the 512Kb base",
     });
-    return 0;
+    return ctx.finish();
 }

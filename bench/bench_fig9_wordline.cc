@@ -38,10 +38,11 @@ hardware(WordlineMode mode, const char *label)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Fig. 9", "Effect of wordline indices and index-function "
-                          "constraints");
+    BenchContext ctx(argc, argv,
+                     "Fig. 9", "Effect of wordline indices and "
+                               "index-function constraints");
 
     SuiteRunner runner;
 
@@ -64,7 +65,8 @@ main()
          SimConfig::ghist()},
     };
 
-    const auto results = runAndPrint(runner, rows);
+    const auto results = runAndPrint(ctx, runner, rows);
+    (void)results;
 
     printShapeNotes({
         "PC-only wordline bits restrict the shared-index distribution "
@@ -79,5 +81,5 @@ main()
         "the 352 Kbit EV8 stands comparison against the 512 Kbit "
         "unconstrained ghist predictor (the paper's headline claim)",
     });
-    return 0;
+    return ctx.finish();
 }

@@ -41,28 +41,36 @@ sweepLengths()
 }
 
 void
-printCurve(const char *title, const std::vector<SweepPoint> &points)
+printCurve(BenchContext &ctx, const char *label, const char *title,
+           const std::vector<SweepPoint> &points)
 {
     std::vector<std::string> labels;
+    std::vector<std::string> columns;
     std::vector<double> values;
     for (const auto &p : points) {
         labels.push_back("h=" + std::to_string(p.histLen));
+        columns.push_back("h" + std::to_string(p.histLen));
         values.push_back(p.avgMispKI);
     }
     std::printf("%s\n", renderBarChart(title, labels, values).c_str());
     std::printf("  best length: %u (%.3f misp/KI)\n\n",
                 bestPoint(points).histLen, bestPoint(points).avgMispKI);
+    columns.push_back("best_len");
+    values.push_back(bestPoint(points).histLen);
+    ctx.recordRow(label, 0, std::move(columns), std::move(values));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Methodology (Section 8)", "History-length sweeps");
+    BenchContext ctx(argc, argv,
+                     "Methodology (Section 8)", "History-length sweeps");
 
     SuiteRunner runner;
     const auto lengths = sweepLengths();
+    const SimConfig ghist = ctx.instrument(SimConfig::ghist());
 
     std::fprintf(stderr, "  sweeping gshare 64K ...\n");
     const auto gshare = sweepHistoryLengths(
@@ -70,8 +78,9 @@ main()
         [](unsigned len) {
             return makePredictor("gshare:16:" + std::to_string(len));
         },
-        lengths, SimConfig::ghist());
-    printCurve("gshare 64K entries, suite-average misp/KI by history "
+        lengths, ghist);
+    printCurve(ctx, "gshare-64K",
+               "gshare 64K entries, suite-average misp/KI by history "
                "length:",
                gshare);
 
@@ -84,8 +93,9 @@ main()
                     16, 0, 13, 15, len,
                     "2bcgskew-G1h" + std::to_string(len)));
         },
-        lengths, SimConfig::ghist());
-    printCurve("2Bc-gskew 4*64K, G1 history length sweep (G0=13, "
+        lengths, ghist);
+    printCurve(ctx, "2bcgskew-G1",
+               "2Bc-gskew 4*64K, G1 history length sweep (G0=13, "
                "Meta=15):",
                g1);
 
@@ -96,5 +106,5 @@ main()
         "Section 5.3's \"very long history\" observation (the effect "
         "strengthens with longer traces)",
     });
-    return 0;
+    return ctx.finish();
 }

@@ -15,10 +15,11 @@
 using namespace ev8;
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Table 1", "Characteristics of the Alpha EV8 branch "
-                           "predictor");
+    BenchContext ctx(argc, argv,
+                     "Table 1", "Characteristics of the Alpha EV8 "
+                                "branch predictor");
 
     const TwoBcGskewConfig cfg = TwoBcGskewConfig::ev8Size();
     const char *names[kNumTables] = {"BIM", "G0", "G1", "Meta"};
@@ -33,6 +34,11 @@ main()
                    std::to_string((1u << geo.log2Pred) / 1024) + "K",
                    std::to_string((1u << geo.log2Hyst) / 1024) + "K",
                    std::to_string(geo.histLen)});
+        ctx.recordRow(names[t], 0,
+                      {"pred_entries", "hyst_entries", "history_length"},
+                      {double(1u << geo.log2Pred),
+                       double(1u << geo.log2Hyst),
+                       double(geo.histLen)});
     }
     std::printf("%s\n", table.render().c_str());
 
@@ -50,6 +56,9 @@ main()
     Ev8Predictor hardware;
     std::printf("physical banked model reports:   %s\n\n",
                 formatKbits(hardware.storageBits()).c_str());
+    ctx.recordRow("total", hardware.storageBits(),
+                  {"pred_bits", "hyst_bits"},
+                  {double(pred_bits), double(hyst_bits)});
 
     printShapeNotes({
         "208 Kbits prediction + 144 Kbits hysteresis = 352 Kbits "
@@ -58,5 +67,5 @@ main()
         "half-size hysteresis on G0 and Meta (Section 4.4)",
         "history lengths 4 / 13 / 21 / 15 for BIM / G0 / G1 / Meta",
     });
-    return 0;
+    return ctx.finish();
 }

@@ -34,9 +34,9 @@ constexpr PaperRow kPaper[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Table 2", "Benchmark characteristics");
+    BenchContext ctx(argc, argv, "Table 2", "Benchmark characteristics");
 
     SuiteRunner runner;
     TextTable table;
@@ -57,6 +57,15 @@ main()
                    fmt(double(s.instructions)
                            / double(s.dynamicCondBranches),
                        1)});
+        ctx.recordRow(runner.name(i), 0,
+                      {"dynamic_cond", "static_cond", "paper_dynamic_k",
+                       "paper_static", "taken_rate", "instr_per_branch"},
+                      {double(s.dynamicCondBranches),
+                       double(s.staticCondBranches),
+                       double(kPaper[i].dynamicK),
+                       double(kPaper[i].staticCount), s.takenRate(),
+                       double(s.instructions)
+                           / double(s.dynamicCondBranches)});
     }
     std::printf("%s\n", table.render().c_str());
 
@@ -70,5 +79,5 @@ main()
         "percolates",
         "not-taken skew of optimized Alpha code (Section 5.1)",
     });
-    return 0;
+    return ctx.finish();
 }

@@ -24,10 +24,11 @@ constexpr double kPaperRatio[] = {1.24, 1.57, 1.12, 1.20,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    printBanner("Table 3", "Ratio lghist/ghist (branches represented "
-                           "per history bit)");
+    BenchContext ctx(argc, argv,
+                     "Table 3", "Ratio lghist/ghist (branches "
+                                "represented per history bit)");
 
     SuiteRunner runner;
     TextTable table;
@@ -37,12 +38,18 @@ main()
     for (size_t i = 0; i < runner.size(); ++i) {
         std::fprintf(stderr, "  running %s ...\n", runner.name(i).c_str());
         BimodalPredictor dummy(10); // the predictor is irrelevant here
-        const SimResult r =
-            simulateTrace(runner.trace(i), dummy, SimConfig::ev8());
+        const SimResult r = simulateTrace(
+            runner.trace(i), dummy, ctx.instrument(SimConfig::ev8()));
+        ctx.noteTiming(r.timing);
         table.row({runner.name(i), fmt(r.lghistRatio(), 2),
                    fmt(kPaperRatio[i], 2),
                    std::to_string(r.fetchBlocks),
                    std::to_string(r.lghistBits)});
+        ctx.recordRow(runner.name(i), 0,
+                      {"lghist_ratio", "paper_ratio", "fetch_blocks",
+                       "lghist_bits"},
+                      {r.lghistRatio(), kPaperRatio[i],
+                       double(r.fetchBlocks), double(r.lghistBits)});
     }
     std::printf("%s\n", table.render().c_str());
 
@@ -53,5 +60,5 @@ main()
         "show the largest compression",
         "ratios in the paper's 1.1 - 1.6 range",
     });
-    return 0;
+    return ctx.finish();
 }

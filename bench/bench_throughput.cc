@@ -9,6 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/ev8_predictor.hh"
 #include "predictors/factory.hh"
 #include "sim/simulator.hh"
@@ -108,4 +112,36 @@ BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
 } // namespace
 } // namespace ev8
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: accepts the harness-wide --json=<path> spelling and
+ * translates it to google-benchmark's --benchmark_out pair; everything
+ * else passes through to the library (see --help).
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> translated;
+    translated.reserve(static_cast<size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0) {
+            translated.push_back("--benchmark_out="
+                                 + arg.substr(std::strlen("--json=")));
+            translated.push_back("--benchmark_out_format=json");
+        } else {
+            translated.push_back(arg);
+        }
+    }
+    std::vector<char *> args;
+    args.reserve(translated.size());
+    for (auto &arg : translated)
+        args.push_back(arg.data());
+
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

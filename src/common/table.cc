@@ -1,6 +1,7 @@
 #include "common/table.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -10,6 +11,8 @@ namespace ev8
 std::string
 fmt(double value, int precision)
 {
+    if (!std::isfinite(value))
+        return "--";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
     return buf;
@@ -89,14 +92,16 @@ renderBarChart(const std::string &title,
 
     double max_value = 0.0;
     size_t label_width = 0;
-    for (double v : values)
-        max_value = std::max(max_value, v);
+    for (double v : values) {
+        if (std::isfinite(v))
+            max_value = std::max(max_value, v);
+    }
     for (const auto &l : labels)
         label_width = std::max(label_width, l.size());
 
     for (size_t i = 0; i < labels.size() && i < values.size(); ++i) {
         const double v = values[i];
-        const int len = max_value > 0.0
+        const int len = max_value > 0.0 && std::isfinite(v)
             ? static_cast<int>(v / max_value * width + 0.5) : 0;
         out << "  " << labels[i]
             << std::string(label_width - labels[i].size(), ' ') << " |"

@@ -105,6 +105,8 @@ Ev8Predictor::update(const BranchSnapshot &snap, bool taken, bool)
 {
     assert(last.idx[G1] == tableIndex(G1, snap));
     (void)snap;
+    if (statsEnabled())
+        stats.note(last, taken);
     PhysicalFacade facade{arrays};
     if (cfg.partialUpdate)
         gskewPartialUpdate(facade, last, taken);
@@ -153,10 +155,32 @@ Ev8Predictor::name() const
     return cfg.label;
 }
 
+VoteSnapshot
+Ev8Predictor::lastVotes() const
+{
+    VoteSnapshot v;
+    v.valid = true;
+    v.bim = last.bimPred;
+    v.g0 = last.g0Pred;
+    v.g1 = last.g1Pred;
+    v.meta = last.metaPred;
+    v.majority = last.majority;
+    return v;
+}
+
+void
+Ev8Predictor::publishMetrics(MetricRegistry &registry,
+                             const std::string &prefix) const
+{
+    publishGskewVoteStats(registry, prefix, stats);
+    arrays.publishMetrics(registry, prefix + ".storage");
+}
+
 void
 Ev8Predictor::reset()
 {
     arrays.reset();
+    stats = GskewVoteStats{};
 }
 
 } // namespace ev8

@@ -64,6 +64,20 @@ class Ev8Predictor : public ConditionalBranchPredictor
     uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;
+    VoteSnapshot lastVotes() const override;
+
+    /** Publishes vote/conflict tallies plus the physical arrays'
+     *  wordline access counts ("<prefix>.storage.*"). */
+    void publishMetrics(MetricRegistry &registry,
+                        const std::string &prefix) const override;
+
+    /** Also switches the physical arrays' access tracking. */
+    void
+    enableStats(bool on) override
+    {
+        ConditionalBranchPredictor::enableStats(on);
+        arrays.setTracking(on);
+    }
 
     /**
      * Hardware-faithful block-wide prediction: one 8-bit word read per
@@ -96,6 +110,7 @@ class Ev8Predictor : public ConditionalBranchPredictor
     Ev8Config cfg;
     Ev8PhysicalStorage arrays;
     GskewLookup last;
+    GskewVoteStats stats;
 };
 
 } // namespace ev8

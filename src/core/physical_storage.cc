@@ -1,6 +1,10 @@
 #include "core/physical_storage.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
+
+#include "obs/metrics.hh"
 
 namespace ev8
 {
@@ -44,6 +48,10 @@ Ev8PhysicalStorage::hystBitIndex(TableId table, const Ev8WordCoords &c,
 uint8_t
 Ev8PhysicalStorage::readPredWord(TableId table, const Ev8WordCoords &c) const
 {
+    if (tracking) {
+        ++access[table].predReads;
+        ++wordlineReads_[table][c.wordline];
+    }
     uint8_t word = 0;
     for (unsigned b = 0; b < 8; ++b)
         word |= static_cast<uint8_t>(pred[table][predBitIndex(table, c, b)]
@@ -55,6 +63,10 @@ bool
 Ev8PhysicalStorage::readPredBit(TableId table, const Ev8WordCoords &c,
                                 unsigned bitpos) const
 {
+    if (tracking) {
+        ++access[table].predReads;
+        ++wordlineReads_[table][c.wordline];
+    }
     return pred[table][predBitIndex(table, c, bitpos)] != 0;
 }
 
@@ -62,6 +74,8 @@ void
 Ev8PhysicalStorage::writePredBit(TableId table, const Ev8WordCoords &c,
                                  unsigned bitpos, bool value)
 {
+    if (tracking)
+        ++access[table].predWrites;
     pred[table][predBitIndex(table, c, bitpos)] = value ? 1 : 0;
 }
 
@@ -69,6 +83,8 @@ bool
 Ev8PhysicalStorage::readHystBit(TableId table, const Ev8WordCoords &c,
                                 unsigned bitpos) const
 {
+    if (tracking)
+        ++access[table].hystReads;
     return hyst[table][hystBitIndex(table, c, bitpos)] != 0;
 }
 
@@ -76,6 +92,8 @@ void
 Ev8PhysicalStorage::writeHystBit(TableId table, const Ev8WordCoords &c,
                                  unsigned bitpos, bool value)
 {
+    if (tracking)
+        ++access[table].hystWrites;
     hyst[table][hystBitIndex(table, c, bitpos)] = value ? 1 : 0;
 }
 
@@ -85,6 +103,34 @@ Ev8PhysicalStorage::reset()
     for (unsigned t = 0; t < kNumTables; ++t) {
         pred[t].assign(pred[t].size(), 0);
         hyst[t].assign(hyst[t].size(), 1);
+    }
+    access = {};
+    wordlineReads_ = {};
+}
+
+void
+Ev8PhysicalStorage::publishMetrics(MetricRegistry &registry,
+                                   const std::string &prefix) const
+{
+    static const char *const names[kNumTables] = {"bim", "g0", "g1",
+                                                  "meta"};
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        const std::string base = prefix + "." + names[t];
+        const AccessStats &a = access[t];
+        registry.counter(base + ".pred_reads").inc(a.predReads);
+        registry.counter(base + ".pred_writes").inc(a.predWrites);
+        registry.counter(base + ".hyst_reads").inc(a.hystReads);
+        registry.counter(base + ".hyst_writes").inc(a.hystWrites);
+
+        const auto &wl = wordlineReads_[t];
+        const uint64_t max =
+            *std::max_element(wl.begin(), wl.end());
+        const uint64_t total =
+            std::accumulate(wl.begin(), wl.end(), uint64_t{0});
+        registry.gauge(base + ".wordline_max_reads")
+            .set(static_cast<double>(max));
+        registry.gauge(base + ".wordline_mean_reads")
+            .set(static_cast<double>(total) / kEv8Wordlines);
     }
 }
 

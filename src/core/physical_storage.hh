@@ -22,12 +22,15 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/index_functions.hh"
 
 namespace ev8
 {
+
+class MetricRegistry; // obs/metrics.hh
 
 /** Wordlines per bank. */
 constexpr unsigned kEv8Wordlines = 64;
@@ -97,6 +100,44 @@ class Ev8PhysicalStorage
 
     void reset();
 
+    /** Per-table access tallies (one count per read/write call). */
+    struct AccessStats
+    {
+        uint64_t predReads = 0;
+        uint64_t predWrites = 0;
+        uint64_t hystReads = 0;
+        uint64_t hystWrites = 0;
+    };
+
+    const AccessStats &accessStats(TableId table) const
+    {
+        return access[table];
+    }
+
+    /**
+     * Enables the per-access tallies below. Off by default: the arrays
+     * sit on the prediction hot path, and the counters only matter when
+     * publishMetrics() will be called.
+     */
+    void setTracking(bool on) { tracking = on; }
+
+    /** Prediction-array reads that touched each wordline of @p table,
+     *  summed over the four banks (aliasing-pressure fingerprint). */
+    const std::array<uint64_t, kEv8Wordlines> &
+    wordlineReads(TableId table) const
+    {
+        return wordlineReads_[table];
+    }
+
+    /**
+     * Publishes counters "<prefix>.<table>.{pred_reads,pred_writes,
+     * hyst_reads,hyst_writes}" and gauges
+     * "<prefix>.<table>.wordline_{max,mean}_reads" (table in
+     * {bim,g0,g1,meta}).
+     */
+    void publishMetrics(MetricRegistry &registry,
+                        const std::string &prefix) const;
+
   private:
     size_t predBitIndex(TableId table, const Ev8WordCoords &c,
                         unsigned bitpos) const;
@@ -106,6 +147,12 @@ class Ev8PhysicalStorage
     // One byte per bit: simple and fast enough for simulation.
     std::array<std::vector<uint8_t>, kNumTables> pred;
     std::array<std::vector<uint8_t>, kNumTables> hyst;
+
+    // Access tallies; mutable because reads are logically const.
+    bool tracking = false;
+    mutable std::array<AccessStats, kNumTables> access{};
+    mutable std::array<std::array<uint64_t, kEv8Wordlines>, kNumTables>
+        wordlineReads_{};
 };
 
 /**

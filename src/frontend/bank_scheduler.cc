@@ -1,7 +1,6 @@
-// All of the bank scheduler is constexpr/inline in the header; this
-// translation unit exists to give the header a home in the library and
-// to force a standalone compile of its contents.
 #include "frontend/bank_scheduler.hh"
+
+#include "obs/metrics.hh"
 
 namespace ev8
 {
@@ -12,5 +11,17 @@ static_assert(computeBankNumber(0x20, 0) == 1, "(y6,y5) = 01");
 static_assert(computeBankNumber(0x40, 0) == 2, "(y6,y5) = 10");
 static_assert(computeBankNumber(0x60, 3) == 2,
               "conflict with bank 3 resolves to bank 2");
+
+void
+BankScheduler::publishMetrics(MetricRegistry &registry,
+                              const std::string &prefix) const
+{
+    for (unsigned b = 0; b < kNumBanks; ++b) {
+        registry.counter(prefix + ".bank" + std::to_string(b) + ".blocks")
+            .inc(occupancy_[b]);
+    }
+    registry.counter(prefix + ".assigns").inc(assigns_);
+    registry.counter(prefix + ".adjustments").inc(adjustments_);
+}
 
 } // namespace ev8

@@ -20,10 +20,14 @@
 #ifndef EV8_FRONTEND_BANK_SCHEDULER_HH
 #define EV8_FRONTEND_BANK_SCHEDULER_HH
 
+#include <array>
 #include <cstdint>
+#include <string>
 
 namespace ev8
 {
+
+class MetricRegistry; // obs/metrics.hh
 
 /** Number of predictor banks on the EV8. */
 constexpr unsigned kNumBanks = 4;
@@ -59,7 +63,13 @@ class BankScheduler
     unsigned
     assign(uint64_t block_addr)
     {
+        const unsigned candidate =
+            static_cast<unsigned>((yAddr >> 5) & 0x3);
         const unsigned bank = computeBankNumber(yAddr, zBank);
+        ++assigns_;
+        if (candidate != bank)
+            ++adjustments_;
+        ++occupancy_[bank];
         yAddr = zAddr;
         zAddr = block_addr;
         zBank = bank;
@@ -68,18 +78,45 @@ class BankScheduler
 
     unsigned lastBank() const { return zBank; }
 
+    /** Fetch blocks routed to each bank since the last clear(). */
+    const std::array<uint64_t, kNumBanks> &
+    bankOccupancy() const
+    {
+        return occupancy_;
+    }
+
+    /** Total assignments made since the last clear(). */
+    uint64_t assigns() const { return assigns_; }
+
+    /** Assignments where the conflict-avoidance rule flipped y5. */
+    uint64_t adjustments() const { return adjustments_; }
+
+    /**
+     * Publishes counters "<prefix>.bank<k>.blocks" (occupancy per
+     * bank), "<prefix>.assigns" and "<prefix>.adjustments".
+     */
+    void publishMetrics(MetricRegistry &registry,
+                        const std::string &prefix) const;
+
     void
     clear()
     {
         yAddr = 0;
         zAddr = 0;
         zBank = 0;
+        occupancy_.fill(0);
+        assigns_ = 0;
+        adjustments_ = 0;
     }
 
   private:
     uint64_t yAddr = 0; //!< address of the block two slots back
     uint64_t zAddr = 0; //!< address of the previous block
     unsigned zBank = 0; //!< bank used by the previous block
+
+    std::array<uint64_t, kNumBanks> occupancy_{};
+    uint64_t assigns_ = 0;
+    uint64_t adjustments_ = 0;
 };
 
 } // namespace ev8

@@ -1,0 +1,92 @@
+#include "obs/event_trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hh"
+
+namespace ev8
+{
+
+EventTraceSink::EventTraceSink(std::ostream &out, uint64_t sample_every)
+    : out_(out), every(std::max<uint64_t>(1, sample_every))
+{
+}
+
+namespace
+{
+
+std::string
+hex(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+bool
+EventTraceSink::onMispredict(const MispredictEvent &event)
+{
+    const bool take = seen_ % every == 0;
+    ++seen_;
+    if (!take)
+        return false;
+    ++emitted_;
+
+    JsonWriter w(out_);
+    w.beginObject();
+    w.key("seq");
+    w.value(emitted_ - 1);
+    w.key("branch");
+    w.value(event.branchSeq);
+    if (!bench.empty()) {
+        w.key("bench");
+        w.value(bench);
+    }
+    // 64-bit addresses and history words go out as hex strings: JSON
+    // numbers are doubles and cannot hold them losslessly.
+    w.key("pc");
+    w.value(hex(event.pc));
+    w.key("block");
+    w.value(hex(event.blockAddr));
+    w.key("bank");
+    w.value(static_cast<uint64_t>(event.bank));
+    w.key("taken");
+    w.value(event.taken);
+    w.key("pred");
+    w.value(event.predicted);
+    w.key("ghist");
+    w.value(hex(event.ghist));
+    w.key("index_hist");
+    w.value(hex(event.indexHist));
+    if (classes) {
+        const auto it = classes->find(event.pc);
+        if (it != classes->end()) {
+            w.key("class");
+            w.value(it->second);
+        }
+    }
+    if (event.votesValid) {
+        w.key("votes");
+        w.beginObject();
+        w.key("bim");
+        w.value(event.voteBim);
+        w.key("g0");
+        w.value(event.voteG0);
+        w.key("g1");
+        w.value(event.voteG1);
+        w.key("meta");
+        w.value(event.voteMeta);
+        w.key("majority");
+        w.value(event.voteMajority);
+        w.endObject();
+    }
+    w.endObject();
+    out_ << '\n';
+    return true;
+}
+
+} // namespace ev8

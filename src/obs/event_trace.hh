@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sampled misprediction event tracing.
+ *
+ * The aggregate tables say *how many* mispredictions a configuration
+ * takes; classifying which branches mispredict and why needs the events
+ * themselves. The sink emits one JSONL record per sampled misprediction:
+ * pc, fetch-block address, history snapshots, EV8 bank number, the
+ * 2Bc-gskew per-table votes when the scheme exposes them, and the
+ * behaviour class of the synthetic static branch when a classifier map
+ * is attached.
+ *
+ * Sampling is a deterministic 1-in-N counter (every Nth misprediction,
+ * starting with the first): no RNG is consumed, so the same simulation
+ * produces byte-identical JSONL -- which is what makes event traces
+ * diffable across commits and usable in regression tooling.
+ */
+
+#ifndef EV8_OBS_EVENT_TRACE_HH
+#define EV8_OBS_EVENT_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+namespace ev8
+{
+
+/** pc-of-branch -> behaviour-class-name ("loop", "gcorr", ...). */
+using BranchClassMap = std::unordered_map<uint64_t, std::string>;
+
+/** One misprediction, as the simulator observed it. */
+struct MispredictEvent
+{
+    uint64_t branchSeq = 0;  //!< dynamic conditional-branch index
+    uint64_t pc = 0;
+    uint64_t blockAddr = 0;
+    uint64_t ghist = 0;      //!< conventional global history at lookup
+    uint64_t indexHist = 0;  //!< history the index functions consumed
+    unsigned bank = 0;       //!< EV8 bank number (0 when unassigned)
+    bool taken = false;
+    bool predicted = false;
+
+    // Per-table votes of the 2Bc-gskew family; valid only when the
+    // predictor exposes vote structure (votesValid).
+    bool votesValid = false;
+    bool voteBim = false;
+    bool voteG0 = false;
+    bool voteG1 = false;
+    bool voteMeta = false;   //!< true: chooser selected the e-gskew side
+    bool voteMajority = false;
+};
+
+/**
+ * JSONL misprediction sink with deterministic 1-in-N sampling. Attach
+ * one to SimConfig::events; the suite runner labels each benchmark via
+ * setBench()/setClassifier() before simulating it.
+ */
+class EventTraceSink
+{
+  public:
+    /**
+     * @param out destination stream (one JSON object per line)
+     * @param sample_every emit every Nth misprediction (>= 1)
+     */
+    explicit EventTraceSink(std::ostream &out, uint64_t sample_every = 64);
+
+    /** Names the benchmark subsequent events belong to. */
+    void setBench(std::string name) { bench = std::move(name); }
+
+    /** Attaches a pc -> behaviour-class map (nullptr detaches). */
+    void setClassifier(const BranchClassMap *map) { classes = map; }
+
+    /**
+     * Offers one misprediction to the sampler; emits it if selected.
+     * Returns true when the event was written.
+     */
+    bool onMispredict(const MispredictEvent &event);
+
+    uint64_t seen() const { return seen_; }
+    uint64_t emitted() const { return emitted_; }
+    uint64_t sampleEvery() const { return every; }
+
+  private:
+    std::ostream &out_;
+    uint64_t every;
+    uint64_t seen_ = 0;
+    uint64_t emitted_ = 0;
+    std::string bench;
+    const BranchClassMap *classes = nullptr;
+};
+
+} // namespace ev8
+
+#endif // EV8_OBS_EVENT_TRACE_HH

@@ -1,0 +1,213 @@
+#include "obs/export.hh"
+
+#include <cmath>
+
+#include "obs/json.hh"
+
+namespace ev8
+{
+
+namespace
+{
+
+void
+writeRegistryMembers(JsonWriter &w, const MetricRegistry &registry)
+{
+    const auto entries = registry.entries();
+
+    w.key("counters");
+    w.beginObject();
+    for (const auto &e : entries) {
+        if (e.kind != MetricKind::Counter)
+            continue;
+        w.key(*e.name);
+        w.value(e.counter->value());
+    }
+    w.endObject();
+
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &e : entries) {
+        if (e.kind != MetricKind::Gauge)
+            continue;
+        w.key(*e.name);
+        w.value(e.gauge->value());
+    }
+    w.endObject();
+
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &e : entries) {
+        if (e.kind != MetricKind::Histogram)
+            continue;
+        w.key(*e.name);
+        w.beginObject();
+        w.key("count");
+        w.value(e.histogram->count());
+        w.key("sum");
+        w.value(e.histogram->sum());
+        w.key("buckets");
+        w.beginArray();
+        const auto &bounds = e.histogram->bounds();
+        const auto &counts = e.histogram->bucketCounts();
+        for (size_t i = 0; i < counts.size(); ++i) {
+            w.beginObject();
+            w.key("le");
+            if (i < bounds.size())
+                w.value(bounds[i]);
+            else
+                w.value("inf"); // the overflow bucket
+            w.key("count");
+            w.value(counts[i]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+writeTimingStat(JsonWriter &w, const TimingStat &stat)
+{
+    w.beginObject();
+    w.key("calls");
+    w.value(stat.calls);
+    w.key("ns");
+    w.value(stat.ns);
+    w.key("ns_per_call");
+    w.value(stat.nsPerCall());
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeRegistryJson(std::ostream &out, const MetricRegistry &registry)
+{
+    JsonWriter w(out);
+    w.beginObject();
+    writeRegistryMembers(w, registry);
+    w.endObject();
+}
+
+void
+writeBenchJson(std::ostream &out, const BenchExport &data)
+{
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("schema");
+    w.value("ev8-bench-v1");
+
+    w.key("experiment");
+    w.beginObject();
+    w.key("id");
+    w.value(data.experimentId);
+    w.key("title");
+    w.value(data.title);
+    w.endObject();
+
+    w.key("workload");
+    w.beginObject();
+    w.key("branches_per_benchmark");
+    w.value(data.branchesPerBenchmark);
+    w.key("benchmarks");
+    w.beginArray();
+    for (const auto &b : data.benchmarks)
+        w.value(b);
+    w.endArray();
+    w.endObject();
+
+    w.key("rows");
+    w.beginArray();
+    for (const auto &row : data.rows) {
+        w.beginObject();
+        w.key("label");
+        w.value(row.label);
+        if (row.storageBits != 0) {
+            w.key("storage_bits");
+            w.value(row.storageBits);
+        }
+        w.key("values");
+        w.beginObject();
+        for (size_t i = 0;
+             i < row.columns.size() && i < row.values.size(); ++i) {
+            w.key(row.columns[i]);
+            w.value(row.values[i]);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    if (data.metrics) {
+        w.key("metrics");
+        w.beginObject();
+        writeRegistryMembers(w, *data.metrics);
+        w.endObject();
+    }
+
+    w.key("timing");
+    w.beginObject();
+    w.key("lookup");
+    writeTimingStat(w, data.timing.lookup);
+    w.key("update");
+    writeTimingStat(w, data.timing.update);
+    w.key("history");
+    writeTimingStat(w, data.timing.history);
+    w.endObject();
+
+    w.endObject();
+    out << '\n';
+}
+
+namespace
+{
+
+/** CSV field quoting: quote when the text contains , " or newline. */
+std::string
+csvField(const std::string &text)
+{
+    if (text.find_first_of(",\"\n") == std::string::npos)
+        return text;
+    std::string out = "\"";
+    for (const char c : text) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+csvNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "--";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+writeBenchCsv(std::ostream &out, const BenchExport &data)
+{
+    out << "label,storage_bits";
+    if (!data.rows.empty()) {
+        for (const auto &col : data.rows.front().columns)
+            out << ',' << csvField(col);
+    }
+    out << '\n';
+    for (const auto &row : data.rows) {
+        out << csvField(row.label) << ',' << row.storageBits;
+        for (size_t i = 0;
+             i < row.columns.size() && i < row.values.size(); ++i)
+            out << ',' << csvNumber(row.values[i]);
+        out << '\n';
+    }
+}
+
+} // namespace ev8

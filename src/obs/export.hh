@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Machine-readable artifact export for the bench harness: every
+ * table/figure reproduction can land as a JSON document (results +
+ * metric registry + timing) and/or a CSV of its result rows, so the
+ * BENCH_* trajectory, CI and regression tooling can consume what the
+ * human-facing text tables show.
+ *
+ * JSON schema ("ev8-bench-v1"):
+ *
+ *     {
+ *       "schema": "ev8-bench-v1",
+ *       "experiment": {"id": "Fig. 5", "title": "..."},
+ *       "workload": {"branches_per_benchmark": N,
+ *                    "benchmarks": ["compress", ...]},
+ *       "rows": [{"label": "...", "storage_bits": N,
+ *                 "values": {"compress": x, ..., "amean": x}}],
+ *       "metrics": {"counters": {name: N, ...},
+ *                   "gauges": {name: x, ...},
+ *                   "histograms": {name: {"count": N, "sum": x,
+ *                       "buckets": [{"le": b, "count": N}, ...]}}},
+ *       "timing": {"lookup":  {"calls": N, "ns": N, "ns_per_call": x},
+ *                  "update":  {...}, "history": {...}}
+ *     }
+ *
+ * Non-finite values serialize as JSON null ("--" in the CSV).
+ */
+
+#ifndef EV8_OBS_EXPORT_HH
+#define EV8_OBS_EXPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/timer.hh"
+
+namespace ev8
+{
+
+/** One exported result row: a labelled configuration's named values. */
+struct BenchRowExport
+{
+    std::string label;
+    uint64_t storageBits = 0; //!< 0 = not applicable
+    std::vector<std::string> columns;
+    std::vector<double> values; //!< parallel to columns
+};
+
+/** Everything one bench binary exports. */
+struct BenchExport
+{
+    std::string experimentId;
+    std::string title;
+    uint64_t branchesPerBenchmark = 0;
+    std::vector<std::string> benchmarks;
+    std::vector<BenchRowExport> rows;
+    const MetricRegistry *metrics = nullptr; //!< optional
+    SimTiming timing;                        //!< all-zero when unprofiled
+};
+
+/** Writes the full JSON artifact described above. */
+void writeBenchJson(std::ostream &out, const BenchExport &data);
+
+/**
+ * Writes the result rows as CSV: a header of
+ * "label,storage_bits,<columns...>" (columns from the first row) and
+ * one line per row. Non-finite values print as "--".
+ */
+void writeBenchCsv(std::ostream &out, const BenchExport &data);
+
+/** Writes just the registry as a JSON object (the "metrics" member). */
+void writeRegistryJson(std::ostream &out, const MetricRegistry &registry);
+
+} // namespace ev8
+
+#endif // EV8_OBS_EXPORT_HH

@@ -1,0 +1,397 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ev8
+{
+
+std::string
+escapeJson(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey) {
+        pendingKey = false;
+        return; // the key already emitted its comma
+    }
+    if (!firstInScope.back())
+        out_ << ',';
+    firstInScope.back() = false;
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    out_ << '{';
+    firstInScope.push_back(true);
+}
+
+void
+JsonWriter::endObject()
+{
+    firstInScope.pop_back();
+    out_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    out_ << '[';
+    firstInScope.push_back(true);
+}
+
+void
+JsonWriter::endArray()
+{
+    firstInScope.pop_back();
+    out_ << ']';
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    if (!firstInScope.back())
+        out_ << ',';
+    firstInScope.back() = false;
+    out_ << '"' << escapeJson(name) << "\":";
+    pendingKey = true;
+}
+
+void
+JsonWriter::value(const std::string &text)
+{
+    separate();
+    out_ << '"' << escapeJson(text) << '"';
+}
+
+void
+JsonWriter::value(const char *text)
+{
+    value(std::string(text));
+}
+
+void
+JsonWriter::value(double number)
+{
+    separate();
+    if (!std::isfinite(number)) {
+        out_ << "null";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", number);
+    out_ << buf;
+}
+
+void
+JsonWriter::value(uint64_t number)
+{
+    separate();
+    out_ << number;
+}
+
+void
+JsonWriter::value(int number)
+{
+    separate();
+    out_ << number;
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    separate();
+    out_ << (flag ? "true" : "false");
+}
+
+void
+JsonWriter::valueNull()
+{
+    separate();
+    out_ << "null";
+}
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[key, val] : members) {
+        if (key == name)
+            return &val;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &name) const
+{
+    const JsonValue *v = find(name);
+    if (!v)
+        throw std::out_of_range("json: no member '" + name + "'");
+    return *v;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos != s.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("json parse error at offset "
+                                 + std::to_string(pos) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size()
+               && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n'
+                   || s[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= s.size())
+            fail("unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        size_t n = 0;
+        while (word[n] != '\0')
+            ++n;
+        if (s.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        JsonValue v;
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"':
+            v.kind = JsonValue::Kind::String;
+            v.text = string();
+            return v;
+          case 't':
+            if (!consumeWord("true"))
+                fail("bad literal");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+          case 'f':
+            if (!consumeWord("false"))
+                fail("bad literal");
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            return v;
+          case 'n':
+            if (!consumeWord("null"))
+                fail("bad literal");
+            v.kind = JsonValue::Kind::Null;
+            return v;
+          default: return numberValue();
+        }
+    }
+
+    JsonValue
+    numberValue()
+    {
+        const size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < s.size()
+               && (std::isdigit(static_cast<unsigned char>(s[pos]))
+                   || s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E'
+                   || s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            fail("expected a value");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        try {
+            v.number = std::stod(s.substr(start, pos - start));
+        } catch (const std::exception &) {
+            fail("malformed number");
+        }
+        return v;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            const char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                fail("unterminated escape");
+            const char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    fail("truncated \\u escape");
+                const unsigned code = static_cast<unsigned>(
+                    std::stoul(s.substr(pos, 4), nullptr, 16));
+                pos += 4;
+                // Basic-multilingual-plane only; enough for our ASCII
+                // metric names and benchmark labels.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string name = string();
+            skipWs();
+            expect(':');
+            v.members.emplace_back(std::move(name), value());
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace ev8

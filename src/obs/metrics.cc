@@ -1,0 +1,111 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ev8
+{
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0)
+{
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        throw std::logic_error("histogram bounds must be ascending");
+}
+
+void
+Histogram::observe(double value, uint64_t count)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    counts_[static_cast<size_t>(it - bounds_.begin())] += count;
+    count_ += count;
+    sum_ += value * static_cast<double>(count);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+MetricRegistry::Holder &
+MetricRegistry::find(const std::string &name, MetricKind kind)
+{
+    const auto it = items.find(name);
+    if (it == items.end()) {
+        Holder &h = items[name];
+        h.kind = kind;
+        return h;
+    }
+    if (it->second.kind != kind)
+        throw std::logic_error("metric '" + name
+                               + "' already registered as another kind");
+    return it->second;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    Holder &h = find(name, MetricKind::Counter);
+    if (!h.counter)
+        h.counter = std::make_unique<Counter>();
+    return *h.counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    Holder &h = find(name, MetricKind::Gauge);
+    if (!h.gauge)
+        h.gauge = std::make_unique<Gauge>();
+    return *h.gauge;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name,
+                          std::vector<double> upper_bounds)
+{
+    Holder &h = find(name, MetricKind::Histogram);
+    if (!h.histogram) {
+        h.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+    } else if (h.histogram->bounds() != upper_bounds) {
+        throw std::logic_error("histogram '" + name
+                               + "' re-registered with different bounds");
+    }
+    return *h.histogram;
+}
+
+bool
+MetricRegistry::has(const std::string &name) const
+{
+    return items.count(name) != 0;
+}
+
+uint64_t
+MetricRegistry::counterValue(const std::string &name) const
+{
+    const auto it = items.find(name);
+    if (it == items.end() || it->second.kind != MetricKind::Counter)
+        return 0;
+    return it->second.counter->value();
+}
+
+std::vector<MetricRegistry::Entry>
+MetricRegistry::entries() const
+{
+    std::vector<Entry> out;
+    out.reserve(items.size());
+    for (const auto &[name, holder] : items) {
+        Entry e;
+        e.name = &name;
+        e.kind = holder.kind;
+        e.counter = holder.counter.get();
+        e.gauge = holder.gauge.get();
+        e.histogram = holder.histogram.get();
+        out.push_back(e);
+    }
+    return out; // std::map iteration is already name-ordered
+}
+
+} // namespace ev8

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The metric registry: named counters, gauges and fixed-bucket
+ * histograms that components register into by name.
+ *
+ * Naming convention (dotted paths, lower_snake leaf names):
+ *
+ *     sim.fetch_blocks            counter, simulator-level tallies
+ *     lghist.bits_inserted        counter, history-compression stats
+ *     pred.<name>.bank<k>.*       counter, per-bank predictor internals
+ *     frontend.banks.*            counter, bank-scheduler occupancy
+ *     core.storage.<table>.*      counter/gauge, physical-array accesses
+ *     sim.time.<phase>.*          counter/gauge, ScopedTimer results
+ *
+ * The registry hands out stable references: a Counter& stays valid for
+ * the registry's lifetime, so hot paths can hold the pointer and bump it
+ * without a map lookup. Registering the same name twice returns the same
+ * metric; registering it as a different kind throws std::logic_error
+ * (name collisions are bugs, not data).
+ */
+
+#ifndef EV8_OBS_METRICS_HH
+#define EV8_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ev8
+{
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    void inc(uint64_t n = 1) { v += n; }
+    uint64_t value() const { return v; }
+
+  private:
+    uint64_t v = 0;
+};
+
+/** Last-written point-in-time value. */
+class Gauge
+{
+  public:
+    void set(double value) { v = value; }
+    double value() const { return v; }
+
+  private:
+    double v = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram: @p upper_bounds are ascending inclusive bucket
+ * upper edges; one implicit overflow bucket catches everything above the
+ * last bound (so bucketCounts().size() == bounds().size() + 1).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    /** Records @p count observations of value @p value. */
+    void observe(double value, uint64_t count = 1);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+    const std::vector<uint64_t> &bucketCounts() const { return counts_; }
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<uint64_t> counts_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+enum class MetricKind
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+class MetricRegistry
+{
+  public:
+    /** Gets or creates the named counter. */
+    Counter &counter(const std::string &name);
+
+    /** Gets or creates the named gauge. */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Gets or creates the named histogram. Re-registration must repeat
+     * the same bounds; a mismatch throws std::logic_error.
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> upper_bounds);
+
+    bool has(const std::string &name) const;
+    size_t size() const { return items.size(); }
+
+    /** Value of a counter, or 0 if it was never registered. */
+    uint64_t counterValue(const std::string &name) const;
+
+    /** One registered metric, for exporters. */
+    struct Entry
+    {
+        const std::string *name = nullptr;
+        MetricKind kind = MetricKind::Counter;
+        const Counter *counter = nullptr;
+        const Gauge *gauge = nullptr;
+        const Histogram *histogram = nullptr;
+    };
+
+    /** All metrics in lexicographic name order (deterministic export). */
+    std::vector<Entry> entries() const;
+
+  private:
+    struct Holder
+    {
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Holder &find(const std::string &name, MetricKind kind);
+
+    std::map<std::string, Holder> items;
+};
+
+} // namespace ev8
+
+#endif // EV8_OBS_METRICS_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lightweight wall-clock profiling for the simulation hot paths:
+ * an accumulating (calls, nanoseconds) pair per measured phase and a
+ * scope guard that feeds it. The simulator wraps predictor lookup,
+ * predictor update and history maintenance with these when
+ * SimConfig::profileTiming is set; with the flag off the hot loop pays
+ * only an untaken branch.
+ */
+
+#ifndef EV8_OBS_TIMER_HH
+#define EV8_OBS_TIMER_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace ev8
+{
+
+/** Accumulated time of one measured phase. */
+struct TimingStat
+{
+    uint64_t calls = 0;
+    uint64_t ns = 0;
+
+    void
+    add(uint64_t nanos)
+    {
+        ++calls;
+        ns += nanos;
+    }
+
+    void
+    merge(const TimingStat &other)
+    {
+        calls += other.calls;
+        ns += other.ns;
+    }
+
+    double
+    nsPerCall() const
+    {
+        return calls == 0
+            ? 0.0
+            : static_cast<double>(ns) / static_cast<double>(calls);
+    }
+};
+
+/** The three phases the simulator distinguishes. */
+struct SimTiming
+{
+    TimingStat lookup;  //!< ConditionalBranchPredictor::predict
+    TimingStat update;  //!< ConditionalBranchPredictor::update
+    TimingStat history; //!< lghist/delayed-view/path maintenance
+
+    void
+    merge(const SimTiming &other)
+    {
+        lookup.merge(other.lookup);
+        update.merge(other.update);
+        history.merge(other.history);
+    }
+};
+
+/** RAII guard adding its scope's duration to a TimingStat. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(TimingStat &stat)
+        : stat_(stat), start(std::chrono::steady_clock::now())
+    {}
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        const auto elapsed = std::chrono::steady_clock::now() - start;
+        stat_.add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+    }
+
+  private:
+    TimingStat &stat_;
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace ev8
+
+#endif // EV8_OBS_TIMER_HH

@@ -1,6 +1,7 @@
 #include "predictors/egskew.hh"
 
 #include "common/bits.hh"
+#include "obs/metrics.hh"
 #include "predictors/skew.hh"
 
 namespace ev8
@@ -45,6 +46,18 @@ EgskewPredictor::update(const BranchSnapshot &snap, bool taken,
 {
     computeIndices(snap);
 
+    if (statsEnabled()) {
+        for (int b = 0; b < 3; ++b) {
+            ++tallies[b].lookups;
+            if (vote[b] != taken)
+                ++tallies[b].conflicts;
+            if (vote[b] == predicted_taken)
+                ++tallies[b].agree;
+        }
+        if (vote[0] == vote[1] && vote[1] == vote[2])
+            ++unanimous;
+    }
+
     if (!partialUpdate) {
         for (int b = 0; b < 3; ++b)
             banks[b].update(idx[b], taken);
@@ -78,11 +91,39 @@ EgskewPredictor::name() const
         + std::to_string(histLen);
 }
 
+VoteSnapshot
+EgskewPredictor::lastVotes() const
+{
+    VoteSnapshot v;
+    v.valid = true;
+    v.bim = vote[0];
+    v.g0 = vote[1];
+    v.g1 = vote[2];
+    v.meta = false; // no chooser: the majority always decides
+    v.majority = (static_cast<int>(vote[0]) + vote[1] + vote[2]) >= 2;
+    return v;
+}
+
+void
+EgskewPredictor::publishMetrics(MetricRegistry &registry,
+                                const std::string &prefix) const
+{
+    for (int b = 0; b < 3; ++b) {
+        const std::string bank = prefix + ".bank" + std::to_string(b);
+        registry.counter(bank + ".lookups").inc(tallies[b].lookups);
+        registry.counter(bank + ".conflicts").inc(tallies[b].conflicts);
+        registry.counter(bank + ".agree").inc(tallies[b].agree);
+    }
+    registry.counter(prefix + ".unanimous").inc(unanimous);
+}
+
 void
 EgskewPredictor::reset()
 {
     for (auto &bank : banks)
         bank.reset();
+    tallies = {};
+    unanimous = 0;
 }
 
 } // namespace ev8

@@ -36,6 +36,9 @@ class EgskewPredictor : public ConditionalBranchPredictor
     uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;
+    VoteSnapshot lastVotes() const override;
+    void publishMetrics(MetricRegistry &registry,
+                        const std::string &prefix) const override;
 
   private:
     void computeIndices(const BranchSnapshot &snap);
@@ -48,6 +51,16 @@ class EgskewPredictor : public ConditionalBranchPredictor
     // Lookup state cached between predict() and update().
     std::array<size_t, 3> idx{};
     std::array<bool, 3> vote{};
+
+    // Per-bank vote tallies (bank0 = bimodal, 1/2 = skewed).
+    struct BankTally
+    {
+        uint64_t lookups = 0;
+        uint64_t conflicts = 0; //!< vote against the resolved outcome
+        uint64_t agree = 0;     //!< vote matching the majority decision
+    };
+    std::array<BankTally, 3> tallies{};
+    uint64_t unanimous = 0;
 };
 
 } // namespace ev8

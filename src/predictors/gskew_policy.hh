@@ -16,9 +16,13 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 namespace ev8
 {
+
+class MetricRegistry; // obs/metrics.hh
 
 /** Table identifiers, in the paper's order. */
 enum TableId : unsigned
@@ -55,6 +59,70 @@ computeGskewVotes(const Banks &banks, GskewLookup &look)
                      + look.g1Pred) >= 2;
     look.overall = look.metaPred ? look.majority : look.bimPred;
 }
+
+/**
+ * Per-bank vote bookkeeping shared by the 2Bc-gskew-family predictors
+ * (unconstrained, EV8-constrained). Fed once per update() from the
+ * cached GskewLookup; published into a MetricRegistry on demand.
+ *
+ * Per voting bank (BIM/G0/G1): a "conflict" is a vote against the
+ * resolved outcome -- the direct symptom of destructive table aliasing;
+ * "agree" counts votes matching the overall prediction. For META the
+ * same fields mean: conflict = the chooser selected the component that
+ * turned out wrong, agree = it selected the correct one.
+ */
+struct GskewVoteStats
+{
+    struct PerBank
+    {
+        uint64_t lookups = 0;
+        uint64_t conflicts = 0;
+        uint64_t agree = 0;
+    };
+
+    std::array<PerBank, kNumTables> bank{};
+    uint64_t updates = 0;
+    uint64_t unanimous = 0;        //!< BIM, G0, G1 all voted alike
+    uint64_t metaSelectsGskew = 0; //!< chooser picked the majority side
+    uint64_t mispredicts = 0;
+
+    void
+    note(const GskewLookup &look, bool taken)
+    {
+        ++updates;
+        const std::array<bool, 3> votes{look.bimPred, look.g0Pred,
+                                        look.g1Pred};
+        for (unsigned t = 0; t < 3; ++t) {
+            ++bank[t].lookups;
+            if (votes[t] != taken)
+                ++bank[t].conflicts;
+            if (votes[t] == look.overall)
+                ++bank[t].agree;
+        }
+        ++bank[META].lookups;
+        const bool selected = look.metaPred ? look.majority : look.bimPred;
+        if (selected != taken)
+            ++bank[META].conflicts;
+        else
+            ++bank[META].agree;
+        if (look.bimPred == look.g0Pred && look.g0Pred == look.g1Pred)
+            ++unanimous;
+        if (look.metaPred)
+            ++metaSelectsGskew;
+        if (look.overall != taken)
+            ++mispredicts;
+    }
+};
+
+/**
+ * Publishes @p stats as counters named
+ * "<prefix>.bank<k>.{lookups,conflicts,agree}" (k in table order:
+ * 0=BIM, 1=G0, 2=G1, 3=Meta) plus "<prefix>.{updates,unanimous,
+ * meta_selects_gskew,mispredicts}". Implemented in predictor.cc.
+ */
+void publishGskewVoteStats(MetricRegistry &registry,
+                           const std::string &prefix,
+                           const GskewVoteStats &stats);
 
 namespace detail
 {

@@ -2,8 +2,29 @@
 
 #include <cstdio>
 
+#include "obs/metrics.hh"
+#include "predictors/gskew_policy.hh"
+
 namespace ev8
 {
+
+void
+publishGskewVoteStats(MetricRegistry &registry, const std::string &prefix,
+                      const GskewVoteStats &stats)
+{
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        const std::string bank = prefix + ".bank" + std::to_string(t);
+        registry.counter(bank + ".lookups").inc(stats.bank[t].lookups);
+        registry.counter(bank + ".conflicts")
+            .inc(stats.bank[t].conflicts);
+        registry.counter(bank + ".agree").inc(stats.bank[t].agree);
+    }
+    registry.counter(prefix + ".updates").inc(stats.updates);
+    registry.counter(prefix + ".unanimous").inc(stats.unanimous);
+    registry.counter(prefix + ".meta_selects_gskew")
+        .inc(stats.metaSelectsGskew);
+    registry.counter(prefix + ".mispredicts").inc(stats.mispredicts);
+}
 
 std::string
 formatKbits(uint64_t bits)

@@ -21,6 +21,24 @@
 namespace ev8
 {
 
+class MetricRegistry; // obs/metrics.hh; only implementations need it
+
+/**
+ * Component votes of a predictor's most recent predict() call, for the
+ * misprediction event trace. Schemes without vote structure (bimodal,
+ * gshare, perceptron, ...) leave valid false; the 2Bc-gskew family fills
+ * the per-table fields.
+ */
+struct VoteSnapshot
+{
+    bool valid = false;
+    bool bim = false;
+    bool g0 = false;
+    bool g1 = false;
+    bool meta = false;     //!< chooser selected the e-gskew majority
+    bool majority = false; //!< the e-gskew majority vote
+};
+
 /**
  * Everything a predictor may look at when predicting one conditional
  * branch. The simulator fills it in; which fields a scheme consumes is
@@ -67,6 +85,48 @@ class ConditionalBranchPredictor
 
     /** Returns all tables to their initial state (weakly not-taken). */
     virtual void reset() = 0;
+
+    /**
+     * Votes of the most recent predict() call, for event tracing.
+     * Base implementation: no vote structure to expose.
+     */
+    virtual VoteSnapshot
+    lastVotes() const
+    {
+        return {};
+    }
+
+    /**
+     * Publishes the scheme's internal tallies (per-bank conflicts,
+     * agreement rates, array accesses, ...) into @p registry under
+     * metric names starting with @p prefix (e.g. "pred.2Bc-gskew-512K").
+     * Counters accumulate across calls, so a suite run publishing once
+     * per benchmark yields suite-wide totals. Base: publishes nothing.
+     */
+    virtual void
+    publishMetrics(MetricRegistry &registry, const std::string &prefix) const
+    {
+        (void)registry;
+        (void)prefix;
+    }
+
+    /**
+     * Turns per-branch internal bookkeeping (vote tallies, array-access
+     * counters) on or off. Off by default so uninstrumented simulations
+     * pay nothing; the harness enables it before runs that will call
+     * publishMetrics(). Implementations with per-component state
+     * override to forward the flag.
+     */
+    virtual void
+    enableStats(bool on)
+    {
+        statsEnabled_ = on;
+    }
+
+    bool statsEnabled() const { return statsEnabled_; }
+
+  private:
+    bool statsEnabled_ = false;
 };
 
 using PredictorPtr = std::unique_ptr<ConditionalBranchPredictor>;

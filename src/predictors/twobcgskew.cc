@@ -111,6 +111,8 @@ TwoBcGskewPredictor::update(const BranchSnapshot &snap, bool taken, bool)
     // same branch.
     assert(last.idx[BIM] == tableIndex(BIM, snap));
     (void)snap;
+    if (statsEnabled())
+        stats.note(last, taken);
     BankFacade facade{banksStorage};
     if (cfg.partialUpdate)
         gskewPartialUpdate(facade, last, taken);
@@ -132,11 +134,32 @@ TwoBcGskewPredictor::name() const
     return "2Bc-gskew";
 }
 
+VoteSnapshot
+TwoBcGskewPredictor::lastVotes() const
+{
+    VoteSnapshot v;
+    v.valid = true;
+    v.bim = last.bimPred;
+    v.g0 = last.g0Pred;
+    v.g1 = last.g1Pred;
+    v.meta = last.metaPred;
+    v.majority = last.majority;
+    return v;
+}
+
+void
+TwoBcGskewPredictor::publishMetrics(MetricRegistry &registry,
+                                    const std::string &prefix) const
+{
+    publishGskewVoteStats(registry, prefix, stats);
+}
+
 void
 TwoBcGskewPredictor::reset()
 {
     for (auto &bank : banksStorage)
         bank.reset();
+    stats = GskewVoteStats{};
 }
 
 } // namespace ev8

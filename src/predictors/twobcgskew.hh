@@ -97,8 +97,14 @@ class TwoBcGskewPredictor : public ConditionalBranchPredictor
     uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;
+    VoteSnapshot lastVotes() const override;
+    void publishMetrics(MetricRegistry &registry,
+                        const std::string &prefix) const override;
 
     const TwoBcGskewConfig &config() const { return cfg; }
+
+    /** Accumulated per-bank vote/conflict tallies. */
+    const GskewVoteStats &voteStats() const { return stats; }
 
     /** Per-table index for a snapshot (exposed for tests). */
     size_t tableIndex(TableId table, const BranchSnapshot &snap) const;
@@ -132,6 +138,7 @@ class TwoBcGskewPredictor : public ConditionalBranchPredictor
     TwoBcGskewConfig cfg;
     std::array<SplitCounterArray, kNumTables> banksStorage;
     GskewLookup last; //!< cached between predict() and update()
+    GskewVoteStats stats;
 };
 
 } // namespace ev8

@@ -3,9 +3,71 @@
 #include "frontend/bank_scheduler.hh"
 #include "frontend/fetch_block.hh"
 #include "frontend/lghist.hh"
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
 
 namespace ev8
 {
+
+namespace
+{
+
+/** Builds the sampled-trace record for one misprediction. */
+MispredictEvent
+makeEvent(const SimResult &result, const BranchSnapshot &snap,
+          bool taken, bool predicted, const VoteSnapshot &votes)
+{
+    MispredictEvent ev;
+    ev.branchSeq = result.condBranches;
+    ev.pc = snap.pc;
+    ev.blockAddr = snap.blockAddr;
+    ev.ghist = snap.hist.ghist;
+    ev.indexHist = snap.hist.indexHist;
+    ev.bank = snap.bank;
+    ev.taken = taken;
+    ev.predicted = predicted;
+    ev.votesValid = votes.valid;
+    ev.voteBim = votes.bim;
+    ev.voteG0 = votes.g0;
+    ev.voteG1 = votes.g1;
+    ev.voteMeta = votes.meta;
+    ev.voteMajority = votes.majority;
+    return ev;
+}
+
+/** End-of-run dump of the simulator-level tallies into the registry. */
+void
+publishSimMetrics(MetricRegistry &registry, const SimResult &result,
+                  const SimConfig &config, const BankScheduler &banks)
+{
+    registry.counter("sim.fetch_blocks").inc(result.fetchBlocks);
+    registry.counter("sim.cond_branches").inc(result.condBranches);
+    registry.counter("sim.mispredicts")
+        .inc(result.stats.mispredictions());
+    registry.counter("lghist.bits_inserted").inc(result.lghistBits);
+
+    auto &hist = registry.histogram(
+        "sim.branches_per_block", {0, 1, 2, 3, 4, 5, 6, 7, 8});
+    for (unsigned k = 0; k < result.branchesPerBlock.size(); ++k)
+        hist.observe(k, result.branchesPerBlock[k]);
+
+    if (config.assignBanks)
+        banks.publishMetrics(registry, "frontend.banks");
+
+    if (config.profileTiming) {
+        auto publish = [&](const char *phase, const TimingStat &t) {
+            const std::string p = std::string("sim.time.") + phase;
+            registry.counter(p + ".calls").inc(t.calls);
+            registry.counter(p + ".ns").inc(t.ns);
+            registry.gauge(p + ".ns_per_call").set(t.nsPerCall());
+        };
+        publish("lookup", result.timing.lookup);
+        publish("update", result.timing.update);
+        publish("history", result.timing.history);
+    }
+}
+
+} // namespace
 
 SimResult
 simulateTrace(const Trace &trace, ConditionalBranchPredictor &predictor,
@@ -14,8 +76,14 @@ simulateTrace(const Trace &trace, ConditionalBranchPredictor &predictor,
     SimResult result;
     result.stats.setInstructions(trace.instructionCount());
 
+    // Internal predictor tallies only matter when they will be
+    // published; leave them off otherwise so uninstrumented runs pay
+    // nothing on the per-branch path.
+    predictor.enableStats(config.metrics != nullptr);
+
     const bool lghist_mode = config.history != HistoryMode::Ghist;
     const bool lghist_path = config.history == HistoryMode::LghistPath;
+    const bool timed = config.profileTiming;
 
     HistoryRegister ghist;
     LghistTracker lghist(lghist_path);
@@ -30,6 +98,10 @@ simulateTrace(const Trace &trace, ConditionalBranchPredictor &predictor,
 
     auto on_block = [&](const FetchBlock &block) {
         ++result.fetchBlocks;
+        ++result.branchesPerBlock[block.numBranches
+                                      < result.branchesPerBlock.size()
+                                  ? block.numBranches
+                                  : result.branchesPerBlock.size() - 1];
 
         BranchSnapshot snap;
         snap.blockAddr = block.address;
@@ -50,17 +122,42 @@ simulateTrace(const Trace &trace, ConditionalBranchPredictor &predictor,
             snap.hist.ghist = ghist.raw();
             snap.hist.indexHist = lghist_mode ? block_hist : ghist.raw();
 
-            const bool predicted = predictor.predict(snap);
+            bool predicted;
+            if (timed) {
+                ScopedTimer t(result.timing.lookup);
+                predicted = predictor.predict(snap);
+            } else {
+                predicted = predictor.predict(snap);
+            }
             result.stats.record(predicted, br.taken);
-            predictor.update(snap, br.taken, predicted);
+
+            if (config.events && predicted != br.taken) {
+                config.events->onMispredict(makeEvent(
+                    result, snap, br.taken, predicted,
+                    predictor.lastVotes()));
+            }
+
+            if (timed) {
+                ScopedTimer t(result.timing.update);
+                predictor.update(snap, br.taken, predicted);
+            } else {
+                predictor.update(snap, br.taken, predicted);
+            }
 
             ghist.push(br.taken);
             ++result.condBranches;
         }
 
-        if (lghist.onBlock(block))
-            ++result.lghistBits;
-        delayed.advance(lghist.value());
+        if (timed) {
+            ScopedTimer t(result.timing.history);
+            if (lghist.onBlock(block))
+                ++result.lghistBits;
+            delayed.advance(lghist.value());
+        } else {
+            if (lghist.onBlock(block))
+                ++result.lghistBits;
+            delayed.advance(lghist.value());
+        }
 
         path_x = path_y;
         path_y = path_z;
@@ -70,6 +167,9 @@ simulateTrace(const Trace &trace, ConditionalBranchPredictor &predictor,
     for (const auto &rec : trace.records())
         builder.feed(rec, on_block);
     builder.flush(on_block);
+
+    if (config.metrics)
+        publishSimMetrics(*config.metrics, result, config, bank_sched);
 
     return result;
 }

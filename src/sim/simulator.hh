@@ -17,14 +17,19 @@
 #ifndef EV8_SIM_SIMULATOR_HH
 #define EV8_SIM_SIMULATOR_HH
 
+#include <array>
 #include <cstdint>
 
 #include "common/stats.hh"
+#include "obs/timer.hh"
 #include "predictors/predictor.hh"
 #include "trace/trace.hh"
 
 namespace ev8
 {
+
+class MetricRegistry; // obs/metrics.hh
+class EventTraceSink; // obs/event_trace.hh
 
 /** Which history register feeds hist.indexHist (Fig. 7's axis). */
 enum class HistoryMode
@@ -50,6 +55,14 @@ struct SimConfig
     /** Drive the bank-number recurrence and fill BranchSnapshot::bank. */
     bool assignBanks = false;
 
+    /**
+     * Optional observability hooks. All default to detached; the
+     * simulation loop only pays for them when they are set.
+     */
+    MetricRegistry *metrics = nullptr; //!< end-of-run counter dump
+    EventTraceSink *events = nullptr;  //!< sampled mispredict JSONL
+    bool profileTiming = false;        //!< fill SimResult::timing
+
     /** Preset: conventional global history ("ghist" rows of Fig. 7). */
     static SimConfig
     ghist()
@@ -72,6 +85,12 @@ struct SimResult
     uint64_t fetchBlocks = 0;    //!< fetch blocks reconstructed
     uint64_t lghistBits = 0;     //!< history bits inserted (Table 3)
     uint64_t condBranches = 0;   //!< conditional branches simulated
+
+    /** Fetch blocks holding exactly k conditional branches (k = 0..8). */
+    std::array<uint64_t, 9> branchesPerBlock{};
+
+    /** Wall-clock split (populated only when SimConfig::profileTiming). */
+    SimTiming timing;
 
     /** Table 3: average branches summarized per lghist bit. */
     double

@@ -1,5 +1,7 @@
 #include "sim/suite_runner.hh"
 
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
 #include "workloads/synthetic_program.hh"
 
 namespace ev8
@@ -36,7 +38,25 @@ SuiteRunner::run(const PredictorFactory &factory, const SimConfig &config)
         PredictorPtr predictor = factory();
         BenchResult r;
         r.bench = name(i);
+
+        // Label the event stream and attach the pc -> behaviour-class
+        // map for this benchmark's static branches.
+        BranchClassMap classes;
+        if (config.events) {
+            config.events->setBench(r.bench);
+            classes = SyntheticProgram(specint95Suite()[i].profile)
+                          .condBranchClasses();
+            config.events->setClassifier(&classes);
+        }
+
         r.sim = simulateTrace(trace(i), *predictor, config);
+
+        if (config.events)
+            config.events->setClassifier(nullptr);
+        if (config.metrics) {
+            predictor->publishMetrics(*config.metrics,
+                                      "pred." + predictor->name());
+        }
         results.push_back(std::move(r));
     }
     return results;

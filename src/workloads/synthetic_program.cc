@@ -171,6 +171,19 @@ SyntheticProgram::makeBehavior(size_t idx) const
     return sampleBehavior(profile_.mix, profile_.tuning, rng);
 }
 
+std::unordered_map<uint64_t, std::string>
+SyntheticProgram::condBranchClasses() const
+{
+    std::unordered_map<uint64_t, std::string> classes;
+    for (const BasicBlock &block : blocks_) {
+        if (block.term != TermKind::Cond || block.behavior < 0)
+            continue;
+        classes[block.termPc()] =
+            makeBehavior(static_cast<size_t>(block.behavior))->name();
+    }
+    return classes;
+}
+
 Trace
 SyntheticProgram::run(uint64_t dynamic_cond_branches,
                       uint64_t run_seed) const

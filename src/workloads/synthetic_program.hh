@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.hh"
@@ -148,6 +149,12 @@ class SyntheticProgram
 
     /** Number of static conditional branch sites in the CFG. */
     size_t staticCondBranches() const { return behaviorSpecs.size(); }
+
+    /**
+     * Terminator pc -> behaviour model name ("loop", "gcorr", ...) for
+     * every static conditional branch; the event-trace classifier input.
+     */
+    std::unordered_map<uint64_t, std::string> condBranchClasses() const;
 
   private:
     struct BehaviorSpec

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * End-to-end schema test for the bench artifact pipeline: spawns the
+ * real bench_fig5_schemes binary with --json/--csv/--events at a small
+ * branch budget and validates the emitted ev8-bench-v1 document, the
+ * CSV header, and the JSONL event trace. EV8_BENCH_DIR points at the
+ * build tree's bench/ directory (set by tests/CMakeLists.txt); the test
+ * skips when the binary is missing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace ev8
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+TEST(BenchArtifacts, Fig5EmitsValidSchemaWithCountersAndTiming)
+{
+#ifndef EV8_BENCH_DIR
+    GTEST_SKIP() << "EV8_BENCH_DIR not configured";
+#else
+    const std::string binary = std::string(EV8_BENCH_DIR)
+                               + "/bench_fig5_schemes";
+    if (!std::ifstream(binary).good())
+        GTEST_SKIP() << "bench binary not built: " << binary;
+
+    const std::string dir = ::testing::TempDir();
+    const std::string json_path = dir + "ev8_fig5_artifact.json";
+    const std::string csv_path = dir + "ev8_fig5_artifact.csv";
+    const std::string events_path = dir + "ev8_fig5_artifact.jsonl";
+    const std::string cmd = binary + " --branches=2000 --sample=32"
+                            + " --json=" + json_path
+                            + " --csv=" + csv_path
+                            + " --events=" + events_path
+                            + " > /dev/null 2>&1";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+    const JsonValue doc = parseJson(slurp(json_path));
+    EXPECT_EQ(doc.at("schema").text, "ev8-bench-v1");
+    EXPECT_EQ(doc.at("experiment").at("id").text, "Fig. 5");
+    EXPECT_DOUBLE_EQ(
+        doc.at("workload").at("branches_per_benchmark").number, 2000.0);
+    EXPECT_FALSE(doc.at("workload").at("benchmarks").items.empty());
+
+    // Every scheme row reports a finite suite average and its storage.
+    const auto &rows = doc.at("rows").items;
+    ASSERT_GE(rows.size(), 4u);
+    for (const auto &row : rows) {
+        EXPECT_FALSE(row.at("label").text.empty());
+        EXPECT_GT(row.at("storage_bits").number, 0.0);
+        const JsonValue &amean = row.at("values").at("amean");
+        ASSERT_TRUE(amean.isNumber());
+        EXPECT_TRUE(std::isfinite(amean.number));
+        EXPECT_GT(amean.number, 0.0);
+    }
+
+    // The registry made it into the artifact: simulator tallies plus
+    // the per-bank 2Bc-gskew conflict counters.
+    const JsonValue &counters = doc.at("metrics").at("counters");
+    EXPECT_GT(counters.at("sim.fetch_blocks").number, 0.0);
+    EXPECT_GT(counters.at("sim.cond_branches").number, 0.0);
+    bool saw_bank_conflicts[4] = {};
+    for (const auto &[name, value] : counters.members) {
+        for (int k = 0; k < 4; ++k) {
+            const std::string tail = ".bank" + std::to_string(k)
+                                     + ".conflicts";
+            if (name.size() > tail.size()
+                && name.compare(name.size() - tail.size(), tail.size(),
+                                tail) == 0
+                && name.rfind("pred.", 0) == 0) {
+                saw_bank_conflicts[k] = true;
+                (void)value;
+            }
+        }
+    }
+    for (int k = 0; k < 4; ++k)
+        EXPECT_TRUE(saw_bank_conflicts[k]) << "missing bank" << k;
+
+    // Timing was profiled (artifacts requested => profileTiming on).
+    const JsonValue &lookup = doc.at("timing").at("lookup");
+    EXPECT_GT(lookup.at("calls").number, 0.0);
+    EXPECT_GT(lookup.at("ns_per_call").number, 0.0);
+    EXPECT_GT(doc.at("timing").at("update").at("calls").number, 0.0);
+
+    // CSV: golden header and one line per JSON row.
+    std::istringstream csv(slurp(csv_path));
+    std::string header;
+    ASSERT_TRUE(std::getline(csv, header));
+    EXPECT_EQ(header.rfind("label,storage_bits,", 0), 0u) << header;
+    size_t csv_rows = 0;
+    for (std::string line; std::getline(csv, line);)
+        csv_rows += !line.empty();
+    EXPECT_EQ(csv_rows, rows.size());
+
+    // JSONL events: non-empty, one parseable object per line, labelled
+    // with a benchmark name.
+    std::istringstream events(slurp(events_path));
+    size_t event_lines = 0;
+    for (std::string line; std::getline(events, line);) {
+        const JsonValue event = parseJson(line);
+        EXPECT_FALSE(event.at("bench").text.empty());
+        EXPECT_EQ(event.at("pc").text.rfind("0x", 0), 0u);
+        ++event_lines;
+    }
+    EXPECT_GT(event_lines, 0u);
+#endif
+}
+
+} // namespace
+} // namespace ev8

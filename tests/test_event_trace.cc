@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the sampled misprediction event sink: deterministic 1-in-N
+ * sampling, JSONL validity, hex encoding of 64-bit fields, classifier
+ * labelling, and byte-identical output across repeated simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event_trace.hh"
+#include "obs/json.hh"
+#include "predictors/factory.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace ev8
+{
+namespace
+{
+
+MispredictEvent
+simpleEvent(uint64_t pc)
+{
+    MispredictEvent e;
+    e.branchSeq = 17;
+    e.pc = pc;
+    e.blockAddr = pc & ~uint64_t{0x1f};
+    e.ghist = 0xa5;
+    e.indexHist = 0x5a;
+    e.bank = 2;
+    e.taken = true;
+    e.predicted = false;
+    return e;
+}
+
+std::vector<std::string>
+lines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(EventTraceSink, SamplesEveryNthStartingWithFirst)
+{
+    std::ostringstream out;
+    EventTraceSink sink(out, 3);
+    int written = 0;
+    for (int i = 0; i < 7; ++i)
+        written += sink.onMispredict(simpleEvent(0x1000 + i)) ? 1 : 0;
+    EXPECT_EQ(written, 3); // mispredictions 0, 3, 6
+    EXPECT_EQ(sink.seen(), 7u);
+    EXPECT_EQ(sink.emitted(), 3u);
+    EXPECT_EQ(lines(out.str()).size(), 3u);
+}
+
+TEST(EventTraceSink, SampleEveryZeroClampsToOne)
+{
+    std::ostringstream out;
+    EventTraceSink sink(out, 0);
+    EXPECT_EQ(sink.sampleEvery(), 1u);
+    sink.onMispredict(simpleEvent(0x10));
+    sink.onMispredict(simpleEvent(0x20));
+    EXPECT_EQ(sink.emitted(), 2u);
+}
+
+TEST(EventTraceSink, RecordsAreValidJsonWithHexAddresses)
+{
+    std::ostringstream out;
+    EventTraceSink sink(out, 1);
+    sink.setBench("gcc");
+    sink.onMispredict(simpleEvent(0xdeadbeef));
+
+    const auto all = lines(out.str());
+    ASSERT_EQ(all.size(), 1u);
+    const JsonValue doc = parseJson(all[0]);
+    EXPECT_EQ(doc.at("bench").text, "gcc");
+    EXPECT_EQ(doc.at("pc").text, "0xdeadbeef");
+    EXPECT_EQ(doc.at("block").text, "0xdeadbee0");
+    EXPECT_EQ(doc.at("ghist").text, "0xa5");
+    EXPECT_EQ(doc.at("index_hist").text, "0x5a");
+    EXPECT_DOUBLE_EQ(doc.at("bank").number, 2.0);
+    EXPECT_DOUBLE_EQ(doc.at("branch").number, 17.0);
+    EXPECT_TRUE(doc.at("taken").boolean);
+    EXPECT_FALSE(doc.at("pred").boolean);
+    // No classifier attached, no votes: those keys must be absent.
+    EXPECT_EQ(doc.find("class"), nullptr);
+    EXPECT_EQ(doc.find("votes"), nullptr);
+}
+
+TEST(EventTraceSink, ClassifierAndVotesAppearWhenProvided)
+{
+    std::ostringstream out;
+    EventTraceSink sink(out, 1);
+    BranchClassMap classes{{0xdeadbeef, "loop"}};
+    sink.setClassifier(&classes);
+
+    MispredictEvent e = simpleEvent(0xdeadbeef);
+    e.votesValid = true;
+    e.voteBim = true;
+    e.voteG1 = true;
+    e.voteMajority = true;
+    sink.onMispredict(e);
+    sink.setClassifier(nullptr);
+    sink.onMispredict(simpleEvent(0xdeadbeef));
+
+    const auto all = lines(out.str());
+    ASSERT_EQ(all.size(), 2u);
+    const JsonValue first = parseJson(all[0]);
+    EXPECT_EQ(first.at("class").text, "loop");
+    EXPECT_TRUE(first.at("votes").at("bim").boolean);
+    EXPECT_FALSE(first.at("votes").at("g0").boolean);
+    EXPECT_TRUE(first.at("votes").at("g1").boolean);
+    EXPECT_TRUE(first.at("votes").at("majority").boolean);
+    EXPECT_EQ(parseJson(all[1]).find("class"), nullptr);
+}
+
+TEST(EventTraceSink, RepeatedSimulationsProduceByteIdenticalTraces)
+{
+    const Trace trace = generateTrace(findBenchmark("gcc").profile, 4000);
+
+    auto capture = [&trace] {
+        std::ostringstream out;
+        EventTraceSink sink(out, 16);
+        sink.setBench("gcc");
+        auto predictor = make2BcGskew512K();
+        SimConfig config = SimConfig::ghist();
+        config.events = &sink;
+        simulateTrace(trace, *predictor, config);
+        EXPECT_GT(sink.emitted(), 0u);
+        return out.str();
+    };
+
+    const std::string first = capture();
+    const std::string second = capture();
+    EXPECT_EQ(first, second); // no RNG in the sampler
+    // Every line is a standalone JSON object carrying table votes
+    // (the 2Bc-gskew family exposes them).
+    for (const auto &line : lines(first)) {
+        const JsonValue doc = parseJson(line);
+        EXPECT_NE(doc.find("votes"), nullptr) << line;
+    }
+}
+
+} // namespace
+} // namespace ev8

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the metric registry: stable references, kind-collision
+ * detection, histogram bucketing and deterministic enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/metrics.hh"
+
+namespace ev8
+{
+namespace
+{
+
+TEST(MetricRegistry, CounterGetOrCreateReturnsStableReference)
+{
+    MetricRegistry r;
+    Counter &a = r.counter("sim.fetch_blocks");
+    a.inc(3);
+    Counter &b = r.counter("sim.fetch_blocks");
+    EXPECT_EQ(&a, &b);
+    b.inc(2);
+    EXPECT_EQ(r.counterValue("sim.fetch_blocks"), 5u);
+    EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(MetricRegistry, ReferencesSurviveLaterRegistrations)
+{
+    // Hot paths cache the Counter& across the whole run; creating many
+    // more metrics afterwards must not invalidate it.
+    MetricRegistry r;
+    Counter &held = r.counter("pred.x.bank0.conflicts");
+    for (int i = 0; i < 64; ++i)
+        r.counter("filler." + std::to_string(i)).inc();
+    held.inc(7);
+    EXPECT_EQ(r.counterValue("pred.x.bank0.conflicts"), 7u);
+}
+
+TEST(MetricRegistry, GaugeStoresLastValue)
+{
+    MetricRegistry r;
+    Gauge &g = r.gauge("core.storage.bim.wordline_mean_reads");
+    g.set(1.5);
+    g.set(42.25);
+    EXPECT_DOUBLE_EQ(r.gauge("core.storage.bim.wordline_mean_reads")
+                         .value(),
+                     42.25);
+}
+
+TEST(MetricRegistry, KindCollisionThrows)
+{
+    MetricRegistry r;
+    r.counter("sim.cond_branches");
+    EXPECT_THROW(r.gauge("sim.cond_branches"), std::logic_error);
+    EXPECT_THROW(r.histogram("sim.cond_branches", {1.0}),
+                 std::logic_error);
+
+    r.gauge("a.gauge");
+    EXPECT_THROW(r.counter("a.gauge"), std::logic_error);
+}
+
+TEST(MetricRegistry, CounterValueOfUnknownNameIsZero)
+{
+    MetricRegistry r;
+    EXPECT_EQ(r.counterValue("never.registered"), 0u);
+    EXPECT_FALSE(r.has("never.registered"));
+}
+
+TEST(Histogram, BucketsAreInclusiveUpperBoundsPlusOverflow)
+{
+    MetricRegistry r;
+    Histogram &h = r.histogram("sim.branches_per_block",
+                               {0.0, 1.0, 2.0});
+    ASSERT_EQ(h.bucketCounts().size(), 4u); // 3 bounds + overflow
+
+    h.observe(0.0);     // bucket 0 (le 0)
+    h.observe(1.0);     // bucket 1 (le 1, inclusive edge)
+    h.observe(1.5);     // bucket 2
+    h.observe(2.0, 3);  // bucket 2, weighted
+    h.observe(99.0);    // overflow bucket
+
+    EXPECT_EQ(h.bucketCounts()[0], 1u);
+    EXPECT_EQ(h.bucketCounts()[1], 1u);
+    EXPECT_EQ(h.bucketCounts()[2], 4u);
+    EXPECT_EQ(h.bucketCounts()[3], 1u);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0 + 1.0 + 1.5 + 3 * 2.0 + 99.0);
+    EXPECT_DOUBLE_EQ(h.mean(), h.sum() / 7.0);
+}
+
+TEST(Histogram, ReRegistrationMustRepeatBounds)
+{
+    MetricRegistry r;
+    Histogram &a = r.histogram("h", {1.0, 2.0});
+    Histogram &b = r.histogram("h", {1.0, 2.0});
+    EXPECT_EQ(&a, &b);
+    EXPECT_THROW(r.histogram("h", {1.0, 3.0}), std::logic_error);
+}
+
+TEST(MetricRegistry, EntriesAreSortedByName)
+{
+    MetricRegistry r;
+    r.counter("z.last");
+    r.gauge("a.first");
+    r.counter("m.middle");
+    const auto entries = r.entries();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(*entries[0].name, "a.first");
+    EXPECT_EQ(*entries[1].name, "m.middle");
+    EXPECT_EQ(*entries[2].name, "z.last");
+    EXPECT_EQ(entries[0].kind, MetricKind::Gauge);
+    EXPECT_EQ(entries[1].kind, MetricKind::Counter);
+}
+
+} // namespace
+} // namespace ev8

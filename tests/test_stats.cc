@@ -69,5 +69,24 @@ TEST(PredictionStats, SummaryMentionsNumbers)
     EXPECT_NE(text.find("misp/KI"), std::string::npos) << text;
 }
 
+TEST(PredictionStats, SummaryExactFormat)
+{
+    // Regression-pin the full summary line: downstream tooling greps
+    // these fields out of bench logs.
+    PredictionStats s;
+    s.setInstructions(10000);
+    for (int i = 0; i < 3; ++i)
+        s.record(true, true);
+    s.record(true, false);
+    EXPECT_EQ(s.summary(),
+              "4 lookups, 1 mispredicts (25.000% of branches, "
+              "0.100 misp/KI)");
+
+    PredictionStats empty;
+    EXPECT_EQ(empty.summary(),
+              "0 lookups, 0 mispredicts (0.000% of branches, "
+              "0.000 misp/KI)");
+}
+
 } // namespace
 } // namespace ev8

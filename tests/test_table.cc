@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/table.hh"
 
 namespace ev8
@@ -17,6 +20,27 @@ TEST(Fmt, Precision)
     EXPECT_EQ(fmt(1.23456, 2), "1.23");
     EXPECT_EQ(fmt(1.0, 0), "1");
     EXPECT_EQ(fmt(-2.5, 1), "-2.5");
+}
+
+TEST(Fmt, NonFiniteValuesPrintDashes)
+{
+    EXPECT_EQ(fmt(std::nan(""), 2), "--");
+    EXPECT_EQ(fmt(std::numeric_limits<double>::infinity(), 3), "--");
+    EXPECT_EQ(fmt(-std::numeric_limits<double>::infinity(), 0), "--");
+    EXPECT_EQ(fmt(std::numeric_limits<double>::quiet_NaN(), 1), "--");
+}
+
+TEST(BarChart, NonFiniteValuesRenderDashesAndEmptyBars)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::string out =
+        renderBarChart("t", {"a", "b", "c"}, {1.0, std::nan(""), inf},
+                       10);
+    // The finite value still gets a full-scale bar; non-finite entries
+    // print "--" with no bar instead of poisoning the scale.
+    EXPECT_NE(out.find("a |########## 1.000"), std::string::npos) << out;
+    EXPECT_NE(out.find("b | --"), std::string::npos) << out;
+    EXPECT_NE(out.find("c | --"), std::string::npos) << out;
 }
 
 TEST(TextTable, RendersHeaderRuleAndRows)
