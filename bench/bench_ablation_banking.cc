@@ -32,7 +32,7 @@ main(int argc, char **argv)
                                              "bank-interleaved predictor "
                                              "access");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
     TextTable table;
     table.header({"benchmark", "blocks", "naive conflicts", "naive %",
                   "EV8 conflicts", "line accuracy", "fetch IPC"});

@@ -20,7 +20,7 @@ main(int argc, char **argv)
                      "Ablation (Section 4.2)", "Partial vs. total "
                                                "update policy");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
 
     const std::vector<ExperimentRow> rows = {
         {"EV8, partial update",

@@ -31,8 +31,14 @@ printUsage(const char *prog)
         "                   misprediction (default 64)\n"
         "  --branches=<N>   per-benchmark dynamic conditional-branch\n"
         "                   budget (same as EV8_BRANCHES_PER_BENCH)\n"
+        "  --jobs=<N>       simulation worker threads (default: EV8_JOBS\n"
+        "                   or hardware concurrency; results and\n"
+        "                   artifacts are byte-identical for any N)\n"
         "  --no-timing      skip the lookup/update/history timing split\n"
-        "  --help           this message\n",
+        "  --help           this message\n"
+        "\n"
+        "Set EV8_TRACE_CACHE_DIR to persist generated traces between\n"
+        "runs (versioned binary cache, safe across profile edits).\n",
         prog);
 }
 
@@ -87,6 +93,9 @@ parseBenchArgs(int argc, char **argv)
             const uint64_t n = parseCount(v, "--branches", prog);
             setenv("EV8_BRANCHES_PER_BENCH",
                    std::to_string(n).c_str(), /*overwrite=*/1);
+        } else if (const char *v = optValue(arg, "--jobs")) {
+            args.jobs =
+                static_cast<unsigned>(parseCount(v, "--jobs", prog));
         } else if (std::strcmp(arg, "--no-timing") == 0) {
             args.timing = false;
         } else {
@@ -121,6 +130,16 @@ BenchContext::BenchContext(int argc, char **argv,
     }
 
     printBanner(data_.experimentId, data_.title);
+}
+
+SuiteRunner &
+BenchContext::runner()
+{
+    if (!runner_) {
+        runner_ = std::make_unique<SuiteRunner>(branchesPerBenchmark(),
+                                                args_.jobs);
+    }
+    return *runner_;
 }
 
 SimConfig

@@ -14,13 +14,18 @@
  *     --sample=<N>     event sampling period (default 64)
  *     --branches=<N>   per-benchmark branch budget (sets
  *                      EV8_BRANCHES_PER_BENCH for the process)
+ *     --jobs=<N>       simulation worker threads (default EV8_JOBS or
+ *                      hardware concurrency; artifacts are
+ *                      byte-identical for any N)
  *     --no-timing      skip the lookup/update/history ScopedTimer split
  *     --help           usage
  *
  * BenchContext bundles the parsed arguments with the metric registry,
- * the event sink and the export document, so a bench main() is:
+ * the event sink, the export document and the (parallel) suite runner,
+ * so a bench main() is:
  *
  *     BenchContext ctx(argc, argv, "Fig. 5", "...");
+ *     SuiteRunner &runner = ctx.runner();
  *     ...
  *     runAndPrint(ctx, runner, rows);
  *     return ctx.finish();
@@ -61,6 +66,7 @@ struct BenchArgs
     std::string csvPath;      //!< --csv=<path>, empty = no artifact
     std::string eventsPath;   //!< --events=<path>, empty = no trace
     uint64_t sampleEvery = 64; //!< --sample=<N>
+    unsigned jobs = 0;         //!< --jobs=<N>, 0 = engine default
     bool timing = true;        //!< cleared by --no-timing
 
     /** Any machine-readable output requested? */
@@ -95,6 +101,13 @@ class BenchContext
     const BenchArgs &args() const { return args_; }
     MetricRegistry &metrics() { return registry_; }
 
+    /**
+     * The shared suite runner, honouring --branches and --jobs.
+     * Created on first use (after argument parsing), one per binary:
+     * its trace cache and thread pool span every experiment row.
+     */
+    SuiteRunner &runner();
+
     /** Returns @p config with the observability hooks attached. */
     SimConfig instrument(SimConfig config);
 
@@ -122,6 +135,7 @@ class BenchContext
     MetricRegistry registry_;
     std::unique_ptr<std::ofstream> eventsOut;
     std::unique_ptr<EventTraceSink> events;
+    std::unique_ptr<SuiteRunner> runner_;
 };
 
 /** Prints the standard experiment banner (id, title, scale, caveat). */

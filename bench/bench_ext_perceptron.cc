@@ -24,7 +24,7 @@ main(int argc, char **argv)
                                               "local-history directions "
                                               "vs. the EV8");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
 
     const std::vector<ExperimentRow> rows = {
         {"EV8 (352Kb)", [] { return std::make_unique<Ev8Predictor>(); },

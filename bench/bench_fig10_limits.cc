@@ -21,7 +21,7 @@ main(int argc, char **argv)
     BenchContext ctx(argc, argv,
                      "Fig. 10", "Limits of using global history");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
 
     const std::vector<ExperimentRow> rows = {
         {"EV8 (352Kb, constrained)",

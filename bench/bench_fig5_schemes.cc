@@ -17,7 +17,7 @@ main(int argc, char **argv)
                      "Fig. 5", "Branch prediction accuracy for various "
                                "global history schemes");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
     const SimConfig ghist = SimConfig::ghist();
 
     const std::vector<ExperimentRow> rows = {

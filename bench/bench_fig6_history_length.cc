@@ -40,7 +40,7 @@ main(int argc, char **argv)
                                "length = log2(table size) instead of "
                                "best");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
     const SimConfig ghist = ctx.instrument(SimConfig::ghist());
     const std::vector<unsigned> lengths{8, 12, 16, 20, 24, 28};
 

@@ -39,7 +39,7 @@ main(int argc, char **argv)
                                "branch prediction accuracy (4*64K "
                                "2Bc-gskew)");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
 
     SimConfig ghist = SimConfig::ghist();
 

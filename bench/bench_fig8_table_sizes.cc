@@ -40,7 +40,7 @@ main(int argc, char **argv)
     BenchContext ctx(argc, argv,
                      "Fig. 8", "Adjusting table sizes in the predictor");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
     const SimConfig ev8_vector = SimConfig::ev8();
 
     const std::vector<ExperimentRow> rows = {

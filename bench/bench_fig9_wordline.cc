@@ -44,7 +44,7 @@ main(int argc, char **argv)
                      "Fig. 9", "Effect of wordline indices and "
                                "index-function constraints");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
 
     SimConfig no_path = SimConfig::ev8();
     no_path.history = HistoryMode::LghistNoPath;

@@ -68,7 +68,7 @@ main(int argc, char **argv)
     BenchContext ctx(argc, argv,
                      "Methodology (Section 8)", "History-length sweeps");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
     const auto lengths = sweepLengths();
     const SimConfig ghist = ctx.instrument(SimConfig::ghist());
 

@@ -38,7 +38,7 @@ main(int argc, char **argv)
 {
     BenchContext ctx(argc, argv, "Table 2", "Benchmark characteristics");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
     TextTable table;
     table.header({"benchmark", "dyn. cond. (x1000)", "static cond.",
                   "paper dyn. (x1000)", "paper static", "taken rate",

@@ -30,7 +30,7 @@ main(int argc, char **argv)
                      "Table 3", "Ratio lghist/ghist (branches "
                                 "represented per history bit)");
 
-    SuiteRunner runner;
+    SuiteRunner &runner = ctx.runner();
     TextTable table;
     table.header({"benchmark", "lghist/ghist", "paper", "fetch blocks",
                   "lghist bits"});

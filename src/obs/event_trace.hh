@@ -14,6 +14,17 @@
  * starting with the first): no RNG is consumed, so the same simulation
  * produces byte-identical JSONL -- which is what makes event traces
  * diffable across commits and usable in regression tooling.
+ *
+ * Two sink flavours share the MispredictSink interface:
+ *
+ *  - EventTraceSink writes JSONL directly; it owns the sampling counter
+ *    and the bench/classifier labels, so it must only be fed from one
+ *    thread at a time.
+ *  - BufferedEventSink records the raw event structs. The experiment
+ *    engine gives every parallel (benchmark, config) job its own buffer
+ *    and replays the buffers into the shared EventTraceSink in
+ *    submission order, which keeps the emitted stream byte-identical to
+ *    a serial run no matter how many worker threads executed the jobs.
  */
 
 #ifndef EV8_OBS_EVENT_TRACE_HH
@@ -23,6 +34,7 @@
 #include <ostream>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace ev8
 {
@@ -53,11 +65,34 @@ struct MispredictEvent
 };
 
 /**
- * JSONL misprediction sink with deterministic 1-in-N sampling. Attach
- * one to SimConfig::events; the suite runner labels each benchmark via
- * setBench()/setClassifier() before simulating it.
+ * Destination for misprediction events. The simulator only calls
+ * onMispredict(); harness code labels the stream via setBench() and
+ * setClassifier(), which sinks without label state ignore.
  */
-class EventTraceSink
+class MispredictSink
+{
+  public:
+    virtual ~MispredictSink() = default;
+
+    /**
+     * Offers one misprediction to the sink. Returns true when the event
+     * was recorded (sampling sinks drop the rest).
+     */
+    virtual bool onMispredict(const MispredictEvent &event) = 0;
+
+    /** Names the benchmark subsequent events belong to. */
+    virtual void setBench(std::string) {}
+
+    /** Attaches a pc -> behaviour-class map (nullptr detaches). */
+    virtual void setClassifier(const BranchClassMap *) {}
+};
+
+/**
+ * JSONL misprediction sink with deterministic 1-in-N sampling. Attach
+ * one to SimConfig::events; the experiment engine labels each benchmark
+ * via setBench()/setClassifier() while merging per-job buffers.
+ */
+class EventTraceSink : public MispredictSink
 {
   public:
     /**
@@ -66,17 +101,17 @@ class EventTraceSink
      */
     explicit EventTraceSink(std::ostream &out, uint64_t sample_every = 64);
 
-    /** Names the benchmark subsequent events belong to. */
-    void setBench(std::string name) { bench = std::move(name); }
-
-    /** Attaches a pc -> behaviour-class map (nullptr detaches). */
-    void setClassifier(const BranchClassMap *map) { classes = map; }
+    void setBench(std::string name) override { bench = std::move(name); }
+    void setClassifier(const BranchClassMap *map) override
+    {
+        classes = map;
+    }
 
     /**
      * Offers one misprediction to the sampler; emits it if selected.
      * Returns true when the event was written.
      */
-    bool onMispredict(const MispredictEvent &event);
+    bool onMispredict(const MispredictEvent &event) override;
 
     uint64_t seen() const { return seen_; }
     uint64_t emitted() const { return emitted_; }
@@ -89,6 +124,43 @@ class EventTraceSink
     uint64_t emitted_ = 0;
     std::string bench;
     const BranchClassMap *classes = nullptr;
+};
+
+/**
+ * Records every offered event verbatim. One per parallel job: the
+ * engine replays buffers into the real (sampling) sink in submission
+ * order, so the sampling counter observes the exact misprediction
+ * stream a serial run would have produced.
+ */
+class BufferedEventSink : public MispredictSink
+{
+  public:
+    bool
+    onMispredict(const MispredictEvent &event) override
+    {
+        events_.push_back(event);
+        return true;
+    }
+
+    const std::vector<MispredictEvent> &events() const { return events_; }
+
+    /** Moves the buffer out (leaves this sink empty). */
+    std::vector<MispredictEvent>
+    take()
+    {
+        return std::move(events_);
+    }
+
+    /** Replays every buffered event into @p sink, in recorded order. */
+    void
+    replayInto(MispredictSink &sink) const
+    {
+        for (const MispredictEvent &event : events_)
+            sink.onMispredict(event);
+    }
+
+  private:
+    std::vector<MispredictEvent> events_;
 };
 
 } // namespace ev8

@@ -7,10 +7,22 @@ namespace ev8
 {
 
 Histogram::Histogram(std::vector<double> upper_bounds)
-    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1)
 {
     if (!std::is_sorted(bounds_.begin(), bounds_.end()))
         throw std::logic_error("histogram bounds must be ascending");
+}
+
+void
+Histogram::addToSum(double delta)
+{
+    // compare_exchange loop instead of atomic<double>::fetch_add: the
+    // latter is C++20 but not universally lowered to hardware, and this
+    // path is end-of-run only.
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+    }
 }
 
 void
@@ -18,15 +30,41 @@ Histogram::observe(double value, uint64_t count)
 {
     const auto it =
         std::lower_bound(bounds_.begin(), bounds_.end(), value);
-    counts_[static_cast<size_t>(it - bounds_.begin())] += count;
-    count_ += count;
-    sum_ += value * static_cast<double>(count);
+    counts_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
+        count, std::memory_order_relaxed);
+    count_.fetch_add(count, std::memory_order_relaxed);
+    addToSum(value * static_cast<double>(count));
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.bounds_ != bounds_)
+        throw std::logic_error(
+            "histogram merge with mismatched bounds");
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i].fetch_add(
+            other.counts_[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    addToSum(other.sum());
+}
+
+std::vector<uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<uint64_t> out(counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i)
+        out[i] = counts_[i].load(std::memory_order_relaxed);
+    return out;
 }
 
 double
 Histogram::mean() const
 {
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
 MetricRegistry::Holder &
@@ -89,6 +127,25 @@ MetricRegistry::counterValue(const std::string &name) const
     if (it == items.end() || it->second.kind != MetricKind::Counter)
         return 0;
     return it->second.counter->value();
+}
+
+void
+MetricRegistry::merge(const MetricRegistry &other)
+{
+    for (const Entry &e : other.entries()) {
+        switch (e.kind) {
+          case MetricKind::Counter:
+            counter(*e.name).inc(e.counter->value());
+            break;
+          case MetricKind::Gauge:
+            gauge(*e.name).set(e.gauge->value());
+            break;
+          case MetricKind::Histogram:
+            histogram(*e.name, e.histogram->bounds())
+                .merge(*e.histogram);
+            break;
+        }
+    }
 }
 
 std::vector<MetricRegistry::Entry>

@@ -17,11 +17,21 @@
  * without a map lookup. Registering the same name twice returns the same
  * metric; registering it as a different kind throws std::logic_error
  * (name collisions are bugs, not data).
+ *
+ * Concurrency model: *updates* to already-registered metrics (inc, set,
+ * observe) are lock-free and safe from any number of threads --
+ * counters, gauges and histogram buckets are atomics. *Registration*
+ * (counter()/gauge()/histogram() creating a new name) mutates the map
+ * and must be serialized by the caller. The experiment engine sidesteps
+ * the distinction entirely: every parallel job gets a private registry,
+ * merged into the shared one with merge() in deterministic submission
+ * order.
  */
 
 #ifndef EV8_OBS_METRICS_HH
 #define EV8_OBS_METRICS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -31,32 +41,33 @@
 namespace ev8
 {
 
-/** Monotonic event count. */
+/** Monotonic event count. Concurrent inc() calls are lock-free. */
 class Counter
 {
   public:
-    void inc(uint64_t n = 1) { v += n; }
-    uint64_t value() const { return v; }
+    void inc(uint64_t n = 1) { v.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t value() const { return v.load(std::memory_order_relaxed); }
 
   private:
-    uint64_t v = 0;
+    std::atomic<uint64_t> v{0};
 };
 
-/** Last-written point-in-time value. */
+/** Last-written point-in-time value. Concurrent set() is lock-free. */
 class Gauge
 {
   public:
-    void set(double value) { v = value; }
-    double value() const { return v; }
+    void set(double value) { v.store(value, std::memory_order_relaxed); }
+    double value() const { return v.load(std::memory_order_relaxed); }
 
   private:
-    double v = 0.0;
+    std::atomic<double> v{0.0};
 };
 
 /**
  * Fixed-bucket histogram: @p upper_bounds are ascending inclusive bucket
  * upper edges; one implicit overflow bucket catches everything above the
  * last bound (so bucketCounts().size() == bounds().size() + 1).
+ * Concurrent observe() calls on a constructed histogram are lock-free.
  */
 class Histogram
 {
@@ -66,17 +77,34 @@ class Histogram
     /** Records @p count observations of value @p value. */
     void observe(double value, uint64_t count = 1);
 
+    /**
+     * Folds @p other into this histogram (bucket counts, count and sum
+     * add). Bounds must match exactly; a mismatch throws
+     * std::logic_error.
+     */
+    void merge(const Histogram &other);
+
     const std::vector<double> &bounds() const { return bounds_; }
-    const std::vector<uint64_t> &bucketCounts() const { return counts_; }
-    uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
+
+    /** Snapshot of the per-bucket counts (bounds + overflow). */
+    std::vector<uint64_t> bucketCounts() const;
+
+    uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
     double mean() const;
 
   private:
+    void addToSum(double delta);
+
     std::vector<double> bounds_;
-    std::vector<uint64_t> counts_;
-    uint64_t count_ = 0;
-    double sum_ = 0.0;
+    std::vector<std::atomic<uint64_t>> counts_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
 };
 
 enum class MetricKind
@@ -107,6 +135,16 @@ class MetricRegistry
 
     /** Value of a counter, or 0 if it was never registered. */
     uint64_t counterValue(const std::string &name) const;
+
+    /**
+     * Folds @p other into this registry: counters add, gauges take
+     * @p other's value (last write wins), histograms add bucket-wise.
+     * A name registered as different kinds in the two registries (or a
+     * histogram bounds mismatch) throws std::logic_error. Calling
+     * merge() per job in submission order makes a parallel run's
+     * registry identical to the serial run's.
+     */
+    void merge(const MetricRegistry &other);
 
     /** One registered metric, for exporters. */
     struct Entry

@@ -1,0 +1,230 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
+#include "workloads/synthetic_program.hh"
+
+namespace ev8
+{
+
+unsigned
+ExperimentEngine::defaultJobs()
+{
+    if (const char *env = std::getenv("EV8_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+ExperimentEngine::ExperimentEngine(unsigned jobs)
+    : jobs_(jobs != 0 ? jobs : defaultJobs())
+{
+    queues_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i)
+        queues_.push_back(std::make_unique<TaskDeque>());
+    // The calling thread is participant 0; slots 1..jobs-1 are pool
+    // threads. jobs == 1 therefore spawns nothing and parallelFor is a
+    // plain loop over the same code path.
+    workers_.reserve(jobs_ - 1);
+    for (unsigned slot = 1; slot < jobs_; ++slot)
+        workers_.emplace_back([this, slot] { workerLoop(slot); });
+}
+
+ExperimentEngine::~ExperimentEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+bool
+ExperimentEngine::popTask(unsigned slot, size_t &task)
+{
+    {
+        TaskDeque &own = *queues_[slot];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = own.tasks.front();
+            own.tasks.pop_front();
+            return true;
+        }
+    }
+    // Steal from the back of the other deques, scanning from the next
+    // slot so victims spread instead of piling onto worker 0.
+    for (unsigned k = 1; k < jobs_; ++k) {
+        TaskDeque &victim = *queues_[(slot + k) % jobs_];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = victim.tasks.back();
+            victim.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ExperimentEngine::drain(unsigned slot, const std::function<void(size_t)> &fn)
+{
+    size_t task;
+    while (popTask(slot, task)) {
+        try {
+            fn(task);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0)
+            batchDone_.notify_all();
+    }
+}
+
+void
+ExperimentEngine::workerLoop(unsigned slot)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(size_t)> *fn;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [&] {
+                return stop_ || (batchSeq_ != seen && batchFn_ != nullptr);
+            });
+            if (stop_)
+                return;
+            seen = batchSeq_;
+            fn = batchFn_;
+            ++busy_;
+        }
+        drain(slot, *fn);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--busy_ == 0)
+                batchDone_.notify_all();
+        }
+    }
+}
+
+void
+ExperimentEngine::parallelFor(size_t n,
+                              const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs_ == 1 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (size_t i = 0; i < n; ++i) {
+            TaskDeque &q = *queues_[i % jobs_];
+            std::lock_guard<std::mutex> qlock(q.mutex);
+            q.tasks.push_back(i);
+        }
+        batchFn_ = &fn;
+        pending_ = n;
+        firstError_ = nullptr;
+        ++batchSeq_;
+    }
+    workReady_.notify_all();
+
+    drain(0, fn);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    // busy_ == 0 matters as much as pending_ == 0: a worker still inside
+    // drain() must not race a subsequent batch's queue refill with this
+    // batch's (about to dangle) fn.
+    batchDone_.wait(lock, [&] { return pending_ == 0 && busy_ == 0; });
+    batchFn_ = nullptr;
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+std::vector<std::vector<BenchResult>>
+ExperimentEngine::runGrid(SuiteRunner &runner,
+                          const std::vector<GridRow> &rows)
+{
+    const size_t nbench = runner.size();
+    const size_t n = rows.size() * nbench;
+
+    /** Everything one (benchmark, config) job produces in isolation. */
+    struct JobOutput
+    {
+        BenchResult result;
+        MetricRegistry metrics;
+        std::vector<MispredictEvent> events;
+        BranchClassMap classes; //!< owned here: cannot dangle (job-local)
+    };
+    std::vector<JobOutput> outputs(n);
+
+    parallelFor(n, [&](size_t i) {
+        const GridRow &row = rows[i / nbench];
+        const size_t b = i % nbench;
+        const Benchmark &bench = specint95Suite()[b];
+        JobOutput &out = outputs[i];
+        out.result.bench = bench.profile.name;
+
+        const Trace &trace = runner.trace(b);
+        PredictorPtr predictor = row.factory();
+
+        // Isolate the observability sinks: the shared registry/sink in
+        // row.config are merge *targets*, never touched by workers.
+        SimConfig config = row.config;
+        BufferedEventSink buffer;
+        config.events = row.config.events ? &buffer : nullptr;
+        config.metrics = row.config.metrics ? &out.metrics : nullptr;
+        if (row.config.events) {
+            out.classes = SyntheticProgram(bench.profile)
+                              .condBranchClasses();
+        }
+
+        out.result.sim = simulateTrace(trace, *predictor, config);
+
+        if (config.metrics) {
+            predictor->publishMetrics(out.metrics,
+                                      "pred." + predictor->name());
+        }
+        out.events = buffer.take();
+    });
+
+    // Deterministic merge, strictly in submission order (row-major over
+    // the grid): byte-identical shared-sink contents for any pool width.
+    std::vector<std::vector<BenchResult>> results(rows.size());
+    for (auto &row_results : results)
+        row_results.reserve(nbench);
+    for (size_t i = 0; i < n; ++i) {
+        const GridRow &row = rows[i / nbench];
+        JobOutput &out = outputs[i];
+        if (row.config.metrics)
+            row.config.metrics->merge(out.metrics);
+        if (MispredictSink *sink = row.config.events) {
+            sink->setBench(out.result.bench);
+            sink->setClassifier(&out.classes);
+            for (const MispredictEvent &event : out.events)
+                sink->onMispredict(event);
+            sink->setClassifier(nullptr);
+        }
+        results[i / nbench].push_back(std::move(out.result));
+    }
+    return results;
+}
+
+} // namespace ev8

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The parallel experiment engine.
+ *
+ * Every figure and table of the paper is a grid of (benchmark x
+ * configuration) simulations, and the cells are independent: each one
+ * simulates a cold predictor over an immutable cached trace. The engine
+ * executes those cells on a fixed pool of worker threads with
+ * work-stealing scheduling, while keeping every observable output
+ * *deterministic*:
+ *
+ *  - results are index-stable: cell i writes slot i, so a grid's result
+ *    rows come back in submission order regardless of which worker
+ *    finished first;
+ *  - each job gets a private MetricRegistry and a BufferedEventSink;
+ *    after the batch, the engine folds them into the caller's shared
+ *    sinks in submission order -- counters add, gauges last-write-win
+ *    in the same order a serial loop would have written them, and
+ *    buffered misprediction events replay through the shared sampling
+ *    sink so the emitted JSONL is byte-identical to a serial run;
+ *  - each job owns its benchmark's BranchClassMap (the pc -> behaviour
+ *    class labels), so no classifier ever outlives or escapes its job.
+ *
+ * The pool is the calling thread plus (jobs - 1) workers; jobs = 1
+ * degenerates to a plain serial loop with no threads, and any larger
+ * width produces the same bytes.
+ */
+
+#ifndef EV8_SIM_EXPERIMENT_HH
+#define EV8_SIM_EXPERIMENT_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/suite_runner.hh"
+
+namespace ev8
+{
+
+class ExperimentEngine
+{
+  public:
+    /**
+     * The pool width used when a caller passes jobs = 0: the EV8_JOBS
+     * environment variable when set (clamped to >= 1), otherwise
+     * std::thread::hardware_concurrency().
+     */
+    static unsigned defaultJobs();
+
+    /** @param jobs worker count; 0 resolves to defaultJobs(). */
+    explicit ExperimentEngine(unsigned jobs = 0);
+    ~ExperimentEngine();
+
+    ExperimentEngine(const ExperimentEngine &) = delete;
+    ExperimentEngine &operator=(const ExperimentEngine &) = delete;
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Runs fn(0) .. fn(n-1) across the pool and returns when all calls
+     * have finished. Indices are dealt round-robin to the per-worker
+     * deques; idle workers steal from the back of busy workers' deques.
+     * The first exception thrown by any call is rethrown here (the
+     * remaining jobs still run). Not reentrant: one batch at a time.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Executes @p rows x suite-benchmarks simulation jobs and merges
+     * per-job observability into each row's config sinks in submission
+     * order (see file comment). Returns one suite-ordered result vector
+     * per row.
+     */
+    std::vector<std::vector<BenchResult>> runGrid(
+        SuiteRunner &runner, const std::vector<GridRow> &rows);
+
+  private:
+    struct TaskDeque
+    {
+        std::mutex mutex;
+        std::deque<size_t> tasks;
+    };
+
+    void workerLoop(unsigned slot);
+    void drain(unsigned slot, const std::function<void(size_t)> &fn);
+    bool popTask(unsigned slot, size_t &task);
+
+    unsigned jobs_;
+    std::vector<std::unique_ptr<TaskDeque>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable batchDone_;
+    uint64_t batchSeq_ = 0;
+    const std::function<void(size_t)> *batchFn_ = nullptr;
+    size_t pending_ = 0;   //!< tasks not yet completed in this batch
+    unsigned busy_ = 0;    //!< workers currently draining this batch
+    std::exception_ptr firstError_;
+    bool stop_ = false;
+};
+
+} // namespace ev8
+
+#endif // EV8_SIM_EXPERIMENT_HH

@@ -29,7 +29,7 @@ namespace ev8
 {
 
 class MetricRegistry; // obs/metrics.hh
-class EventTraceSink; // obs/event_trace.hh
+class MispredictSink; // obs/event_trace.hh
 
 /** Which history register feeds hist.indexHist (Fig. 7's axis). */
 enum class HistoryMode
@@ -60,7 +60,7 @@ struct SimConfig
      * simulation loop only pays for them when they are set.
      */
     MetricRegistry *metrics = nullptr; //!< end-of-run counter dump
-    EventTraceSink *events = nullptr;  //!< sampled mispredict JSONL
+    MispredictSink *events = nullptr;  //!< sampled mispredict JSONL
     bool profileTiming = false;        //!< fill SimResult::timing
 
     /** Preset: conventional global history ("ghist" rows of Fig. 7). */

@@ -1,16 +1,16 @@
 #include "sim/suite_runner.hh"
 
-#include "obs/event_trace.hh"
-#include "obs/metrics.hh"
-#include "workloads/synthetic_program.hh"
+#include "sim/experiment.hh"
 
 namespace ev8
 {
 
-SuiteRunner::SuiteRunner(uint64_t base_branches)
-    : baseBranches(base_branches), traces(specint95Suite().size())
+SuiteRunner::SuiteRunner(uint64_t base_branches, unsigned jobs)
+    : baseBranches_(base_branches), jobs_(jobs)
 {
 }
+
+SuiteRunner::~SuiteRunner() = default;
 
 const std::string &
 SuiteRunner::name(size_t i) const
@@ -21,45 +21,32 @@ SuiteRunner::name(size_t i) const
 const Trace &
 SuiteRunner::trace(size_t i)
 {
-    if (traces[i].empty()) {
-        const Benchmark &bench = specint95Suite()[i];
-        traces[i] = generateTrace(bench.profile,
-                                  bench.branchesAt(baseBranches));
-    }
-    return traces[i];
+    const Benchmark &bench = specint95Suite()[i];
+    return cache_.get(bench.profile, bench.branchesAt(baseBranches_));
+}
+
+ExperimentEngine &
+SuiteRunner::engine()
+{
+    std::call_once(engineOnce_, [&] {
+        engine_ = std::make_unique<ExperimentEngine>(jobs_);
+    });
+    return *engine_;
 }
 
 std::vector<BenchResult>
 SuiteRunner::run(const PredictorFactory &factory, const SimConfig &config)
 {
-    std::vector<BenchResult> results;
-    results.reserve(size());
-    for (size_t i = 0; i < size(); ++i) {
-        PredictorPtr predictor = factory();
-        BenchResult r;
-        r.bench = name(i);
+    std::vector<GridRow> rows(1);
+    rows[0].factory = factory;
+    rows[0].config = config;
+    return std::move(runGrid(rows).front());
+}
 
-        // Label the event stream and attach the pc -> behaviour-class
-        // map for this benchmark's static branches.
-        BranchClassMap classes;
-        if (config.events) {
-            config.events->setBench(r.bench);
-            classes = SyntheticProgram(specint95Suite()[i].profile)
-                          .condBranchClasses();
-            config.events->setClassifier(&classes);
-        }
-
-        r.sim = simulateTrace(trace(i), *predictor, config);
-
-        if (config.events)
-            config.events->setClassifier(nullptr);
-        if (config.metrics) {
-            predictor->publishMetrics(*config.metrics,
-                                      "pred." + predictor->name());
-        }
-        results.push_back(std::move(r));
-    }
-    return results;
+std::vector<std::vector<BenchResult>>
+SuiteRunner::runGrid(const std::vector<GridRow> &rows)
+{
+    return engine().runGrid(*this, rows);
 }
 
 double

@@ -1,24 +1,33 @@
 /**
  * @file
- * Runs predictors over the whole synthetic SPECINT95 suite, caching
- * generated traces so a bench binary pays trace synthesis once no
- * matter how many configurations it evaluates.
+ * Runs predictors over the whole synthetic SPECINT95 suite. A thin
+ * front over the parallel ExperimentEngine: trace synthesis goes
+ * through the shared TraceCache (generated once per profile, optionally
+ * persisted on disk) and every (benchmark, configuration) simulation is
+ * a pool job, with results returned in suite order and observability
+ * sinks merged deterministically -- a run's artifacts are byte-identical
+ * whatever the worker count.
  */
 
 #ifndef EV8_SIM_SUITE_RUNNER_HH
 #define EV8_SIM_SUITE_RUNNER_HH
 
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "predictors/predictor.hh"
 #include "sim/simulator.hh"
+#include "sim/trace_cache.hh"
 #include "trace/trace.hh"
 #include "workloads/suite.hh"
 
 namespace ev8
 {
+
+class ExperimentEngine; // sim/experiment.hh
 
 /** One benchmark's outcome for one configuration. */
 struct BenchResult
@@ -30,6 +39,17 @@ struct BenchResult
 /** Builds a fresh predictor instance (cold tables) for each benchmark. */
 using PredictorFactory = std::function<PredictorPtr()>;
 
+/**
+ * One row of an experiment grid: a predictor configuration evaluated on
+ * every suite benchmark. The config's metrics/events pointers name the
+ * *shared* sinks the engine merges per-job results into.
+ */
+struct GridRow
+{
+    PredictorFactory factory;
+    SimConfig config;
+};
+
 class SuiteRunner
 {
   public:
@@ -37,29 +57,63 @@ class SuiteRunner
      * @param base_branches per-benchmark dynamic conditional-branch
      *        budget before the Table 2 weights are applied; defaults to
      *        branchesPerBenchmark() (EV8_BRANCHES_PER_BENCH env var).
+     * @param jobs worker threads for suite simulations; 0 picks
+     *        ExperimentEngine::defaultJobs() (EV8_JOBS env var, else
+     *        hardware concurrency). Results do not depend on the value.
      */
-    explicit SuiteRunner(uint64_t base_branches = branchesPerBenchmark());
+    explicit SuiteRunner(uint64_t base_branches = branchesPerBenchmark(),
+                         unsigned jobs = 0);
+    ~SuiteRunner();
+
+    SuiteRunner(const SuiteRunner &) = delete;
+    SuiteRunner &operator=(const SuiteRunner &) = delete;
 
     size_t size() const { return specint95Suite().size(); }
     const std::string &name(size_t i) const;
 
-    /** The i-th benchmark's trace; generated on first use and cached. */
+    /**
+     * The i-th benchmark's trace; generated (or loaded from the on-disk
+     * cache) on first use. Thread-safe: concurrent callers for the same
+     * benchmark block until the single generation finishes.
+     */
     const Trace &trace(size_t i);
 
     /**
      * Simulates a fresh predictor from @p factory on every benchmark
      * under @p config. One cold predictor per benchmark, matching the
-     * paper's per-trace methodology.
+     * paper's per-trace methodology. Benchmarks run in parallel on the
+     * engine; results are index-stable (suite order) and metric/event
+     * sinks referenced by @p config receive exactly what a serial run
+     * would have produced.
      */
     std::vector<BenchResult> run(const PredictorFactory &factory,
                                  const SimConfig &config);
+
+    /**
+     * Runs a whole experiment grid -- every @p rows entry over every
+     * benchmark -- as one parallel batch. Returns one result vector per
+     * row, each in suite order.
+     */
+    std::vector<std::vector<BenchResult>> runGrid(
+        const std::vector<GridRow> &rows);
+
+    /** The shared simulation engine (created on first use). */
+    ExperimentEngine &engine();
+
+    /** The trace cache backing trace(). */
+    TraceCache &traceCache() { return cache_; }
+
+    uint64_t baseBranches() const { return baseBranches_; }
 
     /** Arithmetic mean of misp/KI over a result set. */
     static double averageMispKI(const std::vector<BenchResult> &results);
 
   private:
-    uint64_t baseBranches;
-    std::vector<Trace> traces; //!< lazily filled, index-aligned to suite
+    uint64_t baseBranches_;
+    unsigned jobs_; //!< requested width; 0 = engine default
+    TraceCache cache_;
+    std::once_flag engineOnce_;
+    std::unique_ptr<ExperimentEngine> engine_;
 };
 
 } // namespace ev8

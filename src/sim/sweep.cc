@@ -10,12 +10,25 @@ sweepHistoryLengths(SuiteRunner &runner, const HistoryFactory &make,
                     const std::vector<unsigned> &lengths,
                     const SimConfig &config)
 {
+    // One grid row per candidate length: the whole (length x benchmark)
+    // sweep is a single engine batch, so every cell runs in parallel
+    // while results and merged sinks keep the serial order.
+    std::vector<GridRow> rows;
+    rows.reserve(lengths.size());
+    for (unsigned len : lengths) {
+        GridRow row;
+        row.factory = [&make, len] { return make(len); };
+        row.config = config;
+        rows.push_back(std::move(row));
+    }
+    auto grid = runner.runGrid(rows);
+
     std::vector<SweepPoint> points;
     points.reserve(lengths.size());
-    for (unsigned len : lengths) {
+    for (size_t i = 0; i < lengths.size(); ++i) {
         SweepPoint p;
-        p.histLen = len;
-        p.perBench = runner.run([&] { return make(len); }, config);
+        p.histLen = lengths[i];
+        p.perBench = std::move(grid[i]);
         p.avgMispKI = SuiteRunner::averageMispKI(p.perBench);
         points.push_back(std::move(p));
     }

@@ -1,0 +1,203 @@
+#include "sim/trace_cache.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "trace/trace_io.hh"
+
+namespace ev8
+{
+
+namespace
+{
+
+/** FNV-1a over explicitly fed fields; stable across platforms. */
+class ContentHash
+{
+  public:
+    void
+    bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ULL;
+        }
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        unsigned char buf[8];
+        for (int i = 0; i < 8; ++i)
+            buf[i] = static_cast<unsigned char>(v >> (i * 8));
+        bytes(buf, sizeof(buf));
+    }
+
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    uint64_t value() const { return h; }
+
+  private:
+    uint64_t h = 1469598103934665603ULL;
+};
+
+} // namespace
+
+std::string
+TraceCache::defaultDir()
+{
+    const char *env = std::getenv("EV8_TRACE_CACHE_DIR");
+    return env ? env : "";
+}
+
+uint64_t
+TraceCache::profileHash(const WorkloadProfile &profile)
+{
+    // Every field that can influence the generated trace feeds the
+    // hash. When WorkloadProfile grows a field, add it here (and bump
+    // kFormatVersion if older caches could now alias).
+    ContentHash h;
+    h.str(profile.name);
+    h.u64(profile.seed);
+
+    const ProgramShape &s = profile.shape;
+    h.u64(s.numFunctions);
+    h.u64(s.minBlocksPerFunction);
+    h.u64(s.maxBlocksPerFunction);
+    h.u64(s.minBlockInstrs);
+    h.u64(s.maxBlockInstrs);
+    h.f64(s.condFraction);
+    h.f64(s.jumpFraction);
+    h.f64(s.callFraction);
+    h.f64(s.loopBackFraction);
+    h.u64(s.maxLoopSpan);
+    h.f64(s.driverCallFraction);
+    h.u64(s.maxCalleesPerSite);
+    h.u64(s.driverDispatchWidth);
+    h.f64(s.dispatchSwitchChance);
+    h.u64(s.textBase);
+
+    const BehaviorMix &m = profile.mix;
+    h.f64(m.biased);
+    h.f64(m.loop);
+    h.f64(m.pattern);
+    h.f64(m.globalCorrelated);
+    h.f64(m.pathCorrelated);
+    h.f64(m.random);
+
+    const BehaviorTuning &t = profile.tuning;
+    h.f64(t.biasedNotTakenSkew);
+    h.f64(t.biasedStrength);
+    h.f64(t.biasedNoise);
+    h.u64(t.loopMinTrip);
+    h.u64(t.loopMaxTrip);
+    h.f64(t.loopReroll);
+    h.u64(t.patternMinLen);
+    h.u64(t.patternMaxLen);
+    h.f64(t.patternNotTakenSkew);
+    h.u64(t.corrMinDepth);
+    h.u64(t.corrMaxDepth);
+    h.u64(t.corrTaps);
+    h.f64(t.corrNoise);
+    h.f64(t.corrAndWeight);
+    h.f64(t.corrXorWeight);
+    h.f64(t.corrOrWeight);
+
+    return h.value();
+}
+
+TraceCache::TraceCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+TraceCache::filePath(const WorkloadProfile &profile,
+                     uint64_t branches) const
+{
+    if (dir_.empty())
+        return "";
+    char tail[96];
+    std::snprintf(tail, sizeof(tail), "-%016llx-b%llu-v%u.ev8t",
+                  static_cast<unsigned long long>(profileHash(profile)),
+                  static_cast<unsigned long long>(branches),
+                  kFormatVersion);
+    return dir_ + "/" + profile.name + tail;
+}
+
+Trace
+TraceCache::load(const WorkloadProfile &profile, uint64_t branches) const
+{
+    const std::string path = filePath(profile, branches);
+
+    if (!path.empty()) {
+        try {
+            Trace trace = readTraceFile(path);
+            // Trust but verify: the key encodes the profile content,
+            // but a truncated write or a hand-edited file could still
+            // masquerade under the right name.
+            if (trace.name() == profile.name
+                && trace.stats().dynamicCondBranches == branches) {
+                diskHits_.fetch_add(1, std::memory_order_relaxed);
+                return trace;
+            }
+        } catch (const TraceIoError &) {
+            // Missing or malformed: fall through and regenerate.
+        }
+    }
+
+    Trace trace = generateTrace(profile, branches);
+    generated_.fetch_add(1, std::memory_order_relaxed);
+
+    if (!path.empty()) {
+        // Best effort: a read-only or full cache directory must not
+        // fail the experiment. Temp file + rename keeps concurrent
+        // processes from ever reading a torn file.
+        try {
+            namespace fs = std::filesystem;
+            fs::create_directories(dir_);
+            const std::string tmp =
+                path + ".tmp." + std::to_string(::getpid());
+            writeTraceFile(tmp, trace);
+            fs::rename(tmp, path);
+        } catch (...) {
+        }
+    }
+    return trace;
+}
+
+const Trace &
+TraceCache::get(const WorkloadProfile &profile, uint64_t branches)
+{
+    Entry *entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_ptr<Entry> &slot =
+            entries_[{profileHash(profile), branches}];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&] {
+        entry->trace = load(profile, branches);
+    });
+    return entry->trace;
+}
+
+} // namespace ev8

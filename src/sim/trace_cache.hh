@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Thread-safe, once-per-profile trace cache with an optional persistent
+ * on-disk layer.
+ *
+ * Trace synthesis dominates a bench binary's startup and every
+ * experiment grid replays the same eight suite traces, so traces are
+ * generated exactly once per (profile, branch budget) key no matter how
+ * many worker threads ask concurrently: the first caller generates (or
+ * loads), everyone else blocks on the same std::once_flag and then
+ * shares the immutable Trace.
+ *
+ * The disk layer (enabled by EV8_TRACE_CACHE_DIR or an explicit
+ * directory argument) persists generated traces in the trace_io binary
+ * format so repeated bench invocations skip synthesis entirely. Cache
+ * keys are collision-proofed against staleness on three axes:
+ *
+ *  - a content hash over *every* field of the WorkloadProfile (name,
+ *    seed, program shape, behaviour mix and tuning), so editing a
+ *    benchmark's calibration invalidates its cached trace;
+ *  - the branch budget, so rescaled runs never alias;
+ *  - kFormatVersion, bumped whenever trace generation semantics or the
+ *    serialized format change, so old cache directories age out instead
+ *    of silently corrupting experiments.
+ *
+ * Unreadable, truncated or mismatched cache files are regenerated (and
+ * rewritten) rather than trusted; disk writes go through a temp file +
+ * atomic rename so concurrent processes cannot observe torn files.
+ */
+
+#ifndef EV8_SIM_TRACE_CACHE_HH
+#define EV8_SIM_TRACE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "trace/trace.hh"
+#include "workloads/synthetic_program.hh"
+
+namespace ev8
+{
+
+class TraceCache
+{
+  public:
+    /**
+     * Bump when generateTrace() semantics or the on-disk encoding
+     * change: stale files from older builds must miss, not load.
+     */
+    static constexpr unsigned kFormatVersion = 1;
+
+    /** EV8_TRACE_CACHE_DIR, or "" (disk layer disabled). */
+    static std::string defaultDir();
+
+    /**
+     * Stable content hash over every profile field. Two profiles that
+     * could generate different traces hash differently.
+     */
+    static uint64_t profileHash(const WorkloadProfile &profile);
+
+    /** @param dir on-disk cache directory; "" keeps the cache in-memory
+     *        only. */
+    explicit TraceCache(std::string dir = defaultDir());
+
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /**
+     * The trace of @p profile at @p branches dynamic conditional
+     * branches. Thread-safe; the returned reference stays valid for the
+     * cache's lifetime.
+     */
+    const Trace &get(const WorkloadProfile &profile, uint64_t branches);
+
+    /**
+     * The cache file this (profile, budget) key maps to, or "" when the
+     * disk layer is disabled. Exposed for tests and tooling.
+     */
+    std::string filePath(const WorkloadProfile &profile,
+                         uint64_t branches) const;
+
+    const std::string &dir() const { return dir_; }
+
+    /** Traces synthesized by this cache (in-memory + disk misses). */
+    uint64_t generatedCount() const { return generated_.load(); }
+
+    /** Traces served from the on-disk layer. */
+    uint64_t diskHitCount() const { return diskHits_.load(); }
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        Trace trace;
+    };
+
+    Trace load(const WorkloadProfile &profile, uint64_t branches) const;
+
+    std::string dir_;
+    mutable std::mutex mutex_;   //!< guards entries_ map shape only
+    std::map<std::pair<uint64_t, uint64_t>, std::unique_ptr<Entry>>
+        entries_;
+    mutable std::atomic<uint64_t> generated_{0};
+    mutable std::atomic<uint64_t> diskHits_{0};
+};
+
+} // namespace ev8
+
+#endif // EV8_SIM_TRACE_CACHE_HH

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -121,6 +122,44 @@ TEST(BenchArtifacts, Fig5EmitsValidSchemaWithCountersAndTiming)
         ++event_lines;
     }
     EXPECT_GT(event_lines, 0u);
+#endif
+}
+
+TEST(BenchArtifacts, ParallelRunsAreByteIdenticalToSerial)
+{
+#ifndef EV8_BENCH_DIR
+    GTEST_SKIP() << "EV8_BENCH_DIR not configured";
+#else
+    const std::string binary = std::string(EV8_BENCH_DIR)
+                               + "/bench_fig6_history_length";
+    if (!std::ifstream(binary).good())
+        GTEST_SKIP() << "bench binary not built: " << binary;
+
+    // --no-timing keeps wall-clock noise out of the JSON; everything
+    // else the binary emits must not depend on the worker count.
+    const std::string dir = ::testing::TempDir();
+    auto artifacts = [&](const std::string &tag, unsigned jobs) {
+        const std::string base = dir + "ev8_fig6_det_" + tag;
+        const std::string cmd =
+            binary + " --branches=2000 --sample=16 --no-timing"
+            + " --jobs=" + std::to_string(jobs)
+            + " --json=" + base + ".json"
+            + " --csv=" + base + ".csv"
+            + " --events=" + base + ".jsonl"
+            + " > /dev/null 2>&1";
+        EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+        return std::array<std::string, 3>{slurp(base + ".json"),
+                                          slurp(base + ".csv"),
+                                          slurp(base + ".jsonl")};
+    };
+
+    const auto serial = artifacts("j1", 1);
+    const auto parallel = artifacts("j8", 8);
+    ASSERT_FALSE(serial[0].empty());
+    ASSERT_FALSE(serial[2].empty()) << "no events sampled";
+    EXPECT_EQ(serial[0], parallel[0]) << "JSON differs across --jobs";
+    EXPECT_EQ(serial[1], parallel[1]) << "CSV differs across --jobs";
+    EXPECT_EQ(serial[2], parallel[2]) << "JSONL differs across --jobs";
 #endif
 }
 

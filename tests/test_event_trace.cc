@@ -149,5 +149,67 @@ TEST(EventTraceSink, RepeatedSimulationsProduceByteIdenticalTraces)
     }
 }
 
+TEST(BufferedEventSink, CapturesEveryEventUnsampled)
+{
+    BufferedEventSink buffer;
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(buffer.onMispredict(simpleEvent(0x2000 + 4 * i)));
+    ASSERT_EQ(buffer.events().size(), 5u);
+    EXPECT_EQ(buffer.events()[0].pc, 0x2000u);
+    EXPECT_EQ(buffer.events()[4].pc, 0x2010u);
+
+    const auto taken = buffer.take();
+    EXPECT_EQ(taken.size(), 5u);
+    EXPECT_TRUE(buffer.events().empty()) << "take() must drain";
+}
+
+TEST(BufferedEventSink, ReplayMatchesDirectFeedByteForByte)
+{
+    // The engine's merge path: a worker buffers *all* mispredictions,
+    // then replays them through the shared sampling sink. The output
+    // must equal feeding the sink directly (same 1-in-N decisions,
+    // same bytes) -- this is what makes parallel JSONL deterministic.
+    std::vector<MispredictEvent> events;
+    for (int i = 0; i < 23; ++i) {
+        MispredictEvent e = simpleEvent(0x3000 + 4 * i);
+        e.branchSeq = i;
+        events.push_back(e);
+    }
+
+    std::ostringstream direct_out;
+    EventTraceSink direct(direct_out, 5);
+    direct.setBench("go");
+    for (const auto &e : events)
+        direct.onMispredict(e);
+
+    std::ostringstream replay_out;
+    EventTraceSink replayed(replay_out, 5);
+    BufferedEventSink buffer;
+    for (const auto &e : events)
+        buffer.onMispredict(e);
+    replayed.setBench("go");
+    buffer.replayInto(replayed);
+
+    EXPECT_EQ(replay_out.str(), direct_out.str());
+    EXPECT_EQ(replayed.seen(), direct.seen());
+    EXPECT_EQ(replayed.emitted(), direct.emitted());
+}
+
+TEST(BufferedEventSink, WorksAsSimulationSink)
+{
+    const Trace trace = generateTrace(findBenchmark("gcc").profile, 4000);
+    auto predictor = make2BcGskew512K();
+    SimConfig config = SimConfig::ghist();
+    BufferedEventSink buffer;
+    config.events = &buffer;
+    const SimResult result = simulateTrace(trace, *predictor, config);
+
+    // Unsampled: the buffer holds exactly every misprediction.
+    EXPECT_EQ(buffer.events().size(),
+              result.stats.mispredictions());
+    for (const auto &e : buffer.events())
+        EXPECT_NE(e.taken, e.predicted);
+}
+
 } // namespace
 } // namespace ev8

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: pool sizing, parallelFor
+ * coverage and exception propagation, and -- the load-bearing guarantee
+ * -- that suite runs, merged metric registries and sampled event
+ * streams are byte-identical whatever the worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/event_trace.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "predictors/factory.hh"
+#include "sim/experiment.hh"
+#include "sim/suite_runner.hh"
+#include "sim/sweep.hh"
+
+namespace ev8
+{
+namespace
+{
+
+constexpr uint64_t kTinyScale = 3000;
+
+/** Sets an environment variable for one scope, restoring on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            saved_ = old;
+        else
+            hadValue_ = false;
+        if (value)
+            ::setenv(name, value, /*overwrite=*/1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadValue_)
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+    bool hadValue_ = true;
+};
+
+TEST(ExperimentEngine, DefaultJobsHonoursEnvVariable)
+{
+    {
+        ScopedEnv env("EV8_JOBS", "3");
+        EXPECT_EQ(ExperimentEngine::defaultJobs(), 3u);
+        ExperimentEngine engine; // jobs = 0 resolves through the env
+        EXPECT_EQ(engine.jobs(), 3u);
+    }
+    {
+        // Nonsense values fall back to hardware concurrency (>= 1).
+        ScopedEnv env("EV8_JOBS", "0");
+        EXPECT_GE(ExperimentEngine::defaultJobs(), 1u);
+    }
+    {
+        ScopedEnv env("EV8_JOBS", nullptr);
+        EXPECT_GE(ExperimentEngine::defaultJobs(), 1u);
+    }
+}
+
+TEST(ExperimentEngine, ParallelForRunsEveryIndexExactlyOnce)
+{
+    ExperimentEngine engine(4);
+    constexpr size_t n = 97; // not a multiple of the pool width
+    std::vector<std::atomic<int>> hits(n);
+    engine.parallelFor(n, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ExperimentEngine, ParallelForIsReusableAcrossBatches)
+{
+    ExperimentEngine engine(3);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<size_t> sum{0};
+        engine.parallelFor(10, [&](size_t i) {
+            sum.fetch_add(i + 1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), 55u) << "round " << round;
+    }
+}
+
+TEST(ExperimentEngine, ParallelForPropagatesException)
+{
+    ExperimentEngine engine(4);
+    std::atomic<int> completed{0};
+    try {
+        engine.parallelFor(16, [&](size_t i) {
+            if (i == 7)
+                throw std::runtime_error("job 7 failed");
+            completed.fetch_add(1, std::memory_order_relaxed);
+        });
+        FAIL() << "expected the job's exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 7 failed");
+    }
+    // The batch still ran to completion: the other 15 jobs finished.
+    EXPECT_EQ(completed.load(), 15);
+
+    // And the engine is still usable after a failed batch.
+    std::atomic<int> ok{0};
+    engine.parallelFor(4, [&](size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ExperimentEngine, SerialWidthRunsInline)
+{
+    ExperimentEngine engine(1);
+    EXPECT_EQ(engine.jobs(), 1u);
+    std::vector<size_t> order;
+    engine.parallelFor(5, [&](size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+/** One suite run with full observability, at the given pool width. */
+struct ObservedRun
+{
+    std::vector<BenchResult> results;
+    std::string metricsJson;
+    std::string eventsJsonl;
+};
+
+ObservedRun
+observedRun(unsigned jobs)
+{
+    SuiteRunner runner(kTinyScale, jobs);
+    MetricRegistry metrics;
+    std::ostringstream events;
+    EventTraceSink sink(events, 8);
+
+    SimConfig config = SimConfig::ghist();
+    config.metrics = &metrics;
+    config.events = &sink;
+
+    ObservedRun run;
+    run.results = runner.run(
+        [] { return makePredictor("2bcgskew:12:0:13:14:15"); }, config);
+    std::ostringstream metrics_json;
+    writeRegistryJson(metrics_json, metrics);
+    run.metricsJson = metrics_json.str();
+    run.eventsJsonl = events.str();
+    EXPECT_GT(sink.emitted(), 0u);
+    return run;
+}
+
+TEST(ExperimentEngine, SuiteRunIsByteIdenticalAcrossPoolWidths)
+{
+    const ObservedRun serial = observedRun(1);
+    const ObservedRun parallel = observedRun(8);
+
+    ASSERT_EQ(serial.results.size(), parallel.results.size());
+    for (size_t i = 0; i < serial.results.size(); ++i) {
+        EXPECT_EQ(serial.results[i].bench, parallel.results[i].bench);
+        EXPECT_EQ(serial.results[i].sim.stats.mispredictions(),
+                  parallel.results[i].sim.stats.mispredictions());
+        EXPECT_EQ(serial.results[i].sim.stats.instructions(),
+                  parallel.results[i].sim.stats.instructions());
+    }
+    // The merged registry serializes to the same bytes: counters added
+    // and gauges overwritten in submission order match the serial run.
+    EXPECT_EQ(serial.metricsJson, parallel.metricsJson);
+    // The sampled JSONL stream is byte-identical: buffered events
+    // replay through the shared sink in submission order, so the global
+    // 1-in-N sampling counter sees the identical event sequence.
+    EXPECT_EQ(serial.eventsJsonl, parallel.eventsJsonl);
+}
+
+TEST(ExperimentEngine, GridRunMatchesRowByRowRuns)
+{
+    SuiteRunner parallel(kTinyScale, 8);
+    std::vector<GridRow> rows;
+    for (const char *spec : {"bimodal:10", "gshare:12:10"}) {
+        GridRow row;
+        row.factory = [spec] { return makePredictor(spec); };
+        row.config = SimConfig::ghist();
+        rows.push_back(std::move(row));
+    }
+    const auto grid = parallel.runGrid(rows);
+
+    SuiteRunner serial(kTinyScale, 1);
+    ASSERT_EQ(grid.size(), 2u);
+    for (size_t r = 0; r < rows.size(); ++r) {
+        const auto expected =
+            serial.run(rows[r].factory, SimConfig::ghist());
+        ASSERT_EQ(grid[r].size(), expected.size());
+        for (size_t b = 0; b < expected.size(); ++b) {
+            EXPECT_EQ(grid[r][b].bench, expected[b].bench);
+            EXPECT_EQ(grid[r][b].sim.stats.mispredictions(),
+                      expected[b].sim.stats.mispredictions());
+        }
+    }
+}
+
+TEST(ExperimentEngine, HistorySweepIsWidthIndependent)
+{
+    auto sweep = [](unsigned jobs) {
+        SuiteRunner runner(kTinyScale, jobs);
+        return sweepHistoryLengths(
+            runner,
+            [](unsigned len) {
+                return makePredictor("gshare:12:" + std::to_string(len));
+            },
+            {0, 4, 8, 12}, SimConfig::ghist());
+    };
+    const auto serial = sweep(1);
+    const auto parallel = sweep(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].histLen, parallel[i].histLen);
+        EXPECT_DOUBLE_EQ(serial[i].avgMispKI, parallel[i].avgMispKI);
+    }
+}
+
+} // namespace
+} // namespace ev8

@@ -1,12 +1,15 @@
 /**
  * @file
  * Unit tests for the metric registry: stable references, kind-collision
- * detection, histogram bucketing and deterministic enumeration.
+ * detection, histogram bucketing, deterministic enumeration, lock-free
+ * concurrent updates and cross-registry merging.
  */
 
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "obs/metrics.hh"
 
@@ -113,6 +116,116 @@ TEST(MetricRegistry, EntriesAreSortedByName)
     EXPECT_EQ(*entries[2].name, "z.last");
     EXPECT_EQ(entries[0].kind, MetricKind::Gauge);
     EXPECT_EQ(entries[1].kind, MetricKind::Counter);
+}
+
+TEST(MetricsConcurrency, CounterUpdatesFromManyThreadsAreExact)
+{
+    MetricRegistry r;
+    Counter &c = r.counter("stress.hits");
+    constexpr int kThreads = 8;
+    constexpr int kIncsPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kIncsPerThread; ++i)
+                c.inc();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(),
+              uint64_t{kThreads} * uint64_t{kIncsPerThread});
+}
+
+TEST(MetricsConcurrency, HistogramObservationsFromManyThreadsAreExact)
+{
+    MetricRegistry r;
+    Histogram &h = r.histogram("stress.latency", {1.0, 2.0, 3.0});
+    constexpr int kThreads = 8;
+    constexpr int kObsPerThread = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            // Each thread hammers one bucket: 0 -> le-1, 1 -> le-2, ...
+            const double v = 1.0 + t % 4;
+            for (int i = 0; i < kObsPerThread; ++i)
+                h.observe(v);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    const auto counts = h.bucketCounts();
+    ASSERT_EQ(counts.size(), 4u);
+    for (size_t b = 0; b < counts.size(); ++b)
+        EXPECT_EQ(counts[b], 2u * kObsPerThread) << "bucket " << b;
+    EXPECT_EQ(h.count(), uint64_t{kThreads} * kObsPerThread);
+    // The CAS-loop sum is exact here: small integers add associatively.
+    EXPECT_DOUBLE_EQ(h.sum(),
+                     2.0 * kObsPerThread * (1.0 + 2.0 + 3.0 + 4.0));
+}
+
+TEST(MetricRegistryMerge, CountersAddGaugesOverwriteHistogramsAdd)
+{
+    MetricRegistry target;
+    target.counter("sim.fetch_blocks").inc(10);
+    target.gauge("scale").set(1.0);
+    target.histogram("lat", {1.0, 2.0}).observe(0.5);
+
+    MetricRegistry source;
+    source.counter("sim.fetch_blocks").inc(32);
+    source.counter("only.in.source").inc(7);
+    source.gauge("scale").set(4.0);
+    source.histogram("lat", {1.0, 2.0}).observe(1.5, 3);
+
+    target.merge(source);
+    EXPECT_EQ(target.counterValue("sim.fetch_blocks"), 42u);
+    EXPECT_EQ(target.counterValue("only.in.source"), 7u);
+    EXPECT_DOUBLE_EQ(target.gauge("scale").value(), 4.0);
+    const Histogram &lat = target.histogram("lat", {1.0, 2.0});
+    EXPECT_EQ(lat.count(), 4u);
+    EXPECT_EQ(lat.bucketCounts()[0], 1u);
+    EXPECT_EQ(lat.bucketCounts()[1], 3u);
+    EXPECT_DOUBLE_EQ(lat.sum(), 0.5 + 3 * 1.5);
+    // The source registry is read-only during a merge.
+    EXPECT_EQ(source.counterValue("sim.fetch_blocks"), 32u);
+}
+
+TEST(MetricRegistryMerge, MergeIsAssociativeOverJobOrder)
+{
+    // Engine contract: merging per-job registries one by one in
+    // submission order equals one big serial registry.
+    MetricRegistry serial;
+    MetricRegistry merged;
+    for (int job = 0; job < 5; ++job) {
+        MetricRegistry per_job;
+        per_job.counter("jobs.done").inc(job + 1);
+        per_job.histogram("size", {10.0}).observe(job);
+        serial.counter("jobs.done").inc(job + 1);
+        serial.histogram("size", {10.0}).observe(job);
+        merged.merge(per_job);
+    }
+    EXPECT_EQ(merged.counterValue("jobs.done"),
+              serial.counterValue("jobs.done"));
+    EXPECT_EQ(merged.histogram("size", {10.0}).count(),
+              serial.histogram("size", {10.0}).count());
+    EXPECT_DOUBLE_EQ(merged.histogram("size", {10.0}).sum(),
+                     serial.histogram("size", {10.0}).sum());
+}
+
+TEST(MetricRegistryMerge, KindMismatchThrows)
+{
+    MetricRegistry target;
+    target.counter("m");
+    MetricRegistry source;
+    source.gauge("m").set(2.0);
+    EXPECT_THROW(target.merge(source), std::logic_error);
+
+    MetricRegistry bounds_target;
+    bounds_target.histogram("h", {1.0});
+    MetricRegistry bounds_source;
+    bounds_source.histogram("h", {2.0}).observe(0.5);
+    EXPECT_THROW(bounds_target.merge(bounds_source), std::logic_error);
 }
 
 } // namespace

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the trace cache: once-per-key generation (also under
+ * concurrency), the persistent disk layer, and the staleness armour --
+ * version-stamped file names keyed on a full profile-content hash, with
+ * corrupt or mismatched files regenerated rather than trusted.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/trace_cache.hh"
+#include "trace/trace_io.hh"
+#include "workloads/suite.hh"
+
+namespace ev8
+{
+namespace
+{
+
+constexpr uint64_t kTinyBranches = 2000;
+
+WorkloadProfile
+testProfile()
+{
+    return findBenchmark("gcc").profile;
+}
+
+/** A scratch cache directory, removed on scope exit. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &leaf)
+        : path_(std::filesystem::path(::testing::TempDir()) / leaf)
+    {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+
+    ~ScratchDir() { std::filesystem::remove_all(path_); }
+
+    std::string str() const { return path_.string(); }
+
+  private:
+    std::filesystem::path path_;
+};
+
+std::string
+serialize(const Trace &trace)
+{
+    std::ostringstream out;
+    writeTrace(out, trace);
+    return out.str();
+}
+
+TEST(TraceCache, GeneratesOncePerKey)
+{
+    TraceCache cache("");
+    const Trace &a = cache.get(testProfile(), kTinyBranches);
+    const Trace &b = cache.get(testProfile(), kTinyBranches);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(cache.generatedCount(), 1u);
+    EXPECT_EQ(a.stats().dynamicCondBranches, kTinyBranches);
+}
+
+TEST(TraceCache, DistinctBudgetsAreDistinctEntries)
+{
+    TraceCache cache("");
+    const Trace &small = cache.get(testProfile(), kTinyBranches);
+    const Trace &large = cache.get(testProfile(), 2 * kTinyBranches);
+    EXPECT_NE(&small, &large);
+    EXPECT_EQ(cache.generatedCount(), 2u);
+    EXPECT_EQ(large.stats().dynamicCondBranches, 2 * kTinyBranches);
+}
+
+TEST(TraceCache, ConcurrentGetSynthesizesExactlyOnce)
+{
+    TraceCache cache("");
+    std::vector<const Trace *> seen(8, nullptr);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < seen.size(); ++t) {
+        threads.emplace_back([&cache, &seen, t] {
+            seen[t] = &cache.get(testProfile(), kTinyBranches);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (const Trace *trace : seen)
+        EXPECT_EQ(trace, seen[0]);
+    EXPECT_EQ(cache.generatedCount(), 1u);
+}
+
+TEST(TraceCache, ProfileHashCoversContentNotJustName)
+{
+    const WorkloadProfile base = testProfile();
+    const uint64_t h0 = TraceCache::profileHash(base);
+
+    WorkloadProfile reseeded = base;
+    reseeded.seed += 1;
+    EXPECT_NE(TraceCache::profileHash(reseeded), h0);
+
+    WorkloadProfile reshaped = base;
+    reshaped.shape.condFraction += 0.01;
+    EXPECT_NE(TraceCache::profileHash(reshaped), h0);
+
+    // Same content hashes the same, through an independent copy.
+    EXPECT_EQ(TraceCache::profileHash(testProfile()), h0);
+}
+
+TEST(TraceCache, FilePathCarriesVersionStampAndBudget)
+{
+    TraceCache cache("/tmp/ev8-cache-naming-test");
+    const std::string path = cache.filePath(testProfile(), kTinyBranches);
+    EXPECT_NE(path.find("gcc-"), std::string::npos) << path;
+    EXPECT_NE(path.find("-b2000-"), std::string::npos) << path;
+    const std::string stamp =
+        "-v" + std::to_string(TraceCache::kFormatVersion) + ".ev8t";
+    EXPECT_NE(path.find(stamp), std::string::npos) << path;
+
+    TraceCache memory_only("");
+    EXPECT_EQ(memory_only.filePath(testProfile(), kTinyBranches), "");
+}
+
+TEST(TraceCache, DiskLayerPersistsAndReloads)
+{
+    ScratchDir dir("ev8_trace_cache_disk");
+
+    TraceCache writer(dir.str());
+    const Trace &generated = writer.get(testProfile(), kTinyBranches);
+    EXPECT_EQ(writer.generatedCount(), 1u);
+    EXPECT_EQ(writer.diskHitCount(), 0u);
+    const std::string path =
+        writer.filePath(testProfile(), kTinyBranches);
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+
+    // A fresh cache over the same directory loads instead of
+    // regenerating, and serves the identical trace bytes.
+    TraceCache reader(dir.str());
+    const Trace &loaded = reader.get(testProfile(), kTinyBranches);
+    EXPECT_EQ(reader.generatedCount(), 0u);
+    EXPECT_EQ(reader.diskHitCount(), 1u);
+    EXPECT_EQ(serialize(loaded), serialize(generated));
+}
+
+TEST(TraceCache, ChangedProfileRegeneratesInsteadOfReusingStaleFile)
+{
+    ScratchDir dir("ev8_trace_cache_stale");
+
+    TraceCache first(dir.str());
+    first.get(testProfile(), kTinyBranches);
+    EXPECT_EQ(first.generatedCount(), 1u);
+
+    // Recalibrate the benchmark: same name, different behaviour. The
+    // content hash moves, so the old file must not satisfy the new key.
+    WorkloadProfile edited = testProfile();
+    edited.shape.condFraction += 0.01;
+    EXPECT_NE(first.filePath(edited, kTinyBranches),
+              first.filePath(testProfile(), kTinyBranches));
+
+    TraceCache second(dir.str());
+    const Trace &regenerated = second.get(edited, kTinyBranches);
+    EXPECT_EQ(second.diskHitCount(), 0u) << "stale file reused";
+    EXPECT_EQ(second.generatedCount(), 1u);
+    EXPECT_EQ(regenerated.stats().dynamicCondBranches, kTinyBranches);
+
+    // Both variants now coexist on disk under distinct names.
+    EXPECT_TRUE(std::filesystem::exists(
+        second.filePath(edited, kTinyBranches)));
+    EXPECT_TRUE(std::filesystem::exists(
+        second.filePath(testProfile(), kTinyBranches)));
+}
+
+TEST(TraceCache, CorruptCacheFileIsRegenerated)
+{
+    ScratchDir dir("ev8_trace_cache_corrupt");
+
+    TraceCache writer(dir.str());
+    const std::string expected = serialize(
+        writer.get(testProfile(), kTinyBranches));
+    const std::string path =
+        writer.filePath(testProfile(), kTinyBranches);
+
+    {
+        std::ofstream out(path, std::ios::trunc | std::ios::binary);
+        out << "EV8Tgarbage-not-a-trace";
+    }
+
+    TraceCache reader(dir.str());
+    const Trace &recovered = reader.get(testProfile(), kTinyBranches);
+    EXPECT_EQ(reader.diskHitCount(), 0u);
+    EXPECT_EQ(reader.generatedCount(), 1u);
+    EXPECT_EQ(serialize(recovered), expected);
+
+    // The regeneration also healed the on-disk copy.
+    EXPECT_EQ(serialize(readTraceFile(path)), expected);
+}
+
+} // namespace
+} // namespace ev8
