@@ -15,6 +15,7 @@
 
 #include "core/ev8_predictor.hh"
 #include "predictors/factory.hh"
+#include "sim/block_stream.hh"
 #include "sim/simulator.hh"
 #include "sim/suite_runner.hh"
 #include "workloads/suite.hh"
@@ -33,15 +34,23 @@ benchTrace()
     return trace;
 }
 
+/** The same trace pre-decoded, as the experiment engine consumes it. */
+const BlockStream &
+benchStream()
+{
+    static const BlockStream stream = decodeBlockStream(benchTrace());
+    return stream;
+}
+
 void
 runSim(benchmark::State &state, const PredictorFactory &factory,
        const SimConfig &config)
 {
-    const Trace &trace = benchTrace();
+    const BlockStream &stream = benchStream();
     uint64_t branches = 0;
     for (auto _ : state) {
         auto predictor = factory();
-        const SimResult r = simulateTrace(trace, *predictor, config);
+        const SimResult r = simulateStream(stream, *predictor, config);
         branches += r.condBranches;
         benchmark::DoNotOptimize(r.stats.mispredictions());
     }
@@ -93,6 +102,36 @@ BM_Perceptron(benchmark::State &state)
            SimConfig::ghist());
 }
 BENCHMARK(BM_Perceptron)->Unit(benchmark::kMillisecond);
+
+/**
+ * The virtual-fallback kernel on the same scheme as BM_TwoBcGskew512K:
+ * the spread between the two is what devirtualization buys.
+ */
+void
+BM_TwoBcGskew512KGenericKernel(benchmark::State &state)
+{
+    SimConfig config = SimConfig::ghist();
+    config.forceGenericKernel = true;
+    runSim(state, [] { return make2BcGskew512K(); }, config);
+}
+BENCHMARK(BM_TwoBcGskew512KGenericKernel)->Unit(benchmark::kMillisecond);
+
+/** Cost of decoding a trace into a BlockStream (paid once per cache
+ *  key, then amortized across every grid row that replays it). */
+void
+BM_BlockStreamDecode(benchmark::State &state)
+{
+    const Trace &trace = benchTrace();
+    uint64_t branches = 0;
+    for (auto _ : state) {
+        const BlockStream s = decodeBlockStream(trace);
+        branches += s.branches();
+        benchmark::DoNotOptimize(s.blocks());
+    }
+    state.counters["branches/s"] = benchmark::Counter(
+        static_cast<double>(branches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BlockStreamDecode)->Unit(benchmark::kMillisecond);
 
 void
 BM_TraceGeneration(benchmark::State &state)

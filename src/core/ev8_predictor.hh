@@ -53,7 +53,7 @@ struct Ev8BlockPrediction
     std::array<Ev8WordCoords, kNumTables> coords{};
 };
 
-class Ev8Predictor : public ConditionalBranchPredictor
+class Ev8Predictor final : public ConditionalBranchPredictor
 {
   public:
     explicit Ev8Predictor(const Ev8Config &config = Ev8Config{});

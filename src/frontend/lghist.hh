@@ -60,9 +60,24 @@ class LghistTracker
     {
         if (block.numBranches == 0)
             return false;
-        reg.push(blockBit(block, includePath));
-        ++bitsInserted_;
+        onBranchBlock(block.lastBranch().pc, block.lastBranch().taken);
         return true;
+    }
+
+    /**
+     * Block-stream variant of onBlock() for callers that no longer
+     * materialize FetchBlocks: advances past a block whose *last*
+     * conditional branch is (@p last_pc, @p last_taken). Only call for
+     * blocks containing at least one conditional branch.
+     */
+    void
+    onBranchBlock(uint64_t last_pc, bool last_taken)
+    {
+        bool value = last_taken;
+        if (includePath)
+            value ^= bit(last_pc, 4) != 0;
+        reg.push(value);
+        ++bitsInserted_;
     }
 
     /** Current register value, most recent block bit in bit 0. */

@@ -13,7 +13,7 @@
 namespace ev8
 {
 
-class BimodalPredictor : public ConditionalBranchPredictor
+class BimodalPredictor final : public ConditionalBranchPredictor
 {
   public:
     /** @param log2_entries table holds 2^log2_entries 2-bit counters. */

@@ -18,7 +18,7 @@
 namespace ev8
 {
 
-class EgskewPredictor : public ConditionalBranchPredictor
+class EgskewPredictor final : public ConditionalBranchPredictor
 {
   public:
     /**

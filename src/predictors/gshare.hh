@@ -17,7 +17,7 @@
 namespace ev8
 {
 
-class GsharePredictor : public ConditionalBranchPredictor
+class GsharePredictor final : public ConditionalBranchPredictor
 {
   public:
     /**

@@ -54,27 +54,31 @@ TwoBcGskewPredictor::TwoBcGskewPredictor(const TwoBcGskewConfig &config)
     }
 }
 
+uint64_t
+TwoBcGskewPredictor::bimPathFold(const HistoryView &hist)
+{
+    // Mirror the EV8's light touch of path on BIM: only the previous
+    // block's (z6, z5) bits (Section 7.4).
+    return ((hist.pathZ >> 5) & 0x3) << 5;
+}
+
+uint64_t
+TwoBcGskewPredictor::gskewPathFold(const HistoryView &hist)
+{
+    // Fold the addresses of the three previous fetch blocks into the
+    // hashed information vector (Section 5.2).
+    const uint64_t pathword = ((hist.pathZ >> 2) & 0xfff)
+        ^ rotl((hist.pathY >> 2) & 0xfff, 4, 24)
+        ^ rotl((hist.pathX >> 2) & 0xfff, 8, 24);
+    return pathword << 2;
+}
+
 size_t
-TwoBcGskewPredictor::tableIndex(TableId table,
-                                const BranchSnapshot &snap) const
+TwoBcGskewPredictor::foldedIndex(TableId table, const BranchSnapshot &snap,
+                                 uint64_t fold) const
 {
     const TableGeometry &geo = cfg.tables[table];
-    uint64_t addr = snap.pc;
-    if (cfg.usePathInfo) {
-        if (table == BIM) {
-            // Mirror the EV8's light touch of path on BIM: only the
-            // previous block's (z6, z5) bits (Section 7.4).
-            addr ^= ((snap.hist.pathZ >> 5) & 0x3) << 5;
-        } else {
-            // Fold the addresses of the three previous fetch blocks
-            // into the hashed information vector (Section 5.2).
-            const uint64_t pathword =
-                ((snap.hist.pathZ >> 2) & 0xfff)
-                ^ rotl((snap.hist.pathY >> 2) & 0xfff, 4, 24)
-                ^ rotl((snap.hist.pathX >> 2) & 0xfff, 8, 24);
-            addr ^= pathword << 2;
-        }
-    }
+    const uint64_t addr = snap.pc ^ fold;
     if (table == BIM && geo.histLen == 0)
         return static_cast<size_t>(addressIndex(addr, geo.log2Pred));
     // Distinct skewing functions per table (the family of [17]); the
@@ -84,15 +88,41 @@ TwoBcGskewPredictor::tableIndex(TableId table,
                                          geo.log2Pred));
 }
 
-GskewLookup
-TwoBcGskewPredictor::lookup(const BranchSnapshot &snap) const
+size_t
+TwoBcGskewPredictor::tableIndex(TableId table,
+                                const BranchSnapshot &snap) const
 {
+    uint64_t fold = 0;
+    if (cfg.usePathInfo)
+        fold = table == BIM ? bimPathFold(snap.hist)
+                            : gskewPathFold(snap.hist);
+    return foldedIndex(table, snap, fold);
+}
+
+GskewLookup
+TwoBcGskewPredictor::lookup(const BranchSnapshot &snap)
+{
+    uint64_t bim_fold = 0, gskew_fold = 0;
+    if (cfg.usePathInfo) {
+        if (snap.hist.pathZ != cachedPathZ
+            || snap.hist.pathY != cachedPathY
+            || snap.hist.pathX != cachedPathX) {
+            cachedPathZ = snap.hist.pathZ;
+            cachedPathY = snap.hist.pathY;
+            cachedPathX = snap.hist.pathX;
+            cachedBimFold = bimPathFold(snap.hist);
+            cachedGskewFold = gskewPathFold(snap.hist);
+        }
+        bim_fold = cachedBimFold;
+        gskew_fold = cachedGskewFold;
+    }
+
     GskewLookup look;
-    for (unsigned t = 0; t < kNumTables; ++t)
-        look.idx[t] = tableIndex(static_cast<TableId>(t), snap);
-    const BankFacade facade{
-        const_cast<std::array<SplitCounterArray, kNumTables> &>(
-            banksStorage)};
+    look.idx[BIM] = foldedIndex(BIM, snap, bim_fold);
+    look.idx[G0] = foldedIndex(G0, snap, gskew_fold);
+    look.idx[G1] = foldedIndex(G1, snap, gskew_fold);
+    look.idx[META] = foldedIndex(META, snap, gskew_fold);
+    const ConstBankFacade facade{banksStorage};
     computeGskewVotes(facade, look);
     return look;
 }
@@ -101,6 +131,10 @@ bool
 TwoBcGskewPredictor::predict(const BranchSnapshot &snap)
 {
     last = lookup(snap);
+#ifndef NDEBUG
+    lastPc = snap.pc;
+    lastIndexHist = snap.hist.indexHist;
+#endif
     return last.overall;
 }
 
@@ -108,8 +142,9 @@ void
 TwoBcGskewPredictor::update(const BranchSnapshot &snap, bool taken, bool)
 {
     // Immediate-update contract: `last` was filled by predict() on this
-    // same branch.
-    assert(last.idx[BIM] == tableIndex(BIM, snap));
+    // same branch. Comparing the stored lookup inputs is O(1), unlike
+    // the full index recompute this assert used to pay for.
+    assert(snap.pc == lastPc && snap.hist.indexHist == lastIndexHist);
     (void)snap;
     if (statsEnabled())
         stats.note(last, taken);

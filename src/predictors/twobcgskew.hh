@@ -86,7 +86,7 @@ struct TwoBcGskewConfig
  * hist.indexHist, so the same class serves conventional-ghist and
  * lghist experiments; the simulator decides what that register holds.
  */
-class TwoBcGskewPredictor : public ConditionalBranchPredictor
+class TwoBcGskewPredictor final : public ConditionalBranchPredictor
 {
   public:
     explicit TwoBcGskewPredictor(const TwoBcGskewConfig &config);
@@ -133,12 +133,48 @@ class TwoBcGskewPredictor : public ConditionalBranchPredictor
         }
     };
 
-    GskewLookup lookup(const BranchSnapshot &snap) const;
+    /** Read-only adapter for lookup(): the vote pass only reads. */
+    struct ConstBankFacade
+    {
+        const std::array<SplitCounterArray, kNumTables> &arrays;
+
+        bool
+        taken(TableId t, size_t idx) const
+        {
+            return arrays[t].taken(idx);
+        }
+    };
+
+    /** The per-block BIM path fold of tableIndex() (Section 7.4). */
+    static uint64_t bimPathFold(const HistoryView &hist);
+
+    /** The per-block gskew path fold of tableIndex() (Section 5.2). */
+    static uint64_t gskewPathFold(const HistoryView &hist);
+
+    /** tableIndex() with the path fold already computed. */
+    size_t foldedIndex(TableId table, const BranchSnapshot &snap,
+                       uint64_t fold) const;
+
+    GskewLookup lookup(const BranchSnapshot &snap);
 
     TwoBcGskewConfig cfg;
     std::array<SplitCounterArray, kNumTables> banksStorage;
     GskewLookup last; //!< cached between predict() and update()
     GskewVoteStats stats;
+
+    /**
+     * The path registers only change once per fetch block, so the two
+     * index folds derived from them are cached here and recomputed only
+     * when the registers move -- every branch of a block shares them.
+     * Initial values match all-zero path registers (fold 0).
+     */
+    uint64_t cachedPathZ = 0, cachedPathY = 0, cachedPathX = 0;
+    uint64_t cachedBimFold = 0, cachedGskewFold = 0;
+
+#ifndef NDEBUG
+    uint64_t lastPc = 0;        //!< predict() inputs, for update()'s
+    uint64_t lastIndexHist = 0; //!< immediate-update contract check
+#endif
 };
 
 } // namespace ev8

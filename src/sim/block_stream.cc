@@ -1,0 +1,185 @@
+#include "sim/block_stream.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "frontend/fetch_block.hh"
+#include "trace/trace.hh"
+#include "trace/varint.hh"
+
+namespace ev8
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'E', 'V', '8', 'S'};
+
+/**
+ * Bump when the serialized layout changes. Semantic changes to the
+ * decode itself (FetchBlockBuilder behaviour) are covered by
+ * TraceCache::kStreamFormatVersion in the cache file name; this version
+ * only guards the byte layout below.
+ */
+constexpr uint32_t kVersion = 1;
+
+} // namespace
+
+BlockStream
+decodeBlockStream(const Trace &trace)
+{
+    BlockStream stream;
+    stream.name_ = trace.name();
+    stream.instructions_ = trace.instructionCount();
+
+    auto on_block = [&stream](const FetchBlock &block) {
+        stream.addr_.push_back(block.address);
+        stream.info_.push_back(static_cast<uint8_t>(
+            (block.numInstrs() << 1) | (block.endsTaken ? 1 : 0)));
+        for (unsigned i = 0; i < block.numBranches; ++i) {
+            const BlockBranch &br = block.branches[i];
+            const uint64_t slot = (br.pc - block.address) / kInstrBytes;
+            assert(slot < kFetchBlockInstrs);
+            stream.branchSlot_.push_back(static_cast<uint8_t>(
+                (slot << 1) | (br.taken ? 1 : 0)));
+        }
+        stream.branchBegin_.push_back(
+            static_cast<uint32_t>(stream.branchSlot_.size()));
+    };
+
+    FetchBlockBuilder builder;
+    builder.begin(trace.startPc());
+    for (const auto &rec : trace.records())
+        builder.feed(rec, on_block);
+    builder.flush(on_block);
+
+    // branchBegin_ is one-past-per-block so far; prepend the leading 0
+    // to turn it into the [begin, end) prefix array the accessors use.
+    stream.branchBegin_.insert(stream.branchBegin_.begin(), 0u);
+    return stream;
+}
+
+void
+writeBlockStream(std::ostream &out, const BlockStream &stream)
+{
+    out.write(kMagic, sizeof(kMagic));
+    putU32(out, kVersion);
+    putU32(out, static_cast<uint32_t>(stream.name().size()));
+    out.write(stream.name().data(),
+              static_cast<std::streamsize>(stream.name().size()));
+    putVarint(out, stream.instructions());
+    putVarint(out, stream.blocks());
+    putVarint(out, stream.branches());
+
+    uint64_t prev_addr = 0;
+    for (size_t b = 0; b < stream.blocks(); ++b) {
+        const uint64_t addr = stream.blockAddr(b);
+        putVarint(out, zigzag((static_cast<int64_t>(addr)
+                               - static_cast<int64_t>(prev_addr))
+                              / static_cast<int64_t>(kInstrBytes)));
+        out.put(static_cast<char>((stream.blockInstrs(b) << 1)
+                                  | (stream.blockEndsTaken(b) ? 1 : 0)));
+        const unsigned nbr = stream.numBranches(b);
+        out.put(static_cast<char>(nbr));
+        for (unsigned k = 0; k < nbr; ++k)
+            out.put(static_cast<char>(
+                stream.branchRaw(stream.branchBegin(b) + k)));
+        prev_addr = addr;
+    }
+    if (!out)
+        throw TraceIoError("block stream write failure");
+}
+
+BlockStream
+readBlockStream(std::istream &in)
+{
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::char_traits<char>::compare(magic, kMagic, 4) != 0)
+        throw TraceIoError("bad block stream magic");
+    if (getU32(in) != kVersion)
+        throw TraceIoError("unsupported block stream version");
+
+    const uint32_t name_len = getU32(in);
+    if (name_len > (1u << 20))
+        throw TraceIoError("implausible name length");
+    BlockStream stream;
+    stream.name_.assign(name_len, '\0');
+    in.read(stream.name_.data(), name_len);
+    if (!in)
+        throw TraceIoError("truncated block stream name");
+
+    stream.instructions_ = getVarint(in);
+    const uint64_t block_count = getVarint(in);
+    const uint64_t branch_count = getVarint(in);
+    // Untrusted header: cap the up-front reservations the same way
+    // trace_io does, so a lying count fails at the first missing block
+    // after bounded memory use.
+    const size_t reserve_blocks =
+        static_cast<size_t>(std::min<uint64_t>(block_count, 1u << 20));
+    stream.addr_.reserve(reserve_blocks);
+    stream.info_.reserve(reserve_blocks);
+    stream.branchBegin_.reserve(reserve_blocks + 1);
+    stream.branchSlot_.reserve(
+        static_cast<size_t>(std::min<uint64_t>(branch_count, 1u << 20)));
+
+    stream.branchBegin_.push_back(0);
+    uint64_t prev_addr = 0;
+    for (uint64_t b = 0; b < block_count; ++b) {
+        const uint64_t addr = static_cast<uint64_t>(
+            static_cast<int64_t>(prev_addr)
+            + unzigzag(getVarint(in))
+                  * static_cast<int64_t>(kInstrBytes));
+        const int info = in.get();
+        const int nbr = in.get();
+        if (info == std::char_traits<char>::eof()
+            || nbr == std::char_traits<char>::eof())
+            throw TraceIoError("truncated block");
+        const unsigned instrs = static_cast<unsigned>(info) >> 1;
+        if (instrs < 1 || instrs > kFetchBlockInstrs)
+            throw TraceIoError("bad block instruction count");
+        if (nbr < 0 || static_cast<unsigned>(nbr) > instrs)
+            throw TraceIoError("bad block branch count");
+        stream.addr_.push_back(addr);
+        stream.info_.push_back(static_cast<uint8_t>(info));
+        for (int k = 0; k < nbr; ++k) {
+            const int slot = in.get();
+            if (slot == std::char_traits<char>::eof())
+                throw TraceIoError("truncated branch");
+            if ((static_cast<unsigned>(slot) >> 1) >= instrs)
+                throw TraceIoError("branch slot outside block");
+            stream.branchSlot_.push_back(static_cast<uint8_t>(slot));
+        }
+        stream.branchBegin_.push_back(
+            static_cast<uint32_t>(stream.branchSlot_.size()));
+        prev_addr = addr;
+    }
+    if (stream.branches() != branch_count)
+        throw TraceIoError("branch count mismatch");
+    return stream;
+}
+
+void
+writeBlockStreamFile(const std::string &path, const BlockStream &stream)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw TraceIoError("cannot open for writing: " + path);
+    writeBlockStream(out, stream);
+    out.flush();
+    if (!out)
+        throw TraceIoError("write failure: " + path);
+}
+
+BlockStream
+readBlockStreamFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw TraceIoError("cannot open: " + path);
+    return readBlockStream(in);
+}
+
+} // namespace ev8

@@ -182,7 +182,10 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         JobOutput &out = outputs[i];
         out.result.bench = bench.profile.name;
 
-        const Trace &trace = runner.trace(b);
+        // The pre-decoded stream, not the trace: decode happens once per
+        // benchmark (and not at all with a warm on-disk stream cache),
+        // however many grid rows revisit it.
+        const BlockStream &stream = runner.blockStream(b);
         PredictorPtr predictor = row.factory();
 
         // Isolate the observability sinks: the shared registry/sink in
@@ -196,7 +199,7 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
                               .condBranchClasses();
         }
 
-        out.result.sim = simulateTrace(trace, *predictor, config);
+        out.result.sim = simulateStream(stream, *predictor, config);
 
         if (config.metrics) {
             predictor->publishMetrics(out.metrics,

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The devirtualized simulation kernel.
+ *
+ * One template instantiation per (concrete predictor type, history
+ * mode, timing, event sink) combination, so that in the hot loop:
+ *
+ *  - predict()/update() are direct calls into the final predictor
+ *    class, inlinable by the compiler, instead of two virtual
+ *    dispatches per dynamic branch;
+ *  - the `if (timed)` / `if (events)` decisions are made once at
+ *    dispatch time and compile out of the per-branch path entirely
+ *    (the duplicated runtime-`if (timed)` blocks of the old
+ *    simulator.cc collapse into `if constexpr`).
+ *
+ * The kernel consumes a BlockStream (pre-decoded, cache-linear fetch
+ * blocks) and is the single definition of the simulation semantics:
+ * the virtual fallback path is the same template instantiated with
+ * Predictor = ConditionalBranchPredictor, so specialized and generic
+ * runs cannot drift apart. simulator.cc owns the dispatch; nothing
+ * else should include this header.
+ */
+
+#ifndef EV8_SIM_KERNEL_HH
+#define EV8_SIM_KERNEL_HH
+
+#include <type_traits>
+
+#include "frontend/bank_scheduler.hh"
+#include "frontend/lghist.hh"
+#include "obs/event_trace.hh"
+#include "obs/timer.hh"
+#include "sim/block_stream.hh"
+#include "sim/simulator.hh"
+
+namespace ev8
+{
+namespace detail
+{
+
+/** Builds the sampled-trace record for one misprediction. */
+inline MispredictEvent
+makeMispredictEvent(const SimResult &result, const BranchSnapshot &snap,
+                    bool taken, bool predicted, const VoteSnapshot &votes)
+{
+    MispredictEvent ev;
+    ev.branchSeq = result.condBranches;
+    ev.pc = snap.pc;
+    ev.blockAddr = snap.blockAddr;
+    ev.ghist = snap.hist.ghist;
+    ev.indexHist = snap.hist.indexHist;
+    ev.bank = snap.bank;
+    ev.taken = taken;
+    ev.predicted = predicted;
+    ev.votesValid = votes.valid;
+    ev.voteBim = votes.bim;
+    ev.voteG0 = votes.g0;
+    ev.voteG1 = votes.g1;
+    ev.voteMeta = votes.meta;
+    ev.voteMajority = votes.majority;
+    return ev;
+}
+
+/**
+ * The simulation inner loop over a pre-decoded block stream.
+ *
+ * @tparam Predictor   concrete (final) predictor class, or
+ *                     ConditionalBranchPredictor for the virtual
+ *                     fallback path
+ * @tparam LghistMode  config.history != HistoryMode::Ghist
+ * @tparam Timed       config.profileTiming
+ * @tparam HasEvents   config.events != nullptr
+ *
+ * Semantics are bit-for-bit those of the original per-trace loop:
+ * immediate update, per-branch ghist, per-block (aged) lghist, the
+ * last-three-blocks path registers, and the bank-number recurrence.
+ */
+template <class Predictor, bool LghistMode, bool Timed, bool HasEvents>
+SimResult
+runStreamKernel(const BlockStream &stream, Predictor &predictor,
+                const SimConfig &config, BankScheduler &bank_sched)
+{
+    SimResult result;
+    result.stats.setInstructions(stream.instructions());
+
+    const bool lghist_path = config.history == HistoryMode::LghistPath;
+    const bool assign_banks = config.assignBanks;
+
+    HistoryRegister ghist;
+    LghistTracker lghist(lghist_path);
+    DelayedHistory delayed(config.historyAge);
+
+    // Path registers: addresses of the last three fetch blocks.
+    uint64_t path_z = 0, path_y = 0, path_x = 0;
+
+    BranchSnapshot snap;
+    const size_t nblocks = stream.blocks();
+    for (size_t b = 0; b < nblocks; ++b) {
+        ++result.fetchBlocks;
+        const uint32_t first = stream.branchBegin(b);
+        const uint32_t last = stream.branchBegin(b + 1);
+        const unsigned nbr = last - first;
+        ++result.branchesPerBlock[nbr < result.branchesPerBlock.size()
+                                      ? nbr
+                                      : result.branchesPerBlock.size()
+                                            - 1];
+
+        const uint64_t block_addr = stream.blockAddr(b);
+        snap.blockAddr = block_addr;
+        snap.hist.pathZ = path_z;
+        snap.hist.pathY = path_y;
+        snap.hist.pathX = path_x;
+        if (assign_banks)
+            snap.bank =
+                static_cast<uint8_t>(bank_sched.assign(block_addr));
+
+        // The index history for every branch of this block: the aged
+        // lghist view, or per-branch ghist filled in below.
+        const uint64_t block_hist = delayed.view();
+
+        for (uint32_t j = first; j < last; ++j) {
+            const uint8_t raw = stream.branchRaw(j);
+            const bool br_taken = (raw & 1) != 0;
+            snap.pc = block_addr + uint64_t(raw >> 1) * kInstrBytes;
+            snap.hist.ghist = ghist.raw();
+            snap.hist.indexHist = LghistMode ? block_hist : ghist.raw();
+
+            bool predicted;
+            if constexpr (Timed) {
+                ScopedTimer t(result.timing.lookup);
+                predicted = predictor.predict(snap);
+            } else {
+                predicted = predictor.predict(snap);
+            }
+            result.stats.record(predicted, br_taken);
+
+            if constexpr (HasEvents) {
+                if (predicted != br_taken) {
+                    config.events->onMispredict(makeMispredictEvent(
+                        result, snap, br_taken, predicted,
+                        predictor.lastVotes()));
+                }
+            }
+
+            if constexpr (Timed) {
+                ScopedTimer t(result.timing.update);
+                predictor.update(snap, br_taken, predicted);
+            } else {
+                predictor.update(snap, br_taken, predicted);
+            }
+
+            ghist.push(br_taken);
+            ++result.condBranches;
+        }
+
+        const auto advance_history = [&] {
+            if (nbr > 0) {
+                const uint8_t raw = stream.branchRaw(last - 1);
+                lghist.onBranchBlock(
+                    block_addr + uint64_t(raw >> 1) * kInstrBytes,
+                    (raw & 1) != 0);
+                ++result.lghistBits;
+            }
+            delayed.advance(lghist.value());
+        };
+        if constexpr (Timed) {
+            ScopedTimer t(result.timing.history);
+            advance_history();
+        } else {
+            advance_history();
+        }
+
+        path_x = path_y;
+        path_y = path_z;
+        path_z = block_addr;
+    }
+
+    return result;
+}
+
+/** Resolves the runtime flags to the matching kernel instantiation. */
+template <class Predictor>
+SimResult
+dispatchStreamKernel(const BlockStream &stream, Predictor &predictor,
+                     const SimConfig &config, BankScheduler &bank_sched)
+{
+    const bool lg = config.history != HistoryMode::Ghist;
+    const bool timed = config.profileTiming;
+    const bool events = config.events != nullptr;
+
+    auto run = [&](auto lg_c, auto timed_c, auto events_c) {
+        return runStreamKernel<Predictor, decltype(lg_c)::value,
+                               decltype(timed_c)::value,
+                               decltype(events_c)::value>(
+            stream, predictor, config, bank_sched);
+    };
+    using F = std::false_type;
+    using T = std::true_type;
+    if (lg) {
+        if (timed)
+            return events ? run(T{}, T{}, T{}) : run(T{}, T{}, F{});
+        return events ? run(T{}, F{}, T{}) : run(T{}, F{}, F{});
+    }
+    if (timed)
+        return events ? run(F{}, T{}, T{}) : run(F{}, T{}, F{});
+    return events ? run(F{}, F{}, T{}) : run(F{}, F{}, F{});
+}
+
+} // namespace detail
+} // namespace ev8
+
+#endif // EV8_SIM_KERNEL_HH

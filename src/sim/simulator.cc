@@ -1,39 +1,22 @@
 #include "sim/simulator.hh"
 
+#include <cstdlib>
+
+#include "core/ev8_predictor.hh"
 #include "frontend/bank_scheduler.hh"
-#include "frontend/fetch_block.hh"
-#include "frontend/lghist.hh"
-#include "obs/event_trace.hh"
 #include "obs/metrics.hh"
+#include "predictors/bimodal.hh"
+#include "predictors/egskew.hh"
+#include "predictors/gshare.hh"
+#include "predictors/twobcgskew.hh"
+#include "sim/block_stream.hh"
+#include "sim/kernel.hh"
 
 namespace ev8
 {
 
 namespace
 {
-
-/** Builds the sampled-trace record for one misprediction. */
-MispredictEvent
-makeEvent(const SimResult &result, const BranchSnapshot &snap,
-          bool taken, bool predicted, const VoteSnapshot &votes)
-{
-    MispredictEvent ev;
-    ev.branchSeq = result.condBranches;
-    ev.pc = snap.pc;
-    ev.blockAddr = snap.blockAddr;
-    ev.ghist = snap.hist.ghist;
-    ev.indexHist = snap.hist.indexHist;
-    ev.bank = snap.bank;
-    ev.taken = taken;
-    ev.predicted = predicted;
-    ev.votesValid = votes.valid;
-    ev.voteBim = votes.bim;
-    ev.voteG0 = votes.g0;
-    ev.voteG1 = votes.g1;
-    ev.voteMeta = votes.meta;
-    ev.voteMajority = votes.majority;
-    return ev;
-}
 
 /** End-of-run dump of the simulator-level tallies into the registry. */
 void
@@ -67,111 +50,71 @@ publishSimMetrics(MetricRegistry &registry, const SimResult &result,
     }
 }
 
+/**
+ * Escape hatch for A/B-testing the devirtualized kernel against the
+ * generic instantiation (the determinism gate in CI sets this).
+ */
+bool
+genericKernelForced()
+{
+    const char *env = std::getenv("EV8_GENERIC_KERNEL");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 } // namespace
 
 SimResult
-simulateTrace(const Trace &trace, ConditionalBranchPredictor &predictor,
-              const SimConfig &config)
+simulateStream(const BlockStream &stream,
+               ConditionalBranchPredictor &predictor,
+               const SimConfig &config)
 {
-    SimResult result;
-    result.stats.setInstructions(trace.instructionCount());
-
     // Internal predictor tallies only matter when they will be
     // published; leave them off otherwise so uninstrumented runs pay
     // nothing on the per-branch path.
     predictor.enableStats(config.metrics != nullptr);
 
-    const bool lghist_mode = config.history != HistoryMode::Ghist;
-    const bool lghist_path = config.history == HistoryMode::LghistPath;
-    const bool timed = config.profileTiming;
-
-    HistoryRegister ghist;
-    LghistTracker lghist(lghist_path);
-    DelayedHistory delayed(config.historyAge);
     BankScheduler bank_sched;
+    SimResult result;
 
-    // Path registers: addresses of the last three fetch blocks.
-    uint64_t path_z = 0, path_y = 0, path_x = 0;
-
-    FetchBlockBuilder builder;
-    builder.begin(trace.startPc());
-
-    auto on_block = [&](const FetchBlock &block) {
-        ++result.fetchBlocks;
-        ++result.branchesPerBlock[block.numBranches
-                                      < result.branchesPerBlock.size()
-                                  ? block.numBranches
-                                  : result.branchesPerBlock.size() - 1];
-
-        BranchSnapshot snap;
-        snap.blockAddr = block.address;
-        snap.hist.pathZ = path_z;
-        snap.hist.pathY = path_y;
-        snap.hist.pathX = path_x;
-        if (config.assignBanks)
-            snap.bank = static_cast<uint8_t>(bank_sched.assign(
-                block.address));
-
-        // The index history for every branch of this block: the aged
-        // lghist view, or per-branch ghist filled in below.
-        const uint64_t block_hist = delayed.view();
-
-        for (unsigned i = 0; i < block.numBranches; ++i) {
-            const BlockBranch &br = block.branches[i];
-            snap.pc = br.pc;
-            snap.hist.ghist = ghist.raw();
-            snap.hist.indexHist = lghist_mode ? block_hist : ghist.raw();
-
-            bool predicted;
-            if (timed) {
-                ScopedTimer t(result.timing.lookup);
-                predicted = predictor.predict(snap);
-            } else {
-                predicted = predictor.predict(snap);
-            }
-            result.stats.record(predicted, br.taken);
-
-            if (config.events && predicted != br.taken) {
-                config.events->onMispredict(makeEvent(
-                    result, snap, br.taken, predicted,
-                    predictor.lastVotes()));
-            }
-
-            if (timed) {
-                ScopedTimer t(result.timing.update);
-                predictor.update(snap, br.taken, predicted);
-            } else {
-                predictor.update(snap, br.taken, predicted);
-            }
-
-            ghist.push(br.taken);
-            ++result.condBranches;
-        }
-
-        if (timed) {
-            ScopedTimer t(result.timing.history);
-            if (lghist.onBlock(block))
-                ++result.lghistBits;
-            delayed.advance(lghist.value());
-        } else {
-            if (lghist.onBlock(block))
-                ++result.lghistBits;
-            delayed.advance(lghist.value());
-        }
-
-        path_x = path_y;
-        path_y = path_z;
-        path_z = block.address;
-    };
-
-    for (const auto &rec : trace.records())
-        builder.feed(rec, on_block);
-    builder.flush(on_block);
+    // Devirtualize for the predictor classes that dominate the paper's
+    // experiment grids. Every other type (and forced-generic runs)
+    // takes the same kernel template through the virtual base class.
+    const bool generic =
+        config.forceGenericKernel || genericKernelForced();
+    if (generic) {
+        result = detail::dispatchStreamKernel(stream, predictor, config,
+                                              bank_sched);
+    } else if (auto *p = dynamic_cast<TwoBcGskewPredictor *>(&predictor)) {
+        result =
+            detail::dispatchStreamKernel(stream, *p, config, bank_sched);
+    } else if (auto *p = dynamic_cast<GsharePredictor *>(&predictor)) {
+        result =
+            detail::dispatchStreamKernel(stream, *p, config, bank_sched);
+    } else if (auto *p = dynamic_cast<Ev8Predictor *>(&predictor)) {
+        result =
+            detail::dispatchStreamKernel(stream, *p, config, bank_sched);
+    } else if (auto *p = dynamic_cast<EgskewPredictor *>(&predictor)) {
+        result =
+            detail::dispatchStreamKernel(stream, *p, config, bank_sched);
+    } else if (auto *p = dynamic_cast<BimodalPredictor *>(&predictor)) {
+        result =
+            detail::dispatchStreamKernel(stream, *p, config, bank_sched);
+    } else {
+        result = detail::dispatchStreamKernel(stream, predictor, config,
+                                              bank_sched);
+    }
 
     if (config.metrics)
         publishSimMetrics(*config.metrics, result, config, bank_sched);
 
     return result;
+}
+
+SimResult
+simulateTrace(const Trace &trace, ConditionalBranchPredictor &predictor,
+              const SimConfig &config)
+{
+    return simulateStream(decodeBlockStream(trace), predictor, config);
 }
 
 } // namespace ev8

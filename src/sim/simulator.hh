@@ -28,6 +28,7 @@
 namespace ev8
 {
 
+class BlockStream;    // sim/block_stream.hh
 class MetricRegistry; // obs/metrics.hh
 class MispredictSink; // obs/event_trace.hh
 
@@ -62,6 +63,16 @@ struct SimConfig
     MetricRegistry *metrics = nullptr; //!< end-of-run counter dump
     MispredictSink *events = nullptr;  //!< sampled mispredict JSONL
     bool profileTiming = false;        //!< fill SimResult::timing
+
+    /**
+     * Skip the devirtualized kernel specializations and run the
+     * generic (virtual-dispatch) instantiation even for known
+     * predictor types. The specialized and generic paths share one
+     * kernel template and must produce identical results; this flag
+     * (or the EV8_GENERIC_KERNEL environment variable) exists so tests
+     * and CI can prove it byte-for-byte.
+     */
+    bool forceGenericKernel = false;
 
     /** Preset: conventional global history ("ghist" rows of Fig. 7). */
     static SimConfig
@@ -106,11 +117,26 @@ struct SimResult
 /**
  * Runs @p predictor over @p trace under @p config. The predictor is NOT
  * reset first (callers decide whether warm state is wanted; the bench
- * harness always uses a fresh instance per run).
+ * harness always uses a fresh instance per run). Decodes the trace's
+ * fetch blocks on the fly; grid runners that revisit the same trace
+ * should decode once and call simulateStream() instead.
  */
 SimResult simulateTrace(const Trace &trace,
                         ConditionalBranchPredictor &predictor,
                         const SimConfig &config);
+
+/**
+ * Runs @p predictor over a pre-decoded block stream -- the hot path of
+ * the experiment engine. Known predictor types are dispatched to a
+ * kernel specialized on the concrete class and on the config's static
+ * flags (history mode, timing, event sink); everything else takes the
+ * same kernel instantiated with virtual dispatch. Results, metrics and
+ * emitted events are identical on both paths, and identical to
+ * simulateTrace() over the trace the stream was decoded from.
+ */
+SimResult simulateStream(const BlockStream &stream,
+                         ConditionalBranchPredictor &predictor,
+                         const SimConfig &config);
 
 } // namespace ev8
 

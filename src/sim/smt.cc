@@ -13,11 +13,11 @@ namespace ev8
 namespace
 {
 
-/** Streaming fetch-block source over one trace. */
-class BlockStream
+/** Streaming fetch-block source over one trace (SMT interleaver). */
+class SmtBlockSource
 {
   public:
-    explicit BlockStream(const Trace &trace) : trace(trace)
+    explicit SmtBlockSource(const Trace &trace) : trace(trace)
     {
         builder.begin(trace.startPc());
     }
@@ -74,7 +74,7 @@ simulateSmt(const std::vector<const Trace *> &threads,
     const bool lghist_path = sim.history == HistoryMode::LghistPath;
 
     std::vector<SmtThreadResult> results(threads.size());
-    std::vector<std::unique_ptr<BlockStream>> streams;
+    std::vector<std::unique_ptr<SmtBlockSource>> streams;
     std::vector<std::unique_ptr<HistoryState>> states;
     std::vector<bool> alive(threads.size(), true);
 
@@ -86,7 +86,7 @@ simulateSmt(const std::vector<const Trace *> &threads,
         results[t].name = threads[t]->name();
         results[t].sim.stats.setInstructions(
             threads[t]->instructionCount());
-        streams.push_back(std::make_unique<BlockStream>(*threads[t]));
+        streams.push_back(std::make_unique<SmtBlockSource>(*threads[t]));
         states.push_back(std::make_unique<HistoryState>(
             lghist_path, sim.historyAge));
     }

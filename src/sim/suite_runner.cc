@@ -25,6 +25,13 @@ SuiteRunner::trace(size_t i)
     return cache_.get(bench.profile, bench.branchesAt(baseBranches_));
 }
 
+const BlockStream &
+SuiteRunner::blockStream(size_t i)
+{
+    const Benchmark &bench = specint95Suite()[i];
+    return cache_.stream(bench.profile, bench.branchesAt(baseBranches_));
+}
+
 ExperimentEngine &
 SuiteRunner::engine()
 {

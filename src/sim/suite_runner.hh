@@ -79,6 +79,14 @@ class SuiteRunner
     const Trace &trace(size_t i);
 
     /**
+     * The i-th benchmark's pre-decoded fetch-block stream -- what the
+     * experiment engine actually simulates. Decoded (or loaded from the
+     * on-disk cache) on first use; with a warm disk cache the trace
+     * itself is never synthesized. Thread-safe like trace().
+     */
+    const BlockStream &blockStream(size_t i);
+
+    /**
      * Simulates a fresh predictor from @p factory on every benchmark
      * under @p config. One cold predictor per benchmark, matching the
      * paper's per-trace methodology. Benchmarks run in parallel on the

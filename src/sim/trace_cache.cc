@@ -141,6 +141,20 @@ TraceCache::filePath(const WorkloadProfile &profile,
     return dir_ + "/" + profile.name + tail;
 }
 
+std::string
+TraceCache::streamFilePath(const WorkloadProfile &profile,
+                           uint64_t branches) const
+{
+    if (dir_.empty())
+        return "";
+    char tail[96];
+    std::snprintf(tail, sizeof(tail), "-%016llx-b%llu-v%u-s%u.ev8s",
+                  static_cast<unsigned long long>(profileHash(profile)),
+                  static_cast<unsigned long long>(branches),
+                  kFormatVersion, kStreamFormatVersion);
+    return dir_ + "/" + profile.name + tail;
+}
+
 Trace
 TraceCache::load(const WorkloadProfile &profile, uint64_t branches) const
 {
@@ -180,6 +194,64 @@ TraceCache::load(const WorkloadProfile &profile, uint64_t branches) const
         }
     }
     return trace;
+}
+
+BlockStream
+TraceCache::loadStream(const WorkloadProfile &profile, uint64_t branches)
+{
+    const std::string path = streamFilePath(profile, branches);
+
+    if (!path.empty()) {
+        try {
+            BlockStream stream = readBlockStreamFile(path);
+            // Trust but verify, as for traces: the branch count is the
+            // budget the key encodes, so a torn or hand-edited file
+            // cannot masquerade as a full-length stream.
+            if (stream.name() == profile.name
+                && stream.branches() == branches) {
+                streamDiskHits_.fetch_add(1, std::memory_order_relaxed);
+                return stream;
+            }
+        } catch (const TraceIoError &) {
+            // Missing or malformed: fall through and re-decode.
+        }
+    }
+
+    // Stream miss: decode from the trace (which has its own cache
+    // layers, so a warm .ev8t still skips synthesis).
+    BlockStream stream = decodeBlockStream(get(profile, branches));
+    decoded_.fetch_add(1, std::memory_order_relaxed);
+
+    if (!path.empty()) {
+        try {
+            namespace fs = std::filesystem;
+            fs::create_directories(dir_);
+            const std::string tmp =
+                path + ".tmp." + std::to_string(::getpid());
+            writeBlockStreamFile(tmp, stream);
+            fs::rename(tmp, path);
+        } catch (...) {
+        }
+    }
+    return stream;
+}
+
+const BlockStream &
+TraceCache::stream(const WorkloadProfile &profile, uint64_t branches)
+{
+    StreamEntry *entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_ptr<StreamEntry> &slot =
+            streamEntries_[{profileHash(profile), branches}];
+        if (!slot)
+            slot = std::make_unique<StreamEntry>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&] {
+        entry->stream = loadStream(profile, branches);
+    });
+    return entry->stream;
 }
 
 const Trace &

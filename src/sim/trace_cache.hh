@@ -39,6 +39,7 @@
 #include <string>
 #include <utility>
 
+#include "sim/block_stream.hh"
 #include "trace/trace.hh"
 #include "workloads/synthetic_program.hh"
 
@@ -53,6 +54,14 @@ class TraceCache
      * change: stale files from older builds must miss, not load.
      */
     static constexpr unsigned kFormatVersion = 1;
+
+    /**
+     * Bump when fetch-block decode semantics (FetchBlockBuilder) or the
+     * BlockStream on-disk encoding change. Stream cache file names carry
+     * both versions: a stream is only as valid as the trace it was
+     * decoded from.
+     */
+    static constexpr unsigned kStreamFormatVersion = 1;
 
     /** EV8_TRACE_CACHE_DIR, or "" (disk layer disabled). */
     static std::string defaultDir();
@@ -78,11 +87,25 @@ class TraceCache
     const Trace &get(const WorkloadProfile &profile, uint64_t branches);
 
     /**
+     * The pre-decoded fetch-block stream of @p profile at @p branches.
+     * Decoded exactly once per key (same once_flag discipline as get());
+     * a warm stream cache on disk skips trace synthesis *and* decode
+     * entirely. Thread-safe; the reference stays valid for the cache's
+     * lifetime.
+     */
+    const BlockStream &stream(const WorkloadProfile &profile,
+                              uint64_t branches);
+
+    /**
      * The cache file this (profile, budget) key maps to, or "" when the
      * disk layer is disabled. Exposed for tests and tooling.
      */
     std::string filePath(const WorkloadProfile &profile,
                          uint64_t branches) const;
+
+    /** Like filePath(), for the pre-decoded block stream (.ev8s). */
+    std::string streamFilePath(const WorkloadProfile &profile,
+                               uint64_t branches) const;
 
     const std::string &dir() const { return dir_; }
 
@@ -92,6 +115,12 @@ class TraceCache
     /** Traces served from the on-disk layer. */
     uint64_t diskHitCount() const { return diskHits_.load(); }
 
+    /** Block streams decoded by this cache (stream disk misses). */
+    uint64_t decodedCount() const { return decoded_.load(); }
+
+    /** Block streams served from the on-disk layer. */
+    uint64_t streamDiskHitCount() const { return streamDiskHits_.load(); }
+
   private:
     struct Entry
     {
@@ -99,14 +128,26 @@ class TraceCache
         Trace trace;
     };
 
+    struct StreamEntry
+    {
+        std::once_flag once;
+        BlockStream stream;
+    };
+
     Trace load(const WorkloadProfile &profile, uint64_t branches) const;
+    BlockStream loadStream(const WorkloadProfile &profile,
+                           uint64_t branches);
 
     std::string dir_;
     mutable std::mutex mutex_;   //!< guards entries_ map shape only
     std::map<std::pair<uint64_t, uint64_t>, std::unique_ptr<Entry>>
         entries_;
+    std::map<std::pair<uint64_t, uint64_t>, std::unique_ptr<StreamEntry>>
+        streamEntries_;
     mutable std::atomic<uint64_t> generated_{0};
     mutable std::atomic<uint64_t> diskHits_{0};
+    mutable std::atomic<uint64_t> decoded_{0};
+    mutable std::atomic<uint64_t> streamDiskHits_{0};
 };
 
 } // namespace ev8

@@ -5,6 +5,8 @@
 #include <istream>
 #include <ostream>
 
+#include "trace/varint.hh"
+
 namespace ev8
 {
 
@@ -13,64 +15,6 @@ namespace
 
 constexpr char kMagic[4] = {'E', 'V', '8', 'T'};
 constexpr uint32_t kVersion = 1;
-
-void
-putVarint(std::ostream &out, uint64_t value)
-{
-    while (value >= 0x80) {
-        out.put(static_cast<char>((value & 0x7f) | 0x80));
-        value >>= 7;
-    }
-    out.put(static_cast<char>(value));
-}
-
-uint64_t
-getVarint(std::istream &in)
-{
-    uint64_t value = 0;
-    for (unsigned shift = 0; shift < 64; shift += 7) {
-        const int c = in.get();
-        if (c == std::char_traits<char>::eof())
-            throw TraceIoError("truncated varint");
-        value |= static_cast<uint64_t>(c & 0x7f) << shift;
-        if (!(c & 0x80))
-            return value;
-    }
-    throw TraceIoError("varint too long");
-}
-
-uint64_t
-zigzag(int64_t value)
-{
-    return (static_cast<uint64_t>(value) << 1)
-        ^ static_cast<uint64_t>(value >> 63);
-}
-
-int64_t
-unzigzag(uint64_t value)
-{
-    return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
-}
-
-void
-putU32(std::ostream &out, uint32_t value)
-{
-    for (int i = 0; i < 4; ++i)
-        out.put(static_cast<char>((value >> (8 * i)) & 0xff));
-}
-
-uint32_t
-getU32(std::istream &in)
-{
-    uint32_t value = 0;
-    for (int i = 0; i < 4; ++i) {
-        const int c = in.get();
-        if (c == std::char_traits<char>::eof())
-            throw TraceIoError("truncated header");
-        value |= static_cast<uint32_t>(c & 0xff) << (8 * i);
-    }
-    return value;
-}
 
 } // namespace
 

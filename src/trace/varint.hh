@@ -1,0 +1,81 @@
+/**
+ * @file
+ * LEB128 varint / zigzag stream helpers shared by the binary trace and
+ * block-stream serializers. All multi-byte integers in those formats go
+ * through these, so the encodings cannot drift apart.
+ */
+
+#ifndef EV8_TRACE_VARINT_HH
+#define EV8_TRACE_VARINT_HH
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+#include "trace/trace_io.hh"
+
+namespace ev8
+{
+
+inline void
+putVarint(std::ostream &out, uint64_t value)
+{
+    while (value >= 0x80) {
+        out.put(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    out.put(static_cast<char>(value));
+}
+
+inline uint64_t
+getVarint(std::istream &in)
+{
+    uint64_t value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        const int c = in.get();
+        if (c == std::char_traits<char>::eof())
+            throw TraceIoError("truncated varint");
+        value |= static_cast<uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return value;
+    }
+    throw TraceIoError("varint too long");
+}
+
+inline uint64_t
+zigzag(int64_t value)
+{
+    return (static_cast<uint64_t>(value) << 1)
+        ^ static_cast<uint64_t>(value >> 63);
+}
+
+inline int64_t
+unzigzag(uint64_t value)
+{
+    return static_cast<int64_t>(value >> 1)
+        ^ -static_cast<int64_t>(value & 1);
+}
+
+inline void
+putU32(std::ostream &out, uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        out.put(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+inline uint32_t
+getU32(std::istream &in)
+{
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+        const int c = in.get();
+        if (c == std::char_traits<char>::eof())
+            throw TraceIoError("truncated header");
+        value |= static_cast<uint32_t>(c & 0xff) << (8 * i);
+    }
+    return value;
+}
+
+} // namespace ev8
+
+#endif // EV8_TRACE_VARINT_HH

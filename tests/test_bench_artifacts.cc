@@ -163,5 +163,91 @@ TEST(BenchArtifacts, ParallelRunsAreByteIdenticalToSerial)
 #endif
 }
 
+TEST(BenchArtifacts, GenericKernelIsByteIdenticalToDevirtualized)
+{
+#ifndef EV8_BENCH_DIR
+    GTEST_SKIP() << "EV8_BENCH_DIR not configured";
+#else
+    const std::string binary = std::string(EV8_BENCH_DIR)
+                               + "/bench_fig6_history_length";
+    if (!std::ifstream(binary).good())
+        GTEST_SKIP() << "bench binary not built: " << binary;
+
+    // The devirtualized kernel specializations must be a pure speed
+    // change: forcing the virtual-dispatch instantiation through
+    // EV8_GENERIC_KERNEL has to reproduce every artifact byte.
+    const std::string dir = ::testing::TempDir();
+    auto artifacts = [&](const std::string &tag, const char *env) {
+        const std::string base = dir + "ev8_fig6_kern_" + tag;
+        const std::string cmd =
+            std::string(env)
+            + binary + " --branches=2000 --sample=16 --no-timing"
+            + " --jobs=1"
+            + " --json=" + base + ".json"
+            + " --csv=" + base + ".csv"
+            + " --events=" + base + ".jsonl"
+            + " > /dev/null 2>&1";
+        EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+        return std::array<std::string, 3>{slurp(base + ".json"),
+                                          slurp(base + ".csv"),
+                                          slurp(base + ".jsonl")};
+    };
+
+    const auto fast = artifacts("devirt", "EV8_GENERIC_KERNEL=0 ");
+    const auto generic = artifacts("generic", "EV8_GENERIC_KERNEL=1 ");
+    ASSERT_FALSE(fast[0].empty());
+    ASSERT_FALSE(fast[2].empty()) << "no events sampled";
+    EXPECT_EQ(fast[0], generic[0]) << "JSON differs across kernels";
+    EXPECT_EQ(fast[1], generic[1]) << "CSV differs across kernels";
+    EXPECT_EQ(fast[2], generic[2]) << "JSONL differs across kernels";
+#endif
+}
+
+TEST(BenchArtifacts, WarmStreamCacheIsByteIdenticalToFreshDecode)
+{
+#ifndef EV8_BENCH_DIR
+    GTEST_SKIP() << "EV8_BENCH_DIR not configured";
+#else
+    const std::string binary = std::string(EV8_BENCH_DIR)
+                               + "/bench_fig6_history_length";
+    if (!std::ifstream(binary).good())
+        GTEST_SKIP() << "bench binary not built: " << binary;
+
+    const std::string dir = ::testing::TempDir();
+    const std::string cache_dir = dir + "ev8_stream_cache_e2e";
+    std::system(("rm -rf " + cache_dir).c_str());
+
+    auto artifacts = [&](const std::string &tag, bool cached) {
+        const std::string base = dir + "ev8_fig6_cache_" + tag;
+        const std::string env = cached
+            ? "EV8_TRACE_CACHE_DIR=" + cache_dir + " "
+            : std::string();
+        const std::string cmd =
+            env + binary + " --branches=2000 --sample=16 --no-timing"
+            + " --jobs=1"
+            + " --json=" + base + ".json"
+            + " --csv=" + base + ".csv"
+            + " --events=" + base + ".jsonl"
+            + " > /dev/null 2>&1";
+        EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+        return std::array<std::string, 3>{slurp(base + ".json"),
+                                          slurp(base + ".csv"),
+                                          slurp(base + ".jsonl")};
+    };
+
+    // Fresh decode, cold cache (fills it), warm cache (loads streams).
+    const auto fresh = artifacts("fresh", false);
+    const auto cold = artifacts("cold", true);
+    const auto warm = artifacts("warm", true);
+    std::system(("rm -rf " + cache_dir).c_str());
+
+    ASSERT_FALSE(fresh[0].empty());
+    for (int k = 0; k < 3; ++k) {
+        EXPECT_EQ(fresh[k], cold[k]) << "cold cache changed artifact " << k;
+        EXPECT_EQ(fresh[k], warm[k]) << "warm cache changed artifact " << k;
+    }
+#endif
+}
+
 } // namespace
 } // namespace ev8

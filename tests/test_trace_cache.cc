@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/block_stream.hh"
 #include "sim/trace_cache.hh"
 #include "trace/trace_io.hh"
 #include "workloads/suite.hh"
@@ -174,6 +175,87 @@ TEST(TraceCache, ChangedProfileRegeneratesInsteadOfReusingStaleFile)
         second.filePath(edited, kTinyBranches)));
     EXPECT_TRUE(std::filesystem::exists(
         second.filePath(testProfile(), kTinyBranches)));
+}
+
+TEST(TraceCache, StreamDecodedOncePerKeyAndMatchesDirectDecode)
+{
+    TraceCache cache("");
+    const BlockStream &a = cache.stream(testProfile(), kTinyBranches);
+    const BlockStream &b = cache.stream(testProfile(), kTinyBranches);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(cache.decodedCount(), 1u);
+    EXPECT_EQ(cache.streamDiskHitCount(), 0u);
+    EXPECT_EQ(a.branches(), kTinyBranches);
+    EXPECT_TRUE(a
+                == decodeBlockStream(cache.get(testProfile(),
+                                               kTinyBranches)));
+}
+
+TEST(TraceCache, StreamFilePathCarriesBothVersionStamps)
+{
+    TraceCache cache("/tmp/ev8-cache-naming-test");
+    const std::string path =
+        cache.streamFilePath(testProfile(), kTinyBranches);
+    EXPECT_NE(path.find("gcc-"), std::string::npos) << path;
+    EXPECT_NE(path.find("-b2000-"), std::string::npos) << path;
+    const std::string stamp = "-v"
+        + std::to_string(TraceCache::kFormatVersion) + "-s"
+        + std::to_string(TraceCache::kStreamFormatVersion) + ".ev8s";
+    EXPECT_NE(path.find(stamp), std::string::npos) << path;
+
+    TraceCache memory_only("");
+    EXPECT_EQ(memory_only.streamFilePath(testProfile(), kTinyBranches),
+              "");
+}
+
+TEST(TraceCache, WarmStreamDiskLayerSkipsSynthesisAndDecode)
+{
+    ScratchDir dir("ev8_stream_cache_disk");
+
+    TraceCache writer(dir.str());
+    const BlockStream &decoded =
+        writer.stream(testProfile(), kTinyBranches);
+    EXPECT_EQ(writer.decodedCount(), 1u);
+    EXPECT_EQ(writer.generatedCount(), 1u);
+    const std::string path =
+        writer.streamFilePath(testProfile(), kTinyBranches);
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+
+    // A fresh cache over the warm directory serves the identical stream
+    // without synthesizing the trace or re-decoding it.
+    TraceCache reader(dir.str());
+    const BlockStream &loaded =
+        reader.stream(testProfile(), kTinyBranches);
+    EXPECT_EQ(reader.streamDiskHitCount(), 1u);
+    EXPECT_EQ(reader.decodedCount(), 0u);
+    EXPECT_EQ(reader.generatedCount(), 0u);
+    EXPECT_TRUE(loaded == decoded);
+}
+
+TEST(TraceCache, CorruptStreamFileIsRedecoded)
+{
+    ScratchDir dir("ev8_stream_cache_corrupt");
+
+    TraceCache writer(dir.str());
+    const BlockStream expected =
+        writer.stream(testProfile(), kTinyBranches);
+    const std::string path =
+        writer.streamFilePath(testProfile(), kTinyBranches);
+
+    {
+        std::ofstream out(path, std::ios::trunc | std::ios::binary);
+        out << "EV8Sgarbage-not-a-stream";
+    }
+
+    TraceCache reader(dir.str());
+    const BlockStream &recovered =
+        reader.stream(testProfile(), kTinyBranches);
+    EXPECT_EQ(reader.streamDiskHitCount(), 0u);
+    EXPECT_EQ(reader.decodedCount(), 1u);
+    EXPECT_TRUE(recovered == expected);
+
+    // The re-decode also healed the on-disk copy.
+    EXPECT_TRUE(readBlockStreamFile(path) == expected);
 }
 
 TEST(TraceCache, CorruptCacheFileIsRegenerated)
