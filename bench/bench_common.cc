@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
 #include "common/table.hh"
+#include "sim/experiment.hh"
 #include "workloads/suite.hh"
 
 namespace ev8
@@ -31,8 +33,8 @@ printUsage(const char *prog)
         "                   misprediction (default 64)\n"
         "  --branches=<N>   per-benchmark dynamic conditional-branch\n"
         "                   budget (same as EV8_BRANCHES_PER_BENCH)\n"
-        "  --jobs=<N>       simulation worker threads (default: EV8_JOBS\n"
-        "                   or hardware concurrency; results and\n"
+        "  --jobs=<N>       simulation worker threads, 1..4096 (default:\n"
+        "                   EV8_JOBS or hardware concurrency; results and\n"
         "                   artifacts are byte-identical for any N)\n"
         "  --no-timing      skip the lookup/update/history timing split\n"
         "  --help           this message\n"
@@ -94,8 +96,16 @@ parseBenchArgs(int argc, char **argv)
             setenv("EV8_BRANCHES_PER_BENCH",
                    std::to_string(n).c_str(), /*overwrite=*/1);
         } else if (const char *v = optValue(arg, "--jobs")) {
-            args.jobs =
-                static_cast<unsigned>(parseCount(v, "--jobs", prog));
+            // Strict shared parser: "0", "-1", "4x" and friends are
+            // hard errors, not a silent fallback to the default width.
+            try {
+                args.jobs = ExperimentEngine::parseJobs(v);
+            } catch (const std::invalid_argument &err) {
+                std::fprintf(stderr, "%s: bad value for --jobs: %s\n\n",
+                             prog, err.what());
+                printUsage(prog);
+                std::exit(2);
+            }
         } else if (std::strcmp(arg, "--no-timing") == 0) {
             args.timing = false;
         } else {
@@ -190,6 +200,18 @@ BenchContext::noteTiming(const SimTiming &timing)
 int
 BenchContext::finish()
 {
+    // Cache/scheduling counters legitimately differ between cold and
+    // warm cache runs and between EV8_FUSED modes, so exporting them
+    // by default would break the byte-identity guarantees the test
+    // suite and CI gates rely on. Opt in with EV8_CACHE_METRICS.
+    const char *cache_metrics = std::getenv("EV8_CACHE_METRICS");
+    if (runner_ && cache_metrics
+        && !(cache_metrics[0] == '0' && cache_metrics[1] == '\0')) {
+        runner_->traceCache().publishMetrics(registry_, "trace_cache");
+        if (ExperimentEngine *engine = runner_->engineIfCreated())
+            engine->publishMetrics(registry_, "engine");
+    }
+
     data_.metrics = &registry_;
 
     if (!args_.jsonPath.empty()) {
@@ -263,19 +285,30 @@ runAndPrint(BenchContext &ctx, SuiteRunner &runner,
     header.push_back("storage");
     table.header(std::move(header));
 
-    std::vector<std::vector<BenchResult>> all;
+    // One grid batch for the whole table: rows submitted together let
+    // the engine fuse compatible (benchmark, history) cells across
+    // configurations into shared trace walks, instead of paying one
+    // walk per row. Submission stays row-major, so the deterministic
+    // merge order -- and hence every artifact byte -- matches the old
+    // row-at-a-time loop.
+    std::vector<GridRow> grid;
+    grid.reserve(rows.size());
     for (const auto &row : rows) {
         std::fprintf(stderr, "  running %s ...\n", row.label.c_str());
-        auto results = runner.run(row.factory, ctx.instrument(row.config));
-        std::vector<std::string> cells{row.label};
+        grid.push_back({row.factory, ctx.instrument(row.config)});
+    }
+    std::vector<std::vector<BenchResult>> all = runner.runGrid(grid);
+
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const auto &results = all[i];
+        std::vector<std::string> cells{rows[i].label};
         for (const auto &r : results)
             cells.push_back(fmt(r.sim.stats.mispKI(), 2));
         cells.push_back(fmt(SuiteRunner::averageMispKI(results), 3));
-        const uint64_t storage_bits = row.factory()->storageBits();
+        const uint64_t storage_bits = rows[i].factory()->storageBits();
         cells.push_back(formatKbits(storage_bits));
         table.row(std::move(cells));
-        ctx.recordResults(row.label, storage_bits, results);
-        all.push_back(std::move(results));
+        ctx.recordResults(rows[i].label, storage_bits, results);
     }
 
     std::printf("misp/KI (mispredictions per 1000 instructions), lower "

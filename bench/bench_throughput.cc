@@ -9,7 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,25 @@ benchStream()
     return stream;
 }
 
+/**
+ * Shared registration defaults: millisecond units plus min/max
+ * aggregates. With --repeat=<N> (default 3) every benchmark runs N
+ * repetitions, and the _min aggregate is the number to trust on a
+ * noisy machine -- the fastest repetition is the one with the least
+ * interference.
+ */
+void
+applyDefaults(benchmark::internal::Benchmark *b)
+{
+    b->Unit(benchmark::kMillisecond);
+    b->ComputeStatistics("min", [](const std::vector<double> &v) {
+        return *std::min_element(v.begin(), v.end());
+    });
+    b->ComputeStatistics("max", [](const std::vector<double> &v) {
+        return *std::max_element(v.begin(), v.end());
+    });
+}
+
 void
 runSim(benchmark::State &state, const PredictorFactory &factory,
        const SimConfig &config)
@@ -64,28 +85,28 @@ BM_Bimodal(benchmark::State &state)
     runSim(state, [] { return makePredictor("bimodal:14"); },
            SimConfig::ghist());
 }
-BENCHMARK(BM_Bimodal)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bimodal)->Apply(applyDefaults);
 
 void
 BM_Gshare2M(benchmark::State &state)
 {
     runSim(state, [] { return makeGshare2M(); }, SimConfig::ghist());
 }
-BENCHMARK(BM_Gshare2M)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Gshare2M)->Apply(applyDefaults);
 
 void
 BM_Yags576K(benchmark::State &state)
 {
     runSim(state, [] { return makeYags576K(); }, SimConfig::ghist());
 }
-BENCHMARK(BM_Yags576K)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Yags576K)->Apply(applyDefaults);
 
 void
 BM_TwoBcGskew512K(benchmark::State &state)
 {
     runSim(state, [] { return make2BcGskew512K(); }, SimConfig::ghist());
 }
-BENCHMARK(BM_TwoBcGskew512K)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoBcGskew512K)->Apply(applyDefaults);
 
 void
 BM_Ev8Constrained(benchmark::State &state)
@@ -93,7 +114,7 @@ BM_Ev8Constrained(benchmark::State &state)
     runSim(state, [] { return std::make_unique<Ev8Predictor>(); },
            SimConfig::ev8());
 }
-BENCHMARK(BM_Ev8Constrained)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ev8Constrained)->Apply(applyDefaults);
 
 void
 BM_Perceptron(benchmark::State &state)
@@ -101,7 +122,7 @@ BM_Perceptron(benchmark::State &state)
     runSim(state, [] { return makePredictor("perceptron:12:24"); },
            SimConfig::ghist());
 }
-BENCHMARK(BM_Perceptron)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Perceptron)->Apply(applyDefaults);
 
 /**
  * The virtual-fallback kernel on the same scheme as BM_TwoBcGskew512K:
@@ -114,7 +135,67 @@ BM_TwoBcGskew512KGenericKernel(benchmark::State &state)
     config.forceGenericKernel = true;
     runSim(state, [] { return make2BcGskew512K(); }, config);
 }
-BENCHMARK(BM_TwoBcGskew512KGenericKernel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoBcGskew512KGenericKernel)->Apply(applyDefaults);
+
+/** The fig6-style lane set: one gshare per candidate history length. */
+std::vector<PredictorPtr>
+sweepLanePredictors()
+{
+    std::vector<PredictorPtr> preds;
+    for (unsigned h : {8, 12, 16, 20, 24, 28})
+        preds.push_back(makePredictor("gshare:18:" + std::to_string(h)));
+    return preds;
+}
+
+/**
+ * A six-length gshare history sweep as one fused walk: the shape of a
+ * bench_sweep_history column after grid fusion. Contrast with
+ * BM_PerCellSweepGshare below -- the spread is what lane fusion buys
+ * (shared block decode, branch iteration and history update across all
+ * six lanes).
+ */
+void
+BM_FusedSweepGshare(benchmark::State &state)
+{
+    const BlockStream &stream = benchStream();
+    const SimConfig config = SimConfig::ghist();
+    uint64_t branches = 0;
+    for (auto _ : state) {
+        auto preds = sweepLanePredictors();
+        std::vector<FusedLane> lanes;
+        lanes.reserve(preds.size());
+        for (auto &p : preds)
+            lanes.push_back({p.get(), nullptr, nullptr});
+        const auto results = simulateStreamFused(stream, lanes, config);
+        for (const SimResult &r : results) {
+            branches += r.condBranches;
+            benchmark::DoNotOptimize(r.stats.mispredictions());
+        }
+    }
+    state.counters["branches/s"] = benchmark::Counter(
+        static_cast<double>(branches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FusedSweepGshare)->Apply(applyDefaults);
+
+/** The same six-lane sweep as six independent walks (EV8_FUSED=0). */
+void
+BM_PerCellSweepGshare(benchmark::State &state)
+{
+    const BlockStream &stream = benchStream();
+    const SimConfig config = SimConfig::ghist();
+    uint64_t branches = 0;
+    for (auto _ : state) {
+        auto preds = sweepLanePredictors();
+        for (auto &p : preds) {
+            const SimResult r = simulateStream(stream, *p, config);
+            branches += r.condBranches;
+            benchmark::DoNotOptimize(r.stats.mispredictions());
+        }
+    }
+    state.counters["branches/s"] = benchmark::Counter(
+        static_cast<double>(branches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PerCellSweepGshare)->Apply(applyDefaults);
 
 /** Cost of decoding a trace into a BlockStream (paid once per cache
  *  key, then amortized across every grid row that replays it). */
@@ -131,7 +212,7 @@ BM_BlockStreamDecode(benchmark::State &state)
     state.counters["branches/s"] = benchmark::Counter(
         static_cast<double>(branches), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_BlockStreamDecode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BlockStreamDecode)->Apply(applyDefaults);
 
 void
 BM_TraceGeneration(benchmark::State &state)
@@ -146,31 +227,43 @@ BM_TraceGeneration(benchmark::State &state)
     state.counters["branches/s"] = benchmark::Counter(
         static_cast<double>(branches), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceGeneration)->Apply(applyDefaults);
 
 } // namespace
 } // namespace ev8
 
 /**
  * Custom main: accepts the harness-wide --json=<path> spelling and
- * translates it to google-benchmark's --benchmark_out pair; everything
- * else passes through to the library (see --help).
+ * translates it to google-benchmark's --benchmark_out pair, and
+ * --repeat=<N> (default 3) to --benchmark_repetitions -- each
+ * benchmark then reports mean/median/stddev plus the min/max
+ * aggregates registered above; prefer _min when comparing runs.
+ * Everything else passes through to the library (see --help).
  */
 int
 main(int argc, char **argv)
 {
     std::vector<std::string> translated;
-    translated.reserve(static_cast<size_t>(argc) + 1);
+    translated.reserve(static_cast<size_t>(argc) + 2);
+    bool repetitions_set = false;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--json=", 0) == 0) {
             translated.push_back("--benchmark_out="
                                  + arg.substr(std::strlen("--json=")));
             translated.push_back("--benchmark_out_format=json");
+        } else if (arg.rfind("--repeat=", 0) == 0) {
+            translated.push_back("--benchmark_repetitions="
+                                 + arg.substr(std::strlen("--repeat=")));
+            repetitions_set = true;
         } else {
+            if (arg.rfind("--benchmark_repetitions", 0) == 0)
+                repetitions_set = true;
             translated.push_back(arg);
         }
     }
+    if (!repetitions_set)
+        translated.push_back("--benchmark_repetitions=3");
     std::vector<char *> args;
     args.reserve(translated.size());
     for (auto &arg : translated)

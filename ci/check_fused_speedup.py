@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""CI guard: fused simulation must stay meaningfully faster than per-cell.
+
+Times bench_fig6_history_length (the sweep the lane-fused kernel was
+built for) in both execution modes -- EV8_FUSED=0 (one stream walk per
+grid cell) and EV8_FUSED=1 (one walk per fused lane group) -- and fails
+if the wall-clock speedup falls below the committed baseline minus its
+tolerance.
+
+Methodology, tuned for noisy shared runners:
+
+ * A throwaway warm-up run populates the persistent trace cache, so
+   trace synthesis (identical in both modes) is not charged to
+   whichever mode happens to run first.
+ * Modes alternate 0,1,1,0,... and the minimum wall-clock per mode is
+   compared: the fastest repetition is the one with the least
+   interference, and alternation cancels slow drift.
+ * Runs use --no-timing: per-call timing profiling forces the fused
+   kernel onto the per-lane observed path (every lane needs its own
+   timer), so a timed run measures the profiler, not the simulator.
+ * The two modes' artifacts are byte-compared while we are at it --
+   the speedup is only admissible if the outputs are identical.
+
+The tolerance in the baseline file is deliberately wide (~30%): this
+gate exists to catch a change that erases the fusion win entirely, not
+to detect single-digit regressions on shared hardware.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def run_once(bench, branches, jobs, fused, workdir, tag):
+    """One timed bench run; returns (seconds, json_path, csv_path)."""
+    json_path = os.path.join(workdir, f"{tag}.json")
+    csv_path = os.path.join(workdir, f"{tag}.csv")
+    env = dict(os.environ)
+    env["EV8_FUSED"] = fused
+    env["EV8_TRACE_CACHE_DIR"] = os.path.join(workdir, "trace_cache")
+    cmd = [
+        bench,
+        f"--branches={branches}",
+        f"--jobs={jobs}",
+        "--no-timing",
+        f"--json={json_path}",
+        f"--csv={csv_path}",
+    ]
+    start = time.monotonic()
+    subprocess.run(cmd, check=True, env=env,
+                   stdout=subprocess.DEVNULL)
+    return time.monotonic() - start, json_path, csv_path
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True,
+                        help="path to bench_fig6_history_length")
+    parser.add_argument("--baseline", required=True,
+                        help="baseline JSON with expected_speedup and "
+                             "tolerance")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    branches = base["branches"]
+    jobs = base["jobs"]
+    repeats = base["repeats"]
+    expected = base["expected_speedup"]
+    tolerance = base["tolerance"]
+    floor = expected * (1.0 - tolerance)
+
+    with tempfile.TemporaryDirectory(prefix="fused_speedup_") as workdir:
+        # Warm the trace cache so synthesis cost lands on no mode.
+        run_once(args.bench, branches, jobs, "1", workdir, "warmup")
+
+        times = {"0": [], "1": []}
+        artifacts = {}
+        # Alternate 0,1,1,0,... so slow machine drift cancels.
+        order = []
+        for r in range(repeats):
+            order += ["0", "1"] if r % 2 == 0 else ["1", "0"]
+        for i, mode in enumerate(order):
+            secs, json_path, csv_path = run_once(
+                args.bench, branches, jobs, mode, workdir,
+                f"run{i}_fused{mode}")
+            times[mode].append(secs)
+            artifacts[mode] = (json_path, csv_path)
+            print(f"run {i}: EV8_FUSED={mode}  {secs:.3f}s")
+
+        for kind in (0, 1):
+            a = open(artifacts["0"][kind], "rb").read()
+            b = open(artifacts["1"][kind], "rb").read()
+            if a != b:
+                print("FAIL: fused and per-cell artifacts differ",
+                      file=sys.stderr)
+                return 1
+
+        percell = min(times["0"])
+        fused = min(times["1"])
+        speedup = percell / fused
+        print(f"per-cell min {percell:.3f}s  fused min {fused:.3f}s  "
+              f"speedup {speedup:.3f}x  (floor {floor:.3f}x, baseline "
+              f"{expected}x - {tolerance:.0%})")
+        if speedup < floor:
+            print(f"FAIL: fused speedup {speedup:.3f}x below floor "
+                  f"{floor:.3f}x", file=sys.stderr)
+            return 1
+        print("fused speedup OK")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

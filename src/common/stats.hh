@@ -31,6 +31,20 @@ class PredictionStats
             ++mispredictions_;
     }
 
+    /**
+     * Records a batch of outcomes at once: @p lookups predictions of
+     * which @p mispredictions were wrong. Used by the fused simulation
+     * kernel, which tallies lane mispredictions in a dense local array
+     * and folds them in here after the walk -- equivalent to the same
+     * number of record() calls.
+     */
+    void
+    tally(uint64_t lookups, uint64_t mispredictions)
+    {
+        lookups_ += lookups;
+        mispredictions_ += mispredictions;
+    }
+
     /** Declares how many instructions the measured trace represents. */
     void setInstructions(uint64_t count) { instructions_ = count; }
 

@@ -26,6 +26,16 @@ class BimodalPredictor final : public ConditionalBranchPredictor
     std::string name() const override;
     void reset() override;
 
+    /** Fused-kernel entry points; see GsharePredictor::laneIndex(). */
+    size_t laneIndex(const BranchSnapshot &snap) const
+    {
+        return index(snap.pc);
+    }
+    bool applyAt(size_t idx, bool taken)
+    {
+        return table.readAndUpdate(idx, taken);
+    }
+
   private:
     size_t index(uint64_t pc) const;
 

@@ -59,6 +59,19 @@ BimodePredictor::update(const BranchSnapshot &snap, bool taken, bool)
         choice.update(ci, taken);
 }
 
+bool
+BimodePredictor::predictAndUpdate(const BranchSnapshot &snap, bool taken)
+{
+    const size_t ci = choiceIndex(snap.pc);
+    const size_t di = directionIndex(snap);
+    const bool choose_taken = choice.taken(ci);
+    TwoBitCounterTable &used = choose_taken ? takenTable : notTakenTable;
+    const bool predicted = used.readAndUpdate(di, taken);
+    if (!(choose_taken != taken && predicted == taken))
+        choice.update(ci, taken);
+    return predicted;
+}
+
 uint64_t
 BimodePredictor::storageBits() const
 {

@@ -20,7 +20,7 @@
 namespace ev8
 {
 
-class BimodePredictor : public ConditionalBranchPredictor
+class BimodePredictor final : public ConditionalBranchPredictor
 {
   public:
     /**
@@ -34,6 +34,15 @@ class BimodePredictor : public ConditionalBranchPredictor
     bool predict(const BranchSnapshot &snap) override;
     void update(const BranchSnapshot &snap, bool taken,
                 bool predicted_taken) override;
+
+    /**
+     * Fused predict-and-train step for the multi-lane kernel: one
+     * choice read and one direction index serve both halves, and the
+     * selected direction counter is read and stepped in a single packed
+     * word access. Identical transitions to predict(); update().
+     */
+    bool predictAndUpdate(const BranchSnapshot &snap, bool taken);
+
     uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;

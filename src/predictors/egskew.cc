@@ -45,7 +45,22 @@ EgskewPredictor::update(const BranchSnapshot &snap, bool taken,
                         bool predicted_taken)
 {
     computeIndices(snap);
+    applyUpdate(taken, predicted_taken);
+}
 
+bool
+EgskewPredictor::predictAndUpdate(const BranchSnapshot &snap, bool taken)
+{
+    computeIndices(snap);
+    const bool predicted =
+        (static_cast<int>(vote[0]) + vote[1] + vote[2]) >= 2;
+    applyUpdate(taken, predicted);
+    return predicted;
+}
+
+void
+EgskewPredictor::applyUpdate(bool taken, bool predicted_taken)
+{
     if (statsEnabled()) {
         for (int b = 0; b < 3; ++b) {
             ++tallies[b].lookups;

@@ -33,6 +33,16 @@ class EgskewPredictor final : public ConditionalBranchPredictor
     bool predict(const BranchSnapshot &snap) override;
     void update(const BranchSnapshot &snap, bool taken,
                 bool predicted_taken) override;
+
+    /**
+     * Fused predict-and-train step for the multi-lane kernel: one
+     * computeIndices() pass serves both the majority vote and the
+     * update policy (the split predict()/update() pair recomputes the
+     * three skewed indices and re-reads the banks in update()). Table
+     * transitions are identical to predict() followed by update().
+     */
+    bool predictAndUpdate(const BranchSnapshot &snap, bool taken);
+
     uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;
@@ -42,6 +52,9 @@ class EgskewPredictor final : public ConditionalBranchPredictor
 
   private:
     void computeIndices(const BranchSnapshot &snap);
+
+    /** Trains on the outcome using the already-computed idx/vote. */
+    void applyUpdate(bool taken, bool predicted_taken);
 
     unsigned log2Entries;
     unsigned histLen;

@@ -36,6 +36,22 @@ class GsharePredictor final : public ConditionalBranchPredictor
 
     unsigned historyLength() const { return histLen; }
 
+    /**
+     * Two-phase entry points for the fused multi-lane kernel: the pure
+     * index computation (so N lanes' folds can be computed
+     * back-to-back) and the combined counter read + train step (one
+     * table-word access instead of the separate predict()/update()
+     * pair, which each recompute the index).
+     */
+    size_t laneIndex(const BranchSnapshot &snap) const
+    {
+        return index(snap);
+    }
+    bool applyAt(size_t idx, bool taken)
+    {
+        return table.readAndUpdate(idx, taken);
+    }
+
   private:
     size_t index(const BranchSnapshot &snap) const;
 

@@ -89,28 +89,32 @@ struct GskewVoteStats
     void
     note(const GskewLookup &look, bool taken)
     {
+        // Straight-line on purpose: this runs once per update on every
+        // metrics-observed lane, and a per-bank loop over a temporary
+        // vote array costs more than the bookkeeping itself in
+        // unoptimized builds. Branchless increments, same counters.
         ++updates;
-        const std::array<bool, 3> votes{look.bimPred, look.g0Pred,
-                                        look.g1Pred};
-        for (unsigned t = 0; t < 3; ++t) {
-            ++bank[t].lookups;
-            if (votes[t] != taken)
-                ++bank[t].conflicts;
-            if (votes[t] == look.overall)
-                ++bank[t].agree;
-        }
-        ++bank[META].lookups;
+        PerBank &bb = bank[BIM];
+        ++bb.lookups;
+        bb.conflicts += look.bimPred != taken;
+        bb.agree += look.bimPred == look.overall;
+        PerBank &b0 = bank[G0];
+        ++b0.lookups;
+        b0.conflicts += look.g0Pred != taken;
+        b0.agree += look.g0Pred == look.overall;
+        PerBank &b1 = bank[G1];
+        ++b1.lookups;
+        b1.conflicts += look.g1Pred != taken;
+        b1.agree += look.g1Pred == look.overall;
+        PerBank &bm = bank[META];
+        ++bm.lookups;
         const bool selected = look.metaPred ? look.majority : look.bimPred;
-        if (selected != taken)
-            ++bank[META].conflicts;
-        else
-            ++bank[META].agree;
-        if (look.bimPred == look.g0Pred && look.g0Pred == look.g1Pred)
-            ++unanimous;
-        if (look.metaPred)
-            ++metaSelectsGskew;
-        if (look.overall != taken)
-            ++mispredicts;
+        bm.conflicts += selected != taken;
+        bm.agree += selected == taken;
+        unanimous +=
+            look.bimPred == look.g0Pred && look.g0Pred == look.g1Pred;
+        metaSelectsGskew += look.metaPred;
+        mispredicts += look.overall != taken;
     }
 };
 

@@ -87,6 +87,29 @@ class TwoBitCounterTable
         }
     }
 
+    /**
+     * Fused taken()+update(): one word read serves both the prediction
+     * and the saturation test, and the +-1 step is a single add/sub on
+     * the packed word (the 2-bit lane cannot carry into its neighbour
+     * because the saturation check bounds it first). Returns what
+     * taken(idx) returned before the update.
+     */
+    bool
+    readAndUpdate(size_t idx, bool taken)
+    {
+        uint64_t &w = words[idx / kPerWord];
+        const unsigned s = shift(idx);
+        const uint8_t c = static_cast<uint8_t>((w >> s) & 3u);
+        if (taken) {
+            if (c < 3)
+                w += uint64_t{1} << s;
+        } else {
+            if (c > 0)
+                w -= uint64_t{1} << s;
+        }
+        return (c & 2u) != 0;
+    }
+
     /** Pushes the counter deeper in its current direction. */
     void
     strengthen(size_t idx)

@@ -155,6 +155,186 @@ TwoBcGskewPredictor::update(const BranchSnapshot &snap, bool taken, bool)
         gskewTotalUpdate(facade, last, taken);
 }
 
+bool
+TwoBcGskewPredictor::predictAndUpdate(const BranchSnapshot &snap,
+                                      bool taken)
+{
+    last = lookup(snap);
+#ifndef NDEBUG
+    lastPc = snap.pc;
+    lastIndexHist = snap.hist.indexHist;
+#endif
+    if (statsEnabled())
+        stats.note(last, taken);
+    BankFacade facade{banksStorage};
+    if (cfg.partialUpdate)
+        gskewPartialUpdate(facade, last, taken);
+    else
+        gskewTotalUpdate(facade, last, taken);
+    return last.overall;
+}
+
+TwoBcGskewPredictor::FusedGroup::FusedGroup(
+    TwoBcGskewPredictor *const *preds, size_t nlanes)
+{
+    lanes_.assign(preds, preds + nlanes);
+    statsOn_.resize(nlanes);
+    laneAddr_.resize(nlanes);
+    laneHist_.resize(nlanes);
+    for (size_t l = 0; l < nlanes; ++l) {
+        TwoBcGskewPredictor &p = *lanes_[l];
+        statsOn_[l] = p.statsEnabled() ? 1 : 0;
+        anyPathInfo_ |= p.cfg.usePathInfo;
+        for (unsigned t = 0; t < kNumTables; ++t) {
+            const TableGeometry &geo = p.cfg.tables[t];
+            // The same bounds skewIndex()/addressIndex() require.
+            assert(geo.log2Pred >= 1 && geo.log2Pred < 64);
+            assert(geo.log2Pred >= 2 || (t == BIM && geo.histLen == 0));
+            assert(geo.histLen <= 63);
+            const uint8_t fold_kind = !p.cfg.usePathInfo ? 0
+                                      : t == BIM         ? 1
+                                                         : 2;
+            laneAddr_[l][t] =
+                addrSlot(static_cast<uint8_t>(t), fold_kind,
+                         static_cast<uint8_t>(geo.log2Pred));
+            laneHist_[l][t] =
+                histSlot(static_cast<uint8_t>(t),
+                         static_cast<uint8_t>(geo.log2Pred),
+                         static_cast<uint8_t>(geo.histLen));
+        }
+    }
+}
+
+uint16_t
+TwoBcGskewPredictor::FusedGroup::addrSlot(uint8_t table, uint8_t fold_kind,
+                                          uint8_t n)
+{
+    for (size_t i = 0; i < addrSlots_.size(); ++i) {
+        const AddrSlot &s = addrSlots_[i];
+        if (s.table == table && s.foldKind == fold_kind && s.n == n)
+            return static_cast<uint16_t>(i);
+    }
+    addrSlots_.push_back({table, fold_kind, n, 0});
+    return static_cast<uint16_t>(addrSlots_.size() - 1);
+}
+
+uint16_t
+TwoBcGskewPredictor::FusedGroup::histSlot(uint8_t table, uint8_t n,
+                                          uint8_t len)
+{
+    for (size_t i = 0; i < histSlots_.size(); ++i) {
+        const HistSlot &s = histSlots_[i];
+        if (s.table == table && s.n == n && s.len == len)
+            return static_cast<uint16_t>(i);
+    }
+    histSlots_.push_back({table, n, len, 0});
+    return static_cast<uint16_t>(histSlots_.size() - 1);
+}
+
+void
+TwoBcGskewPredictor::FusedGroup::step(const BranchSnapshot &snap,
+                                      bool taken, uint64_t *misp)
+{
+    if (anyPathInfo_
+        && (snap.hist.pathZ != pathZ_ || snap.hist.pathY != pathY_
+            || snap.hist.pathX != pathX_)) {
+        pathZ_ = snap.hist.pathZ;
+        pathY_ = snap.hist.pathY;
+        pathX_ = snap.hist.pathX;
+        bimFold_ = bimPathFold(snap.hist);
+        gskewFold_ = gskewPathFold(snap.hist);
+    }
+
+    // Address-side terms: one XOR-fold plus H^table chain per distinct
+    // slot, shared by every lane that subscripts it. The fold and H
+    // loops are written out longhand: this is the innermost arithmetic
+    // of a sweep, and in unoptimized builds the helper-call round trips
+    // cost more than the arithmetic itself.
+    for (AddrSlot &s : addrSlots_) {
+        const uint64_t fold = s.foldKind == 0
+                                  ? 0
+                                  : (s.foldKind == 1 ? bimFold_
+                                                     : gskewFold_);
+        const unsigned n = s.n;
+        const uint64_t m = mask(n);
+        uint64_t v = (snap.pc ^ fold) >> 2;
+        uint64_t x = 0;
+        while (v) {
+            x ^= v & m;
+            v >>= n;
+        }
+        for (unsigned i = 0; i < s.table; ++i) {
+            const uint64_t fb = (x ^ (x >> (n - 1))) & 1;
+            x = (x >> 1) | (fb << (n - 1));
+        }
+        s.value = x;
+    }
+
+    // History-side terms likewise, per distinct (table, width, length):
+    // the masked history folded to n bits through the inverse chain
+    // H'^table. In a history sweep these stay per-length, but the
+    // address side above has already collapsed to one term per table.
+    for (HistSlot &s : histSlots_) {
+        if (s.len == 0)
+            continue; // the address-only degenerate slot: constant 0
+        const unsigned n = s.n;
+        const uint64_t m = mask(n);
+        uint64_t v = snap.hist.indexHist & mask(s.len);
+        uint64_t x = 0;
+        while (v) {
+            x ^= v & m;
+            v >>= n;
+        }
+        for (unsigned i = 0; i < s.table; ++i) {
+            const uint64_t top = (x >> (n - 1)) & 1;
+            const uint64_t vtop = (x >> (n - 2)) & 1;
+            x = ((x << 1) & m) | (top ^ vtop);
+        }
+        s.value = x;
+    }
+
+    // Per-lane remainder: assemble the four indices from the shared
+    // terms, then vote, note and train exactly as predictAndUpdate().
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+        TwoBcGskewPredictor &p = *lanes_[l];
+        const std::array<uint16_t, kNumTables> &as = laneAddr_[l];
+        const std::array<uint16_t, kNumTables> &hs = laneHist_[l];
+        // Filled in place: p.last is exactly the state predictAndUpdate
+        // would cache, and the in-place fill saves a per-lane copy.
+        GskewLookup &look = p.last;
+        look.idx[BIM] = static_cast<size_t>(
+            addrSlots_[as[BIM]].value ^ histSlots_[hs[BIM]].value);
+        look.idx[G0] = static_cast<size_t>(
+            addrSlots_[as[G0]].value ^ histSlots_[hs[G0]].value);
+        look.idx[G1] = static_cast<size_t>(
+            addrSlots_[as[G1]].value ^ histSlots_[hs[G1]].value);
+        look.idx[META] = static_cast<size_t>(
+            addrSlots_[as[META]].value ^ histSlots_[hs[META]].value);
+        // computeGskewVotes() with the bank reads devirtualized: the
+        // facade indirection costs a call frame per read here, in the
+        // innermost loop of every fused sweep.
+        look.bimPred = p.banksStorage[BIM].taken(look.idx[BIM]);
+        look.g0Pred = p.banksStorage[G0].taken(look.idx[G0]);
+        look.g1Pred = p.banksStorage[G1].taken(look.idx[G1]);
+        look.metaPred = p.banksStorage[META].taken(look.idx[META]);
+        look.majority = (static_cast<int>(look.bimPred) + look.g0Pred
+                         + look.g1Pred) >= 2;
+        look.overall = look.metaPred ? look.majority : look.bimPred;
+#ifndef NDEBUG
+        p.lastPc = snap.pc;
+        p.lastIndexHist = snap.hist.indexHist;
+#endif
+        if (statsOn_[l])
+            p.stats.note(look, taken);
+        BankFacade facade{p.banksStorage};
+        if (p.cfg.partialUpdate)
+            gskewPartialUpdate(facade, look, taken);
+        else
+            gskewTotalUpdate(facade, look, taken);
+        misp[l] += look.overall != taken;
+    }
+}
+
 uint64_t
 TwoBcGskewPredictor::storageBits() const
 {

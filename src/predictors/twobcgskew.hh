@@ -22,6 +22,7 @@
 
 #include <array>
 #include <string>
+#include <vector>
 
 #include "predictors/gskew_policy.hh"
 #include "predictors/predictor.hh"
@@ -94,6 +95,16 @@ class TwoBcGskewPredictor final : public ConditionalBranchPredictor
     bool predict(const BranchSnapshot &snap) override;
     void update(const BranchSnapshot &snap, bool taken,
                 bool predicted_taken) override;
+
+    /**
+     * Fused predict-and-train step for the multi-lane kernel: one
+     * lookup() serves both the returned prediction and the update
+     * policy, without round-tripping through the cached `last` state
+     * across two virtual calls. Identical table transitions to a
+     * predict(); update() pair for the same branch.
+     */
+    bool predictAndUpdate(const BranchSnapshot &snap, bool taken);
+
     uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;
@@ -108,6 +119,67 @@ class TwoBcGskewPredictor final : public ConditionalBranchPredictor
 
     /** Per-table index for a snapshot (exposed for tests). */
     size_t tableIndex(TableId table, const BranchSnapshot &snap) const;
+
+    /**
+     * Shared-index group stepper for the fused kernel: one instance
+     * drives every 2Bc-gskew lane of a fused job through one branch at
+     * a time. All lanes of a group see the same BranchSnapshot, and the
+     * address-side half of every skewed index -- the XOR-fold of
+     * (pc ^ path-fold) and its H^table chain -- depends only on that
+     * shared snapshot and the table geometry, never on per-lane state.
+     * The group therefore computes each distinct (table, fold kind,
+     * index width) term once per branch and each distinct (table,
+     * width, history length) history term once per branch, instead of
+     * once per lane; in a history sweep the address side collapses from
+     * 4*nlanes computations to 4. Table transitions, cached lookup
+     * state and statistics are exactly those of per-lane
+     * predictAndUpdate().
+     */
+    class FusedGroup
+    {
+      public:
+        FusedGroup(TwoBcGskewPredictor *const *preds, size_t nlanes);
+
+        /** Advances every lane over one branch; tallies into misp[l]. */
+        void step(const BranchSnapshot &snap, bool taken, uint64_t *misp);
+
+      private:
+        /** One distinct address-side index term H^table(fold(addr)). */
+        struct AddrSlot
+        {
+            uint8_t table;    //!< H-chain length (the bank's bijection)
+            uint8_t foldKind; //!< 0 = none, 1 = BIM path, 2 = gskew path
+            uint8_t n;        //!< index width in bits
+            uint64_t value;   //!< recomputed every step()
+        };
+
+        /** One distinct history-side index term H'^table(fold(hist)). */
+        struct HistSlot
+        {
+            uint8_t table; //!< H'-chain length
+            uint8_t n;     //!< index width in bits
+            uint8_t len;   //!< history bits consumed (0 = constant 0)
+            uint64_t value;
+        };
+
+        uint16_t addrSlot(uint8_t table, uint8_t fold_kind, uint8_t n);
+        uint16_t histSlot(uint8_t table, uint8_t n, uint8_t len);
+
+        std::vector<TwoBcGskewPredictor *> lanes_;
+        std::vector<uint8_t> statsOn_;
+        std::vector<AddrSlot> addrSlots_;
+        std::vector<HistSlot> histSlots_;
+        //! Per lane, per table: subscripts into the two slot tables.
+        std::vector<std::array<uint16_t, kNumTables>> laneAddr_;
+        std::vector<std::array<uint16_t, kNumTables>> laneHist_;
+
+        //! Group-level path-fold cache, mirroring lookup()'s: the path
+        //! registers move once per fetch block, and they are shared by
+        //! the whole group.
+        bool anyPathInfo_ = false;
+        uint64_t pathZ_ = 0, pathY_ = 0, pathX_ = 0;
+        uint64_t bimFold_ = 0, gskewFold_ = 0;
+    };
 
     /** Direct bank access for white-box tests. */
     const SplitCounterArray &bank(TableId table) const

@@ -73,6 +73,36 @@ YagsPredictor::update(const BranchSnapshot &snap, bool taken, bool)
         choice.update(ci, taken);
 }
 
+bool
+YagsPredictor::predictAndUpdate(const BranchSnapshot &snap, bool taken)
+{
+    const size_t ci = (snap.pc >> 2) & mask(log2Choice);
+    const bool bias_taken = choice.taken(ci);
+    Cache &cache = bias_taken ? notTakenCache : takenCache;
+    CacheEntry &entry = cache[cacheIndex(snap)];
+    const bool hit = entry.valid && entry.tag == tagOf(snap.pc);
+    const bool predicted = hit ? entry.counter >= 2 : bias_taken;
+
+    if (hit) {
+        if (taken) {
+            if (entry.counter < 3)
+                ++entry.counter;
+        } else {
+            if (entry.counter > 0)
+                --entry.counter;
+        }
+    } else if (taken != bias_taken) {
+        entry.valid = true;
+        entry.tag = tagOf(snap.pc);
+        entry.counter = taken ? 2 : 1;
+    }
+
+    const bool cache_correct = hit && ((entry.counter >= 2) == taken);
+    if (!(bias_taken != taken && cache_correct))
+        choice.update(ci, taken);
+    return predicted;
+}
+
 uint64_t
 YagsPredictor::storageBits() const
 {

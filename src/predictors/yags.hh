@@ -24,7 +24,7 @@
 namespace ev8
 {
 
-class YagsPredictor : public ConditionalBranchPredictor
+class YagsPredictor final : public ConditionalBranchPredictor
 {
   public:
     /**
@@ -39,6 +39,15 @@ class YagsPredictor : public ConditionalBranchPredictor
     bool predict(const BranchSnapshot &snap) override;
     void update(const BranchSnapshot &snap, bool taken,
                 bool predicted_taken) override;
+
+    /**
+     * Fused predict-and-train step for the multi-lane kernel: the
+     * choice-table read, cache index and tag probe serve both the
+     * prediction and the training decision, instead of being recomputed
+     * by a predict(); update() pair. Identical transitions.
+     */
+    bool predictAndUpdate(const BranchSnapshot &snap, bool taken);
+
     uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;

@@ -24,6 +24,12 @@
  * trace. decodeBlockStream() is the only constructor of the data; the
  * binary serialization (readBlockStream/writeBlockStream) exists so
  * TraceCache can persist decoded streams next to cached traces.
+ *
+ * The stream is also the unit of sharing for fused multi-configuration
+ * simulation (runFusedStreamKernel): because the data is immutable and
+ * the walk order is defined entirely by the stream, N predictor lanes
+ * can consume one linear pass concurrently with no per-lane decode or
+ * history state of their own.
  */
 
 #ifndef EV8_SIM_BLOCK_STREAM_HH

@@ -1,7 +1,12 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <stdexcept>
 #include <string>
+#include <tuple>
 
 #include "obs/event_trace.hh"
 #include "obs/metrics.hh"
@@ -10,16 +15,88 @@
 namespace ev8
 {
 
+namespace
+{
+
+/** Upper bound for parseJobs(): far above any sane pool or lane cap. */
+constexpr unsigned long long kMaxParsedJobs = 4096;
+
+} // namespace
+
+unsigned
+ExperimentEngine::parseJobs(const std::string &text)
+{
+    if (text.empty()) {
+        throw std::invalid_argument(
+            "empty worker count; expected a positive integer");
+    }
+    for (const char ch : text) {
+        if (ch < '0' || ch > '9') {
+            throw std::invalid_argument(
+                "invalid worker count '" + text
+                + "'; expected a positive integer");
+        }
+    }
+    // Digits only from here on, so strtoull cannot reject; it can only
+    // saturate, which the range check below catches (ULLONG_MAX >
+    // kMaxParsedJobs).
+    const unsigned long long v =
+        std::strtoull(text.c_str(), nullptr, 10);
+    if (v == 0) {
+        throw std::invalid_argument("worker count must be at least 1, "
+                                    "got '" + text + "'");
+    }
+    if (v > kMaxParsedJobs) {
+        throw std::invalid_argument(
+            "worker count '" + text + "' out of range [1, "
+            + std::to_string(kMaxParsedJobs) + "]");
+    }
+    return static_cast<unsigned>(v);
+}
+
 unsigned
 ExperimentEngine::defaultJobs()
 {
     if (const char *env = std::getenv("EV8_JOBS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(v);
+        try {
+            return parseJobs(env);
+        } catch (const std::invalid_argument &err) {
+            std::fprintf(stderr, "EV8_JOBS: %s\n", err.what());
+            std::exit(2);
+        }
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? hw : 1;
+}
+
+bool
+ExperimentEngine::fusedEnabled()
+{
+    const char *env = std::getenv("EV8_FUSED");
+    return env == nullptr || !(env[0] == '0' && env[1] == '\0');
+}
+
+size_t
+ExperimentEngine::fusedLaneCap()
+{
+    if (const char *env = std::getenv("EV8_FUSED_LANES")) {
+        try {
+            return std::min<size_t>(parseJobs(env), kMaxFusedLanes);
+        } catch (const std::invalid_argument &err) {
+            std::fprintf(stderr, "EV8_FUSED_LANES: %s\n", err.what());
+            std::exit(2);
+        }
+    }
+    return kMaxFusedLanes;
+}
+
+void
+ExperimentEngine::publishMetrics(MetricRegistry &registry,
+                                 const std::string &prefix) const
+{
+    registry.counter(prefix + ".grid_cells").inc(gridCells_);
+    registry.counter(prefix + ".fused_jobs").inc(fusedJobs_);
+    registry.counter(prefix + ".fused_lane_cells").inc(fusedLaneCells_);
 }
 
 ExperimentEngine::ExperimentEngine(unsigned jobs)
@@ -174,8 +251,11 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         BranchClassMap classes; //!< owned here: cannot dangle (job-local)
     };
     std::vector<JobOutput> outputs(n);
+    gridCells_ += n;
 
-    parallelFor(n, [&](size_t i) {
+    /** The original per-cell job body (the EV8_FUSED=0 path, and the
+     *  body of any fused group that ends up with a single lane). */
+    auto run_cell = [&](size_t i) {
         const GridRow &row = rows[i / nbench];
         const size_t b = i % nbench;
         const Benchmark &bench = specint95Suite()[b];
@@ -206,7 +286,101 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
                                       "pred." + predictor->name());
         }
         out.events = buffer.take();
-    });
+    };
+
+    /** One fused job: all cells share (benchmark, walk config); the
+     *  stream is walked once (per concrete predictor type) for all of
+     *  them, with per-cell sinks so the merge below is untouched. */
+    auto run_fused = [&](const std::vector<size_t> &cells) {
+        const size_t b = cells.front() % nbench;
+        const Benchmark &bench = specint95Suite()[b];
+        const BlockStream &stream = runner.blockStream(b);
+        const GridRow &lead = rows[cells.front() / nbench];
+        const bool want_events = lead.config.events != nullptr;
+        const bool want_metrics = lead.config.metrics != nullptr;
+
+        // The pc -> behaviour-class map is a function of the benchmark
+        // alone: build it once per fused job, copy per event-carrying
+        // cell (the per-cell path builds one per cell).
+        BranchClassMap classes;
+        if (want_events)
+            classes = SyntheticProgram(bench.profile).condBranchClasses();
+
+        std::vector<PredictorPtr> predictors;
+        predictors.reserve(cells.size());
+        std::vector<BufferedEventSink> buffers(cells.size());
+        std::vector<FusedLane> lanes(cells.size());
+        for (size_t k = 0; k < cells.size(); ++k) {
+            const size_t i = cells[k];
+            JobOutput &out = outputs[i];
+            out.result.bench = bench.profile.name;
+            predictors.push_back(rows[i / nbench].factory());
+            lanes[k].predictor = predictors.back().get();
+            lanes[k].metrics = want_metrics ? &out.metrics : nullptr;
+            lanes[k].events = want_events ? &buffers[k] : nullptr;
+            if (want_events)
+                out.classes = classes;
+        }
+
+        SimConfig config = lead.config;
+        config.metrics = nullptr; // sinks are per lane
+        config.events = nullptr;
+
+        std::vector<SimResult> sims =
+            simulateStreamFused(stream, lanes, config);
+
+        for (size_t k = 0; k < cells.size(); ++k) {
+            JobOutput &out = outputs[cells[k]];
+            out.result.sim = std::move(sims[k]);
+            if (want_metrics) {
+                predictors[k]->publishMetrics(
+                    out.metrics, "pred." + predictors[k]->name());
+            }
+            out.events = buffers[k].take();
+        }
+    };
+
+    if (!fusedEnabled()) {
+        parallelFor(n, run_cell);
+    } else {
+        // Group cells sharing (benchmark, walk config) into fused jobs,
+        // preserving submission order within each group, chunked at the
+        // lane cap. Everything in the key must be identical for the
+        // lanes to legally share one history walk / one kernel shape.
+        using FuseKey = std::tuple<size_t, int, unsigned, bool, bool,
+                                   bool, bool, bool>;
+        const size_t cap = fusedLaneCap();
+        std::vector<std::vector<size_t>> groups;
+        std::map<FuseKey, size_t> open; //!< key -> unfilled group index
+        for (size_t i = 0; i < n; ++i) {
+            const SimConfig &c = rows[i / nbench].config;
+            const FuseKey key{i % nbench, static_cast<int>(c.history),
+                              c.historyAge, c.assignBanks,
+                              c.profileTiming, c.events != nullptr,
+                              c.metrics != nullptr,
+                              c.forceGenericKernel};
+            auto [it, inserted] = open.try_emplace(key, groups.size());
+            if (inserted) {
+                groups.emplace_back();
+            } else if (groups[it->second].size() >= cap) {
+                it->second = groups.size();
+                groups.emplace_back();
+            }
+            groups[it->second].push_back(i);
+        }
+        for (const auto &cells : groups) {
+            if (cells.size() > 1) {
+                ++fusedJobs_;
+                fusedLaneCells_ += cells.size();
+            }
+        }
+        parallelFor(groups.size(), [&](size_t g) {
+            if (groups[g].size() == 1)
+                run_cell(groups[g].front());
+            else
+                run_fused(groups[g]);
+        });
+    }
 
     // Deterministic merge, strictly in submission order (row-major over
     // the grid): byte-identical shared-sink contents for any pool width.

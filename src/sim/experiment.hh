@@ -24,6 +24,16 @@
  * The pool is the calling thread plus (jobs - 1) workers; jobs = 1
  * degenerates to a plain serial loop with no threads, and any larger
  * width produces the same bytes.
+ *
+ * Fused execution: grid cells that share a benchmark and a history-walk
+ * configuration (history mode, age, bank assignment, timing, sink
+ * presence, kernel forcing) are grouped into one fused job that walks
+ * the benchmark's BlockStream once for all of them via
+ * simulateStreamFused(), instead of once per cell. Grouping follows
+ * submission order, per-cell outputs stay private until the same
+ * deterministic merge, and artifacts are byte-identical to the
+ * per-cell path for any lane width and any worker count. EV8_FUSED=0
+ * forces the per-cell path; EV8_FUSED_LANES caps lanes per fused job.
  */
 
 #ifndef EV8_SIM_EXPERIMENT_HH
@@ -43,15 +53,44 @@
 namespace ev8
 {
 
+class MetricRegistry; // obs/metrics.hh
+
 class ExperimentEngine
 {
   public:
     /**
      * The pool width used when a caller passes jobs = 0: the EV8_JOBS
-     * environment variable when set (clamped to >= 1), otherwise
-     * std::thread::hardware_concurrency().
+     * environment variable when set, otherwise
+     * std::thread::hardware_concurrency(). A set-but-invalid EV8_JOBS
+     * (zero, negative, garbage, out of range) is a hard error: the
+     * message is printed to stderr and the process exits with status 2
+     * rather than silently falling back.
      */
     static unsigned defaultJobs();
+
+    /**
+     * Strictly parses a worker count: decimal digits only, value in
+     * [1, 4096]. Throws std::invalid_argument with a human-readable
+     * message on anything else (empty, signs, garbage, zero,
+     * overflow). Shared by --jobs, EV8_JOBS and EV8_FUSED_LANES.
+     */
+    static unsigned parseJobs(const std::string &text);
+
+    /**
+     * Whether runGrid() fuses compatible grid cells into shared-walk
+     * jobs. On unless the EV8_FUSED environment variable is exactly
+     * "0" (the per-cell A/B escape hatch; both paths are byte-
+     * identical by construction and by CI gate).
+     */
+    static bool fusedEnabled();
+
+    /**
+     * Max lanes per fused job: EV8_FUSED_LANES (strictly parsed,
+     * clamped to kMaxFusedLanes) or kMaxFusedLanes. Any value yields
+     * identical artifacts; smaller caps trade walk sharing for more
+     * parallelism across jobs.
+     */
+    static size_t fusedLaneCap();
 
     /** @param jobs worker count; 0 resolves to defaultJobs(). */
     explicit ExperimentEngine(unsigned jobs = 0);
@@ -80,6 +119,18 @@ class ExperimentEngine
     std::vector<std::vector<BenchResult>> runGrid(
         SuiteRunner &runner, const std::vector<GridRow> &rows);
 
+    /**
+     * Publishes grid-scheduling counters under @p prefix:
+     * "<prefix>.grid_cells" (cells executed), "<prefix>.fused_jobs"
+     * (multi-lane jobs dispatched) and "<prefix>.fused_lane_cells"
+     * (cells that rode a fused walk) -- the grouping-efficiency view
+     * of fused execution. Values differ between EV8_FUSED modes by
+     * design, so the bench harness only exports them on request
+     * (EV8_CACHE_METRICS) to keep default artifacts byte-identical.
+     */
+    void publishMetrics(MetricRegistry &registry,
+                        const std::string &prefix) const;
+
   private:
     struct TaskDeque
     {
@@ -94,6 +145,12 @@ class ExperimentEngine
     unsigned jobs_;
     std::vector<std::unique_ptr<TaskDeque>> queues_;
     std::vector<std::thread> workers_;
+
+    // Grid-scheduling tallies; only runGrid()'s calling thread writes
+    // them (one batch at a time), so plain counters suffice.
+    uint64_t gridCells_ = 0;
+    uint64_t fusedJobs_ = 0;
+    uint64_t fusedLaneCells_ = 0;
 
     std::mutex mutex_;
     std::condition_variable workReady_;

@@ -19,11 +19,28 @@
  * Predictor = ConditionalBranchPredictor, so specialized and generic
  * runs cannot drift apart. simulator.cc owns the dispatch; nothing
  * else should include this header.
+ *
+ * The fused kernel (runFusedStreamKernel) is the multi-configuration
+ * sibling: one walk of the stream drives N predictor lanes that share
+ * the history machinery. That sharing is sound because every register
+ * the simulator maintains -- ghist, lghist, the delayed view, the path
+ * registers and the bank recurrence -- evolves from trace outcomes
+ * only, never from predictor output: lanes with the same (history
+ * mode, history age, assignBanks) triple observe bit-identical
+ * BranchSnapshots, and a lane consuming fewer history bits simply
+ * masks the shared register down (a shorter history is a prefix of a
+ * longer one). Per-lane work is laid out struct-of-arrays: a dense
+ * predictor-pointer array and a dense mispredict-tally array, with the
+ * per-branch snapshot built once per branch instead of once per cell.
  */
 
 #ifndef EV8_SIM_KERNEL_HH
 #define EV8_SIM_KERNEL_HH
 
+#include <array>
+#include <cassert>
+#include <concepts>
+#include <cstddef>
 #include <type_traits>
 
 #include "frontend/bank_scheduler.hh"
@@ -40,11 +57,11 @@ namespace detail
 
 /** Builds the sampled-trace record for one misprediction. */
 inline MispredictEvent
-makeMispredictEvent(const SimResult &result, const BranchSnapshot &snap,
+makeMispredictEvent(uint64_t branch_seq, const BranchSnapshot &snap,
                     bool taken, bool predicted, const VoteSnapshot &votes)
 {
     MispredictEvent ev;
-    ev.branchSeq = result.condBranches;
+    ev.branchSeq = branch_seq;
     ev.pc = snap.pc;
     ev.blockAddr = snap.blockAddr;
     ev.ghist = snap.hist.ghist;
@@ -137,7 +154,7 @@ runStreamKernel(const BlockStream &stream, Predictor &predictor,
             if constexpr (HasEvents) {
                 if (predicted != br_taken) {
                     config.events->onMispredict(makeMispredictEvent(
-                        result, snap, br_taken, predicted,
+                        result.condBranches, snap, br_taken, predicted,
                         predictor.lastVotes()));
                 }
             }
@@ -193,6 +210,261 @@ dispatchStreamKernel(const BlockStream &stream, Predictor &predictor,
                                decltype(timed_c)::value,
                                decltype(events_c)::value>(
             stream, predictor, config, bank_sched);
+    };
+    using F = std::false_type;
+    using T = std::true_type;
+    if (lg) {
+        if (timed)
+            return events ? run(T{}, T{}, T{}) : run(T{}, T{}, F{});
+        return events ? run(T{}, F{}, T{}) : run(T{}, F{}, F{});
+    }
+    if (timed)
+        return events ? run(F{}, T{}, T{}) : run(F{}, T{}, F{});
+    return events ? run(F{}, F{}, T{}) : run(F{}, F{}, F{});
+}
+
+/**
+ * Two-phase lane entry point: the predictor exposes its (pure) table
+ * index computation separately from the read-modify-write, so the
+ * fused loop can compute every lane's index back-to-back (unrolled,
+ * no intervening table traffic) and then stream the counter updates.
+ */
+template <class P>
+concept FusedLaneIndexed = requires(P p, const P cp,
+                                    const BranchSnapshot &snap) {
+    { cp.laneIndex(snap) } -> std::convertible_to<size_t>;
+    { p.applyAt(size_t{}, true) } -> std::same_as<bool>;
+};
+
+/**
+ * Single-call lane entry point: predict and train in one step, letting
+ * the predictor reuse lookup state (indices, votes) it would otherwise
+ * recompute or re-cache between the two virtual calls.
+ */
+template <class P>
+concept FusedSteppable = requires(P p, const BranchSnapshot &snap) {
+    { p.predictAndUpdate(snap, true) } -> std::same_as<bool>;
+};
+
+/**
+ * Group-stepped lane entry point, the strongest fusion contract: the
+ * predictor class exposes a FusedGroup stepper that advances every lane
+ * of a fused job in one call, sharing cross-lane index arithmetic that
+ * the per-lane entry points cannot see (all lanes of a group observe
+ * the same BranchSnapshot). Constructed once per walk, checked before
+ * the per-lane entry points on the untimed, event-free fast path.
+ */
+template <class P>
+concept FusedGroupStepped = requires(typename P::FusedGroup &group,
+                                     const BranchSnapshot &snap,
+                                     uint64_t *misp) {
+    requires std::constructible_from<typename P::FusedGroup, P *const *,
+                                     size_t>;
+    { group.step(snap, true, misp) } -> std::same_as<void>;
+};
+
+/** One lane of a fused run: where its results and events go. */
+template <class Predictor>
+struct FusedLaneState
+{
+    Predictor *predictor = nullptr;
+    SimResult *result = nullptr;
+    MispredictSink *events = nullptr; //!< may be null per lane
+};
+
+/**
+ * The fused inner loop: one pass over @p stream drives @p nlanes
+ * predictor lanes under one shared history configuration.
+ *
+ * Template parameters mirror runStreamKernel. HasEvents means "some
+ * lane has an event sink"; lanes with a null sink inside an events
+ * instantiation just skip emission. Each lane's SimResult ends up
+ * bit-identical to what a per-cell runStreamKernel call would have
+ * produced for that (predictor, config) pair: the walk tallies
+ * (fetchBlocks, condBranches, lghistBits, branchesPerBlock) are
+ * computed once and copied into every lane, per-lane mispredictions
+ * are tallied SoA in the fast path, and the per-block history advance
+ * is timed once and merged into every lane with the same call count a
+ * per-cell run would record.
+ */
+template <class Predictor, bool LghistMode, bool Timed, bool HasEvents>
+void
+runFusedStreamKernel(const BlockStream &stream,
+                     FusedLaneState<Predictor> *lanes, size_t nlanes,
+                     const SimConfig &config, BankScheduler &bank_sched)
+{
+    assert(nlanes >= 1 && nlanes <= kMaxFusedLanes);
+
+    // SoA hot state: dense predictor pointers and mispredict tallies.
+    Predictor *preds[kMaxFusedLanes];
+    uint64_t misp[kMaxFusedLanes] = {};
+    for (size_t l = 0; l < nlanes; ++l) {
+        preds[l] = lanes[l].predictor;
+        lanes[l].result->stats.setInstructions(stream.instructions());
+    }
+
+    // Group stepper, built once per walk; only the untimed, event-free
+    // instantiations of group-steppable predictors ever use it (the
+    // observed paths need per-lane calls for timers and events).
+    auto group = [&] {
+        if constexpr (!(Timed || HasEvents) && FusedGroupStepped<Predictor>)
+            return typename Predictor::FusedGroup(preds, nlanes);
+        else
+            return 0;
+    }();
+    (void)group;
+
+    const bool lghist_path = config.history == HistoryMode::LghistPath;
+    const bool assign_banks = config.assignBanks;
+
+    HistoryRegister ghist;
+    LghistTracker lghist(lghist_path);
+    DelayedHistory delayed(config.historyAge);
+    uint64_t path_z = 0, path_y = 0, path_x = 0;
+
+    // Walk tallies, computed once and fanned out to every lane.
+    uint64_t fetch_blocks = 0, cond_branches = 0, lghist_bits = 0;
+    std::array<uint64_t, 9> per_block{};
+    TimingStat hist_time;
+
+    BranchSnapshot snap;
+    const size_t nblocks = stream.blocks();
+    for (size_t b = 0; b < nblocks; ++b) {
+        ++fetch_blocks;
+        const uint32_t first = stream.branchBegin(b);
+        const uint32_t last = stream.branchBegin(b + 1);
+        const unsigned nbr = last - first;
+        ++per_block[nbr < per_block.size() ? nbr : per_block.size() - 1];
+
+        const uint64_t block_addr = stream.blockAddr(b);
+        snap.blockAddr = block_addr;
+        snap.hist.pathZ = path_z;
+        snap.hist.pathY = path_y;
+        snap.hist.pathX = path_x;
+        if (assign_banks)
+            snap.bank =
+                static_cast<uint8_t>(bank_sched.assign(block_addr));
+
+        const uint64_t block_hist = delayed.view();
+
+        for (uint32_t j = first; j < last; ++j) {
+            const uint8_t raw = stream.branchRaw(j);
+            const bool br_taken = (raw & 1) != 0;
+            snap.pc = block_addr + uint64_t(raw >> 1) * kInstrBytes;
+            snap.hist.ghist = ghist.raw();
+            snap.hist.indexHist = LghistMode ? block_hist : ghist.raw();
+
+            if constexpr (Timed || HasEvents) {
+                // Observed path: per-lane timers / event emission need
+                // the split predict()/update() calls of the per-cell
+                // kernel, with identical call counts per lane.
+                for (size_t l = 0; l < nlanes; ++l) {
+                    bool predicted;
+                    if constexpr (Timed) {
+                        ScopedTimer t(lanes[l].result->timing.lookup);
+                        predicted = preds[l]->predict(snap);
+                    } else {
+                        predicted = preds[l]->predict(snap);
+                    }
+                    lanes[l].result->stats.record(predicted, br_taken);
+                    if constexpr (HasEvents) {
+                        if (predicted != br_taken && lanes[l].events) {
+                            lanes[l].events->onMispredict(
+                                makeMispredictEvent(
+                                    cond_branches, snap, br_taken,
+                                    predicted, preds[l]->lastVotes()));
+                        }
+                    }
+                    if constexpr (Timed) {
+                        ScopedTimer t(lanes[l].result->timing.update);
+                        preds[l]->update(snap, br_taken, predicted);
+                    } else {
+                        preds[l]->update(snap, br_taken, predicted);
+                    }
+                }
+            } else if constexpr (FusedGroupStepped<Predictor>) {
+                group.step(snap, br_taken, misp);
+            } else if constexpr (FusedLaneIndexed<Predictor>) {
+                // Unrolled multi-lane index computation, then the
+                // read-modify-write sweep over the lane tables.
+                size_t idx[kMaxFusedLanes];
+                for (size_t l = 0; l < nlanes; ++l)
+                    idx[l] = preds[l]->laneIndex(snap);
+                for (size_t l = 0; l < nlanes; ++l)
+                    misp[l] +=
+                        preds[l]->applyAt(idx[l], br_taken) != br_taken;
+            } else if constexpr (FusedSteppable<Predictor>) {
+                for (size_t l = 0; l < nlanes; ++l)
+                    misp[l] += preds[l]->predictAndUpdate(snap, br_taken)
+                        != br_taken;
+            } else {
+                for (size_t l = 0; l < nlanes; ++l) {
+                    const bool predicted = preds[l]->predict(snap);
+                    preds[l]->update(snap, br_taken, predicted);
+                    misp[l] += predicted != br_taken;
+                }
+            }
+
+            ghist.push(br_taken);
+            ++cond_branches;
+        }
+
+        const auto advance_history = [&] {
+            if (nbr > 0) {
+                const uint8_t raw = stream.branchRaw(last - 1);
+                lghist.onBranchBlock(
+                    block_addr + uint64_t(raw >> 1) * kInstrBytes,
+                    (raw & 1) != 0);
+                ++lghist_bits;
+            }
+            delayed.advance(lghist.value());
+        };
+        if constexpr (Timed) {
+            // Timed once per block; merged per lane below so every
+            // lane reports the same history call count as a per-cell
+            // run (the shared advance serves all lanes at once).
+            ScopedTimer t(hist_time);
+            advance_history();
+        } else {
+            advance_history();
+        }
+
+        path_x = path_y;
+        path_y = path_z;
+        path_z = block_addr;
+    }
+
+    for (size_t l = 0; l < nlanes; ++l) {
+        SimResult &r = *lanes[l].result;
+        if constexpr (!(Timed || HasEvents))
+            r.stats.tally(cond_branches, misp[l]);
+        r.fetchBlocks = fetch_blocks;
+        r.condBranches = cond_branches;
+        r.lghistBits = lghist_bits;
+        r.branchesPerBlock = per_block;
+        if constexpr (Timed)
+            r.timing.history.merge(hist_time);
+    }
+}
+
+/** Resolves the runtime flags to the matching fused instantiation. */
+template <class Predictor>
+void
+dispatchFusedKernel(const BlockStream &stream,
+                    FusedLaneState<Predictor> *lanes, size_t nlanes,
+                    const SimConfig &config, BankScheduler &bank_sched)
+{
+    const bool lg = config.history != HistoryMode::Ghist;
+    const bool timed = config.profileTiming;
+    bool events = false;
+    for (size_t l = 0; l < nlanes; ++l)
+        events |= lanes[l].events != nullptr;
+
+    auto run = [&](auto lg_c, auto timed_c, auto events_c) {
+        runFusedStreamKernel<Predictor, decltype(lg_c)::value,
+                             decltype(timed_c)::value,
+                             decltype(events_c)::value>(
+            stream, lanes, nlanes, config, bank_sched);
     };
     using F = std::false_type;
     using T = std::true_type;

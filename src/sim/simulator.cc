@@ -1,14 +1,19 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
+#include <array>
 #include <cstdlib>
+#include <type_traits>
 
 #include "core/ev8_predictor.hh"
 #include "frontend/bank_scheduler.hh"
 #include "obs/metrics.hh"
 #include "predictors/bimodal.hh"
+#include "predictors/bimode.hh"
 #include "predictors/egskew.hh"
 #include "predictors/gshare.hh"
 #include "predictors/twobcgskew.hh"
+#include "predictors/yags.hh"
 #include "sim/block_stream.hh"
 #include "sim/kernel.hh"
 
@@ -115,6 +120,89 @@ simulateTrace(const Trace &trace, ConditionalBranchPredictor &predictor,
               const SimConfig &config)
 {
     return simulateStream(decodeBlockStream(trace), predictor, config);
+}
+
+std::vector<SimResult>
+simulateStreamFused(const BlockStream &stream,
+                    const std::vector<FusedLane> &lanes,
+                    const SimConfig &config)
+{
+    const size_t n = lanes.size();
+    std::vector<SimResult> results(n);
+    if (n == 0)
+        return results;
+
+    for (const FusedLane &lane : lanes)
+        lane.predictor->enableStats(lane.metrics != nullptr);
+
+    // Partition the lanes by concrete type so each partition runs the
+    // kernel devirtualized. claimed[] keeps a lane in exactly one
+    // partition; whatever no bucket claims takes the generic walk.
+    std::vector<char> claimed(n, 0);
+
+    // Bank assignment is a pure function of the block-address sequence,
+    // so every partition's walk reproduces the same scheduler state;
+    // the first finished walk's copy serves all lanes' metrics.
+    BankScheduler metrics_sched;
+    bool have_sched = false;
+
+    auto run_bucket = [&]<class P>(std::type_identity<P>) {
+        std::vector<size_t> members;
+        for (size_t i = 0; i < n; ++i) {
+            if (claimed[i])
+                continue;
+            if constexpr (std::is_same_v<P, ConditionalBranchPredictor>) {
+                members.push_back(i);
+                claimed[i] = 1;
+            } else if (dynamic_cast<P *>(lanes[i].predictor)) {
+                members.push_back(i);
+                claimed[i] = 1;
+            }
+        }
+        // Chunk oversized partitions: each chunk is one extra stream
+        // walk, still never more walks than lanes.
+        for (size_t beg = 0; beg < members.size();
+             beg += kMaxFusedLanes) {
+            const size_t cnt =
+                std::min(kMaxFusedLanes, members.size() - beg);
+            std::array<detail::FusedLaneState<P>, kMaxFusedLanes> state;
+            for (size_t k = 0; k < cnt; ++k) {
+                const size_t i = members[beg + k];
+                state[k].predictor =
+                    static_cast<P *>(lanes[i].predictor);
+                state[k].result = &results[i];
+                state[k].events = lanes[i].events;
+            }
+            BankScheduler sched;
+            detail::dispatchFusedKernel<P>(stream, state.data(), cnt,
+                                           config, sched);
+            if (!have_sched) {
+                metrics_sched = sched;
+                have_sched = true;
+            }
+        }
+    };
+
+    const bool generic =
+        config.forceGenericKernel || genericKernelForced();
+    if (!generic) {
+        run_bucket(std::type_identity<TwoBcGskewPredictor>{});
+        run_bucket(std::type_identity<GsharePredictor>{});
+        run_bucket(std::type_identity<Ev8Predictor>{});
+        run_bucket(std::type_identity<EgskewPredictor>{});
+        run_bucket(std::type_identity<BimodalPredictor>{});
+        run_bucket(std::type_identity<YagsPredictor>{});
+        run_bucket(std::type_identity<BimodePredictor>{});
+    }
+    run_bucket(std::type_identity<ConditionalBranchPredictor>{});
+
+    for (size_t i = 0; i < n; ++i) {
+        if (lanes[i].metrics) {
+            publishSimMetrics(*lanes[i].metrics, results[i], config,
+                              metrics_sched);
+        }
+    }
+    return results;
 }
 
 } // namespace ev8

@@ -18,7 +18,9 @@
 #define EV8_SIM_SIMULATOR_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/stats.hh"
 #include "obs/timer.hh"
@@ -137,6 +139,40 @@ SimResult simulateTrace(const Trace &trace,
 SimResult simulateStream(const BlockStream &stream,
                          ConditionalBranchPredictor &predictor,
                          const SimConfig &config);
+
+/** Most lanes one fused kernel walk will drive (SoA array bound). */
+constexpr size_t kMaxFusedLanes = 64;
+
+/**
+ * One configuration lane of a fused multi-configuration run. The
+ * shared walk state (histories, path registers, bank recurrence) comes
+ * from the SimConfig passed to simulateStreamFused(); each lane brings
+ * its own predictor and its own observability sinks.
+ */
+struct FusedLane
+{
+    ConditionalBranchPredictor *predictor = nullptr;
+    MetricRegistry *metrics = nullptr; //!< per-lane sim.* counter dump
+    MispredictSink *events = nullptr;  //!< per-lane mispredict events
+};
+
+/**
+ * Runs every lane predictor over @p stream in ONE pass: shared block
+ * decode, branch iteration and history machinery, per-lane predictor
+ * work. All lanes observe the history configuration of @p config
+ * (whose metrics/events members are ignored -- sinks are per lane).
+ *
+ * Lanes are internally partitioned by concrete predictor type so each
+ * partition runs the kernel devirtualized on that type (a mixed-type
+ * lane set costs one stream walk per distinct type, never more than
+ * the per-cell path's one walk per lane); unknown types share one
+ * virtual-dispatch walk. Every lane's SimResult, published metrics and
+ * emitted events are bit-identical to a simulateStream() call for that
+ * (predictor, config) pair.
+ */
+std::vector<SimResult> simulateStreamFused(
+    const BlockStream &stream, const std::vector<FusedLane> &lanes,
+    const SimConfig &config);
 
 } // namespace ev8
 

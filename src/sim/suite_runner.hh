@@ -108,6 +108,14 @@ class SuiteRunner
     /** The shared simulation engine (created on first use). */
     ExperimentEngine &engine();
 
+    /**
+     * The engine if a run already created it, else null. Lets the bench
+     * harness export the engine's scheduling counters at finish() time
+     * without spinning up a thread pool for a binary that never
+     * simulated anything.
+     */
+    ExperimentEngine *engineIfCreated() { return engine_.get(); }
+
     /** The trace cache backing trace(). */
     TraceCache &traceCache() { return cache_; }
 

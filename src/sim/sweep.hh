@@ -6,6 +6,12 @@
  * history length, found by sweeping; Fig. 6 contrasts that best against
  * the conventional log2(table size) choice. This harness implements the
  * sweep.
+ *
+ * A sweep submits every candidate length as one grid batch, which is
+ * the best case for the engine's fused execution: all lengths of one
+ * scheme share the (benchmark, history-walk) grouping key -- a shorter
+ * global history is a masked prefix of a longer one -- so an entire
+ * sweep column rides a single trace walk per benchmark.
  */
 
 #ifndef EV8_SIM_SWEEP_HH

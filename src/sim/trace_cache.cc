@@ -7,6 +7,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/metrics.hh"
 #include "trace/trace_io.hh"
 
 namespace ev8
@@ -236,9 +237,26 @@ TraceCache::loadStream(const WorkloadProfile &profile, uint64_t branches)
     return stream;
 }
 
+void
+TraceCache::publishMetrics(MetricRegistry &registry,
+                           const std::string &prefix) const
+{
+    registry.counter(prefix + ".trace_requests")
+        .inc(traceRequests_.load());
+    registry.counter(prefix + ".traces_generated")
+        .inc(generated_.load());
+    registry.counter(prefix + ".trace_disk_hits").inc(diskHits_.load());
+    registry.counter(prefix + ".stream_requests")
+        .inc(streamRequests_.load());
+    registry.counter(prefix + ".streams_decoded").inc(decoded_.load());
+    registry.counter(prefix + ".stream_disk_hits")
+        .inc(streamDiskHits_.load());
+}
+
 const BlockStream &
 TraceCache::stream(const WorkloadProfile &profile, uint64_t branches)
 {
+    ++streamRequests_;
     StreamEntry *entry;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -257,6 +275,7 @@ TraceCache::stream(const WorkloadProfile &profile, uint64_t branches)
 const Trace &
 TraceCache::get(const WorkloadProfile &profile, uint64_t branches)
 {
+    ++traceRequests_;
     Entry *entry;
     {
         std::lock_guard<std::mutex> lock(mutex_);

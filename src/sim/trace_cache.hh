@@ -46,6 +46,8 @@
 namespace ev8
 {
 
+class MetricRegistry; // obs/metrics.hh
+
 class TraceCache
 {
   public:
@@ -121,6 +123,27 @@ class TraceCache
     /** Block streams served from the on-disk layer. */
     uint64_t streamDiskHitCount() const { return streamDiskHits_.load(); }
 
+    /** Trace lookups answered (hits + generations). */
+    uint64_t traceRequestCount() const { return traceRequests_.load(); }
+
+    /** Stream lookups answered (hits + decodes). */
+    uint64_t
+    streamRequestCount() const
+    {
+        return streamRequests_.load();
+    }
+
+    /**
+     * Publishes the cache's request/hit/generate counters under
+     * @p prefix (e.g. "trace_cache.stream_requests"): the stream-layer
+     * view of how much decode work grid fusion and the once-per-key
+     * discipline avoided. Requested explicitly by the bench harness
+     * (EV8_CACHE_METRICS) because the values legitimately differ
+     * between cold/warm cache runs of otherwise identical experiments.
+     */
+    void publishMetrics(MetricRegistry &registry,
+                        const std::string &prefix) const;
+
   private:
     struct Entry
     {
@@ -148,6 +171,8 @@ class TraceCache
     mutable std::atomic<uint64_t> diskHits_{0};
     mutable std::atomic<uint64_t> decoded_{0};
     mutable std::atomic<uint64_t> streamDiskHits_{0};
+    mutable std::atomic<uint64_t> traceRequests_{0};
+    mutable std::atomic<uint64_t> streamRequests_{0};
 };
 
 } // namespace ev8

@@ -203,6 +203,75 @@ TEST(BenchArtifacts, GenericKernelIsByteIdenticalToDevirtualized)
 #endif
 }
 
+TEST(BenchArtifacts, FusedRunsAreByteIdenticalToPerCell)
+{
+#ifndef EV8_BENCH_DIR
+    GTEST_SKIP() << "EV8_BENCH_DIR not configured";
+#else
+    const std::string binary = std::string(EV8_BENCH_DIR)
+                               + "/bench_fig6_history_length";
+    if (!std::ifstream(binary).good())
+        GTEST_SKIP() << "bench binary not built: " << binary;
+
+    // Grid fusion is a pure speed change: EV8_FUSED=0 (one walk per
+    // cell) and EV8_FUSED=1 (one walk per fused lane group) must emit
+    // identical artifact bytes at any worker count.
+    const std::string dir = ::testing::TempDir();
+    auto artifacts = [&](const std::string &tag, const char *env,
+                         unsigned jobs) {
+        const std::string base = dir + "ev8_fig6_fused_" + tag;
+        const std::string cmd =
+            std::string(env)
+            + binary + " --branches=2000 --sample=16 --no-timing"
+            + " --jobs=" + std::to_string(jobs)
+            + " --json=" + base + ".json"
+            + " --csv=" + base + ".csv"
+            + " --events=" + base + ".jsonl"
+            + " > /dev/null 2>&1";
+        EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+        return std::array<std::string, 3>{slurp(base + ".json"),
+                                          slurp(base + ".csv"),
+                                          slurp(base + ".jsonl")};
+    };
+
+    const auto percell = artifacts("percell_j1", "EV8_FUSED=0 ", 1);
+    const auto fused_j1 = artifacts("fused_j1", "EV8_FUSED=1 ", 1);
+    const auto fused_j4 = artifacts("fused_j4", "EV8_FUSED=1 ", 4);
+    const auto narrow =
+        artifacts("fused_l2", "EV8_FUSED=1 EV8_FUSED_LANES=2 ", 1);
+    ASSERT_FALSE(percell[0].empty());
+    ASSERT_FALSE(percell[2].empty()) << "no events sampled";
+    for (int k = 0; k < 3; ++k) {
+        EXPECT_EQ(percell[k], fused_j1[k])
+            << "fused --jobs=1 changed artifact " << k;
+        EXPECT_EQ(percell[k], fused_j4[k])
+            << "fused --jobs=4 changed artifact " << k;
+        EXPECT_EQ(percell[k], narrow[k])
+            << "lane cap 2 changed artifact " << k;
+    }
+#endif
+}
+
+TEST(BenchArtifacts, BadJobsValueIsARejectedHardError)
+{
+#ifndef EV8_BENCH_DIR
+    GTEST_SKIP() << "EV8_BENCH_DIR not configured";
+#else
+    const std::string binary = std::string(EV8_BENCH_DIR)
+                               + "/bench_fig6_history_length";
+    if (!std::ifstream(binary).good())
+        GTEST_SKIP() << "bench binary not built: " << binary;
+
+    for (const char *bad : {"0", "-1", "4x", "garbage", "4097"}) {
+        const std::string cmd = binary + " --jobs=" + bad
+                                + " > /dev/null 2>&1";
+        const int status = std::system(cmd.c_str());
+        ASSERT_TRUE(WIFEXITED(status)) << cmd;
+        EXPECT_EQ(WEXITSTATUS(status), 2) << cmd;
+    }
+#endif
+}
+
 TEST(BenchArtifacts, WarmStreamCacheIsByteIdenticalToFreshDecode)
 {
 #ifndef EV8_BENCH_DIR

@@ -70,14 +70,65 @@ TEST(ExperimentEngine, DefaultJobsHonoursEnvVariable)
         EXPECT_EQ(engine.jobs(), 3u);
     }
     {
-        // Nonsense values fall back to hardware concurrency (>= 1).
-        ScopedEnv env("EV8_JOBS", "0");
-        EXPECT_GE(ExperimentEngine::defaultJobs(), 1u);
-    }
-    {
         ScopedEnv env("EV8_JOBS", nullptr);
         EXPECT_GE(ExperimentEngine::defaultJobs(), 1u);
     }
+}
+
+TEST(ExperimentEngineDeathTest, DefaultJobsRejectsInvalidEnvVariable)
+{
+    // A set-but-invalid EV8_JOBS is a hard configuration error: the
+    // process exits 2 with a message naming the variable, rather than
+    // silently running at some other width.
+    for (const char *bad : {"0", "-1", "garbage", "8x"}) {
+        ScopedEnv env("EV8_JOBS", bad);
+        EXPECT_EXIT(ExperimentEngine::defaultJobs(),
+                    ::testing::ExitedWithCode(2), "EV8_JOBS")
+            << "EV8_JOBS='" << bad << "'";
+    }
+}
+
+TEST(ExperimentEngine, ParseJobsAcceptsStrictDecimalCounts)
+{
+    EXPECT_EQ(ExperimentEngine::parseJobs("1"), 1u);
+    EXPECT_EQ(ExperimentEngine::parseJobs("8"), 8u);
+    EXPECT_EQ(ExperimentEngine::parseJobs("007"), 7u);
+    EXPECT_EQ(ExperimentEngine::parseJobs("4096"), 4096u);
+}
+
+TEST(ExperimentEngine, ParseJobsRejectsEverythingElse)
+{
+    for (const char *bad :
+         {"", "0", "-1", "+4", " 4", "4 ", "4x", "x4", "3.5", "0x10",
+          "4097", "18446744073709551616", "999999999999999999999"}) {
+        EXPECT_THROW(ExperimentEngine::parseJobs(bad),
+                     std::invalid_argument)
+            << "'" << bad << "'";
+    }
+}
+
+TEST(ExperimentEngine, FusedLaneCapParsesAndClamps)
+{
+    {
+        ScopedEnv env("EV8_FUSED_LANES", nullptr);
+        EXPECT_EQ(ExperimentEngine::fusedLaneCap(), kMaxFusedLanes);
+    }
+    {
+        ScopedEnv env("EV8_FUSED_LANES", "2");
+        EXPECT_EQ(ExperimentEngine::fusedLaneCap(), 2u);
+    }
+    {
+        // Values above the kernel's lane array are clamped, not errors.
+        ScopedEnv env("EV8_FUSED_LANES", "4096");
+        EXPECT_EQ(ExperimentEngine::fusedLaneCap(), kMaxFusedLanes);
+    }
+}
+
+TEST(ExperimentEngineDeathTest, FusedLaneCapRejectsInvalidEnvVariable)
+{
+    ScopedEnv env("EV8_FUSED_LANES", "zero");
+    EXPECT_EXIT(ExperimentEngine::fusedLaneCap(),
+                ::testing::ExitedWithCode(2), "EV8_FUSED_LANES");
 }
 
 TEST(ExperimentEngine, ParallelForRunsEveryIndexExactlyOnce)

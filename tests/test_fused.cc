@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for fused multi-configuration simulation: the guarantee that a
+ * fused walk -- one stream pass driving N predictor lanes -- produces
+ * *exactly* what N independent simulateStream() calls produce, for any
+ * lane mix, any lane cap and either EV8_FUSED mode, down to the bytes
+ * of the merged metric registry and the sampled event stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event_trace.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "predictors/factory.hh"
+#include "sim/block_stream.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+#include "sim/suite_runner.hh"
+#include "workloads/suite.hh"
+
+namespace ev8
+{
+namespace
+{
+
+constexpr uint64_t kTinyScale = 3000;
+
+/** Sets an environment variable for one scope, restoring on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            saved_ = old;
+        else
+            hadValue_ = false;
+        if (value)
+            ::setenv(name, value, /*overwrite=*/1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadValue_)
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+    bool hadValue_ = true;
+};
+
+/** A mixed-type lane set: every fused dispatch bucket is exercised. */
+std::vector<std::string>
+laneSpecs()
+{
+    return {
+        "gshare:12:8",             // FusedLaneIndexed, shared walk
+        "gshare:12:12",            // second lane of the same bucket
+        "bimodal:10",              // FusedLaneIndexed, history-free
+        "2bcgskew:12:0:13:14:15",  // FusedSteppable
+        "egskew:12:10",            // FusedSteppable
+        "yags:10:10:10",           // devirtualized predict/update
+        "bimode:10:10:10",         // devirtualized predict/update
+        "perceptron:10:16",        // generic (virtual) bucket
+    };
+}
+
+void
+expectSameResult(const SimResult &fused, const SimResult &ref,
+                 const std::string &label)
+{
+    EXPECT_EQ(fused.stats.lookups(), ref.stats.lookups()) << label;
+    EXPECT_EQ(fused.stats.mispredictions(), ref.stats.mispredictions())
+        << label;
+    EXPECT_EQ(fused.stats.instructions(), ref.stats.instructions())
+        << label;
+    EXPECT_EQ(fused.fetchBlocks, ref.fetchBlocks) << label;
+    EXPECT_EQ(fused.lghistBits, ref.lghistBits) << label;
+    EXPECT_EQ(fused.condBranches, ref.condBranches) << label;
+    EXPECT_EQ(fused.branchesPerBlock, ref.branchesPerBlock) << label;
+}
+
+class FusedKernelTest : public ::testing::TestWithParam<SimConfig>
+{
+};
+
+/**
+ * The core contract, checked at the simulateStreamFused() level: a
+ * heterogeneous lane set over one stream equals lane-by-lane
+ * simulateStream(), for the paper's history configurations.
+ */
+TEST_P(FusedKernelTest, MatchesPerLaneSimulation)
+{
+    const Trace trace =
+        generateTrace(findBenchmark("gcc").profile, kTinyScale);
+    const BlockStream stream = decodeBlockStream(trace);
+    const SimConfig config = GetParam();
+
+    std::vector<PredictorPtr> fused_preds, ref_preds;
+    std::vector<FusedLane> lanes;
+    for (const std::string &spec : laneSpecs()) {
+        fused_preds.push_back(makePredictor(spec));
+        ref_preds.push_back(makePredictor(spec));
+        lanes.push_back({fused_preds.back().get(), nullptr, nullptr});
+    }
+
+    const auto fused = simulateStreamFused(stream, lanes, config);
+    ASSERT_EQ(fused.size(), lanes.size());
+    for (size_t i = 0; i < lanes.size(); ++i) {
+        const SimResult ref =
+            simulateStream(stream, *ref_preds[i], config);
+        expectSameResult(fused[i], ref, laneSpecs()[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HistoryModes, FusedKernelTest,
+    ::testing::Values(SimConfig::ghist(), SimConfig::ev8()),
+    [](const ::testing::TestParamInfo<SimConfig> &info) {
+        return info.param.history == HistoryMode::Ghist ? "ghist"
+                                                        : "ev8";
+    });
+
+/** A single-lane fused call is the degenerate case; it must also match. */
+TEST(FusedKernel, SingleLaneMatchesSimulateStream)
+{
+    const Trace trace =
+        generateTrace(findBenchmark("go").profile, kTinyScale);
+    const BlockStream stream = decodeBlockStream(trace);
+
+    auto fused_pred = makePredictor("gshare:12:10");
+    auto ref_pred = makePredictor("gshare:12:10");
+    const auto fused = simulateStreamFused(
+        stream, {{fused_pred.get(), nullptr, nullptr}},
+        SimConfig::ghist());
+    const SimResult ref =
+        simulateStream(stream, *ref_pred, SimConfig::ghist());
+    ASSERT_EQ(fused.size(), 1u);
+    expectSameResult(fused[0], ref, "gshare:12:10");
+}
+
+/** Per-lane metric sinks match what simulateStream publishes. */
+TEST(FusedKernel, PerLaneMetricsMatchPerCellMetrics)
+{
+    const Trace trace =
+        generateTrace(findBenchmark("gcc").profile, kTinyScale);
+    const BlockStream stream = decodeBlockStream(trace);
+    SimConfig config = SimConfig::ev8();
+
+    std::vector<PredictorPtr> preds;
+    std::vector<std::unique_ptr<MetricRegistry>> regs;
+    std::vector<FusedLane> lanes;
+    for (const std::string &spec : {std::string("2bcgskew:12:0:13:14:15"),
+                                    std::string("gshare:12:12")}) {
+        preds.push_back(makePredictor(spec));
+        regs.push_back(std::make_unique<MetricRegistry>());
+        lanes.push_back({preds.back().get(), regs.back().get(), nullptr});
+    }
+    simulateStreamFused(stream, lanes, config);
+
+    for (size_t i = 0; i < lanes.size(); ++i) {
+        auto ref_pred = makePredictor(
+            i == 0 ? "2bcgskew:12:0:13:14:15" : "gshare:12:12");
+        MetricRegistry ref_reg;
+        SimConfig ref_config = config;
+        ref_config.metrics = &ref_reg;
+        simulateStream(stream, *ref_pred, ref_config);
+
+        std::ostringstream fused_json, ref_json;
+        writeRegistryJson(fused_json, *regs[i]);
+        writeRegistryJson(ref_json, ref_reg);
+        EXPECT_EQ(fused_json.str(), ref_json.str()) << "lane " << i;
+    }
+}
+
+/** One full observed grid run: merged metrics JSON + events JSONL. */
+struct ObservedGrid
+{
+    std::vector<std::vector<BenchResult>> results;
+    std::string metricsJson;
+    std::string eventsJsonl;
+};
+
+ObservedGrid
+observedGrid(unsigned jobs)
+{
+    SuiteRunner runner(kTinyScale, jobs);
+    MetricRegistry metrics;
+    std::ostringstream events;
+    EventTraceSink sink(events, 8);
+
+    std::vector<GridRow> rows;
+    for (const std::string &spec : laneSpecs()) {
+        GridRow row;
+        row.factory = [spec] { return makePredictor(spec); };
+        row.config = SimConfig::ghist();
+        row.config.metrics = &metrics;
+        row.config.events = &sink;
+        rows.push_back(std::move(row));
+    }
+    ObservedGrid run;
+    run.results = runner.runGrid(rows);
+    std::ostringstream metrics_json;
+    writeRegistryJson(metrics_json, metrics);
+    run.metricsJson = metrics_json.str();
+    run.eventsJsonl = events.str();
+    EXPECT_GT(sink.emitted(), 0u);
+    return run;
+}
+
+void
+expectSameGrid(const ObservedGrid &a, const ObservedGrid &b)
+{
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (size_t r = 0; r < a.results.size(); ++r) {
+        ASSERT_EQ(a.results[r].size(), b.results[r].size());
+        for (size_t i = 0; i < a.results[r].size(); ++i) {
+            EXPECT_EQ(a.results[r][i].bench, b.results[r][i].bench);
+            expectSameResult(a.results[r][i].sim, b.results[r][i].sim,
+                             a.results[r][i].bench);
+        }
+    }
+    EXPECT_EQ(a.metricsJson, b.metricsJson);
+    EXPECT_EQ(a.eventsJsonl, b.eventsJsonl);
+}
+
+/**
+ * The engine-level guarantee: EV8_FUSED=1 and EV8_FUSED=0 produce
+ * byte-identical merged registries and event streams, serial and
+ * parallel.
+ */
+TEST(FusedEngine, FusedGridIsByteIdenticalToPerCellGrid)
+{
+    ObservedGrid fused_j1, fused_j4, percell_j1, percell_j4;
+    {
+        ScopedEnv env("EV8_FUSED", "1");
+        fused_j1 = observedGrid(1);
+        fused_j4 = observedGrid(4);
+    }
+    {
+        ScopedEnv env("EV8_FUSED", "0");
+        percell_j1 = observedGrid(1);
+        percell_j4 = observedGrid(4);
+    }
+    expectSameGrid(fused_j1, percell_j1);
+    expectSameGrid(fused_j4, percell_j1);
+    expectSameGrid(percell_j4, percell_j1);
+}
+
+/** And the lane cap is invisible: 1, 2 or 8 lanes per fused job. */
+TEST(FusedEngine, LaneWidthDoesNotChangeAnyByte)
+{
+    ScopedEnv fused("EV8_FUSED", "1");
+    ObservedGrid reference;
+    {
+        ScopedEnv lanes("EV8_FUSED_LANES", nullptr);
+        reference = observedGrid(1);
+    }
+    for (const char *cap : {"1", "2", "8"}) {
+        ScopedEnv lanes("EV8_FUSED_LANES", cap);
+        ObservedGrid capped = observedGrid(1);
+        expectSameGrid(capped, reference);
+    }
+}
+
+/** The forced-generic kernel path fuses identically too. */
+TEST(FusedEngine, GenericKernelGridMatchesDevirtualizedGrid)
+{
+    ScopedEnv fused("EV8_FUSED", "1");
+    const ObservedGrid devirt = observedGrid(1);
+    ScopedEnv generic("EV8_GENERIC_KERNEL", "1");
+    const ObservedGrid forced = observedGrid(1);
+    expectSameGrid(forced, devirt);
+}
+
+} // namespace
+} // namespace ev8
