@@ -1,11 +1,14 @@
 #include "bench_common.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 
 #include "common/table.hh"
+#include "obs/json.hh"
 #include "sim/experiment.hh"
 #include "workloads/suite.hh"
 
@@ -40,7 +43,19 @@ printUsage(const char *prog)
         "  --help           this message\n"
         "\n"
         "Set EV8_TRACE_CACHE_DIR to persist generated traces between\n"
-        "runs (versioned binary cache, safe across profile edits).\n",
+        "runs (versioned binary cache, safe across profile edits).\n"
+        "Set EV8_CHECKPOINT_DIR to journal completed grid cells so an\n"
+        "interrupted run resumes instead of restarting (resumed\n"
+        "artifacts are byte-identical to uninterrupted ones).\n"
+        "EV8_RETRY_MAX / EV8_RETRY_BASE_MS tune per-cell retries;\n"
+        "EV8_FAULT_SPEC injects deterministic faults (testing).\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success\n"
+        "  2  bad command line or environment knob\n"
+        "  3  partial results: some grid cells failed after retries\n"
+        "     (artifacts carry a \"failures\" section)\n"
+        "  4  fatal error (artifact or event stream I/O)\n",
         prog);
 }
 
@@ -120,7 +135,8 @@ parseBenchArgs(int argc, char **argv)
 
 BenchContext::BenchContext(int argc, char **argv,
                            std::string experiment_id, std::string title)
-    : args_(parseBenchArgs(argc, argv))
+    : prog_(argc > 0 ? argv[0] : "bench"),
+      args_(parseBenchArgs(argc, argv))
 {
     data_.experimentId = std::move(experiment_id);
     data_.title = std::move(title);
@@ -131,9 +147,9 @@ BenchContext::BenchContext(int argc, char **argv,
     if (!args_.eventsPath.empty()) {
         eventsOut = std::make_unique<std::ofstream>(args_.eventsPath);
         if (!*eventsOut) {
-            std::fprintf(stderr, "cannot open %s for writing\n",
-                         args_.eventsPath.c_str());
-            std::exit(1);
+            std::fprintf(stderr, "%s: cannot open %s for writing\n",
+                         prog_.c_str(), args_.eventsPath.c_str());
+            std::exit(kExitFatal);
         }
         events = std::make_unique<EventTraceSink>(*eventsOut,
                                                   args_.sampleEvery);
@@ -183,8 +199,12 @@ BenchContext::recordResults(const std::string &label,
     std::vector<double> values;
     for (const auto &r : results) {
         columns.push_back(r.bench);
-        values.push_back(r.sim.stats.mispKI());
-        noteTiming(r.sim.timing);
+        // A failed cell exports as null (NaN) rather than a bogus 0.
+        values.push_back(r.failed
+                             ? std::numeric_limits<double>::quiet_NaN()
+                             : r.sim.stats.mispKI());
+        if (!r.failed)
+            noteTiming(r.sim.timing);
     }
     columns.push_back("amean");
     values.push_back(SuiteRunner::averageMispKI(results));
@@ -212,14 +232,32 @@ BenchContext::finish()
             engine->publishMetrics(registry_, "engine");
     }
 
+    // The disk-degrade flag is exported unconditionally: it only ever
+    // appears on already-degraded runs, so the byte-identity guarantee
+    // for clean runs is untouched, and a partial artifact self-reports
+    // why its trace cache was cold.
+    if (runner_ && runner_->traceCache().diskDisabled())
+        registry_.counter("trace_cache.disk_disabled").inc();
+
+    if (runner_) {
+        for (const CellFailure &f : runner_->failures()) {
+            BenchFailureExport e;
+            e.rowLabel = f.rowLabel;
+            e.bench = f.bench;
+            e.attempts = f.attempts;
+            e.error = f.error;
+            data_.failures.push_back(std::move(e));
+        }
+    }
+
     data_.metrics = &registry_;
 
     if (!args_.jsonPath.empty()) {
         std::ofstream out(args_.jsonPath);
         if (!out) {
-            std::fprintf(stderr, "cannot open %s for writing\n",
-                         args_.jsonPath.c_str());
-            return 1;
+            std::fprintf(stderr, "%s: cannot open %s for writing\n",
+                         prog_.c_str(), args_.jsonPath.c_str());
+            return kExitFatal;
         }
         writeBenchJson(out, data_);
         std::fprintf(stderr, "wrote %s\n", args_.jsonPath.c_str());
@@ -227,14 +265,33 @@ BenchContext::finish()
     if (!args_.csvPath.empty()) {
         std::ofstream out(args_.csvPath);
         if (!out) {
-            std::fprintf(stderr, "cannot open %s for writing\n",
-                         args_.csvPath.c_str());
-            return 1;
+            std::fprintf(stderr, "%s: cannot open %s for writing\n",
+                         prog_.c_str(), args_.csvPath.c_str());
+            return kExitFatal;
         }
         writeBenchCsv(out, data_);
         std::fprintf(stderr, "wrote %s\n", args_.csvPath.c_str());
     }
     if (events) {
+        // Failures ride the event stream too, as typed JSONL records,
+        // so stream consumers need not correlate with the JSON
+        // artifact to learn the run was partial.
+        for (const auto &f : data_.failures) {
+            JsonWriter w(*eventsOut);
+            w.beginObject();
+            w.key("type");
+            w.value("cell_failure");
+            w.key("row_label");
+            w.value(f.rowLabel);
+            w.key("bench");
+            w.value(f.bench);
+            w.key("attempts");
+            w.value(uint64_t{f.attempts});
+            w.key("error");
+            w.value(f.error);
+            w.endObject();
+            *eventsOut << '\n';
+        }
         eventsOut->flush();
         std::fprintf(stderr,
                      "wrote %s (%llu of %llu mispredictions, 1-in-%llu "
@@ -254,7 +311,15 @@ BenchContext::finish()
                     data_.timing.update.nsPerCall(),
                     data_.timing.history.nsPerCall());
     }
-    return 0;
+
+    if (!data_.failures.empty()) {
+        std::fprintf(stderr,
+                     "%s: %zu grid cell(s) failed after retries; "
+                     "results are PARTIAL\n",
+                     prog_.c_str(), data_.failures.size());
+        return kExitPartial;
+    }
+    return kExitOk;
 }
 
 void
@@ -295,15 +360,18 @@ runAndPrint(BenchContext &ctx, SuiteRunner &runner,
     grid.reserve(rows.size());
     for (const auto &row : rows) {
         std::fprintf(stderr, "  running %s ...\n", row.label.c_str());
-        grid.push_back({row.factory, ctx.instrument(row.config)});
+        grid.push_back({row.factory, ctx.instrument(row.config),
+                        row.label});
     }
-    std::vector<std::vector<BenchResult>> all = runner.runGrid(grid);
+    std::vector<std::vector<BenchResult>> all =
+        runner.runGrid(grid).results;
 
     for (size_t i = 0; i < rows.size(); ++i) {
         const auto &results = all[i];
         std::vector<std::string> cells{rows[i].label};
         for (const auto &r : results)
-            cells.push_back(fmt(r.sim.stats.mispKI(), 2));
+            cells.push_back(r.failed ? "!!"
+                                     : fmt(r.sim.stats.mispKI(), 2));
         cells.push_back(fmt(SuiteRunner::averageMispKI(results), 3));
         const uint64_t storage_bits = rows[i].factory()->storageBits();
         cells.push_back(formatKbits(storage_bits));
@@ -323,7 +391,9 @@ printBars(const std::string &title, const std::vector<BenchResult> &results)
     std::vector<double> values;
     for (const auto &r : results) {
         labels.push_back(r.bench);
-        values.push_back(r.sim.stats.mispKI());
+        values.push_back(r.failed
+                             ? std::numeric_limits<double>::quiet_NaN()
+                             : r.sim.stats.mispKI());
     }
     std::printf("%s\n", renderBarChart(title, labels, values).c_str());
 }

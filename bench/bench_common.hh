@@ -51,6 +51,16 @@
 namespace ev8
 {
 
+/**
+ * Unified bench exit codes. Fatal diagnostics go to stderr prefixed
+ * with the program name; a partial run still writes its artifacts (with
+ * a "failures" section) before exiting kExitPartial.
+ */
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;   //!< bad command line or env knob
+constexpr int kExitPartial = 3; //!< completed, but some cells failed
+constexpr int kExitFatal = 4;   //!< unrecoverable harness error (I/O)
+
 /** One experiment row: a labelled predictor configuration. */
 struct ExperimentRow
 {
@@ -125,11 +135,16 @@ class BenchContext
 
     /**
      * Writes the requested --json/--csv artifacts and closes the event
-     * stream. Returns main()'s exit code (1 on artifact I/O failure).
+     * stream, then reports the run's fate as main()'s exit code:
+     * kExitOk on a clean run, kExitPartial when any grid cell
+     * exhausted its retries (the failures ride along in the artifacts
+     * and as "cell_failure" JSONL records in the event stream), and
+     * kExitFatal when an artifact could not be written.
      */
     int finish();
 
   private:
+    std::string prog_; //!< program name, prefixes fatal diagnostics
     BenchArgs args_;
     BenchExport data_;
     MetricRegistry registry_;
@@ -147,7 +162,9 @@ void printBanner(const std::string &experiment_id,
  * one line per configuration, one column per benchmark (misp/KI),
  * plus the arithmetic mean and the configuration's storage budget.
  * Each row's SimConfig is instrumented through @p ctx and its results
- * recorded for export. Returns the per-row results.
+ * recorded for export. Cells that failed permanently print as "!!"
+ * (and export as null); the mean skips them. Returns the per-row
+ * results.
  */
 std::vector<std::vector<BenchResult>> runAndPrint(
     BenchContext &ctx, SuiteRunner &runner,

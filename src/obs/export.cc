@@ -140,6 +140,24 @@ writeBenchJson(std::ostream &out, const BenchExport &data)
     }
     w.endArray();
 
+    if (!data.failures.empty()) {
+        w.key("failures");
+        w.beginArray();
+        for (const auto &f : data.failures) {
+            w.beginObject();
+            w.key("row_label");
+            w.value(f.rowLabel);
+            w.key("bench");
+            w.value(f.bench);
+            w.key("attempts");
+            w.value(uint64_t{f.attempts});
+            w.key("error");
+            w.value(f.error);
+            w.endObject();
+        }
+        w.endArray();
+    }
+
     if (data.metrics) {
         w.key("metrics");
         w.beginObject();
@@ -207,6 +225,14 @@ writeBenchCsv(std::ostream &out, const BenchExport &data)
              i < row.columns.size() && i < row.values.size(); ++i)
             out << ',' << csvNumber(row.values[i]);
         out << '\n';
+    }
+    if (!data.failures.empty()) {
+        out << "\nfailures\nrow_label,bench,attempts,error\n";
+        for (const auto &f : data.failures) {
+            out << csvField(f.rowLabel) << ',' << csvField(f.bench)
+                << ',' << f.attempts << ',' << csvField(f.error)
+                << '\n';
+        }
     }
 }
 

@@ -15,6 +15,8 @@
  *                    "benchmarks": ["compress", ...]},
  *       "rows": [{"label": "...", "storage_bits": N,
  *                 "values": {"compress": x, ..., "amean": x}}],
+ *       "failures": [{"row_label": "...", "bench": "...",
+ *                     "attempts": N, "error": "..."}],
  *       "metrics": {"counters": {name: N, ...},
  *                   "gauges": {name: x, ...},
  *                   "histograms": {name: {"count": N, "sum": x,
@@ -24,6 +26,12 @@
  *     }
  *
  * Non-finite values serialize as JSON null ("--" in the CSV).
+ *
+ * The "failures" member is present only when cells failed: a complete
+ * run's artifact is byte-identical to what it was before failure
+ * reporting existed, and a degraded run's artifact names exactly which
+ * (row, benchmark) cells are missing and why. The CSV gains a second
+ * "failures" block (blank-line separated) under the same condition.
  */
 
 #ifndef EV8_OBS_EXPORT_HH
@@ -49,6 +57,18 @@ struct BenchRowExport
     std::vector<double> values; //!< parallel to columns
 };
 
+/**
+ * One grid cell that failed permanently (obs-layer mirror of the sim
+ * layer's CellFailure, so exporters stay below the simulator).
+ */
+struct BenchFailureExport
+{
+    std::string rowLabel;
+    std::string bench;
+    unsigned attempts = 0;
+    std::string error;
+};
+
 /** Everything one bench binary exports. */
 struct BenchExport
 {
@@ -57,8 +77,9 @@ struct BenchExport
     uint64_t branchesPerBenchmark = 0;
     std::vector<std::string> benchmarks;
     std::vector<BenchRowExport> rows;
-    const MetricRegistry *metrics = nullptr; //!< optional
-    SimTiming timing;                        //!< all-zero when unprofiled
+    std::vector<BenchFailureExport> failures; //!< empty on a clean run
+    const MetricRegistry *metrics = nullptr;  //!< optional
+    SimTiming timing;                         //!< all-zero when unprofiled
 };
 
 /** Writes the full JSON artifact described above. */

@@ -51,6 +51,22 @@ Histogram::merge(const Histogram &other)
     addToSum(other.sum());
 }
 
+void
+Histogram::injectState(const std::vector<uint64_t> &bucket_counts,
+                       uint64_t count, double sum)
+{
+    if (bucket_counts.size() != counts_.size()) {
+        throw std::logic_error(
+            "histogram state injection with mismatched bucket count");
+    }
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i].fetch_add(bucket_counts[i],
+                             std::memory_order_relaxed);
+    }
+    count_.fetch_add(count, std::memory_order_relaxed);
+    addToSum(sum);
+}
+
 std::vector<uint64_t>
 Histogram::bucketCounts() const
 {

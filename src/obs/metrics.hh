@@ -84,6 +84,18 @@ class Histogram
      */
     void merge(const Histogram &other);
 
+    /**
+     * Adds a previously exported state verbatim: @p bucket_counts (one
+     * entry per bound plus the overflow bucket) fold into the bucket
+     * counters and @p count / @p sum into the totals. The
+     * checkpoint/restore path uses this to rebuild a job's histogram
+     * bit-exactly (the sum is restored from its serialized bit
+     * pattern, not re-derived from observations). A bucket-count size
+     * mismatch throws std::logic_error.
+     */
+    void injectState(const std::vector<uint64_t> &bucket_counts,
+                     uint64_t count, double sum);
+
     const std::vector<double> &bounds() const { return bounds_; }
 
     /** Snapshot of the per-bucket counts (bounds + overflow). */

@@ -1,6 +1,7 @@
 #include "sim/block_stream.hh"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -167,10 +168,20 @@ writeBlockStreamFile(const std::string &path, const BlockStream &stream)
     std::ofstream out(path, std::ios::binary);
     if (!out)
         throw TraceIoError("cannot open for writing: " + path);
-    writeBlockStream(out, stream);
-    out.flush();
-    if (!out)
-        throw TraceIoError("write failure: " + path);
+    try {
+        writeBlockStream(out, stream);
+        out.flush();
+        if (!out)
+            throw TraceIoError("write failure");
+    } catch (const TraceIoError &err) {
+        // Never leave a partial file behind under the target name: a
+        // later reader would have to detect the truncation instead of
+        // simply missing.
+        out.close();
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        throw TraceIoError(std::string(err.what()) + " in " + path);
+    }
 }
 
 BlockStream
@@ -179,7 +190,13 @@ readBlockStreamFile(const std::string &path)
     std::ifstream in(path, std::ios::binary);
     if (!in)
         throw TraceIoError("cannot open: " + path);
-    return readBlockStream(in);
+    try {
+        return readBlockStream(in);
+    } catch (const TraceIoError &err) {
+        // The low-level decoder cannot know the file name; re-throw
+        // with the path so cache warnings and logs are actionable.
+        throw TraceIoError(std::string(err.what()) + " in " + path);
+    }
 }
 
 } // namespace ev8

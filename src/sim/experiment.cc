@@ -1,6 +1,7 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -8,8 +9,11 @@
 #include <string>
 #include <tuple>
 
+#include "common/hash.hh"
 #include "obs/event_trace.hh"
 #include "obs/metrics.hh"
+#include "sim/checkpoint.hh"
+#include "sim/fault_injection.hh"
 #include "workloads/synthetic_program.hh"
 
 namespace ev8
@@ -20,6 +24,76 @@ namespace
 
 /** Upper bound for parseJobs(): far above any sane pool or lane cap. */
 constexpr unsigned long long kMaxParsedJobs = 4096;
+
+/** Ceiling on one retry backoff sleep, whatever the attempt count. */
+constexpr uint64_t kMaxBackoffMs = 1000;
+
+/**
+ * Strictly parses an unsigned environment knob: decimal digits only,
+ * value in [lo, hi]. Throws std::invalid_argument otherwise.
+ */
+unsigned
+parseEnvRange(const std::string &text, unsigned long long lo,
+              unsigned long long hi)
+{
+    if (text.empty())
+        throw std::invalid_argument("empty value; expected an integer");
+    for (const char ch : text) {
+        if (ch < '0' || ch > '9') {
+            throw std::invalid_argument("invalid value '" + text
+                                        + "'; expected an integer");
+        }
+    }
+    const unsigned long long v =
+        std::strtoull(text.c_str(), nullptr, 10);
+    if (v < lo || v > hi) {
+        throw std::invalid_argument(
+            "value '" + text + "' out of range [" + std::to_string(lo)
+            + ", " + std::to_string(hi) + "]");
+    }
+    return static_cast<unsigned>(v);
+}
+
+/**
+ * Content hash identifying one grid batch for checkpoint naming: covers
+ * everything that could change what the cells compute -- format
+ * versions, the batch's position in the run, the workload set and
+ * budgets, and each row's predictor identity and simulation config.
+ * Anything the hash cannot see (predictor update-rule edits, simulator
+ * changes) must be covered by bumping a version constant.
+ */
+uint64_t
+gridHash(SuiteRunner &runner, const std::vector<GridRow> &rows,
+         uint64_t batch)
+{
+    ContentHash h;
+    h.u64(GridCheckpoint::kFormatVersion);
+    h.u64(TraceCache::kFormatVersion);
+    h.u64(TraceCache::kStreamFormatVersion);
+    h.u64(batch);
+    h.u64(runner.size());
+    h.u64(runner.baseBranches());
+    for (size_t b = 0; b < runner.size(); ++b) {
+        const Benchmark &bench = specint95Suite()[b];
+        h.u64(TraceCache::profileHash(bench.profile));
+        h.u64(bench.branchesAt(runner.baseBranches()));
+    }
+    for (const GridRow &row : rows) {
+        h.str(row.label);
+        const PredictorPtr probe = row.factory();
+        h.str(probe->name());
+        h.u64(probe->storageBits());
+        const SimConfig &c = row.config;
+        h.u64(static_cast<uint64_t>(static_cast<int>(c.history)));
+        h.u64(c.historyAge);
+        h.u64(c.assignBanks ? 1 : 0);
+        h.u64(c.events != nullptr ? 1 : 0);
+        h.u64(c.metrics != nullptr ? 1 : 0);
+        h.u64(c.profileTiming ? 1 : 0);
+        h.u64(c.forceGenericKernel ? 1 : 0);
+    }
+    return h.value();
+}
 
 } // namespace
 
@@ -76,6 +150,34 @@ ExperimentEngine::fusedEnabled()
     return env == nullptr || !(env[0] == '0' && env[1] == '\0');
 }
 
+unsigned
+ExperimentEngine::retryMax()
+{
+    if (const char *env = std::getenv("EV8_RETRY_MAX")) {
+        try {
+            return parseEnvRange(env, 1, 100);
+        } catch (const std::invalid_argument &err) {
+            std::fprintf(stderr, "EV8_RETRY_MAX: %s\n", err.what());
+            std::exit(2);
+        }
+    }
+    return 3;
+}
+
+unsigned
+ExperimentEngine::retryBaseMs()
+{
+    if (const char *env = std::getenv("EV8_RETRY_BASE_MS")) {
+        try {
+            return parseEnvRange(env, 0, 10000);
+        } catch (const std::invalid_argument &err) {
+            std::fprintf(stderr, "EV8_RETRY_BASE_MS: %s\n", err.what());
+            std::exit(2);
+        }
+    }
+    return 10;
+}
+
 size_t
 ExperimentEngine::fusedLaneCap()
 {
@@ -97,6 +199,10 @@ ExperimentEngine::publishMetrics(MetricRegistry &registry,
     registry.counter(prefix + ".grid_cells").inc(gridCells_);
     registry.counter(prefix + ".fused_jobs").inc(fusedJobs_);
     registry.counter(prefix + ".fused_lane_cells").inc(fusedLaneCells_);
+    registry.counter(prefix + ".cells_failed").inc(cellsFailed_);
+    registry.counter(prefix + ".cells_retried")
+        .inc(cellsRetried_.load(std::memory_order_relaxed));
+    registry.counter(prefix + ".cells_resumed").inc(cellsResumed_);
 }
 
 ExperimentEngine::ExperimentEngine(unsigned jobs)
@@ -235,12 +341,13 @@ ExperimentEngine::parallelFor(size_t n,
     }
 }
 
-std::vector<std::vector<BenchResult>>
+GridOutcome
 ExperimentEngine::runGrid(SuiteRunner &runner,
                           const std::vector<GridRow> &rows)
 {
     const size_t nbench = runner.size();
     const size_t n = rows.size() * nbench;
+    const uint64_t batch = batchIndex_++;
 
     /** Everything one (benchmark, config) job produces in isolation. */
     struct JobOutput
@@ -249,9 +356,60 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         MetricRegistry metrics;
         std::vector<MispredictEvent> events;
         BranchClassMap classes; //!< owned here: cannot dangle (job-local)
+        bool failed = false;    //!< exhausted its retry budget
+        unsigned attempts = 0;
+        std::string error;      //!< what() of the last failed attempt
     };
     std::vector<JobOutput> outputs(n);
     gridCells_ += n;
+
+    FaultInjector &faults = FaultInjector::global();
+    const unsigned retry_max = retryMax();
+    const unsigned retry_base_ms = retryBaseMs();
+
+    /**
+     * Stable cell identity for fault matching and failure reports:
+     * batch index / row index / benchmark name. Deterministic across
+     * identical runs, independent of scheduling.
+     */
+    auto cell_key = [&](size_t i) {
+        return "g" + std::to_string(batch) + "/r"
+            + std::to_string(i / nbench) + "/"
+            + specint95Suite()[i % nbench].profile.name;
+    };
+
+    // Resume: load any journal for this exact grid and mark its cells
+    // done before scheduling. The pc -> class maps are not journaled
+    // (they are a pure function of the benchmark), so rebuild them for
+    // restored event-carrying cells -- once per benchmark.
+    const std::string ckpt_dir = GridCheckpoint::defaultDir();
+    GridCheckpoint checkpoint(
+        ckpt_dir, ckpt_dir.empty() ? 0 : gridHash(runner, rows, batch),
+        n);
+    std::vector<char> restored(n, 0);
+    if (checkpoint.enabled()) {
+        std::vector<BranchClassMap> classCache(nbench);
+        std::vector<char> haveClass(nbench, 0);
+        auto restoredCells = checkpoint.load();
+        for (auto &[i, cell] : restoredCells) {
+            JobOutput &out = outputs[i];
+            out.result = std::move(cell.result);
+            out.metrics = std::move(cell.metrics);
+            out.events = std::move(cell.events);
+            if (rows[i / nbench].config.events) {
+                const size_t b = i % nbench;
+                if (!haveClass[b]) {
+                    classCache[b] =
+                        SyntheticProgram(specint95Suite()[b].profile)
+                            .condBranchClasses();
+                    haveClass[b] = 1;
+                }
+                out.classes = classCache[b];
+            }
+            restored[i] = 1;
+            ++cellsResumed_;
+        }
+    }
 
     /** The original per-cell job body (the EV8_FUSED=0 path, and the
      *  body of any fused group that ends up with a single lane). */
@@ -340,8 +498,102 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         }
     };
 
+    /** Bounded exponential backoff before re-attempting a cell. */
+    auto backoff = [&](unsigned attempt) {
+        if (retry_base_ms == 0)
+            return;
+        const uint64_t ms =
+            std::min<uint64_t>(uint64_t{retry_base_ms} << (attempt - 1),
+                               kMaxBackoffMs);
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+
+    /**
+     * run_cell under the failure-isolation contract: retry with
+     * backoff, journal on success, and convert an exhausted budget into
+     * a recorded failure instead of an escaping exception. Partial
+     * state from a failed attempt is discarded so a retry (or the
+     * merge) never sees it.
+     */
+    auto run_cell_guarded = [&](size_t i) {
+        JobOutput &out = outputs[i];
+        const std::string key = cell_key(i);
+        for (unsigned attempt = 1; attempt <= retry_max; ++attempt) {
+            out.attempts = attempt;
+            try {
+                faults.maybeKill(key);
+                faults.maybeThrow(FaultPoint::Job, key);
+                run_cell(i);
+                checkpoint.append(i, out.result, out.metrics,
+                                  out.events);
+                return;
+            } catch (const std::exception &err) {
+                out.error = err.what();
+            } catch (...) {
+                out.error = "unknown exception";
+            }
+            const unsigned attempts = out.attempts;
+            std::string error = std::move(out.error);
+            out = JobOutput{};
+            out.attempts = attempts;
+            out.error = std::move(error);
+            if (attempt < retry_max) {
+                cellsRetried_.fetch_add(1, std::memory_order_relaxed);
+                backoff(attempt);
+            }
+        }
+        out.failed = true;
+    };
+
+    /**
+     * One scheduled job: a single cell runs guarded; a fused group
+     * tries the shared walk once and, if *anything* in it throws, falls
+     * back to guarded per-cell execution -- the fused and per-cell
+     * paths are byte-identical by construction, so the fallback
+     * isolates the bad lane without changing any healthy lane's output.
+     */
+    auto run_group = [&](const std::vector<size_t> &cells) {
+        if (cells.size() == 1) {
+            run_cell_guarded(cells.front());
+            return;
+        }
+        bool fused_ok = true;
+        try {
+            for (const size_t i : cells) {
+                const std::string key = cell_key(i);
+                faults.maybeKill(key);
+                faults.maybeThrow(FaultPoint::Job, key);
+            }
+            run_fused(cells);
+        } catch (...) {
+            fused_ok = false;
+        }
+        if (fused_ok) {
+            for (const size_t i : cells) {
+                JobOutput &out = outputs[i];
+                out.attempts = 1;
+                checkpoint.append(i, out.result, out.metrics,
+                                  out.events);
+            }
+            return;
+        }
+        for (const size_t i : cells) {
+            outputs[i] = JobOutput{}; // drop the torn fused attempt
+            run_cell_guarded(i);
+        }
+    };
+
+    // Schedule only the cells the checkpoint did not restore.
+    std::vector<size_t> todo;
+    todo.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (!restored[i])
+            todo.push_back(i);
+    }
+
     if (!fusedEnabled()) {
-        parallelFor(n, run_cell);
+        parallelFor(todo.size(),
+                    [&](size_t t) { run_cell_guarded(todo[t]); });
     } else {
         // Group cells sharing (benchmark, walk config) into fused jobs,
         // preserving submission order within each group, chunked at the
@@ -352,7 +604,7 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         const size_t cap = fusedLaneCap();
         std::vector<std::vector<size_t>> groups;
         std::map<FuseKey, size_t> open; //!< key -> unfilled group index
-        for (size_t i = 0; i < n; ++i) {
+        for (const size_t i : todo) {
             const SimConfig &c = rows[i / nbench].config;
             const FuseKey key{i % nbench, static_cast<int>(c.history),
                               c.historyAge, c.assignBanks,
@@ -374,22 +626,38 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
                 fusedLaneCells_ += cells.size();
             }
         }
-        parallelFor(groups.size(), [&](size_t g) {
-            if (groups[g].size() == 1)
-                run_cell(groups[g].front());
-            else
-                run_fused(groups[g]);
-        });
+        parallelFor(groups.size(),
+                    [&](size_t g) { run_group(groups[g]); });
     }
 
     // Deterministic merge, strictly in submission order (row-major over
-    // the grid): byte-identical shared-sink contents for any pool width.
-    std::vector<std::vector<BenchResult>> results(rows.size());
-    for (auto &row_results : results)
+    // the grid): byte-identical shared-sink contents for any pool width,
+    // whether a cell ran fresh, rode a fused walk, was retried, or was
+    // restored from a journal. Failed cells contribute nothing to the
+    // shared sinks; they surface as CellFailure records instead.
+    GridOutcome outcome;
+    outcome.results.resize(rows.size());
+    for (auto &row_results : outcome.results)
         row_results.reserve(nbench);
     for (size_t i = 0; i < n; ++i) {
         const GridRow &row = rows[i / nbench];
         JobOutput &out = outputs[i];
+        if (restored[i])
+            ++outcome.resumedCells;
+        if (out.failed) {
+            CellFailure failure;
+            failure.row = i / nbench;
+            failure.rowLabel = row.label;
+            failure.bench = specint95Suite()[i % nbench].profile.name;
+            failure.attempts = out.attempts;
+            failure.error = out.error;
+            outcome.failures.push_back(std::move(failure));
+            out.result.bench = specint95Suite()[i % nbench].profile.name;
+            out.result.failed = true;
+            outcome.results[i / nbench].push_back(
+                std::move(out.result));
+            continue;
+        }
         if (row.config.metrics)
             row.config.metrics->merge(out.metrics);
         if (MispredictSink *sink = row.config.events) {
@@ -399,9 +667,10 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
                 sink->onMispredict(event);
             sink->setClassifier(nullptr);
         }
-        results[i / nbench].push_back(std::move(out.result));
+        outcome.results[i / nbench].push_back(std::move(out.result));
     }
-    return results;
+    cellsFailed_ += outcome.failures.size();
+    return outcome;
 }
 
 } // namespace ev8

@@ -34,13 +34,29 @@
  * deterministic merge, and artifacts are byte-identical to the
  * per-cell path for any lane width and any worker count. EV8_FUSED=0
  * forces the per-cell path; EV8_FUSED_LANES caps lanes per fused job.
+ *
+ * Fault tolerance: a failing cell no longer poisons its batch. Each
+ * cell runs under a retry loop (EV8_RETRY_MAX attempts with bounded
+ * exponential backoff, EV8_RETRY_BASE_MS); a fused job whose walk
+ * throws falls back to per-cell execution so one bad lane cannot take
+ * its lane-mates down. A cell that exhausts its retries yields a
+ * structured CellFailure in the returned GridOutcome while every other
+ * cell completes normally. With EV8_CHECKPOINT_DIR set, completed cells
+ * are journaled (see sim/checkpoint.hh) and a re-run of the same grid
+ * resumes, skipping finished cells; restored and fresh outputs merge in
+ * the same submission order, so resumed artifacts are byte-identical to
+ * an uninterrupted run's. EV8_FAULT_SPEC (see sim/fault_injection.hh)
+ * deterministically injects faults at the cell, cache and checkpoint
+ * seams to test all of the above.
  */
 
 #ifndef EV8_SIM_EXPERIMENT_HH
 #define EV8_SIM_EXPERIMENT_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -92,6 +108,23 @@ class ExperimentEngine
      */
     static size_t fusedLaneCap();
 
+    /**
+     * Attempts per grid cell before it is declared failed: the
+     * EV8_RETRY_MAX environment variable (strictly parsed, [1, 100]) or
+     * 3. A set-but-invalid value is a hard error (stderr + exit 2),
+     * matching EV8_JOBS.
+     */
+    static unsigned retryMax();
+
+    /**
+     * Backoff base in milliseconds between attempts of the same cell:
+     * EV8_RETRY_BASE_MS (strictly parsed, [0, 10000]) or 10. Attempt k
+     * sleeps base * 2^(k-1) ms, capped at 1000 ms; 0 disables sleeping
+     * (tests). A set-but-invalid value is a hard error (stderr +
+     * exit 2).
+     */
+    static unsigned retryBaseMs();
+
     /** @param jobs worker count; 0 resolves to defaultJobs(). */
     explicit ExperimentEngine(unsigned jobs = 0);
     ~ExperimentEngine();
@@ -114,19 +147,26 @@ class ExperimentEngine
      * Executes @p rows x suite-benchmarks simulation jobs and merges
      * per-job observability into each row's config sinks in submission
      * order (see file comment). Returns one suite-ordered result vector
-     * per row.
+     * per row plus the structured failures of cells that exhausted
+     * their retries (those cells' BenchResult::failed is set and their
+     * sinks receive nothing). With checkpointing enabled, loads any
+     * matching journal first and only runs the remaining cells.
      */
-    std::vector<std::vector<BenchResult>> runGrid(
-        SuiteRunner &runner, const std::vector<GridRow> &rows);
+    GridOutcome runGrid(SuiteRunner &runner,
+                        const std::vector<GridRow> &rows);
 
     /**
      * Publishes grid-scheduling counters under @p prefix:
      * "<prefix>.grid_cells" (cells executed), "<prefix>.fused_jobs"
-     * (multi-lane jobs dispatched) and "<prefix>.fused_lane_cells"
-     * (cells that rode a fused walk) -- the grouping-efficiency view
-     * of fused execution. Values differ between EV8_FUSED modes by
-     * design, so the bench harness only exports them on request
-     * (EV8_CACHE_METRICS) to keep default artifacts byte-identical.
+     * (multi-lane jobs dispatched), "<prefix>.fused_lane_cells"
+     * (cells that rode a fused walk), "<prefix>.cells_failed" (cells
+     * that exhausted retries), "<prefix>.cells_retried" (individual
+     * re-attempts) and "<prefix>.cells_resumed" (cells restored from
+     * checkpoint journals) -- the scheduling / fault-tolerance view of
+     * grid execution. Values differ between EV8_FUSED modes (and
+     * between faulty and clean runs) by design, so the bench harness
+     * only exports them on request (EV8_CACHE_METRICS) to keep default
+     * artifacts byte-identical.
      */
     void publishMetrics(MetricRegistry &registry,
                         const std::string &prefix) const;
@@ -147,10 +187,23 @@ class ExperimentEngine
     std::vector<std::thread> workers_;
 
     // Grid-scheduling tallies; only runGrid()'s calling thread writes
-    // them (one batch at a time), so plain counters suffice.
+    // them (one batch at a time), so plain counters suffice --
+    // except cellsRetried_, which workers bump from inside jobs.
     uint64_t gridCells_ = 0;
     uint64_t fusedJobs_ = 0;
     uint64_t fusedLaneCells_ = 0;
+    uint64_t cellsFailed_ = 0;
+    uint64_t cellsResumed_ = 0;
+    std::atomic<uint64_t> cellsRetried_{0};
+
+    /**
+     * runGrid() invocations on this engine, in order: the batch index
+     * that prefixes every cell key ("g<batch>/r<row>/<bench>") and
+     * feeds the checkpoint grid hash. Deterministic across identical
+     * process runs, which is what lets a resumed process find the
+     * journal its predecessor wrote.
+     */
+    uint64_t batchIndex_ = 0;
 
     std::mutex mutex_;
     std::condition_variable workReady_;

@@ -41,6 +41,8 @@
 #include <cassert>
 #include <concepts>
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <type_traits>
 
 #include "frontend/bank_scheduler.hh"
@@ -293,7 +295,22 @@ runFusedStreamKernel(const BlockStream &stream,
                      FusedLaneState<Predictor> *lanes, size_t nlanes,
                      const SimConfig &config, BankScheduler &bank_sched)
 {
-    assert(nlanes >= 1 && nlanes <= kMaxFusedLanes);
+    // Throwing checks rather than asserts: a malformed lane set must be
+    // a recoverable cell failure (caught, retried, reported) in release
+    // builds too, not silent UB.
+    if (nlanes < 1 || nlanes > kMaxFusedLanes) {
+        throw std::invalid_argument(
+            "fused kernel lane count " + std::to_string(nlanes)
+            + " outside [1, " + std::to_string(kMaxFusedLanes) + "]");
+    }
+    for (size_t l = 0; l < nlanes; ++l) {
+        if (lanes[l].predictor == nullptr
+            || lanes[l].result == nullptr) {
+            throw std::invalid_argument(
+                "fused kernel lane " + std::to_string(l)
+                + " has a null predictor or result slot");
+        }
+    }
 
     // SoA hot state: dense predictor pointers and mispredict tallies.
     Predictor *preds[kMaxFusedLanes];

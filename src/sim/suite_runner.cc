@@ -1,5 +1,8 @@
 #include "sim/suite_runner.hh"
 
+#include <limits>
+#include <stdexcept>
+
 #include "sim/experiment.hh"
 
 namespace ev8
@@ -47,13 +50,24 @@ SuiteRunner::run(const PredictorFactory &factory, const SimConfig &config)
     std::vector<GridRow> rows(1);
     rows[0].factory = factory;
     rows[0].config = config;
-    return std::move(runGrid(rows).front());
+    GridOutcome outcome = runGrid(rows);
+    if (!outcome.ok()) {
+        const CellFailure &f = outcome.failures.front();
+        throw std::runtime_error(
+            "suite run failed on " + f.bench + " after "
+            + std::to_string(f.attempts) + " attempt(s): " + f.error);
+    }
+    return std::move(outcome.results.front());
 }
 
-std::vector<std::vector<BenchResult>>
+GridOutcome
 SuiteRunner::runGrid(const std::vector<GridRow> &rows)
 {
-    return engine().runGrid(*this, rows);
+    GridOutcome outcome = engine().runGrid(*this, rows);
+    failures_.insert(failures_.end(), outcome.failures.begin(),
+                     outcome.failures.end());
+    resumedCells_ += outcome.resumedCells;
+    return outcome;
 }
 
 double
@@ -62,9 +76,16 @@ SuiteRunner::averageMispKI(const std::vector<BenchResult> &results)
     if (results.empty())
         return 0.0;
     double sum = 0.0;
-    for (const auto &r : results)
+    size_t completed = 0;
+    for (const auto &r : results) {
+        if (r.failed)
+            continue;
         sum += r.sim.stats.mispKI();
-    return sum / static_cast<double>(results.size());
+        ++completed;
+    }
+    if (completed == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return sum / static_cast<double>(completed);
 }
 
 } // namespace ev8

@@ -34,6 +34,13 @@ struct BenchResult
 {
     std::string bench;
     SimResult sim;
+
+    /**
+     * The cell exhausted its retries and produced no result: sim is
+     * empty, the cell appears in the grid's CellFailure list, and
+     * aggregates (averageMispKI, sweeps) skip it.
+     */
+    bool failed = false;
 };
 
 /** Builds a fresh predictor instance (cold tables) for each benchmark. */
@@ -48,6 +55,44 @@ struct GridRow
 {
     PredictorFactory factory;
     SimConfig config;
+
+    /**
+     * Human-readable row name ("2Bc-gskew 512Kb", "len16", ...); feeds
+     * CellFailure reports and the checkpoint grid hash. Optional --
+     * anonymous rows just report by index.
+     */
+    std::string label;
+};
+
+/**
+ * One grid cell that exhausted its retries. The grid keeps running;
+ * the failure is reported here (and in the exported artifacts) instead
+ * of poisoning the batch.
+ */
+struct CellFailure
+{
+    size_t row = 0;       //!< grid row index within the batch
+    std::string rowLabel; //!< GridRow::label ("" when unlabelled)
+    std::string bench;    //!< benchmark name of the failed cell
+    unsigned attempts = 0; //!< attempts made (== retry budget)
+    std::string error;    //!< what() of the final attempt's exception
+};
+
+/**
+ * Everything one grid batch produced: per-row suite-ordered results
+ * (failed cells carry BenchResult::failed and empty sims) plus the
+ * structured failures, in submission order.
+ */
+struct GridOutcome
+{
+    std::vector<std::vector<BenchResult>> results;
+    std::vector<CellFailure> failures;
+
+    /** Cells restored from a checkpoint journal instead of re-run. */
+    uint64_t resumedCells = 0;
+
+    /** Every cell completed? */
+    bool ok() const { return failures.empty(); }
 };
 
 class SuiteRunner
@@ -92,7 +137,9 @@ class SuiteRunner
      * paper's per-trace methodology. Benchmarks run in parallel on the
      * engine; results are index-stable (suite order) and metric/event
      * sinks referenced by @p config receive exactly what a serial run
-     * would have produced.
+     * would have produced. Throws std::runtime_error if any cell
+     * exhausts its retries (callers wanting partial results use
+     * runGrid() and inspect GridOutcome::failures).
      */
     std::vector<BenchResult> run(const PredictorFactory &factory,
                                  const SimConfig &config);
@@ -100,10 +147,22 @@ class SuiteRunner
     /**
      * Runs a whole experiment grid -- every @p rows entry over every
      * benchmark -- as one parallel batch. Returns one result vector per
-     * row, each in suite order.
+     * row, each in suite order, plus the structured failures of cells
+     * that exhausted their retries (see ExperimentEngine::runGrid).
+     * Failures also accumulate into failures() across batches.
      */
-    std::vector<std::vector<BenchResult>> runGrid(
-        const std::vector<GridRow> &rows);
+    GridOutcome runGrid(const std::vector<GridRow> &rows);
+
+    /**
+     * Every CellFailure any runGrid() batch of this runner recorded, in
+     * submission order across batches. The bench harness reads this at
+     * finish() time to export the failures section and pick the
+     * partial-results exit code.
+     */
+    const std::vector<CellFailure> &failures() const { return failures_; }
+
+    /** Cells restored from checkpoint journals, across batches. */
+    uint64_t resumedCells() const { return resumedCells_; }
 
     /** The shared simulation engine (created on first use). */
     ExperimentEngine &engine();
@@ -121,7 +180,11 @@ class SuiteRunner
 
     uint64_t baseBranches() const { return baseBranches_; }
 
-    /** Arithmetic mean of misp/KI over a result set. */
+    /**
+     * Arithmetic mean of misp/KI over a result set, skipping failed
+     * cells. NaN when every cell failed (exporters render that as
+     * JSON null / CSV "--"); 0.0 on an empty set.
+     */
     static double averageMispKI(const std::vector<BenchResult> &results);
 
   private:
@@ -130,6 +193,8 @@ class SuiteRunner
     TraceCache cache_;
     std::once_flag engineOnce_;
     std::unique_ptr<ExperimentEngine> engine_;
+    std::vector<CellFailure> failures_; //!< cumulative across batches
+    uint64_t resumedCells_ = 0;
 };
 
 } // namespace ev8

@@ -1,6 +1,7 @@
 #include "sim/sweep.hh"
 
-#include <cassert>
+#include <cmath>
+#include <stdexcept>
 
 namespace ev8
 {
@@ -19,16 +20,17 @@ sweepHistoryLengths(SuiteRunner &runner, const HistoryFactory &make,
         GridRow row;
         row.factory = [&make, len] { return make(len); };
         row.config = config;
+        row.label = "len" + std::to_string(len);
         rows.push_back(std::move(row));
     }
-    auto grid = runner.runGrid(rows);
+    GridOutcome grid = runner.runGrid(rows);
 
     std::vector<SweepPoint> points;
     points.reserve(lengths.size());
     for (size_t i = 0; i < lengths.size(); ++i) {
         SweepPoint p;
         p.histLen = lengths[i];
-        p.perBench = std::move(grid[i]);
+        p.perBench = std::move(grid.results[i]);
         p.avgMispKI = SuiteRunner::averageMispKI(p.perBench);
         points.push_back(std::move(p));
     }
@@ -38,13 +40,19 @@ sweepHistoryLengths(SuiteRunner &runner, const HistoryFactory &make,
 const SweepPoint &
 bestPoint(const std::vector<SweepPoint> &points)
 {
-    assert(!points.empty());
-    const SweepPoint *best = &points.front();
+    if (points.empty())
+        throw std::invalid_argument("bestPoint on an empty sweep");
+    // Failed cells make a point's average NaN; such points never win.
+    // If *every* point failed, fall back to the first (its NaN average
+    // renders as null/"--" downstream).
+    const SweepPoint *best = nullptr;
     for (const auto &p : points) {
-        if (p.avgMispKI < best->avgMispKI)
+        if (!std::isfinite(p.avgMispKI))
+            continue;
+        if (best == nullptr || p.avgMispKI < best->avgMispKI)
             best = &p;
     }
-    return *best;
+    return best != nullptr ? *best : points.front();
 }
 
 } // namespace ev8

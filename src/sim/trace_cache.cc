@@ -4,64 +4,17 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <stdexcept>
 
+#include "common/hash.hh"
 #include "obs/metrics.hh"
+#include "sim/fault_injection.hh"
 #include "trace/trace_io.hh"
 
 namespace ev8
 {
-
-namespace
-{
-
-/** FNV-1a over explicitly fed fields; stable across platforms. */
-class ContentHash
-{
-  public:
-    void
-    bytes(const void *data, size_t n)
-    {
-        const auto *p = static_cast<const unsigned char *>(data);
-        for (size_t i = 0; i < n; ++i) {
-            h ^= p[i];
-            h *= 1099511628211ULL;
-        }
-    }
-
-    void
-    u64(uint64_t v)
-    {
-        unsigned char buf[8];
-        for (int i = 0; i < 8; ++i)
-            buf[i] = static_cast<unsigned char>(v >> (i * 8));
-        bytes(buf, sizeof(buf));
-    }
-
-    void
-    f64(double v)
-    {
-        uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(v));
-        std::memcpy(&bits, &v, sizeof(bits));
-        u64(bits);
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u64(s.size());
-        bytes(s.data(), s.size());
-    }
-
-    uint64_t value() const { return h; }
-
-  private:
-    uint64_t h = 1469598103934665603ULL;
-};
-
-} // namespace
 
 std::string
 TraceCache::defaultDir()
@@ -126,7 +79,95 @@ TraceCache::profileHash(const WorkloadProfile &profile)
     return h.value();
 }
 
-TraceCache::TraceCache(std::string dir) : dir_(std::move(dir)) {}
+TraceCache::TraceCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        return;
+    // Probe the disk layer now instead of failing (or warning) once per
+    // cache miss later: create the directory, then prove it is writable
+    // with a throwaway probe file.
+    try {
+        namespace fs = std::filesystem;
+        fs::create_directories(dir_);
+        const std::string probe =
+            dir_ + "/.ev8-probe." + std::to_string(::getpid());
+        {
+            std::ofstream out(probe,
+                              std::ios::binary | std::ios::trunc);
+            out << "probe";
+            out.flush();
+            if (!out)
+                throw std::runtime_error("probe file not writable");
+        }
+        std::error_code ec;
+        fs::remove(probe, ec);
+    } catch (const std::exception &err) {
+        std::fprintf(stderr,
+                     "ev8: trace cache: directory '%s' is unusable "
+                     "(%s); falling back to in-memory caching\n",
+                     dir_.c_str(), err.what());
+        dir_.clear();
+        diskDisabled_ = true;
+    }
+}
+
+void
+TraceCache::noteReadError(const std::string &path,
+                          const std::string &why) const
+{
+    readErrors_.fetch_add(1, std::memory_order_relaxed);
+    if (!warnedRead_.exchange(true)) {
+        std::fprintf(stderr,
+                     "ev8: trace cache: discarding unreadable cache "
+                     "file '%s' (%s); regenerating (further read "
+                     "errors reported only in metrics)\n",
+                     path.c_str(), why.c_str());
+    }
+}
+
+void
+TraceCache::noteWriteError(const std::string &path,
+                           const std::string &why) const
+{
+    writeErrors_.fetch_add(1, std::memory_order_relaxed);
+    if (!warnedWrite_.exchange(true)) {
+        std::fprintf(stderr,
+                     "ev8: trace cache: cannot persist cache file "
+                     "'%s' (%s); continuing in memory (further write "
+                     "errors reported only in metrics)\n",
+                     path.c_str(), why.c_str());
+    }
+}
+
+void
+TraceCache::persist(
+    const std::string &path,
+    const std::function<void(const std::string &)> &write) const
+{
+    // Best effort: a read-only or full cache directory must not fail
+    // the experiment. Temp file + rename keeps concurrent processes
+    // from ever reading a torn file; a failure between the two (a
+    // crash, or the injected cache_rename fault) leaves only temp-file
+    // litter, never a truncated cache entry under the real name.
+    try {
+        namespace fs = std::filesystem;
+        FaultInjector &faults = FaultInjector::global();
+        fs::create_directories(dir_);
+        const std::string tmp =
+            path + ".tmp." + std::to_string(::getpid());
+        faults.maybeThrow(FaultPoint::CacheWrite, path);
+        write(tmp);
+        if (faults.fires(FaultPoint::CacheShortWrite, path)) {
+            // Publish a torn file under the real name: the verifying
+            // reader must reject and regenerate it.
+            fs::resize_file(tmp, fs::file_size(tmp) / 2);
+        }
+        faults.maybeThrow(FaultPoint::CacheRename, path);
+        fs::rename(tmp, path);
+    } catch (const std::exception &err) {
+        noteWriteError(path, err.what());
+    }
+}
 
 std::string
 TraceCache::filePath(const WorkloadProfile &profile,
@@ -162,18 +203,24 @@ TraceCache::load(const WorkloadProfile &profile, uint64_t branches) const
     const std::string path = filePath(profile, branches);
 
     if (!path.empty()) {
-        try {
-            Trace trace = readTraceFile(path);
-            // Trust but verify: the key encodes the profile content,
-            // but a truncated write or a hand-edited file could still
-            // masquerade under the right name.
-            if (trace.name() == profile.name
-                && trace.stats().dynamicCondBranches == branches) {
-                diskHits_.fetch_add(1, std::memory_order_relaxed);
-                return trace;
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec) && !ec) {
+            try {
+                FaultInjector::global().maybeThrow(
+                    FaultPoint::CacheRead, path);
+                Trace trace = readTraceFile(path);
+                // Trust but verify: the key encodes the profile
+                // content, but a truncated write or a hand-edited file
+                // could still masquerade under the right name.
+                if (trace.name() == profile.name
+                    && trace.stats().dynamicCondBranches == branches) {
+                    diskHits_.fetch_add(1, std::memory_order_relaxed);
+                    return trace;
+                }
+                noteReadError(path, "key/content mismatch");
+            } catch (const std::exception &err) {
+                noteReadError(path, err.what());
             }
-        } catch (const TraceIoError &) {
-            // Missing or malformed: fall through and regenerate.
         }
     }
 
@@ -181,18 +228,9 @@ TraceCache::load(const WorkloadProfile &profile, uint64_t branches) const
     generated_.fetch_add(1, std::memory_order_relaxed);
 
     if (!path.empty()) {
-        // Best effort: a read-only or full cache directory must not
-        // fail the experiment. Temp file + rename keeps concurrent
-        // processes from ever reading a torn file.
-        try {
-            namespace fs = std::filesystem;
-            fs::create_directories(dir_);
-            const std::string tmp =
-                path + ".tmp." + std::to_string(::getpid());
+        persist(path, [&](const std::string &tmp) {
             writeTraceFile(tmp, trace);
-            fs::rename(tmp, path);
-        } catch (...) {
-        }
+        });
     }
     return trace;
 }
@@ -203,18 +241,25 @@ TraceCache::loadStream(const WorkloadProfile &profile, uint64_t branches)
     const std::string path = streamFilePath(profile, branches);
 
     if (!path.empty()) {
-        try {
-            BlockStream stream = readBlockStreamFile(path);
-            // Trust but verify, as for traces: the branch count is the
-            // budget the key encodes, so a torn or hand-edited file
-            // cannot masquerade as a full-length stream.
-            if (stream.name() == profile.name
-                && stream.branches() == branches) {
-                streamDiskHits_.fetch_add(1, std::memory_order_relaxed);
-                return stream;
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec) && !ec) {
+            try {
+                FaultInjector::global().maybeThrow(
+                    FaultPoint::CacheRead, path);
+                BlockStream stream = readBlockStreamFile(path);
+                // Trust but verify, as for traces: the branch count is
+                // the budget the key encodes, so a torn or hand-edited
+                // file cannot masquerade as a full-length stream.
+                if (stream.name() == profile.name
+                    && stream.branches() == branches) {
+                    streamDiskHits_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    return stream;
+                }
+                noteReadError(path, "key/content mismatch");
+            } catch (const std::exception &err) {
+                noteReadError(path, err.what());
             }
-        } catch (const TraceIoError &) {
-            // Missing or malformed: fall through and re-decode.
         }
     }
 
@@ -224,15 +269,9 @@ TraceCache::loadStream(const WorkloadProfile &profile, uint64_t branches)
     decoded_.fetch_add(1, std::memory_order_relaxed);
 
     if (!path.empty()) {
-        try {
-            namespace fs = std::filesystem;
-            fs::create_directories(dir_);
-            const std::string tmp =
-                path + ".tmp." + std::to_string(::getpid());
+        persist(path, [&](const std::string &tmp) {
             writeBlockStreamFile(tmp, stream);
-            fs::rename(tmp, path);
-        } catch (...) {
-        }
+        });
     }
     return stream;
 }
@@ -251,6 +290,8 @@ TraceCache::publishMetrics(MetricRegistry &registry,
     registry.counter(prefix + ".streams_decoded").inc(decoded_.load());
     registry.counter(prefix + ".stream_disk_hits")
         .inc(streamDiskHits_.load());
+    registry.counter(prefix + ".read_errors").inc(readErrors_.load());
+    registry.counter(prefix + ".write_errors").inc(writeErrors_.load());
 }
 
 const BlockStream &

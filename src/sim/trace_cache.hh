@@ -26,6 +26,15 @@
  * Unreadable, truncated or mismatched cache files are regenerated (and
  * rewritten) rather than trusted; disk writes go through a temp file +
  * atomic rename so concurrent processes cannot observe torn files.
+ *
+ * Failure semantics: the disk layer is strictly best-effort. A cache
+ * directory that cannot be created or written degrades the cache to
+ * in-memory operation with a single stderr warning (diskDisabled());
+ * individual read/write failures are counted (readErrorCount(),
+ * writeErrorCount()), warned about once each, and never propagate --
+ * the experiment regenerates whatever the disk could not supply. The
+ * cache_read/cache_write/cache_rename/cache_short_write points of
+ * sim/fault_injection.hh exercise exactly these paths.
  */
 
 #ifndef EV8_SIM_TRACE_CACHE_HH
@@ -33,6 +42,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -74,8 +84,14 @@ class TraceCache
      */
     static uint64_t profileHash(const WorkloadProfile &profile);
 
-    /** @param dir on-disk cache directory; "" keeps the cache in-memory
-     *        only. */
+    /**
+     * @param dir on-disk cache directory; "" keeps the cache in-memory
+     *        only. A non-empty directory is probed up front (created if
+     *        absent, then a probe file is written and removed); if the
+     *        probe fails the cache warns once on stderr and degrades to
+     *        in-memory operation instead of failing every experiment
+     *        that touches it.
+     */
     explicit TraceCache(std::string dir = defaultDir());
 
     TraceCache(const TraceCache &) = delete;
@@ -134,12 +150,26 @@ class TraceCache
     }
 
     /**
-     * Publishes the cache's request/hit/generate counters under
-     * @p prefix (e.g. "trace_cache.stream_requests"): the stream-layer
-     * view of how much decode work grid fusion and the once-per-key
-     * discipline avoided. Requested explicitly by the bench harness
-     * (EV8_CACHE_METRICS) because the values legitimately differ
-     * between cold/warm cache runs of otherwise identical experiments.
+     * A disk layer was requested but its directory proved unusable, so
+     * the cache fell back to in-memory operation. The bench harness
+     * exports this as the trace_cache.disk_disabled metric.
+     */
+    bool diskDisabled() const { return diskDisabled_; }
+
+    /** Cache files that failed to read or verify (then regenerated). */
+    uint64_t readErrorCount() const { return readErrors_.load(); }
+
+    /** Cache file writes that failed (results stayed in memory). */
+    uint64_t writeErrorCount() const { return writeErrors_.load(); }
+
+    /**
+     * Publishes the cache's request/hit/generate counters (plus the
+     * read_errors/write_errors fault tallies) under @p prefix (e.g.
+     * "trace_cache.stream_requests"): the stream-layer view of how much
+     * decode work grid fusion and the once-per-key discipline avoided.
+     * Requested explicitly by the bench harness (EV8_CACHE_METRICS)
+     * because the values legitimately differ between cold/warm cache
+     * runs of otherwise identical experiments.
      */
     void publishMetrics(MetricRegistry &registry,
                         const std::string &prefix) const;
@@ -161,7 +191,22 @@ class TraceCache
     BlockStream loadStream(const WorkloadProfile &profile,
                            uint64_t branches);
 
+    /**
+     * Best-effort persist: @p write fills a temp file that is atomically
+     * renamed to @p path. Any failure (including injected faults) is
+     * counted, warned about once, and swallowed.
+     */
+    void persist(const std::string &path,
+                 const std::function<void(const std::string &)> &write)
+        const;
+
+    void noteReadError(const std::string &path,
+                       const std::string &why) const;
+    void noteWriteError(const std::string &path,
+                        const std::string &why) const;
+
     std::string dir_;
+    bool diskDisabled_ = false;
     mutable std::mutex mutex_;   //!< guards entries_ map shape only
     std::map<std::pair<uint64_t, uint64_t>, std::unique_ptr<Entry>>
         entries_;
@@ -173,6 +218,10 @@ class TraceCache
     mutable std::atomic<uint64_t> streamDiskHits_{0};
     mutable std::atomic<uint64_t> traceRequests_{0};
     mutable std::atomic<uint64_t> streamRequests_{0};
+    mutable std::atomic<uint64_t> readErrors_{0};
+    mutable std::atomic<uint64_t> writeErrors_{0};
+    mutable std::atomic<bool> warnedRead_{false};
+    mutable std::atomic<bool> warnedWrite_{false};
 };
 
 } // namespace ev8

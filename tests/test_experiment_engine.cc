@@ -250,7 +250,9 @@ TEST(ExperimentEngine, GridRunMatchesRowByRowRuns)
         row.config = SimConfig::ghist();
         rows.push_back(std::move(row));
     }
-    const auto grid = parallel.runGrid(rows);
+    const GridOutcome outcome = parallel.runGrid(rows);
+    EXPECT_TRUE(outcome.ok());
+    const auto &grid = outcome.results;
 
     SuiteRunner serial(kTinyScale, 1);
     ASSERT_EQ(grid.size(), 2u);

@@ -212,7 +212,7 @@ observedGrid(unsigned jobs)
         rows.push_back(std::move(row));
     }
     ObservedGrid run;
-    run.results = runner.runGrid(rows);
+    run.results = runner.runGrid(rows).results;
     std::ostringstream metrics_json;
     writeRegistryJson(metrics_json, metrics);
     run.metricsJson = metrics_json.str();

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -281,6 +282,136 @@ TEST(TraceCache, CorruptCacheFileIsRegenerated)
 
     // The regeneration also healed the on-disk copy.
     EXPECT_EQ(serialize(readTraceFile(path)), expected);
+}
+
+/** Sets an environment variable for one scope, restoring on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            saved_ = old;
+        else
+            hadValue_ = false;
+        if (value)
+            ::setenv(name, value, /*overwrite=*/1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadValue_)
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+    bool hadValue_ = true;
+};
+
+TEST(TraceCacheFaults, UnusableDirectoryDegradesToMemoryOperation)
+{
+    ScratchDir dir("ev8_trace_cache_unusable");
+    // A cache rooted under a regular file: the construction probe must
+    // fail (create_directories cannot make a directory there), whatever
+    // the process's privileges -- a chmod-based test is a no-op for
+    // root.
+    const std::string file = dir.str() + "/plain-file";
+    std::ofstream(file) << "x";
+
+    TraceCache cache(file + "/sub");
+    EXPECT_TRUE(cache.diskDisabled());
+    EXPECT_TRUE(cache.dir().empty());
+    EXPECT_EQ(cache.filePath(testProfile(), kTinyBranches), "");
+
+    // And it still serves traces, purely from memory.
+    const Trace &trace = cache.get(testProfile(), kTinyBranches);
+    EXPECT_EQ(trace.stats().dynamicCondBranches, kTinyBranches);
+    EXPECT_EQ(cache.generatedCount(), 1u);
+}
+
+TEST(TraceCacheFaults, InjectedReadFaultRegeneratesAndCounts)
+{
+    ScratchDir dir("ev8_trace_cache_read_fault");
+    std::string expected;
+    {
+        TraceCache writer(dir.str());
+        expected = serialize(writer.get(testProfile(), kTinyBranches));
+    }
+
+    // Every cache file's first read attempt fails.
+    ScopedEnv spec("EV8_FAULT_SPEC", "cache_read/+1");
+    TraceCache reader(dir.str());
+    const Trace &recovered = reader.get(testProfile(), kTinyBranches);
+    EXPECT_EQ(serialize(recovered), expected);
+    EXPECT_EQ(reader.diskHitCount(), 0u);
+    EXPECT_EQ(reader.generatedCount(), 1u);
+    EXPECT_GE(reader.readErrorCount(), 1u);
+    EXPECT_FALSE(reader.diskDisabled()); // read faults never disable disk
+}
+
+TEST(TraceCacheFaults, InjectedWriteFaultKeepsResultsInMemory)
+{
+    ScratchDir dir("ev8_trace_cache_write_fault");
+    ScopedEnv spec("EV8_FAULT_SPEC", "cache_write+*");
+    TraceCache cache(dir.str());
+    const Trace &trace = cache.get(testProfile(), kTinyBranches);
+    EXPECT_EQ(trace.stats().dynamicCondBranches, kTinyBranches);
+    EXPECT_GE(cache.writeErrorCount(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(
+        cache.filePath(testProfile(), kTinyBranches)));
+}
+
+TEST(TraceCacheFaults, CrashBeforeRenameLeavesNoVisibleCacheFile)
+{
+    ScratchDir dir("ev8_trace_cache_rename_fault");
+    std::string path;
+    {
+        // The temp file is written, then the "crash" hits before the
+        // atomic rename: the final path must never appear.
+        ScopedEnv spec("EV8_FAULT_SPEC", "cache_rename+*");
+        TraceCache cache(dir.str());
+        cache.get(testProfile(), kTinyBranches);
+        path = cache.filePath(testProfile(), kTinyBranches);
+        EXPECT_FALSE(std::filesystem::exists(path)) << path;
+        EXPECT_GE(cache.writeErrorCount(), 1u);
+    }
+    // A later fault-free cache simply regenerates and heals the disk.
+    TraceCache healed(dir.str());
+    healed.get(testProfile(), kTinyBranches);
+    EXPECT_EQ(healed.generatedCount(), 1u);
+    EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST(TraceCacheFaults, TornStreamWriteIsRejectedOnReloadAndHealed)
+{
+    ScratchDir dir("ev8_stream_cache_torn");
+    BlockStream expected;
+    std::string path;
+    {
+        // The .ev8s stream file is truncated to half its size before
+        // the rename: a torn write that survives the rename discipline.
+        ScopedEnv spec("EV8_FAULT_SPEC", "cache_short_write/.ev8s+*");
+        TraceCache writer(dir.str());
+        expected = writer.stream(testProfile(), kTinyBranches);
+        path = writer.streamFilePath(testProfile(), kTinyBranches);
+        ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    }
+    // The truncated file must fail verification mid-read and be
+    // re-decoded -- never crash, never serve garbage.
+    TraceCache reader(dir.str());
+    const BlockStream &recovered =
+        reader.stream(testProfile(), kTinyBranches);
+    EXPECT_TRUE(recovered == expected);
+    EXPECT_EQ(reader.streamDiskHitCount(), 0u);
+    EXPECT_GE(reader.readErrorCount(), 1u);
+    // And the reload healed the on-disk copy.
+    EXPECT_TRUE(readBlockStreamFile(path) == expected);
 }
 
 } // namespace
