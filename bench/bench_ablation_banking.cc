@@ -38,7 +38,9 @@ main(int argc, char **argv)
                   "EV8 conflicts", "line accuracy", "fetch IPC"});
 
     for (size_t i = 0; i < runner.size(); ++i) {
-        std::fprintf(stderr, "  running %s ...\n", runner.name(i).c_str());
+        if (!benchQuiet())
+            std::fprintf(stderr, "  running %s ...\n",
+                         runner.name(i).c_str());
         const Trace &trace = runner.trace(i);
 
         uint64_t blocks = 0, naive_conflicts = 0, ev8_conflicts = 0;
@@ -83,14 +85,17 @@ main(int argc, char **argv)
                        double(ev8_conflicts),
                        pipeline.stats().lineAccuracy(),
                        pipeline.stats().fetchIpc()});
-        std::printf("    %s bank usage: %.1f%% %.1f%% %.1f%% %.1f%%\n",
-                    runner.name(i).c_str(),
-                    100.0 * double(usage[0]) / double(blocks),
-                    100.0 * double(usage[1]) / double(blocks),
-                    100.0 * double(usage[2]) / double(blocks),
-                    100.0 * double(usage[3]) / double(blocks));
+        if (!benchQuiet())
+            std::printf(
+                "    %s bank usage: %.1f%% %.1f%% %.1f%% %.1f%%\n",
+                runner.name(i).c_str(),
+                100.0 * double(usage[0]) / double(blocks),
+                100.0 * double(usage[1]) / double(blocks),
+                100.0 * double(usage[2]) / double(blocks),
+                100.0 * double(usage[3]) / double(blocks));
     }
-    std::printf("\n%s\n", table.render().c_str());
+    if (!benchQuiet())
+        std::printf("\n%s\n", table.render().c_str());
 
     printShapeNotes({
         "a naive (a6,a5) banking scheme conflicts on a significant "

@@ -9,6 +9,9 @@
 
 #include "common/table.hh"
 #include "obs/json.hh"
+#include "obs/progress.hh"
+#include "obs/trace_span.hh"
+#include "obs/trace_writer.hh"
 #include "sim/experiment.hh"
 #include "workloads/suite.hh"
 
@@ -17,6 +20,9 @@ namespace ev8
 
 namespace
 {
+
+/** Set once by parseBenchArgs (--quiet); read via benchQuiet(). */
+bool g_benchQuiet = false;
 
 void
 printUsage(const char *prog)
@@ -40,6 +46,15 @@ printUsage(const char *prog)
         "                   EV8_JOBS or hardware concurrency; results and\n"
         "                   artifacts are byte-identical for any N)\n"
         "  --no-timing      skip the lookup/update/history timing split\n"
+        "  --trace-out=<f>  write a Chrome trace_event timeline of the\n"
+        "                   run (load in Perfetto / chrome://tracing;\n"
+        "                   timing-dependent, excluded from byte-\n"
+        "                   identity guarantees)\n"
+        "  --progress       live progress line on stderr (cells done,\n"
+        "                   failed/retried, ETA, per-worker cell)\n"
+        "  --quiet          suppress the human-readable tables; combine\n"
+        "                   with --progress and the artifact flags for\n"
+        "                   CI runs\n"
         "  --help           this message\n"
         "\n"
         "Set EV8_TRACE_CACHE_DIR to persist generated traces between\n"
@@ -123,6 +138,12 @@ parseBenchArgs(int argc, char **argv)
             }
         } else if (std::strcmp(arg, "--no-timing") == 0) {
             args.timing = false;
+        } else if (const char *v = optValue(arg, "--trace-out")) {
+            args.traceOutPath = v;
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            args.progress = true;
+        } else if (std::strcmp(arg, "--quiet") == 0) {
+            args.quiet = true;
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n\n", prog,
                          arg);
@@ -130,7 +151,14 @@ parseBenchArgs(int argc, char **argv)
             std::exit(2);
         }
     }
+    g_benchQuiet = args.quiet;
     return args;
+}
+
+bool
+benchQuiet()
+{
+    return g_benchQuiet;
 }
 
 BenchContext::BenchContext(int argc, char **argv,
@@ -143,6 +171,15 @@ BenchContext::BenchContext(int argc, char **argv,
     data_.branchesPerBenchmark = branchesPerBenchmark();
     for (const Benchmark &b : specint95Suite())
         data_.benchmarks.push_back(b.profile.name);
+
+    // Observability switches come first so every later phase (trace
+    // generation included) lands on the timeline / progress line.
+    SpanTracer::global().setThreadName("main");
+    startNs_ = SpanTracer::global().nowNs();
+    if (!args_.traceOutPath.empty())
+        SpanTracer::global().enable();
+    if (args_.progress)
+        ProgressMeter::global().enable();
 
     if (!args_.eventsPath.empty()) {
         eventsOut = std::make_unique<std::ofstream>(args_.eventsPath);
@@ -217,6 +254,61 @@ BenchContext::noteTiming(const SimTiming &timing)
     data_.timing.merge(timing);
 }
 
+TelemetryExport
+BenchContext::buildTelemetry() const
+{
+    TelemetryExport tel;
+    SpanTracer &tracer = SpanTracer::global();
+    tel.wallNs = tracer.nowNs() - startNs_;
+
+    const ResourceSample res = sampleResourceUsage();
+    tel.cpuUserNs = res.cpuUserNs;
+    tel.cpuSysNs = res.cpuSysNs;
+    tel.peakRssBytes = res.peakRssBytes;
+
+    const auto totals = tracer.phaseTotals();
+    for (size_t i = 0; i < kSpanPhaseCount; ++i) {
+        tel.phases.push_back(
+            TelemetryPhase{spanPhaseName(static_cast<SpanPhase>(i)),
+                           totals[i].count, totals[i].wallNs});
+    }
+
+    if (runner_) {
+        TraceCache &cache = runner_->traceCache();
+        tel.traceRequests = cache.traceRequestCount();
+        tel.traceDiskHits = cache.diskHitCount();
+        tel.tracesGenerated = cache.generatedCount();
+        tel.streamRequests = cache.streamRequestCount();
+        tel.streamDiskHits = cache.streamDiskHitCount();
+        tel.streamsDecoded = cache.decodedCount();
+        if (tel.streamRequests > 0) {
+            tel.streamHitRatio =
+                static_cast<double>(tel.streamDiskHits)
+                / static_cast<double>(tel.streamRequests);
+        }
+    }
+
+    if (ExperimentEngine *engine =
+            runner_ ? runner_->engineIfCreated() : nullptr) {
+        const Histogram &cells = engine->cellDurations();
+        tel.cellBoundsMs = cells.bounds();
+        tel.cellBucketCounts = cells.bucketCounts();
+        tel.cellCount = cells.count();
+        tel.cellSumMs = cells.sum();
+
+        tel.poolWorkers = engine->jobs();
+        tel.poolGridCells = engine->gridCellCount();
+        tel.poolBusyNs = engine->poolBusyNs();
+        tel.poolWallNs = engine->gridWallNs();
+        if (tel.poolWorkers > 0 && tel.poolWallNs > 0) {
+            tel.poolUtilization = static_cast<double>(tel.poolBusyNs)
+                / (static_cast<double>(tel.poolWorkers)
+                   * static_cast<double>(tel.poolWallNs));
+        }
+    }
+    return tel;
+}
+
 int
 BenchContext::finish()
 {
@@ -239,6 +331,9 @@ BenchContext::finish()
     if (runner_ && runner_->traceCache().diskDisabled())
         registry_.counter("trace_cache.disk_disabled").inc();
 
+    // Terminate any live progress line before the "wrote ..." messages.
+    ProgressMeter::global().finishLine();
+
     if (runner_) {
         for (const CellFailure &f : runner_->failures()) {
             BenchFailureExport e;
@@ -246,11 +341,18 @@ BenchContext::finish()
             e.bench = f.bench;
             e.attempts = f.attempts;
             e.error = f.error;
+            e.attemptNs = f.attemptNs;
             data_.failures.push_back(std::move(e));
         }
     }
 
     data_.metrics = &registry_;
+
+    // Always attached: the telemetry block's *presence* in the JSON
+    // artifact is deterministic even though its values are not (the
+    // determinism gates mask it).
+    const TelemetryExport telemetry = buildTelemetry();
+    data_.telemetry = &telemetry;
 
     if (!args_.jsonPath.empty()) {
         std::ofstream out(args_.jsonPath);
@@ -303,7 +405,14 @@ BenchContext::finish()
                          events->sampleEvery()));
     }
 
-    if (args_.timing && args_.wantsArtifacts()
+    if (!args_.traceOutPath.empty()) {
+        if (!writeChromeTraceFile(args_.traceOutPath,
+                                  SpanTracer::global(), prog_))
+            return kExitFatal;
+        std::fprintf(stderr, "wrote %s\n", args_.traceOutPath.c_str());
+    }
+
+    if (args_.timing && args_.wantsArtifacts() && !args_.quiet
         && data_.timing.lookup.calls > 0) {
         std::printf("timing: lookup %.1f ns/call, update %.1f ns/call, "
                     "history %.1f ns/block\n\n",
@@ -325,6 +434,8 @@ BenchContext::finish()
 void
 printBanner(const std::string &experiment_id, const std::string &title)
 {
+    if (benchQuiet())
+        return;
     std::printf("=====================================================\n");
     std::printf("%s -- %s\n", experiment_id.c_str(), title.c_str());
     std::printf("Seznec, Felix, Krishnan, Sazeides: \"Design Tradeoffs "
@@ -359,7 +470,9 @@ runAndPrint(BenchContext &ctx, SuiteRunner &runner,
     std::vector<GridRow> grid;
     grid.reserve(rows.size());
     for (const auto &row : rows) {
-        std::fprintf(stderr, "  running %s ...\n", row.label.c_str());
+        if (!benchQuiet())
+            std::fprintf(stderr, "  running %s ...\n",
+                         row.label.c_str());
         grid.push_back({row.factory, ctx.instrument(row.config),
                         row.label});
     }
@@ -379,14 +492,19 @@ runAndPrint(BenchContext &ctx, SuiteRunner &runner,
         ctx.recordResults(rows[i].label, storage_bits, results);
     }
 
-    std::printf("misp/KI (mispredictions per 1000 instructions), lower "
-                "is better:\n\n%s\n", table.render().c_str());
+    if (!benchQuiet()) {
+        std::printf("misp/KI (mispredictions per 1000 instructions), "
+                    "lower is better:\n\n%s\n",
+                    table.render().c_str());
+    }
     return all;
 }
 
 void
 printBars(const std::string &title, const std::vector<BenchResult> &results)
 {
+    if (benchQuiet())
+        return;
     std::vector<std::string> labels;
     std::vector<double> values;
     for (const auto &r : results) {
@@ -401,6 +519,8 @@ printBars(const std::string &title, const std::vector<BenchResult> &results)
 void
 printShapeNotes(const std::vector<std::string> &notes)
 {
+    if (benchQuiet())
+        return;
     std::printf("Shape checks against the paper:\n");
     for (const auto &note : notes)
         std::printf("  * %s\n", note.c_str());

@@ -18,7 +18,15 @@
  *                      hardware concurrency; artifacts are
  *                      byte-identical for any N)
  *     --no-timing      skip the lookup/update/history ScopedTimer split
+ *     --trace-out=<f>  Chrome trace_event timeline of the run
+ *                      (Perfetto / chrome://tracing loadable)
+ *     --progress       live cells-done/ETA line on stderr
+ *     --quiet          suppress the human-readable tables/banner
  *     --help           usage
+ *
+ * --trace-out and --progress output is timing-dependent and excluded
+ * from the byte-identity guarantees; the CI invocation for long grids
+ * is "--progress --quiet" plus the artifact flags.
  *
  * BenchContext bundles the parsed arguments with the metric registry,
  * the event sink, the export document and the (parallel) suite runner,
@@ -78,6 +86,9 @@ struct BenchArgs
     uint64_t sampleEvery = 64; //!< --sample=<N>
     unsigned jobs = 0;         //!< --jobs=<N>, 0 = engine default
     bool timing = true;        //!< cleared by --no-timing
+    std::string traceOutPath;  //!< --trace-out=<path>, empty = no trace
+    bool progress = false;     //!< --progress
+    bool quiet = false;        //!< --quiet
 
     /** Any machine-readable output requested? */
     bool
@@ -95,6 +106,14 @@ struct BenchArgs
  * EV8_BRANCHES_PER_BENCH environment variable.
  */
 BenchArgs parseBenchArgs(int argc, char **argv);
+
+/**
+ * Did this process's bench arguments include --quiet? Gates every
+ * human-readable stdout block (banner, tables, bar charts, shape
+ * notes) so "--quiet --progress + artifact flags" is a clean CI
+ * invocation. Artifacts and diagnostics are unaffected.
+ */
+bool benchQuiet();
 
 /**
  * Everything one bench binary shares across its experiment: the parsed
@@ -144,6 +163,9 @@ class BenchContext
     int finish();
 
   private:
+    /** Fills the artifact's telemetry block at finish() time. */
+    TelemetryExport buildTelemetry() const;
+
     std::string prog_; //!< program name, prefixes fatal diagnostics
     BenchArgs args_;
     BenchExport data_;
@@ -151,6 +173,7 @@ class BenchContext
     std::unique_ptr<std::ofstream> eventsOut;
     std::unique_ptr<EventTraceSink> events;
     std::unique_ptr<SuiteRunner> runner_;
+    uint64_t startNs_ = 0; //!< harness start, span-tracer clock
 };
 
 /** Prints the standard experiment banner (id, title, scale, caveat). */

@@ -33,20 +33,24 @@ void
 report(BenchContext &ctx, const char *label, const char *title,
        const std::vector<SmtThreadResult> &threads)
 {
-    std::printf("%s\n", title);
+    if (!benchQuiet())
+        std::printf("%s\n", title);
     double sum = 0;
     std::vector<std::string> columns;
     std::vector<double> values;
     for (const auto &t : threads) {
-        std::printf("    %-10s %8.3f misp/KI  (%llu branches)\n",
-                    t.name.c_str(), t.sim.stats.mispKI(),
-                    static_cast<unsigned long long>(t.sim.condBranches));
+        if (!benchQuiet())
+            std::printf(
+                "    %-10s %8.3f misp/KI  (%llu branches)\n",
+                t.name.c_str(), t.sim.stats.mispKI(),
+                static_cast<unsigned long long>(t.sim.condBranches));
         sum += t.sim.stats.mispKI();
         columns.push_back(t.name);
         values.push_back(t.sim.stats.mispKI());
     }
     const double amean = sum / double(threads.size());
-    std::printf("    %-10s %8.3f misp/KI\n\n", "amean", amean);
+    if (!benchQuiet())
+        std::printf("    %-10s %8.3f misp/KI\n\n", "amean", amean);
     columns.push_back("amean");
     values.push_back(amean);
     ctx.recordRow(label, 0, std::move(columns), std::move(values));
@@ -63,7 +67,8 @@ main(int argc, char **argv)
                                               "histories");
 
     const uint64_t branches = branchesPerBenchmark() / 2;
-    std::fprintf(stderr, "  generating traces ...\n");
+    if (!benchQuiet())
+        std::fprintf(stderr, "  generating traces ...\n");
     const Trace gcc = generateTrace(findBenchmark("gcc").profile,
                                     branches);
     const Trace go = generateTrace(findBenchmark("go").profile, branches);
@@ -88,7 +93,8 @@ main(int argc, char **argv)
     shared_hist.perThreadHistory = false;
 
     {
-        std::fprintf(stderr, "  single-thread baselines ...\n");
+        if (!benchQuiet())
+            std::fprintf(stderr, "  single-thread baselines ...\n");
         Ev8Predictor p1;
         report(ctx, "1T gcc", "single thread, gcc:",
                simulateSmt({&gcc}, p1, per_thread));
@@ -97,14 +103,16 @@ main(int argc, char **argv)
                simulateSmt({&go}, p2, per_thread));
     }
     {
-        std::fprintf(stderr, "  2 threads, per-thread history ...\n");
+        if (!benchQuiet())
+            std::fprintf(stderr, "  2 threads, per-thread history ...\n");
         Ev8Predictor p;
         report(ctx, "2T gcc+go per-thread hist",
                "2 independent threads (gcc+go), per-thread histories:",
                simulateSmt({&gcc, &go}, p, per_thread));
     }
     {
-        std::fprintf(stderr, "  2 threads, shared history ...\n");
+        if (!benchQuiet())
+            std::fprintf(stderr, "  2 threads, shared history ...\n");
         Ev8Predictor p;
         report(ctx, "2T gcc+go shared hist",
                "2 independent threads (gcc+go), ONE shared history "
@@ -112,14 +120,16 @@ main(int argc, char **argv)
                simulateSmt({&gcc, &go}, p, shared_hist));
     }
     {
-        std::fprintf(stderr, "  4 threads ...\n");
+        if (!benchQuiet())
+            std::fprintf(stderr, "  4 threads ...\n");
         Ev8Predictor p;
         report(ctx, "4T per-thread hist",
                "4 independent threads, per-thread histories:",
                simulateSmt({&gcc, &go, &perl, &vortex}, p, per_thread));
     }
     {
-        std::fprintf(stderr, "  parallel threads of one program ...\n");
+        if (!benchQuiet())
+            std::fprintf(stderr, "  parallel threads of one program ...\n");
         Ev8Predictor p;
         report(ctx, "2T gcc parallel",
                "2 parallel threads of gcc (same program), per-thread "

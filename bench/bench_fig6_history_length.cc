@@ -83,7 +83,8 @@ main(int argc, char **argv)
     std::vector<std::string> extra_labels;
     std::vector<double> extra_values;
     for (const auto &scheme : schemes) {
-        std::fprintf(stderr, "  sweeping %s ...\n", scheme.label);
+        if (!benchQuiet())
+            std::fprintf(stderr, "  sweeping %s ...\n", scheme.label);
         auto points =
             sweepHistoryLengths(runner, scheme.make, lengths, ghist);
         // Ensure the log2(size) point itself is part of the sweep.
@@ -115,14 +116,16 @@ main(int argc, char **argv)
         extra_values.push_back(extra);
     }
 
-    std::printf("Best (swept) history length vs. the conventional "
-                "log2(table size) choice:\n\n%s\n",
-                table.render().c_str());
-    std::printf("%s\n",
-                renderBarChart("ADDITIONAL misp/KI from the log2(size) "
-                               "history length:",
-                               extra_labels, extra_values)
-                    .c_str());
+    if (!benchQuiet()) {
+        std::printf("Best (swept) history length vs. the conventional "
+                    "log2(table size) choice:\n\n%s\n",
+                    table.render().c_str());
+        std::printf("%s\n",
+                    renderBarChart("ADDITIONAL misp/KI from the "
+                                   "log2(size) history length:",
+                                   extra_labels, extra_values)
+                        .c_str());
+    }
 
     printShapeNotes({
         "the best history length meets or exceeds log2(table size) for "

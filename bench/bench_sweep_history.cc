@@ -52,9 +52,13 @@ printCurve(BenchContext &ctx, const char *label, const char *title,
         columns.push_back("h" + std::to_string(p.histLen));
         values.push_back(p.avgMispKI);
     }
-    std::printf("%s\n", renderBarChart(title, labels, values).c_str());
-    std::printf("  best length: %u (%.3f misp/KI)\n\n",
-                bestPoint(points).histLen, bestPoint(points).avgMispKI);
+    if (!benchQuiet()) {
+        std::printf("%s\n",
+                    renderBarChart(title, labels, values).c_str());
+        std::printf("  best length: %u (%.3f misp/KI)\n\n",
+                    bestPoint(points).histLen,
+                    bestPoint(points).avgMispKI);
+    }
     columns.push_back("best_len");
     values.push_back(bestPoint(points).histLen);
     ctx.recordRow(label, 0, std::move(columns), std::move(values));
@@ -72,7 +76,8 @@ main(int argc, char **argv)
     const auto lengths = sweepLengths();
     const SimConfig ghist = ctx.instrument(SimConfig::ghist());
 
-    std::fprintf(stderr, "  sweeping gshare 64K ...\n");
+    if (!benchQuiet())
+        std::fprintf(stderr, "  sweeping gshare 64K ...\n");
     const auto gshare = sweepHistoryLengths(
         runner,
         [](unsigned len) {
@@ -84,7 +89,8 @@ main(int argc, char **argv)
                "length:",
                gshare);
 
-    std::fprintf(stderr, "  sweeping 2Bc-gskew G1 length ...\n");
+    if (!benchQuiet())
+        std::fprintf(stderr, "  sweeping 2Bc-gskew G1 length ...\n");
     const auto g1 = sweepHistoryLengths(
         runner,
         [](unsigned len) {

@@ -40,22 +40,24 @@ main(int argc, char **argv)
                        double(1u << geo.log2Hyst),
                        double(geo.histLen)});
     }
-    std::printf("%s\n", table.render().c_str());
+    if (!benchQuiet())
+        std::printf("%s\n", table.render().c_str());
 
     uint64_t pred_bits = 0, hyst_bits = 0;
     for (const auto &geo : cfg.tables) {
         pred_bits += uint64_t{1} << geo.log2Pred;
         hyst_bits += uint64_t{1} << geo.log2Hyst;
     }
-    std::printf("prediction array: %s, hysteresis array: %s, "
-                "total: %s\n",
-                formatKbits(pred_bits).c_str(),
-                formatKbits(hyst_bits).c_str(),
-                formatKbits(pred_bits + hyst_bits).c_str());
-
     Ev8Predictor hardware;
-    std::printf("physical banked model reports:   %s\n\n",
-                formatKbits(hardware.storageBits()).c_str());
+    if (!benchQuiet()) {
+        std::printf("prediction array: %s, hysteresis array: %s, "
+                    "total: %s\n",
+                    formatKbits(pred_bits).c_str(),
+                    formatKbits(hyst_bits).c_str(),
+                    formatKbits(pred_bits + hyst_bits).c_str());
+        std::printf("physical banked model reports:   %s\n\n",
+                    formatKbits(hardware.storageBits()).c_str());
+    }
     ctx.recordRow("total", hardware.storageBits(),
                   {"pred_bits", "hyst_bits"},
                   {double(pred_bits), double(hyst_bits)});

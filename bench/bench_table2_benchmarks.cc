@@ -45,8 +45,9 @@ main(int argc, char **argv)
                   "instr/branch"});
 
     for (size_t i = 0; i < runner.size(); ++i) {
-        std::fprintf(stderr, "  generating %s ...\n",
-                     runner.name(i).c_str());
+        if (!benchQuiet())
+            std::fprintf(stderr, "  generating %s ...\n",
+                         runner.name(i).c_str());
         const TraceStats s = runner.trace(i).stats();
         table.row({runner.name(i),
                    fmt(double(s.dynamicCondBranches) / 1000.0, 0),
@@ -67,7 +68,8 @@ main(int argc, char **argv)
                        double(s.instructions)
                            / double(s.dynamicCondBranches)});
     }
-    std::printf("%s\n", table.render().c_str());
+    if (!benchQuiet())
+        std::printf("%s\n", table.render().c_str());
 
     printShapeNotes({
         "relative dynamic volumes proportional to the paper's Table 2 "

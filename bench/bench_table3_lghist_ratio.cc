@@ -36,7 +36,9 @@ main(int argc, char **argv)
                   "lghist bits"});
 
     for (size_t i = 0; i < runner.size(); ++i) {
-        std::fprintf(stderr, "  running %s ...\n", runner.name(i).c_str());
+        if (!benchQuiet())
+            std::fprintf(stderr, "  running %s ...\n",
+                         runner.name(i).c_str());
         BimodalPredictor dummy(10); // the predictor is irrelevant here
         const SimResult r = simulateTrace(
             runner.trace(i), dummy, ctx.instrument(SimConfig::ev8()));
@@ -51,7 +53,8 @@ main(int argc, char **argv)
                       {r.lghistRatio(), kPaperRatio[i],
                        double(r.fetchBlocks), double(r.lghistBits)});
     }
-    std::printf("%s\n", table.render().c_str());
+    if (!benchQuiet())
+        std::printf("%s\n", table.render().c_str());
 
     printShapeNotes({
         "every ratio > 1: lghist compresses several branch outcomes "

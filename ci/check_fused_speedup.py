@@ -34,6 +34,9 @@ import sys
 import tempfile
 import time
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from strip_telemetry import mask_timing_dependent  # noqa: E402
+
 
 def run_once(bench, branches, jobs, fused, workdir, tag):
     """One timed bench run; returns (seconds, json_path, csv_path)."""
@@ -95,6 +98,11 @@ def main():
         for kind in (0, 1):
             a = open(artifacts["0"][kind], "rb").read()
             b = open(artifacts["1"][kind], "rb").read()
+            if kind == 0:
+                # The JSON telemetry block is wall-clock data; compare
+                # it masked (every other byte must still match).
+                a = mask_timing_dependent(a.decode()).encode()
+                b = mask_timing_dependent(b.decode()).encode()
             if a != b:
                 print("FAIL: fused and per-cell artifacts differ",
                       file=sys.stderr)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Masked byte-comparison for ev8-bench-v1 JSON artifacts.
+
+The artifact schema carries two members whose *values* are wall-clock
+dependent while their *presence* is deterministic: the top-level
+"telemetry" object and the per-failure "attempt_ns" arrays. The CI
+determinism gates therefore compare JSON artifacts with those values
+masked (replaced by an empty object/array); every other byte must still
+match. CSV and JSONL artifacts carry no timing members and stay under
+plain `cmp`. The C++ twin of this helper is
+tests/artifact_test_util.hh.
+
+Usage:
+    strip_telemetry.py FILE            # print the masked document
+    strip_telemetry.py FILE_A FILE_B   # exit 1 iff they differ masked
+"""
+
+import sys
+
+
+def mask_member(text, key, open_ch, close_ch):
+    """Replace every `"<key>": <open>...<close>` value with an empty
+    container, tracking string literals and escapes so braces inside
+    string values cannot truncate the match."""
+    needle = f'"{key}":'
+    out = []
+    pos = 0
+    while True:
+        hit = text.find(needle, pos)
+        if hit < 0:
+            out.append(text[pos:])
+            break
+        value = hit + len(needle)
+        while value < len(text) and text[value].isspace():
+            value += 1
+        if value >= len(text) or text[value] != open_ch:
+            out.append(text[pos:value])
+            pos = value
+            continue
+        end = value
+        depth = 0
+        in_str = esc = False
+        while end < len(text):
+            c = text[end]
+            end += 1
+            if in_str:
+                if esc:
+                    esc = False
+                elif c == "\\":
+                    esc = True
+                elif c == '"':
+                    in_str = False
+            elif c == '"':
+                in_str = True
+            elif c == open_ch:
+                depth += 1
+            elif c == close_ch:
+                depth -= 1
+                if depth == 0:
+                    break
+        out.append(text[pos:value])
+        out.append(open_ch + close_ch)
+        pos = end
+    return "".join(out)
+
+
+def mask_timing_dependent(text):
+    """Mask the wall-clock members ("telemetry", "attempt_ns")."""
+    text = mask_member(text, "telemetry", "{", "}")
+    text = mask_member(text, "attempt_ns", "[", "]")
+    return text
+
+
+def main(argv):
+    if len(argv) == 2:
+        sys.stdout.write(mask_timing_dependent(open(argv[1]).read()))
+        return 0
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    a = mask_timing_dependent(open(argv[1]).read())
+    b = mask_timing_dependent(open(argv[2]).read())
+    if a != b:
+        print(f"FAIL: {argv[1]} and {argv[2]} differ beyond the "
+              "masked telemetry/attempt_ns members", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

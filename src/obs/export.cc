@@ -80,6 +80,91 @@ writeTimingStat(JsonWriter &w, const TimingStat &stat)
     w.endObject();
 }
 
+void
+writeTelemetryMember(JsonWriter &w, const TelemetryExport &tel)
+{
+    w.key("telemetry");
+    w.beginObject();
+
+    w.key("wall_ns");
+    w.value(tel.wallNs);
+    w.key("cpu_user_ns");
+    w.value(tel.cpuUserNs);
+    w.key("cpu_sys_ns");
+    w.value(tel.cpuSysNs);
+    w.key("peak_rss_bytes");
+    w.value(tel.peakRssBytes);
+
+    w.key("phases");
+    w.beginObject();
+    for (const auto &phase : tel.phases) {
+        w.key(phase.name);
+        w.beginObject();
+        w.key("count");
+        w.value(phase.count);
+        w.key("wall_ns");
+        w.value(phase.wallNs);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("cell_duration_ms");
+    w.beginObject();
+    w.key("count");
+    w.value(tel.cellCount);
+    w.key("sum");
+    w.value(tel.cellSumMs);
+    w.key("buckets");
+    w.beginArray();
+    for (size_t i = 0; i < tel.cellBucketCounts.size(); ++i) {
+        w.beginObject();
+        w.key("le");
+        if (i < tel.cellBoundsMs.size())
+            w.value(tel.cellBoundsMs[i]);
+        else
+            w.value("inf"); // the overflow bucket
+        w.key("count");
+        w.value(tel.cellBucketCounts[i]);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("trace_cache");
+    w.beginObject();
+    w.key("trace_requests");
+    w.value(tel.traceRequests);
+    w.key("trace_disk_hits");
+    w.value(tel.traceDiskHits);
+    w.key("traces_generated");
+    w.value(tel.tracesGenerated);
+    w.key("stream_requests");
+    w.value(tel.streamRequests);
+    w.key("stream_disk_hits");
+    w.value(tel.streamDiskHits);
+    w.key("streams_decoded");
+    w.value(tel.streamsDecoded);
+    w.key("stream_hit_ratio");
+    w.value(tel.streamHitRatio);
+    w.endObject();
+
+    w.key("pool");
+    w.beginObject();
+    w.key("workers");
+    w.value(tel.poolWorkers);
+    w.key("grid_cells");
+    w.value(tel.poolGridCells);
+    w.key("busy_ns");
+    w.value(tel.poolBusyNs);
+    w.key("wall_ns");
+    w.value(tel.poolWallNs);
+    w.key("utilization");
+    w.value(tel.poolUtilization);
+    w.endObject();
+
+    w.endObject();
+}
+
 } // namespace
 
 void
@@ -153,6 +238,13 @@ writeBenchJson(std::ostream &out, const BenchExport &data)
             w.value(uint64_t{f.attempts});
             w.key("error");
             w.value(f.error);
+            if (!f.attemptNs.empty()) {
+                w.key("attempt_ns");
+                w.beginArray();
+                for (const uint64_t ns : f.attemptNs)
+                    w.value(ns);
+                w.endArray();
+            }
             w.endObject();
         }
         w.endArray();
@@ -174,6 +266,9 @@ writeBenchJson(std::ostream &out, const BenchExport &data)
     w.key("history");
     writeTimingStat(w, data.timing.history);
     w.endObject();
+
+    if (data.telemetry)
+        writeTelemetryMember(w, *data.telemetry);
 
     w.endObject();
     out << '\n';

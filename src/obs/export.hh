@@ -16,13 +16,27 @@
  *       "rows": [{"label": "...", "storage_bits": N,
  *                 "values": {"compress": x, ..., "amean": x}}],
  *       "failures": [{"row_label": "...", "bench": "...",
- *                     "attempts": N, "error": "..."}],
+ *                     "attempts": N, "error": "...",
+ *                     "attempt_ns": [N, ...]}],
  *       "metrics": {"counters": {name: N, ...},
  *                   "gauges": {name: x, ...},
  *                   "histograms": {name: {"count": N, "sum": x,
  *                       "buckets": [{"le": b, "count": N}, ...]}}},
  *       "timing": {"lookup":  {"calls": N, "ns": N, "ns_per_call": x},
- *                  "update":  {...}, "history": {...}}
+ *                  "update":  {...}, "history": {...}},
+ *       "telemetry": {"wall_ns": N, "cpu_user_ns": N, "cpu_sys_ns": N,
+ *                     "peak_rss_bytes": N,
+ *                     "phases": {"cell": {"count": N, "wall_ns": N},
+ *                                ... one member per span phase ...},
+ *                     "cell_duration_ms": {"count": N, "sum": x,
+ *                         "buckets": [{"le": b, "count": N}, ...]},
+ *                     "trace_cache": {"trace_requests": N,
+ *                         "trace_disk_hits": N, "traces_generated": N,
+ *                         "stream_requests": N, "stream_disk_hits": N,
+ *                         "streams_decoded": N, "stream_hit_ratio": x},
+ *                     "pool": {"workers": N, "grid_cells": N,
+ *                              "busy_ns": N, "wall_ns": N,
+ *                              "utilization": x}}
  *     }
  *
  * Non-finite values serialize as JSON null ("--" in the CSV).
@@ -43,6 +57,7 @@
 #include <vector>
 
 #include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 #include "obs/timer.hh"
 
 namespace ev8
@@ -67,6 +82,15 @@ struct BenchFailureExport
     std::string bench;
     unsigned attempts = 0;
     std::string error;
+
+    /**
+     * Wall time of each attempt, in submission order -- the JSON
+     * failures entries gain an "attempt_ns" array so the artifact shows
+     * time lost to retries, not just counts. Timing-dependent: masked
+     * (like the telemetry block) in byte-identity comparisons. The CSV
+     * failures block is unchanged.
+     */
+    std::vector<uint64_t> attemptNs;
 };
 
 /** Everything one bench binary exports. */
@@ -80,6 +104,13 @@ struct BenchExport
     std::vector<BenchFailureExport> failures; //!< empty on a clean run
     const MetricRegistry *metrics = nullptr;  //!< optional
     SimTiming timing;                         //!< all-zero when unprofiled
+
+    /**
+     * Optional run telemetry (resource usage, phase times, pool
+     * utilization). The bench harness always attaches it, so presence
+     * is deterministic per artifact even though the values are not.
+     */
+    const TelemetryExport *telemetry = nullptr;
 };
 
 /** Writes the full JSON artifact described above. */

@@ -139,6 +139,13 @@ JsonWriter::valueNull()
     out_ << "null";
 }
 
+void
+JsonWriter::rawValue(const std::string &json)
+{
+    separate();
+    out_ << json;
+}
+
 const JsonValue *
 JsonValue::find(const std::string &name) const
 {

@@ -52,6 +52,13 @@ class JsonWriter
     void value(bool flag);
     void valueNull();
 
+    /**
+     * Splices @p json verbatim as one value. The caller guarantees it
+     * is a complete, well-formed JSON value (used to embed
+     * pre-serialized span args without re-parsing).
+     */
+    void rawValue(const std::string &json);
+
   private:
     void separate(); //!< comma/space before a new element
 

@@ -1,0 +1,167 @@
+#include "obs/progress.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace_span.hh"
+
+namespace ev8
+{
+
+namespace
+{
+
+/** Minimum interval between stderr renders. */
+constexpr uint64_t kRenderIntervalNs = 100'000'000; // 100 ms
+
+/** How many per-worker current-cell labels fit on the line. */
+constexpr size_t kMaxShownWorkers = 4;
+
+/** Lazily assigned dense display slot for the calling worker. */
+thread_local int tl_slot = -1;
+
+} // namespace
+
+ProgressMeter &
+ProgressMeter::global()
+{
+    static ProgressMeter meter;
+    return meter;
+}
+
+void
+ProgressMeter::beginBatch(size_t cells)
+{
+    if (!enabled())
+        return;
+    total_.fetch_add(cells, std::memory_order_relaxed);
+    render(true);
+}
+
+void
+ProgressMeter::endBatch()
+{
+    if (!enabled())
+        return;
+    render(true);
+}
+
+void
+ProgressMeter::noteCurrent(const std::string &label)
+{
+    if (!enabled())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (tl_slot < 0) {
+            tl_slot = static_cast<int>(current_.size());
+            current_.emplace_back();
+        }
+        current_[static_cast<size_t>(tl_slot)] = label;
+    }
+    render(false);
+}
+
+void
+ProgressMeter::noteDone(uint64_t dur_ns, bool failed)
+{
+    if (!enabled())
+        return;
+    done_.fetch_add(1, std::memory_order_relaxed);
+    if (failed)
+        failed_.fetch_add(1, std::memory_order_relaxed);
+    else
+        sumDurNs_.fetch_add(dur_ns, std::memory_order_relaxed);
+    render(false);
+}
+
+void
+ProgressMeter::noteRetried()
+{
+    if (!enabled())
+        return;
+    retried_.fetch_add(1, std::memory_order_relaxed);
+    render(false);
+}
+
+void
+ProgressMeter::finishLine()
+{
+    if (!enabled())
+        return;
+    render(true);
+    if (rendered_.load(std::memory_order_relaxed)) {
+        std::fputc('\n', stderr);
+        std::fflush(stderr);
+    }
+}
+
+void
+ProgressMeter::render(bool force)
+{
+    const uint64_t now = SpanTracer::global().nowNs();
+    uint64_t last = lastRenderNs_.load(std::memory_order_relaxed);
+    if (!force && now - last < kRenderIntervalNs)
+        return;
+    if (!lastRenderNs_.compare_exchange_strong(
+            last, now, std::memory_order_relaxed))
+        if (!force)
+            return; // another thread just rendered
+
+    const uint64_t total = total_.load(std::memory_order_relaxed);
+    const uint64_t done = done_.load(std::memory_order_relaxed);
+    const uint64_t failed = failed_.load(std::memory_order_relaxed);
+    const uint64_t retried = retried_.load(std::memory_order_relaxed);
+    const uint64_t sumDur = sumDurNs_.load(std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    char head[160];
+    int len = std::snprintf(head, sizeof(head),
+                            "[ev8] %llu/%llu cells",
+                            static_cast<unsigned long long>(done),
+                            static_cast<unsigned long long>(total));
+    std::string line(head, len > 0 ? static_cast<size_t>(len) : 0);
+    if (failed || retried) {
+        len = std::snprintf(head, sizeof(head),
+                            "  %llu failed  %llu retried",
+                            static_cast<unsigned long long>(failed),
+                            static_cast<unsigned long long>(retried));
+        line.append(head, len > 0 ? static_cast<size_t>(len) : 0);
+    }
+
+    const uint64_t completed = done - failed;
+    const size_t workers = std::max<size_t>(current_.size(), 1);
+    if (completed > 0 && total > done) {
+        const double avgNs =
+            static_cast<double>(sumDur) / static_cast<double>(completed);
+        const double etaSec = avgNs * static_cast<double>(total - done)
+            / static_cast<double>(workers) / 1e9;
+        len = std::snprintf(head, sizeof(head), "  ETA %.0fs", etaSec);
+        line.append(head, len > 0 ? static_cast<size_t>(len) : 0);
+    }
+
+    size_t shown = 0;
+    for (const std::string &label : current_) {
+        if (label.empty())
+            continue;
+        if (shown == kMaxShownWorkers) {
+            line += " ...";
+            break;
+        }
+        line += shown == 0 ? "  | " : " ";
+        line += label;
+        ++shown;
+    }
+
+    // Overwrite the previous render in place, padding out leftovers.
+    std::string padded = line;
+    if (padded.size() < lastLineLen_)
+        padded.append(lastLineLen_ - padded.size(), ' ');
+    lastLineLen_ = line.size();
+    std::fprintf(stderr, "\r%s", padded.c_str());
+    std::fflush(stderr);
+    rendered_.store(true, std::memory_order_relaxed);
+}
+
+} // namespace ev8

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Live run progress for long experiment grids (--progress): a
+ * rate-limited single-line stderr reporter fed by the experiment
+ * engine. Shows cells done/total, failed/retried counts, an ETA
+ * extrapolated from completed-cell durations, and the cell each worker
+ * is currently executing. Output is explicitly timing-dependent and
+ * never part of the byte-compared artifacts.
+ *
+ * Disabled (the default) every hook is a relaxed atomic load and an
+ * untaken branch, matching the obs layer's gate discipline.
+ */
+
+#ifndef EV8_OBS_PROGRESS_HH
+#define EV8_OBS_PROGRESS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ev8
+{
+
+class ProgressMeter
+{
+  public:
+    /** The process-wide meter the engine reports into. */
+    static ProgressMeter &global();
+
+    void enable() { enabled_.store(true, std::memory_order_relaxed); }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** A grid batch of @p cells cells was submitted. */
+    void beginBatch(size_t cells);
+
+    /** A batch finished (forces a render so totals read current). */
+    void endBatch();
+
+    /** The calling worker started executing the cell named @p label. */
+    void noteCurrent(const std::string &label);
+
+    /**
+     * A cell finished. @p dur_ns feeds the ETA estimate; failed cells
+     * count separately and do not feed it.
+     */
+    void noteDone(uint64_t dur_ns, bool failed);
+
+    /** A cell attempt failed and will be retried. */
+    void noteRetried();
+
+    /** Final render plus newline, so later output starts clean. */
+    void finishLine();
+
+  private:
+    void render(bool force);
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> total_{0};
+    std::atomic<uint64_t> done_{0};
+    std::atomic<uint64_t> failed_{0};
+    std::atomic<uint64_t> retried_{0};
+    std::atomic<uint64_t> sumDurNs_{0};
+    std::atomic<uint64_t> lastRenderNs_{0};
+    std::atomic<bool> rendered_{false};
+
+    std::mutex mutex_; //!< guards current_ and the stderr line
+    std::vector<std::string> current_; //!< per-worker current cell
+    size_t lastLineLen_ = 0;
+};
+
+} // namespace ev8
+
+#endif // EV8_OBS_PROGRESS_HH

@@ -1,0 +1,62 @@
+#include "obs/telemetry.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <sys/resource.h>
+
+namespace ev8
+{
+
+namespace
+{
+
+uint64_t
+timevalToNs(const timeval &tv)
+{
+    return static_cast<uint64_t>(tv.tv_sec) * 1'000'000'000ull
+        + static_cast<uint64_t>(tv.tv_usec) * 1'000ull;
+}
+
+/** VmHWM ("high water mark" RSS) from /proc/self/status, in bytes. */
+uint64_t
+peakRssFromProc()
+{
+    std::ifstream status("/proc/self/status");
+    if (!status)
+        return 0;
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) != 0)
+            continue;
+        unsigned long long kb = 0;
+        if (std::sscanf(line.c_str(), "VmHWM: %llu kB", &kb) == 1)
+            return static_cast<uint64_t>(kb) * 1024ull;
+        return 0;
+    }
+    return 0;
+}
+
+} // namespace
+
+ResourceSample
+sampleResourceUsage()
+{
+    ResourceSample sample;
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+        sample.cpuUserNs = timevalToNs(usage.ru_utime);
+        sample.cpuSysNs = timevalToNs(usage.ru_stime);
+        // ru_maxrss is kilobytes on Linux; the procfs value wins when
+        // available (same quantity, and what the schema documents).
+        sample.peakRssBytes =
+            static_cast<uint64_t>(usage.ru_maxrss) * 1024ull;
+    }
+    if (const uint64_t hwm = peakRssFromProc())
+        sample.peakRssBytes = hwm;
+    return sample;
+}
+
+} // namespace ev8

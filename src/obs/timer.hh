@@ -14,6 +14,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "obs/trace_span.hh"
+
 namespace ev8
 {
 
@@ -62,12 +64,21 @@ struct SimTiming
     }
 };
 
-/** RAII guard adding its scope's duration to a TimingStat. */
+/**
+ * RAII guard adding its scope's duration to a TimingStat. When a
+ * SpanPhase is given and tracing is enabled, the same measurement also
+ * feeds the span tracer's coarse phase totals, so PR 1 phase timers and
+ * spans share one clock and one naming scheme (TimingStat "lookup" ==
+ * span phase "sim.time.lookup"). With tracing disabled the routing
+ * costs one relaxed atomic load.
+ */
 class ScopedTimer
 {
   public:
-    explicit ScopedTimer(TimingStat &stat)
-        : stat_(stat), start(std::chrono::steady_clock::now())
+    explicit ScopedTimer(TimingStat &stat,
+                         SpanPhase phase = SpanPhase::None)
+        : stat_(stat), phase_(phase),
+          start(std::chrono::steady_clock::now())
     {}
 
     ScopedTimer(const ScopedTimer &) = delete;
@@ -76,13 +87,20 @@ class ScopedTimer
     ~ScopedTimer()
     {
         const auto elapsed = std::chrono::steady_clock::now() - start;
-        stat_.add(static_cast<uint64_t>(
+        const auto ns = static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()));
+                .count());
+        stat_.add(ns);
+        if (phase_ != SpanPhase::None) {
+            SpanTracer &tracer = SpanTracer::global();
+            if (tracer.enabled())
+                tracer.addPhase(phase_, ns);
+        }
     }
 
   private:
     TimingStat &stat_;
+    SpanPhase phase_;
     std::chrono::steady_clock::time_point start;
 };
 

@@ -1,0 +1,109 @@
+#include "obs/trace_writer.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.hh"
+#include "obs/trace_span.hh"
+
+namespace ev8
+{
+
+namespace
+{
+
+/** ts/dur are microseconds in the trace_event format. */
+double
+toMicros(uint64_t ns)
+{
+    return static_cast<double>(ns) / 1000.0;
+}
+
+void
+writeMetadataEvent(JsonWriter &w, const char *name, uint32_t tid,
+                   const char *arg_key, const std::string &arg_value)
+{
+    w.beginObject();
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(uint64_t{1});
+    w.key("tid");
+    w.value(uint64_t{tid});
+    w.key("name");
+    w.value(name);
+    w.key("args");
+    w.beginObject();
+    w.key(arg_key);
+    w.value(arg_value);
+    w.endObject();
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &out, const SpanTracer &tracer,
+                 const std::string &process_name)
+{
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("displayTimeUnit");
+    w.value("ms");
+    w.key("traceEvents");
+    w.beginArray();
+
+    writeMetadataEvent(w, "process_name", 0, "name", process_name);
+    for (const SpanThreadInfo &thread : tracer.threads())
+        writeMetadataEvent(w, "thread_name", thread.tid, "name",
+                           thread.name);
+
+    for (const SpanEvent &event : tracer.collect()) {
+        w.beginObject();
+        w.key("ph");
+        w.value("X");
+        w.key("pid");
+        w.value(uint64_t{1});
+        w.key("tid");
+        w.value(uint64_t{event.tid});
+        w.key("ts");
+        w.value(toMicros(event.startNs));
+        w.key("dur");
+        w.value(toMicros(event.durNs));
+        w.key("cat");
+        w.value(spanPhaseName(event.phase));
+        w.key("name");
+        w.value(event.name);
+        if (!event.args.empty()) {
+            w.key("args");
+            w.rawValue("{" + event.args + "}");
+        }
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+    out << '\n';
+}
+
+bool
+writeChromeTraceFile(const std::string &path, const SpanTracer &tracer,
+                     const std::string &process_name)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "ev8: cannot open trace file %s\n",
+                     path.c_str());
+        return false;
+    }
+    writeChromeTrace(out, tracer, process_name);
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "ev8: error writing trace file %s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace ev8

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Serializes a SpanTracer's collected spans as Chrome trace_event JSON
+ * (the JSON Array Format wrapped in an object), loadable in Perfetto or
+ * chrome://tracing. Each span becomes one "X" (complete) event with
+ * microsecond ts/dur; registered threads get "M" thread_name metadata
+ * so the timeline renders one labelled track per worker.
+ */
+
+#ifndef EV8_OBS_TRACE_WRITER_HH
+#define EV8_OBS_TRACE_WRITER_HH
+
+#include <ostream>
+#include <string>
+
+namespace ev8
+{
+
+class SpanTracer;
+
+/**
+ * Writes @p tracer's buffered spans to @p out as
+ * {"displayTimeUnit":"ms","traceEvents":[...]}.
+ */
+void writeChromeTrace(std::ostream &out, const SpanTracer &tracer,
+                      const std::string &process_name = "ev8bp");
+
+/**
+ * Writes the trace to @p path (truncating). Returns false (and reports
+ * to stderr) when the file cannot be opened or written.
+ */
+bool writeChromeTraceFile(const std::string &path,
+                          const SpanTracer &tracer,
+                          const std::string &process_name = "ev8bp");
+
+} // namespace ev8
+
+#endif // EV8_OBS_TRACE_WRITER_HH

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "frontend/fetch_block.hh"
+#include "obs/trace_span.hh"
 #include "trace/trace.hh"
 #include "trace/varint.hh"
 
@@ -31,6 +32,9 @@ constexpr uint32_t kVersion = 1;
 BlockStream
 decodeBlockStream(const Trace &trace)
 {
+    ScopedSpan span(SpanPhase::Decode);
+    span.rename("decode:" + trace.name());
+    span.arg("bench", trace.name());
     BlockStream stream;
     stream.name_ = trace.name();
     stream.instructions_ = trace.instructionCount();

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "obs/json.hh"
+#include "obs/trace_span.hh"
 #include "sim/fault_injection.hh"
 
 namespace ev8
@@ -284,6 +285,7 @@ GridCheckpoint::load()
     if (!enabled())
         return restored;
 
+    ScopedSpan span(SpanPhase::Checkpoint, "checkpoint:load");
     bool fresh = true;
     try {
         FaultInjector::global().maybeThrow(FaultPoint::CkptRead, path_);
@@ -361,6 +363,7 @@ GridCheckpoint::load()
     } catch (const std::exception &err) {
         disableWrites(err.what());
     }
+    span.arg("restored", static_cast<uint64_t>(restored.size()));
     return restored;
 }
 
@@ -384,6 +387,8 @@ GridCheckpoint::append(size_t cell, const BenchResult &result,
 {
     if (!enabled())
         return;
+    ScopedSpan span(SpanPhase::Checkpoint, "checkpoint:append");
+    span.arg("cell", static_cast<uint64_t>(cell));
     const std::string line = encodeRecord(cell, result, metrics, events);
 
     std::lock_guard<std::mutex> lock(mutex_);

@@ -11,7 +11,10 @@
 
 #include "common/hash.hh"
 #include "obs/event_trace.hh"
+#include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "obs/progress.hh"
+#include "obs/trace_span.hh"
 #include "sim/checkpoint.hh"
 #include "sim/fault_injection.hh"
 #include "workloads/synthetic_program.hh"
@@ -27,6 +30,18 @@ constexpr unsigned long long kMaxParsedJobs = 4096;
 
 /** Ceiling on one retry backoff sleep, whatever the attempt count. */
 constexpr uint64_t kMaxBackoffMs = 1000;
+
+/**
+ * Bucket bounds (milliseconds) for the per-cell duration histogram the
+ * telemetry block exports. Cells range from sub-millisecond unit-test
+ * grids to multi-second full-budget sweeps.
+ */
+std::vector<double>
+cellDurationBoundsMs()
+{
+    return {1,    2,    5,    10,   25,   50,  100,
+            250,  500,  1000, 2500, 5000, 10000};
+}
 
 /**
  * Strictly parses an unsigned environment knob: decimal digits only,
@@ -206,7 +221,8 @@ ExperimentEngine::publishMetrics(MetricRegistry &registry,
 }
 
 ExperimentEngine::ExperimentEngine(unsigned jobs)
-    : jobs_(jobs != 0 ? jobs : defaultJobs())
+    : jobs_(jobs != 0 ? jobs : defaultJobs()),
+      cellDurationsMs_(cellDurationBoundsMs())
 {
     queues_.reserve(jobs_);
     for (unsigned i = 0; i < jobs_; ++i)
@@ -277,6 +293,8 @@ ExperimentEngine::drain(unsigned slot, const std::function<void(size_t)> &fn)
 void
 ExperimentEngine::workerLoop(unsigned slot)
 {
+    SpanTracer::global().setThreadName("worker-"
+                                       + std::to_string(slot));
     uint64_t seen = 0;
     for (;;) {
         const std::function<void(size_t)> *fn;
@@ -349,6 +367,10 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
     const size_t n = rows.size() * nbench;
     const uint64_t batch = batchIndex_++;
 
+    SpanTracer &tracer = SpanTracer::global();
+    ProgressMeter &progress = ProgressMeter::global();
+    const uint64_t gridStartNs = tracer.nowNs();
+
     /** Everything one (benchmark, config) job produces in isolation. */
     struct JobOutput
     {
@@ -359,6 +381,7 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         bool failed = false;    //!< exhausted its retry budget
         unsigned attempts = 0;
         std::string error;      //!< what() of the last failed attempt
+        std::vector<uint64_t> attemptNs; //!< wall time of each attempt
     };
     std::vector<JobOutput> outputs(n);
     gridCells_ += n;
@@ -388,6 +411,9 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         n);
     std::vector<char> restored(n, 0);
     if (checkpoint.enabled()) {
+        ScopedSpan setup(SpanPhase::GridSetup, "grid.setup:restore");
+        setup.arg("batch", batch);
+        setup.arg("cells", static_cast<uint64_t>(n));
         std::vector<BranchClassMap> classCache(nbench);
         std::vector<char> haveClass(nbench, 0);
         auto restoredCells = checkpoint.load();
@@ -515,34 +541,86 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
      * state from a failed attempt is discarded so a retry (or the
      * merge) never sees it.
      */
+    /**
+     * Human/timeline label for cell @p i: "<row label>/<bench>", or
+     * just the benchmark for anonymous rows.
+     */
+    auto cell_label = [&](size_t i) {
+        const std::string &label = rows[i / nbench].label;
+        const std::string &bench =
+            specint95Suite()[i % nbench].profile.name;
+        return label.empty() ? bench : label + "/" + bench;
+    };
+
+    /** One completed "cell" timeline span (per attempt, per lane). */
+    auto record_cell_span = [&](size_t i, unsigned attempt,
+                                size_t lanes, bool attempt_failed,
+                                uint64_t start_ns, uint64_t dur_ns) {
+        if (!tracer.enabled())
+            return;
+        const GridRow &row = rows[i / nbench];
+        std::string args = "\"bench\":\""
+            + escapeJson(specint95Suite()[i % nbench].profile.name)
+            + "\",\"config\":\"" + escapeJson(row.label)
+            + "\",\"row\":" + std::to_string(i / nbench)
+            + ",\"lanes\":" + std::to_string(lanes)
+            + ",\"attempt\":" + std::to_string(attempt);
+        if (attempt_failed)
+            args += ",\"failed\":true";
+        tracer.record(SpanPhase::Cell, cell_label(i), std::move(args),
+                      start_ns, dur_ns);
+    };
+
     auto run_cell_guarded = [&](size_t i) {
         JobOutput &out = outputs[i];
         const std::string key = cell_key(i);
         for (unsigned attempt = 1; attempt <= retry_max; ++attempt) {
             out.attempts = attempt;
+            if (progress.enabled())
+                progress.noteCurrent(cell_label(i));
+            const uint64_t startNs = tracer.nowNs();
+            bool ok = false;
             try {
                 faults.maybeKill(key);
                 faults.maybeThrow(FaultPoint::Job, key);
                 run_cell(i);
                 checkpoint.append(i, out.result, out.metrics,
                                   out.events);
-                return;
+                ok = true;
             } catch (const std::exception &err) {
                 out.error = err.what();
             } catch (...) {
                 out.error = "unknown exception";
             }
+            const uint64_t durNs = tracer.nowNs() - startNs;
+            tracer.addPhase(SpanPhase::Cell, durNs);
+            record_cell_span(i, attempt, 1, !ok, startNs, durNs);
+            busyNs_.fetch_add(durNs, std::memory_order_relaxed);
+            out.attemptNs.push_back(durNs);
+            if (ok) {
+                cellDurationsMs_.observe(static_cast<double>(durNs)
+                                         / 1e6);
+                progress.noteDone(durNs, false);
+                return;
+            }
+            // Discard the torn attempt's partial state; only the
+            // failure bookkeeping survives into the next attempt.
             const unsigned attempts = out.attempts;
             std::string error = std::move(out.error);
+            std::vector<uint64_t> attemptNs = std::move(out.attemptNs);
             out = JobOutput{};
             out.attempts = attempts;
             out.error = std::move(error);
+            out.attemptNs = std::move(attemptNs);
             if (attempt < retry_max) {
                 cellsRetried_.fetch_add(1, std::memory_order_relaxed);
+                progress.noteRetried();
                 backoff(attempt);
             }
         }
         out.failed = true;
+        progress.noteDone(
+            out.attemptNs.empty() ? 0 : out.attemptNs.back(), true);
     };
 
     /**
@@ -557,7 +635,14 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
             run_cell_guarded(cells.front());
             return;
         }
+        const std::string &benchName =
+            specint95Suite()[cells.front() % nbench].profile.name;
+        if (progress.enabled()) {
+            progress.noteCurrent("fused:" + benchName + " x"
+                                 + std::to_string(cells.size()));
+        }
         bool fused_ok = true;
+        const uint64_t startNs = tracer.nowNs();
         try {
             for (const size_t i : cells) {
                 const std::string key = cell_key(i);
@@ -568,14 +653,47 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         } catch (...) {
             fused_ok = false;
         }
+        const uint64_t durNs = tracer.nowNs() - startNs;
+        tracer.addPhase(SpanPhase::FusedWalk, durNs);
+        busyNs_.fetch_add(durNs, std::memory_order_relaxed);
+        if (tracer.enabled()) {
+            tracer.record(SpanPhase::FusedWalk,
+                          "fused:" + benchName + " x"
+                              + std::to_string(cells.size()),
+                          "\"bench\":\"" + escapeJson(benchName)
+                              + "\",\"lanes\":"
+                              + std::to_string(cells.size()),
+                          startNs, durNs);
+        }
         if (fused_ok) {
-            for (const size_t i : cells) {
+            // One shared walk executed every lane: attribute each cell
+            // an equal amortized slice so the timeline (and the cell
+            // histogram) keeps one entry per grid cell in every mode.
+            const uint64_t slice = durNs / cells.size();
+            for (size_t k = 0; k < cells.size(); ++k) {
+                const size_t i = cells[k];
                 JobOutput &out = outputs[i];
                 out.attempts = 1;
                 checkpoint.append(i, out.result, out.metrics,
                                   out.events);
+                record_cell_span(i, 1, cells.size(), false,
+                                 startNs + k * slice, slice);
+                cellDurationsMs_.observe(static_cast<double>(slice)
+                                         / 1e6);
+                progress.noteDone(slice, false);
             }
             return;
+        }
+        // Demotion: the walk threw, so the group falls back to guarded
+        // per-cell execution. Zero-duration marker span for the event.
+        tracer.addPhase(SpanPhase::FusedDemote, 0);
+        if (tracer.enabled()) {
+            tracer.record(SpanPhase::FusedDemote,
+                          "demote:" + benchName,
+                          "\"bench\":\"" + escapeJson(benchName)
+                              + "\",\"lanes\":"
+                              + std::to_string(cells.size()),
+                          tracer.nowNs(), 0);
         }
         for (const size_t i : cells) {
             outputs[i] = JobOutput{}; // drop the torn fused attempt
@@ -590,6 +708,7 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         if (!restored[i])
             todo.push_back(i);
     }
+    progress.beginBatch(todo.size());
 
     if (!fusedEnabled()) {
         parallelFor(todo.size(),
@@ -601,29 +720,36 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         // lanes to legally share one history walk / one kernel shape.
         using FuseKey = std::tuple<size_t, int, unsigned, bool, bool,
                                    bool, bool, bool>;
-        const size_t cap = fusedLaneCap();
         std::vector<std::vector<size_t>> groups;
-        std::map<FuseKey, size_t> open; //!< key -> unfilled group index
-        for (const size_t i : todo) {
-            const SimConfig &c = rows[i / nbench].config;
-            const FuseKey key{i % nbench, static_cast<int>(c.history),
-                              c.historyAge, c.assignBanks,
-                              c.profileTiming, c.events != nullptr,
-                              c.metrics != nullptr,
-                              c.forceGenericKernel};
-            auto [it, inserted] = open.try_emplace(key, groups.size());
-            if (inserted) {
-                groups.emplace_back();
-            } else if (groups[it->second].size() >= cap) {
-                it->second = groups.size();
-                groups.emplace_back();
+        {
+            ScopedSpan grouping(SpanPhase::GridSetup,
+                                "grid.setup:fuse");
+            grouping.arg("cells", static_cast<uint64_t>(todo.size()));
+            const size_t cap = fusedLaneCap();
+            std::map<FuseKey, size_t> open; //!< key -> unfilled group
+            for (const size_t i : todo) {
+                const SimConfig &c = rows[i / nbench].config;
+                const FuseKey key{i % nbench,
+                                  static_cast<int>(c.history),
+                                  c.historyAge, c.assignBanks,
+                                  c.profileTiming, c.events != nullptr,
+                                  c.metrics != nullptr,
+                                  c.forceGenericKernel};
+                auto [it, inserted] =
+                    open.try_emplace(key, groups.size());
+                if (inserted) {
+                    groups.emplace_back();
+                } else if (groups[it->second].size() >= cap) {
+                    it->second = groups.size();
+                    groups.emplace_back();
+                }
+                groups[it->second].push_back(i);
             }
-            groups[it->second].push_back(i);
-        }
-        for (const auto &cells : groups) {
-            if (cells.size() > 1) {
-                ++fusedJobs_;
-                fusedLaneCells_ += cells.size();
+            for (const auto &cells : groups) {
+                if (cells.size() > 1) {
+                    ++fusedJobs_;
+                    fusedLaneCells_ += cells.size();
+                }
             }
         }
         parallelFor(groups.size(),
@@ -639,6 +765,8 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
     outcome.results.resize(rows.size());
     for (auto &row_results : outcome.results)
         row_results.reserve(nbench);
+    ScopedSpan mergeSpan(SpanPhase::Merge);
+    mergeSpan.arg("cells", static_cast<uint64_t>(n));
     for (size_t i = 0; i < n; ++i) {
         const GridRow &row = rows[i / nbench];
         JobOutput &out = outputs[i];
@@ -651,6 +779,7 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
             failure.bench = specint95Suite()[i % nbench].profile.name;
             failure.attempts = out.attempts;
             failure.error = out.error;
+            failure.attemptNs = std::move(out.attemptNs);
             outcome.failures.push_back(std::move(failure));
             out.result.bench = specint95Suite()[i % nbench].profile.name;
             out.result.failed = true;
@@ -670,6 +799,8 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         outcome.results[i / nbench].push_back(std::move(out.result));
     }
     cellsFailed_ += outcome.failures.size();
+    progress.endBatch();
+    gridWallNs_ += tracer.nowNs() - gridStartNs;
     return outcome;
 }
 

@@ -64,12 +64,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "sim/suite_runner.hh"
 
 namespace ev8
 {
-
-class MetricRegistry; // obs/metrics.hh
 
 class ExperimentEngine
 {
@@ -171,6 +170,27 @@ class ExperimentEngine
     void publishMetrics(MetricRegistry &registry,
                         const std::string &prefix) const;
 
+    /**
+     * Wall time of every completed cell (milliseconds), fused cells as
+     * equal amortized slices of their shared walk. Feeds the telemetry
+     * block's cell_duration_ms histogram; values are timing-dependent
+     * and therefore masked in byte-identity comparisons.
+     */
+    const Histogram &cellDurations() const { return cellDurationsMs_; }
+
+    /** Total worker-busy time (every attempt + fused walk), ns. */
+    uint64_t
+    poolBusyNs() const
+    {
+        return busyNs_.load(std::memory_order_relaxed);
+    }
+
+    /** Wall time spent inside runGrid(), summed across batches, ns. */
+    uint64_t gridWallNs() const { return gridWallNs_; }
+
+    /** Cells submitted across batches (including restored ones). */
+    uint64_t gridCellCount() const { return gridCells_; }
+
   private:
     struct TaskDeque
     {
@@ -195,6 +215,14 @@ class ExperimentEngine
     uint64_t cellsFailed_ = 0;
     uint64_t cellsResumed_ = 0;
     std::atomic<uint64_t> cellsRetried_{0};
+
+    // Telemetry: completed-cell durations, worker busy time, and grid
+    // wall time (see the public accessors above). The histogram and
+    // busyNs_ are written by workers (thread-safe); gridWallNs_ only by
+    // runGrid()'s calling thread.
+    Histogram cellDurationsMs_;
+    std::atomic<uint64_t> busyNs_{0};
+    uint64_t gridWallNs_ = 0;
 
     /**
      * runGrid() invocations on this engine, in order: the batch index

@@ -146,7 +146,7 @@ runStreamKernel(const BlockStream &stream, Predictor &predictor,
 
             bool predicted;
             if constexpr (Timed) {
-                ScopedTimer t(result.timing.lookup);
+                ScopedTimer t(result.timing.lookup, SpanPhase::SimLookup);
                 predicted = predictor.predict(snap);
             } else {
                 predicted = predictor.predict(snap);
@@ -162,7 +162,7 @@ runStreamKernel(const BlockStream &stream, Predictor &predictor,
             }
 
             if constexpr (Timed) {
-                ScopedTimer t(result.timing.update);
+                ScopedTimer t(result.timing.update, SpanPhase::SimUpdate);
                 predictor.update(snap, br_taken, predicted);
             } else {
                 predictor.update(snap, br_taken, predicted);
@@ -183,7 +183,7 @@ runStreamKernel(const BlockStream &stream, Predictor &predictor,
             delayed.advance(lghist.value());
         };
         if constexpr (Timed) {
-            ScopedTimer t(result.timing.history);
+            ScopedTimer t(result.timing.history, SpanPhase::SimHistory);
             advance_history();
         } else {
             advance_history();
@@ -378,7 +378,8 @@ runFusedStreamKernel(const BlockStream &stream,
                 for (size_t l = 0; l < nlanes; ++l) {
                     bool predicted;
                     if constexpr (Timed) {
-                        ScopedTimer t(lanes[l].result->timing.lookup);
+                        ScopedTimer t(lanes[l].result->timing.lookup,
+                                      SpanPhase::SimLookup);
                         predicted = preds[l]->predict(snap);
                     } else {
                         predicted = preds[l]->predict(snap);
@@ -393,7 +394,8 @@ runFusedStreamKernel(const BlockStream &stream,
                         }
                     }
                     if constexpr (Timed) {
-                        ScopedTimer t(lanes[l].result->timing.update);
+                        ScopedTimer t(lanes[l].result->timing.update,
+                                  SpanPhase::SimUpdate);
                         preds[l]->update(snap, br_taken, predicted);
                     } else {
                         preds[l]->update(snap, br_taken, predicted);
@@ -440,7 +442,7 @@ runFusedStreamKernel(const BlockStream &stream,
             // Timed once per block; merged per lane below so every
             // lane reports the same history call count as a per-cell
             // run (the shared advance serves all lanes at once).
-            ScopedTimer t(hist_time);
+            ScopedTimer t(hist_time, SpanPhase::SimHistory);
             advance_history();
         } else {
             advance_history();

@@ -76,6 +76,14 @@ struct CellFailure
     std::string bench;    //!< benchmark name of the failed cell
     unsigned attempts = 0; //!< attempts made (== retry budget)
     std::string error;    //!< what() of the final attempt's exception
+
+    /**
+     * Wall time of each attempt, in order -- shows the time lost to
+     * retries, not just their count. Exported as the JSON failures
+     * "attempt_ns" array (timing-dependent, masked in byte-identity
+     * comparisons alongside the telemetry block).
+     */
+    std::vector<uint64_t> attemptNs;
 };
 
 /**

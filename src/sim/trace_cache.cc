@@ -10,6 +10,7 @@
 
 #include "common/hash.hh"
 #include "obs/metrics.hh"
+#include "obs/trace_span.hh"
 #include "sim/fault_injection.hh"
 #include "trace/trace_io.hh"
 
@@ -201,6 +202,10 @@ Trace
 TraceCache::load(const WorkloadProfile &profile, uint64_t branches) const
 {
     const std::string path = filePath(profile, branches);
+    ScopedSpan span(SpanPhase::CacheLoad);
+    span.rename("cache:trace:" + profile.name);
+    span.arg("kind", "trace");
+    span.arg("bench", profile.name);
 
     if (!path.empty()) {
         std::error_code ec;
@@ -215,6 +220,7 @@ TraceCache::load(const WorkloadProfile &profile, uint64_t branches) const
                 if (trace.name() == profile.name
                     && trace.stats().dynamicCondBranches == branches) {
                     diskHits_.fetch_add(1, std::memory_order_relaxed);
+                    span.arg("hit", uint64_t{1});
                     return trace;
                 }
                 noteReadError(path, "key/content mismatch");
@@ -224,6 +230,7 @@ TraceCache::load(const WorkloadProfile &profile, uint64_t branches) const
         }
     }
 
+    span.arg("hit", uint64_t{0});
     Trace trace = generateTrace(profile, branches);
     generated_.fetch_add(1, std::memory_order_relaxed);
 
@@ -239,6 +246,10 @@ BlockStream
 TraceCache::loadStream(const WorkloadProfile &profile, uint64_t branches)
 {
     const std::string path = streamFilePath(profile, branches);
+    ScopedSpan span(SpanPhase::CacheLoad);
+    span.rename("cache:stream:" + profile.name);
+    span.arg("kind", "stream");
+    span.arg("bench", profile.name);
 
     if (!path.empty()) {
         std::error_code ec;
@@ -254,6 +265,7 @@ TraceCache::loadStream(const WorkloadProfile &profile, uint64_t branches)
                     && stream.branches() == branches) {
                     streamDiskHits_.fetch_add(
                         1, std::memory_order_relaxed);
+                    span.arg("hit", uint64_t{1});
                     return stream;
                 }
                 noteReadError(path, "key/content mismatch");
@@ -265,6 +277,7 @@ TraceCache::loadStream(const WorkloadProfile &profile, uint64_t branches)
 
     // Stream miss: decode from the trace (which has its own cache
     // layers, so a warm .ev8t still skips synthesis).
+    span.arg("hit", uint64_t{0});
     BlockStream stream = decodeBlockStream(get(profile, branches));
     decoded_.fetch_add(1, std::memory_order_relaxed);
 

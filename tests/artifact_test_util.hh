@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Helpers for byte-identity assertions over bench artifacts.
+ *
+ * The ev8-bench-v1 JSON now carries two members whose *values* are
+ * wall-clock dependent while their *presence* is deterministic: the
+ * top-level "telemetry" block and the per-failure "attempt_ns" arrays.
+ * Byte-identity gates (serial vs. parallel, fused vs. per-cell, resumed
+ * vs. uninterrupted) therefore compare artifacts with those values
+ * masked; everything else must still match byte for byte. The CI twin
+ * of this helper is ci/strip_telemetry.py.
+ */
+
+#ifndef EV8_TESTS_ARTIFACT_TEST_UTIL_HH
+#define EV8_TESTS_ARTIFACT_TEST_UTIL_HH
+
+#include <cctype>
+#include <string>
+
+namespace ev8
+{
+namespace test_util
+{
+
+/**
+ * Replaces every `"<key>": <open>...<close>` value with an empty
+ * container, tracking string literals and escapes so braces inside
+ * string values cannot truncate the match. Assumes @p key itself only
+ * appears as an object key (true for the controlled artifact schema).
+ */
+inline std::string
+maskJsonMember(std::string s, const std::string &key, char open,
+               char close)
+{
+    const std::string needle = "\"" + key + "\":";
+    size_t pos = 0;
+    while ((pos = s.find(needle, pos)) != std::string::npos) {
+        size_t v = pos + needle.size();
+        while (v < s.size()
+               && std::isspace(static_cast<unsigned char>(s[v])))
+            ++v;
+        if (v >= s.size() || s[v] != open) {
+            pos = v;
+            continue;
+        }
+        size_t end = v;
+        int depth = 0;
+        bool in_str = false, esc = false;
+        for (; end < s.size(); ++end) {
+            const char c = s[end];
+            if (in_str) {
+                if (esc)
+                    esc = false;
+                else if (c == '\\')
+                    esc = true;
+                else if (c == '"')
+                    in_str = false;
+            } else if (c == '"') {
+                in_str = true;
+            } else if (c == open) {
+                ++depth;
+            } else if (c == close && --depth == 0) {
+                ++end;
+                break;
+            }
+        }
+        s.replace(v, end - v, {open, close});
+        pos = v + 2;
+    }
+    return s;
+}
+
+/**
+ * Masks the timing-dependent artifact members ("telemetry" objects,
+ * "attempt_ns" arrays) so the rest of the document can be compared byte
+ * for byte across worker counts, kernels, caches and resumes.
+ */
+inline std::string
+maskTimingDependent(std::string json)
+{
+    json = maskJsonMember(std::move(json), "telemetry", '{', '}');
+    json = maskJsonMember(std::move(json), "attempt_ns", '[', ']');
+    return json;
+}
+
+} // namespace test_util
+} // namespace ev8
+
+#endif // EV8_TESTS_ARTIFACT_TEST_UTIL_HH

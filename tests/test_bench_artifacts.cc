@@ -17,12 +17,15 @@
 #include <sstream>
 #include <string>
 
+#include "artifact_test_util.hh"
 #include "obs/json.hh"
 
 namespace ev8
 {
 namespace
 {
+
+using test_util::maskTimingDependent;
 
 std::string
 slurp(const std::string &path)
@@ -157,7 +160,11 @@ TEST(BenchArtifacts, ParallelRunsAreByteIdenticalToSerial)
     const auto parallel = artifacts("j8", 8);
     ASSERT_FALSE(serial[0].empty());
     ASSERT_FALSE(serial[2].empty()) << "no events sampled";
-    EXPECT_EQ(serial[0], parallel[0]) << "JSON differs across --jobs";
+    // The telemetry block is wall-clock data, masked by design; every
+    // other JSON byte must match.
+    EXPECT_EQ(maskTimingDependent(serial[0]),
+              maskTimingDependent(parallel[0]))
+        << "JSON differs across --jobs";
     EXPECT_EQ(serial[1], parallel[1]) << "CSV differs across --jobs";
     EXPECT_EQ(serial[2], parallel[2]) << "JSONL differs across --jobs";
 #endif
@@ -197,7 +204,9 @@ TEST(BenchArtifacts, GenericKernelIsByteIdenticalToDevirtualized)
     const auto generic = artifacts("generic", "EV8_GENERIC_KERNEL=1 ");
     ASSERT_FALSE(fast[0].empty());
     ASSERT_FALSE(fast[2].empty()) << "no events sampled";
-    EXPECT_EQ(fast[0], generic[0]) << "JSON differs across kernels";
+    EXPECT_EQ(maskTimingDependent(fast[0]),
+              maskTimingDependent(generic[0]))
+        << "JSON differs across kernels";
     EXPECT_EQ(fast[1], generic[1]) << "CSV differs across kernels";
     EXPECT_EQ(fast[2], generic[2]) << "JSONL differs across kernels";
 #endif
@@ -234,13 +243,15 @@ TEST(BenchArtifacts, FusedRunsAreByteIdenticalToPerCell)
                                           slurp(base + ".jsonl")};
     };
 
-    const auto percell = artifacts("percell_j1", "EV8_FUSED=0 ", 1);
-    const auto fused_j1 = artifacts("fused_j1", "EV8_FUSED=1 ", 1);
-    const auto fused_j4 = artifacts("fused_j4", "EV8_FUSED=1 ", 4);
-    const auto narrow =
+    auto percell = artifacts("percell_j1", "EV8_FUSED=0 ", 1);
+    auto fused_j1 = artifacts("fused_j1", "EV8_FUSED=1 ", 1);
+    auto fused_j4 = artifacts("fused_j4", "EV8_FUSED=1 ", 4);
+    auto narrow =
         artifacts("fused_l2", "EV8_FUSED=1 EV8_FUSED_LANES=2 ", 1);
     ASSERT_FALSE(percell[0].empty());
     ASSERT_FALSE(percell[2].empty()) << "no events sampled";
+    for (auto *run : {&percell, &fused_j1, &fused_j4, &narrow})
+        (*run)[0] = maskTimingDependent((*run)[0]);
     for (int k = 0; k < 3; ++k) {
         EXPECT_EQ(percell[k], fused_j1[k])
             << "fused --jobs=1 changed artifact " << k;
@@ -305,12 +316,14 @@ TEST(BenchArtifacts, WarmStreamCacheIsByteIdenticalToFreshDecode)
     };
 
     // Fresh decode, cold cache (fills it), warm cache (loads streams).
-    const auto fresh = artifacts("fresh", false);
-    const auto cold = artifacts("cold", true);
-    const auto warm = artifacts("warm", true);
+    auto fresh = artifacts("fresh", false);
+    auto cold = artifacts("cold", true);
+    auto warm = artifacts("warm", true);
     std::system(("rm -rf " + cache_dir).c_str());
 
     ASSERT_FALSE(fresh[0].empty());
+    for (auto *run : {&fresh, &cold, &warm})
+        (*run)[0] = maskTimingDependent((*run)[0]);
     for (int k = 0; k < 3; ++k) {
         EXPECT_EQ(fresh[k], cold[k]) << "cold cache changed artifact " << k;
         EXPECT_EQ(fresh[k], warm[k]) << "warm cache changed artifact " << k;

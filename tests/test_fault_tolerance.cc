@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "artifact_test_util.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "predictors/factory.hh"
@@ -452,11 +453,21 @@ TEST_F(BenchE2E, KilledRunResumesToByteIdenticalArtifacts)
     ASSERT_EQ(runExit(base + fault + ckpt, fig6_,
                       artifactArgs(tmp.path(), "res1") + " --jobs=1"),
               3);
+    // JSON carries wall-clock members (telemetry, per-failure
+    // attempt_ns) that legitimately differ across runs; mask those and
+    // require every remaining byte to match. CSV/JSONL carry none.
     for (const char *ext : {".json", ".csv", ".jsonl"}) {
-        const std::string ref = slurp(tmp.path() + "/ref" + ext);
+        std::string ref = slurp(tmp.path() + "/ref" + ext);
+        std::string res4 = slurp(tmp.path() + "/res4" + ext);
+        std::string res1 = slurp(tmp.path() + "/res1" + ext);
         ASSERT_FALSE(ref.empty()) << ext;
-        EXPECT_EQ(slurp(tmp.path() + "/res4" + ext), ref) << ext;
-        EXPECT_EQ(slurp(tmp.path() + "/res1" + ext), ref) << ext;
+        if (ext == std::string(".json")) {
+            ref = test_util::maskTimingDependent(std::move(ref));
+            res4 = test_util::maskTimingDependent(std::move(res4));
+            res1 = test_util::maskTimingDependent(std::move(res1));
+        }
+        EXPECT_EQ(res4, ref) << ext;
+        EXPECT_EQ(res1, ref) << ext;
     }
 }
 
