@@ -7,6 +7,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/env.hh"
 #include "common/table.hh"
 #include "obs/json.hh"
 #include "obs/progress.hh"
@@ -103,6 +104,13 @@ parseCount(const char *text, const char *opt, const char *prog)
 BenchArgs
 parseBenchArgs(int argc, char **argv)
 {
+    return parseBenchArgs(argc, argv, nullptr, nullptr);
+}
+
+BenchArgs
+parseBenchArgs(int argc, char **argv, const BenchOptionHandler &extra,
+               const char *extra_usage)
+{
     const char *prog = argc > 0 ? argv[0] : "bench";
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
@@ -110,7 +118,11 @@ parseBenchArgs(int argc, char **argv)
         if (std::strcmp(arg, "--help") == 0
             || std::strcmp(arg, "-h") == 0) {
             printUsage(prog);
+            if (extra_usage)
+                std::fputs(extra_usage, stdout);
             std::exit(0);
+        } else if (extra && extra(arg)) {
+            // consumed by the binary's own option handler
         } else if (const char *v = optValue(arg, "--json")) {
             args.jsonPath = v;
         } else if (const char *v = optValue(arg, "--csv")) {
@@ -163,8 +175,17 @@ benchQuiet()
 
 BenchContext::BenchContext(int argc, char **argv,
                            std::string experiment_id, std::string title)
+    : BenchContext(argc, argv, std::move(experiment_id),
+                   std::move(title), nullptr, nullptr)
+{
+}
+
+BenchContext::BenchContext(int argc, char **argv,
+                           std::string experiment_id, std::string title,
+                           const BenchOptionHandler &extra,
+                           const char *extra_usage)
     : prog_(argc > 0 ? argv[0] : "bench"),
-      args_(parseBenchArgs(argc, argv))
+      args_(parseBenchArgs(argc, argv, extra, extra_usage))
 {
     data_.experimentId = std::move(experiment_id);
     data_.title = std::move(title);
@@ -254,6 +275,12 @@ BenchContext::noteTiming(const SimTiming &timing)
     data_.timing.merge(timing);
 }
 
+void
+BenchContext::recordFailure(BenchFailureExport failure)
+{
+    data_.failures.push_back(std::move(failure));
+}
+
 TelemetryExport
 BenchContext::buildTelemetry() const
 {
@@ -315,10 +342,9 @@ BenchContext::finish()
     // Cache/scheduling counters legitimately differ between cold and
     // warm cache runs and between EV8_FUSED modes, so exporting them
     // by default would break the byte-identity guarantees the test
-    // suite and CI gates rely on. Opt in with EV8_CACHE_METRICS.
-    const char *cache_metrics = std::getenv("EV8_CACHE_METRICS");
-    if (runner_ && cache_metrics
-        && !(cache_metrics[0] == '0' && cache_metrics[1] == '\0')) {
+    // suite and CI gates rely on. Opt in with EV8_CACHE_METRICS=1
+    // (strictly parsed: anything else is a usage error, exit 2).
+    if (runner_ && strictEnvBool("EV8_CACHE_METRICS", false)) {
         runner_->traceCache().publishMetrics(registry_, "trace_cache");
         if (ExperimentEngine *engine = runner_->engineIfCreated())
             engine->publishMetrics(registry_, "engine");

@@ -108,6 +108,22 @@ struct BenchArgs
 BenchArgs parseBenchArgs(int argc, char **argv);
 
 /**
+ * A binary-specific option hook: called with each argv entry before the
+ * shared options are tried; return true to consume it. Lets the serve
+ * binaries add --socket/--grid/--sessions while keeping the uniform
+ * --json/--csv/--trace-out/--progress surface.
+ */
+using BenchOptionHandler = std::function<bool(const char *arg)>;
+
+/**
+ * parseBenchArgs with a binary-specific option hook. @p extra_usage
+ * (may be null) is printed after the shared usage text on --help.
+ */
+BenchArgs parseBenchArgs(int argc, char **argv,
+                         const BenchOptionHandler &extra,
+                         const char *extra_usage);
+
+/**
  * Did this process's bench arguments include --quiet? Gates every
  * human-readable stdout block (banner, tables, bar charts, shape
  * notes) so "--quiet --progress + artifact flags" is a clean CI
@@ -126,6 +142,11 @@ class BenchContext
     /** Parses argv (may exit, see parseBenchArgs), prints the banner. */
     BenchContext(int argc, char **argv, std::string experiment_id,
                  std::string title);
+
+    /** Same, with a binary-specific option hook (serve binaries). */
+    BenchContext(int argc, char **argv, std::string experiment_id,
+                 std::string title, const BenchOptionHandler &extra,
+                 const char *extra_usage);
 
     const BenchArgs &args() const { return args_; }
     MetricRegistry &metrics() { return registry_; }
@@ -151,6 +172,21 @@ class BenchContext
 
     /** Folds one run's timing split into the exported totals. */
     void noteTiming(const SimTiming &timing);
+
+    /**
+     * Registers a cell failure received from outside the context's own
+     * runner (a served session's wire failure record): exported in the
+     * artifacts' "failures" section and reflected in the exit code,
+     * exactly like a local CellFailure.
+     */
+    void recordFailure(BenchFailureExport failure);
+
+    /**
+     * The --events sampling sink (null without --events). Served mode
+     * replays wire-delivered misprediction events through it so the
+     * JSONL stream matches a batch run byte for byte.
+     */
+    MispredictSink *eventSink() { return events.get(); }
 
     /**
      * Writes the requested --json/--csv artifacts and closes the event

@@ -3,34 +3,35 @@
  * Fig. 5 reproduction: branch prediction accuracy of global-history
  * schemes at EV8-class memorization budgets, each at its best history
  * length (Section 8.2). Conventional (per-branch) global history.
+ *
+ * The rows come from the shared "fig5" grid registry (serve/grids.hh),
+ * the same table the serve protocol resolves session grids against --
+ * so the batch artifact and a served client's artifact are built from
+ * one definition of the labels, specs and base config.
  */
 
 #include "bench_common.hh"
 #include "predictors/factory.hh"
+#include "serve/grids.hh"
 
 using namespace ev8;
 
 int
 main(int argc, char **argv)
 {
-    BenchContext ctx(argc, argv,
-                     "Fig. 5", "Branch prediction accuracy for various "
-                               "global history schemes");
+    const GridSpec *grid = findGrid("fig5");
+    BenchContext ctx(argc, argv, grid->benchId, grid->title);
 
     SuiteRunner &runner = ctx.runner();
-    const SimConfig ghist = SimConfig::ghist();
+    const SimConfig base = baseConfig(*grid);
 
-    const std::vector<ExperimentRow> rows = {
-        {"2Bc-gskew 4*32K (256Kb)", [] { return make2BcGskew256K(); },
-         ghist},
-        {"2Bc-gskew 4*64K (512Kb)", [] { return make2BcGskew512K(); },
-         ghist},
-        {"bi-mode 2x128K+16K (544Kb)", [] { return makeBimode544K(); },
-         ghist},
-        {"gshare 1M (2Mb)", [] { return makeGshare2M(); }, ghist},
-        {"YAGS 288Kb", [] { return makeYags288K(); }, ghist},
-        {"YAGS 576Kb", [] { return makeYags576K(); }, ghist},
-    };
+    std::vector<ExperimentRow> rows;
+    rows.reserve(grid->rows.size());
+    for (const GridRowSpec &row : grid->rows) {
+        rows.push_back({row.label,
+                        [spec = row.spec] { return makePredictor(spec); },
+                        base});
+    }
 
     const auto results = runAndPrint(ctx, runner, rows);
     printBars("2Bc-gskew 512Kb, misp/KI per benchmark:", results[1]);

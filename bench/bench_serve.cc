@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Prediction-as-a-service daemon: the experiment engine behind a
+ * streaming protocol (serve/protocol.hh, schema ev8-serve-v1).
+ *
+ * Two transports share one PredictionServer:
+ *
+ *  - `--socket=<path>`: listen on an AF_UNIX stream socket; each
+ *    accepted connection gets its own thread, so N clients can open,
+ *    stream and wait on sessions concurrently. The accept loop exits
+ *    after a client sends {"op":"shutdown"}.
+ *  - no `--socket`: stdio loopback -- requests on stdin, one reply per
+ *    line on stdout, until EOF or shutdown. Combine with `--quiet` so
+ *    the human banner does not interleave with protocol output.
+ *
+ * The uniform bench surface applies: `--trace-out` captures the
+ * serve.accept / serve.enqueue / serve.stall / serve.session_run /
+ * serve.snapshot phases on the Perfetto timeline, `--jobs` caps
+ * concurrently simulating sessions, and `--json`/`--csv` write the
+ * (row-less) harness artifact with the usual telemetry block.
+ *
+ * Exit codes (the shared bench table):
+ *
+ *     0  clean shutdown, every served cell completed
+ *     2  bad command line or environment knob
+ *     3  served sessions recorded cell failures (partial results were
+ *        delivered to their clients)
+ *     4  fatal transport error (socket bind/accept, artifact I/O)
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/env.hh"
+#include "serve/server.hh"
+#include "serve_io.hh"
+
+using namespace ev8;
+
+namespace
+{
+
+/** One accepted connection: pump request lines until the peer hangs up. */
+void
+serveConnection(PredictionServer &server, int fd)
+{
+    serveio::LineChannel channel(fd);
+    std::string line;
+    while (channel.readLine(line)) {
+        if (!channel.writeLine(server.handle(line)))
+            return;
+        if (server.shutdownRequested())
+            return;
+    }
+}
+
+int
+runSocketDaemon(PredictionServer &server, const std::string &path)
+{
+    std::string err;
+    const int listen_fd = serveio::listenUnix(path, err);
+    if (listen_fd < 0) {
+        std::fprintf(stderr, "bench_serve: %s\n", err.c_str());
+        return kExitFatal;
+    }
+    if (!benchQuiet())
+        std::fprintf(stderr, "listening on %s\n", path.c_str());
+
+    std::vector<std::thread> connections;
+    int fate = kExitOk;
+    while (!server.shutdownRequested()) {
+        const int fd = serveio::acceptWithTimeout(listen_fd, 200);
+        if (fd == -1)
+            continue; // poll timeout: re-check the shutdown flag
+        if (fd == -2) {
+            std::fprintf(stderr, "bench_serve: accept: %s\n",
+                         std::strerror(errno));
+            fate = kExitFatal;
+            break;
+        }
+        connections.emplace_back(
+            [&server, fd] { serveConnection(server, fd); });
+    }
+    for (std::thread &t : connections)
+        t.join();
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+    return fate;
+}
+
+int
+runStdioLoopback(PredictionServer &server)
+{
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        std::fputs(server.handle(line).c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+        if (server.shutdownRequested())
+            break;
+    }
+    return kExitOk;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string maxSessions;
+    const BenchOptionHandler extra = [&](const char *arg) {
+        const auto value = [&](const char *opt) -> const char * {
+            const size_t len = std::strlen(opt);
+            if (std::strncmp(arg, opt, len) == 0 && arg[len] == '=')
+                return arg + len + 1;
+            return nullptr;
+        };
+        if (const char *v = value("--socket")) {
+            socketPath = v;
+            return true;
+        }
+        if (const char *v = value("--max-sessions")) {
+            maxSessions = v;
+            return true;
+        }
+        return false;
+    };
+
+    BenchContext ctx(
+        argc, argv, "Serve", "Prediction-as-a-service daemon", extra,
+        "  --socket=<path>    listen on an AF_UNIX socket (default:\n"
+        "                     stdio loopback; use with --quiet)\n"
+        "  --max-sessions=<N> admission limit, overrides\n"
+        "                     EV8_SERVE_MAX_SESSIONS\n");
+
+    ServeLimits limits = PredictionServer::defaultLimits();
+    if (!maxSessions.empty()) {
+        try {
+            limits.maxSessions = static_cast<size_t>(
+                parseStrictU64(maxSessions, 1, 256));
+        } catch (const std::exception &err) {
+            std::fprintf(stderr,
+                         "bench_serve: bad value for --max-sessions: "
+                         "%s\n",
+                         err.what());
+            return kExitUsage;
+        }
+    }
+    PredictionServer server(limits, ctx.args().jobs);
+
+    const int fate = socketPath.empty()
+        ? runStdioLoopback(server)
+        : runSocketDaemon(server, socketPath);
+
+    const uint64_t failed = server.failedCellsTotal();
+    if (!benchQuiet()) {
+        std::fprintf(stderr,
+                     "serve done: %llu failed cell(s) across sessions\n",
+                     static_cast<unsigned long long>(failed));
+    }
+
+    const int artifacts = ctx.finish();
+    if (fate != kExitOk)
+        return fate;
+    if (artifacts != kExitOk)
+        return artifacts;
+    return failed == 0 ? kExitOk : kExitPartial;
+}

@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Serve client: drives a bench_serve daemon (or an in-process
+ * PredictionServer) over the ev8-serve-v1 line protocol.
+ *
+ * Two modes:
+ *
+ *  - parity (default): open one session on a named grid, wait for the
+ *    full result payload, and merge it through the exact batch merge
+ *    loop -- metrics merged and events replayed in cell-index order,
+ *    failures recorded as structured partial results. The --json/--csv
+ *    /--events artifacts are byte-identical (telemetry masked) to the
+ *    batch binary for the same grid; CI's serve gate compares them.
+ *  - load (--sessions=<N>): open N sessions concurrently, poll
+ *    snapshots while they run, and report aggregate throughput plus
+ *    p50/p95/p99 RPC latency. The artifact rows carry the numbers.
+ *
+ * `--connect=<socket>` talks to a daemon; without it the client embeds
+ * its own PredictionServer, which is the loopback used by tests (same
+ * transport framing: the ring + packet codec still carry every block).
+ *
+ * Exit codes: 0 clean, 2 bad usage/env, 3 the served session reported
+ * cell failures (artifacts written, partial), 4 transport or artifact
+ * I/O failure.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/env.hh"
+#include "common/table.hh"
+#include "obs/json.hh"
+#include "serve/grids.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "serve_io.hh"
+#include "sim/checkpoint.hh"
+#include "workloads/synthetic_program.hh"
+
+using namespace ev8;
+
+namespace
+{
+
+/** One request/reply lane: in-process handle() or a socket channel. */
+class Rpc
+{
+  public:
+    /** In-process lane over @p local. */
+    explicit Rpc(PredictionServer &local) : local_(&local) {}
+
+    /** Socket lane; throws std::runtime_error when connect fails. */
+    explicit Rpc(const std::string &path)
+    {
+        std::string err;
+        const int fd = serveio::connectUnix(path, err);
+        if (fd < 0)
+            throw std::runtime_error(err);
+        channel_ = std::make_unique<serveio::LineChannel>(fd);
+    }
+
+    /**
+     * Round-trips one request and returns the parsed reply object.
+     * Throws std::runtime_error on transport loss, malformed replies,
+     * and {"ok":false,...} errors.
+     */
+    JsonValue
+    call(const ServeRequest &req)
+    {
+        const std::string line = encodeRequest(req);
+        std::string reply;
+        if (local_) {
+            reply = local_->handle(line);
+        } else {
+            if (!channel_->writeLine(line)
+                || !channel_->readLine(reply)) {
+                throw std::runtime_error(
+                    "server connection lost during '" + req.op + "'");
+            }
+        }
+        JsonValue doc = parseJson(reply);
+        if (!doc.isObject())
+            throw std::runtime_error("reply is not a JSON object");
+        const JsonValue *ok = doc.find("ok");
+        if (!ok || ok->kind != JsonValue::Kind::Bool)
+            throw std::runtime_error("reply lacks an 'ok' field");
+        if (!ok->boolean) {
+            const JsonValue *err = doc.find("error");
+            throw std::runtime_error("server error: "
+                                     + (err && err->isString()
+                                            ? err->text
+                                            : std::string("unknown")));
+        }
+        return doc;
+    }
+
+  private:
+    PredictionServer *local_ = nullptr;
+    std::unique_ptr<serveio::LineChannel> channel_;
+};
+
+ServeRequest
+sessionOp(const std::string &op, const std::string &session)
+{
+    ServeRequest req;
+    req.op = op;
+    req.session = session;
+    return req;
+}
+
+uint64_t
+u64Member(const JsonValue &obj, const char *name)
+{
+    const JsonValue *v = obj.find(name);
+    if (!v || !v->isNumber())
+        throw std::runtime_error(std::string("reply field '") + name
+                                 + "' is not a number");
+    return static_cast<uint64_t>(v->number);
+}
+
+/**
+ * Merges one wait reply into @p ctx exactly as the engine's merge loop
+ * would have: restored cells in index order (metrics merge, then event
+ * replay under the rebuilt pc->class map), wire failures as placeholder
+ * results plus recordFailure, then one recordResults row per grid row.
+ * Returns the per-row results (for the human table).
+ */
+std::vector<std::vector<BenchResult>>
+mergeResults(BenchContext &ctx, const GridSpec &grid,
+             const JsonValue &done)
+{
+    const auto &suite = specint95Suite();
+    const size_t nbench = suite.size();
+    const size_t n = grid.rows.size() * nbench;
+
+    const JsonValue &cells = done.at("cells");
+    const JsonValue &failures = done.at("failures");
+    if (!cells.isArray() || cells.items.size() != n)
+        throw std::runtime_error("wait reply has wrong cell count");
+    if (!failures.isArray())
+        throw std::runtime_error("wait reply lacks a failures array");
+
+    std::vector<CellFailure> wireFailures;
+    std::set<size_t> failedCells;
+    for (const JsonValue &item : failures.items) {
+        CellFailure f = readFailure(item);
+        size_t b = 0;
+        while (b < nbench && suite[b].profile.name != f.bench)
+            ++b;
+        if (f.row >= grid.rows.size() || b == nbench)
+            throw std::runtime_error("failure record names an unknown "
+                                     "cell");
+        failedCells.insert(f.row * nbench + b);
+        wireFailures.push_back(std::move(f));
+    }
+
+    std::vector<GridCheckpoint::RestoredCell> restored(n);
+    for (const JsonValue &item : cells.items) {
+        if (!item.isString())
+            throw std::runtime_error("cell record is not a string");
+        GridCheckpoint::RestoredCell cell;
+        const size_t idx = decodeCellRecord(item.text, n, cell);
+        restored[idx] = std::move(cell);
+    }
+
+    // The pc -> class maps are a pure function of the benchmark and are
+    // not shipped; rebuild them once per benchmark for event replay.
+    std::vector<BranchClassMap> classCache(nbench);
+    std::vector<char> haveClass(nbench, 0);
+    MispredictSink *sink = ctx.eventSink();
+
+    std::vector<std::vector<BenchResult>> all(grid.rows.size());
+    for (auto &row : all)
+        row.reserve(nbench);
+    for (size_t i = 0; i < n; ++i) {
+        const size_t b = i % nbench;
+        if (failedCells.count(i)) {
+            BenchResult r;
+            r.bench = suite[b].profile.name;
+            r.failed = true;
+            all[i / nbench].push_back(std::move(r));
+            continue;
+        }
+        GridCheckpoint::RestoredCell &cell = restored[i];
+        ctx.metrics().merge(cell.metrics);
+        if (sink) {
+            if (!haveClass[b]) {
+                classCache[b] = SyntheticProgram(suite[b].profile)
+                                    .condBranchClasses();
+                haveClass[b] = 1;
+            }
+            sink->setBench(cell.result.bench);
+            sink->setClassifier(&classCache[b]);
+            for (const MispredictEvent &event : cell.events)
+                sink->onMispredict(event);
+            sink->setClassifier(nullptr);
+        }
+        all[i / nbench].push_back(std::move(cell.result));
+    }
+
+    for (const CellFailure &f : wireFailures) {
+        BenchFailureExport e;
+        e.rowLabel = f.rowLabel;
+        e.bench = f.bench;
+        e.attempts = f.attempts;
+        e.error = f.error;
+        e.attemptNs = f.attemptNs;
+        ctx.recordFailure(std::move(e));
+    }
+
+    const std::vector<uint64_t> storage = gridStorageBits(grid);
+    for (size_t r = 0; r < grid.rows.size(); ++r)
+        ctx.recordResults(grid.rows[r].label, storage[r], all[r]);
+    return all;
+}
+
+void
+printServedTable(const GridSpec &grid,
+                 const std::vector<std::vector<BenchResult>> &all)
+{
+    if (benchQuiet())
+        return;
+    TextTable table;
+    std::vector<std::string> header{"configuration"};
+    for (const Benchmark &b : specint95Suite())
+        header.push_back(b.profile.name);
+    header.push_back("amean");
+    table.header(std::move(header));
+    char buf[32];
+    for (size_t r = 0; r < all.size(); ++r) {
+        std::vector<std::string> cells{grid.rows[r].label};
+        for (const BenchResult &res : all[r]) {
+            if (res.failed) {
+                cells.push_back("!!");
+            } else {
+                std::snprintf(buf, sizeof buf, "%.2f",
+                              res.sim.stats.mispKI());
+                cells.push_back(buf);
+            }
+        }
+        std::snprintf(buf, sizeof buf, "%.3f",
+                      SuiteRunner::averageMispKI(all[r]));
+        cells.push_back(buf);
+        table.row(std::move(cells));
+    }
+    std::printf("served misp/KI (merged from the wire payload):\n\n%s\n",
+                table.render().c_str());
+}
+
+/** One session opened, started, waited on, and merged into @p ctx. */
+int
+runParity(BenchContext &ctx, const GridSpec &grid, Rpc &rpc,
+          const std::string &session)
+{
+    ServeRequest open = sessionOp("open", session);
+    open.grid = grid.id;
+    open.wantEvents = ctx.eventSink() != nullptr;
+    open.wantMetrics = true;
+    open.timing = ctx.args().timing && ctx.args().wantsArtifacts();
+    rpc.call(open);
+    rpc.call(sessionOp("start", session));
+
+    if (ctx.args().progress) {
+        for (;;) {
+            const JsonValue snap =
+                rpc.call(sessionOp("snapshot", session));
+            const uint64_t total = u64Member(snap, "cells_total");
+            const uint64_t doneCells = u64Member(snap, "cells_done");
+            std::fprintf(stderr, "\r%s: %llu/%llu cells",
+                         session.c_str(),
+                         static_cast<unsigned long long>(doneCells),
+                         static_cast<unsigned long long>(total));
+            const JsonValue *state = snap.find("state");
+            if (state && state->isString() && state->text == "done")
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+        std::fputc('\n', stderr);
+    }
+
+    const JsonValue done = rpc.call(sessionOp("wait", session));
+    const auto all = mergeResults(ctx, grid, done);
+    printServedTable(grid, all);
+    return ctx.finish();
+}
+
+/** Per-session tallies of one load-mode worker. */
+struct LoadResult
+{
+    double wallMs = 0.0;
+    uint64_t branches = 0;
+    uint64_t failedCells = 0;
+    std::vector<double> rpcMs;
+    std::string error; //!< non-empty when the worker died
+};
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(sorted.size());
+    size_t idx = static_cast<size_t>(std::ceil(rank));
+    idx = std::min(std::max<size_t>(idx, 1), sorted.size()) - 1;
+    return sorted[idx];
+}
+
+/**
+ * Load mode: @p nsessions concurrent sessions, each on its own RPC
+ * lane (its own socket connection against a daemon), snapshot-polled
+ * while running. Reports throughput and RPC latency percentiles both
+ * as artifact rows and on stdout.
+ */
+int
+runLoad(BenchContext &ctx, const GridSpec &grid, size_t nsessions,
+        const std::string &connectPath, PredictionServer *local,
+        const std::string &sessionBase)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto ms = [](Clock::duration d) {
+        return std::chrono::duration<double, std::milli>(d).count();
+    };
+
+    std::vector<LoadResult> results(nsessions);
+    const auto worker = [&](size_t k) {
+        LoadResult &out = results[k];
+        const std::string session =
+            sessionBase + "." + std::to_string(k + 1);
+        try {
+            std::unique_ptr<Rpc> rpc =
+                local ? std::make_unique<Rpc>(*local)
+                      : std::make_unique<Rpc>(connectPath);
+            const auto timed = [&](const ServeRequest &req) {
+                const auto t0 = Clock::now();
+                JsonValue reply = rpc->call(req);
+                out.rpcMs.push_back(ms(Clock::now() - t0));
+                return reply;
+            };
+
+            const auto start = Clock::now();
+            ServeRequest open = sessionOp("open", session);
+            open.grid = grid.id;
+            open.wantEvents = false;
+            open.wantMetrics = true;
+            open.timing = false;
+            timed(open);
+            timed(sessionOp("start", session));
+            for (;;) {
+                const JsonValue snap =
+                    timed(sessionOp("snapshot", session));
+                const JsonValue *state = snap.find("state");
+                if (state && state->isString()
+                    && state->text == "done")
+                    break;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+            const JsonValue done = timed(sessionOp("wait", session));
+            out.wallMs = ms(Clock::now() - start);
+
+            const JsonValue &cells = done.at("cells");
+            const size_t n = cells.items.size();
+            for (const JsonValue &item : cells.items) {
+                GridCheckpoint::RestoredCell cell;
+                decodeCellRecord(item.text, n, cell);
+                out.branches += cell.result.sim.condBranches;
+            }
+            out.failedCells = done.at("failures").items.size();
+        } catch (const std::exception &err) {
+            out.error = err.what();
+        }
+    };
+
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(nsessions);
+    for (size_t k = 0; k < nsessions; ++k)
+        threads.emplace_back(worker, k);
+    for (std::thread &t : threads)
+        t.join();
+    const double wallMs = ms(Clock::now() - t0);
+
+    uint64_t branches = 0;
+    uint64_t failedCells = 0;
+    size_t errors = 0;
+    std::vector<double> rpc;
+    for (size_t k = 0; k < nsessions; ++k) {
+        const LoadResult &r = results[k];
+        if (!r.error.empty()) {
+            ++errors;
+            std::fprintf(stderr, "bench_serve_load: session %zu: %s\n",
+                         k + 1, r.error.c_str());
+            continue;
+        }
+        branches += r.branches;
+        failedCells += r.failedCells;
+        rpc.insert(rpc.end(), r.rpcMs.begin(), r.rpcMs.end());
+        ctx.recordRow(sessionBase + "." + std::to_string(k + 1), 0,
+                      {"wall_ms", "branches", "failed_cells"},
+                      {r.wallMs, static_cast<double>(r.branches),
+                       static_cast<double>(r.failedCells)});
+    }
+    std::sort(rpc.begin(), rpc.end());
+    const double p50 = percentile(rpc, 50.0);
+    const double p95 = percentile(rpc, 95.0);
+    const double p99 = percentile(rpc, 99.0);
+    const double mbrs =
+        wallMs > 0.0 ? static_cast<double>(branches) / (wallMs * 1e3)
+                     : 0.0;
+    ctx.recordRow("load", 0,
+                  {"sessions", "wall_ms", "branches", "mbranch_per_s",
+                   "rpc_p50_ms", "rpc_p95_ms", "rpc_p99_ms",
+                   "failed_cells"},
+                  {static_cast<double>(nsessions), wallMs,
+                   static_cast<double>(branches), mbrs, p50, p95, p99,
+                   static_cast<double>(failedCells)});
+
+    if (!benchQuiet()) {
+        std::printf("load: %zu session(s), %.0f ms wall, %llu branches "
+                    "(%.2f Mbr/s)\n",
+                    nsessions, wallMs,
+                    static_cast<unsigned long long>(branches), mbrs);
+        std::printf("rpc latency over %zu calls: p50 %.3f ms, "
+                    "p95 %.3f ms, p99 %.3f ms\n\n",
+                    rpc.size(), p50, p95, p99);
+    }
+
+    const int artifacts = ctx.finish();
+    if (errors > 0)
+        return kExitFatal;
+    if (artifacts != kExitOk)
+        return artifacts;
+    return failedCells == 0 ? kExitOk : kExitPartial;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // The grid decides the banner/artifact identity, so resolve it
+    // before BenchContext parses (and may already act on) the argv.
+    std::string gridId = "fig5";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--grid=", 7) == 0)
+            gridId = argv[i] + 7;
+    }
+    const GridSpec *grid = findGrid(gridId);
+    if (!grid) {
+        std::fprintf(stderr, "bench_serve_load: unknown grid '%s' "
+                             "(known:",
+                     gridId.c_str());
+        for (const std::string &id : knownGrids())
+            std::fprintf(stderr, " %s", id.c_str());
+        std::fprintf(stderr, ")\n");
+        return kExitUsage;
+    }
+
+    std::string connectPath;
+    std::string sessionName = "s1";
+    std::string sessionsArg;
+    const BenchOptionHandler extra = [&](const char *arg) {
+        const auto value = [&](const char *opt) -> const char * {
+            const size_t len = std::strlen(opt);
+            if (std::strncmp(arg, opt, len) == 0 && arg[len] == '=')
+                return arg + len + 1;
+            return nullptr;
+        };
+        if (value("--grid"))
+            return true; // pre-scanned above
+        if (const char *v = value("--connect")) {
+            connectPath = v;
+            return true;
+        }
+        if (const char *v = value("--session")) {
+            sessionName = v;
+            return true;
+        }
+        if (const char *v = value("--sessions")) {
+            sessionsArg = v;
+            return true;
+        }
+        return false;
+    };
+
+    BenchContext ctx(
+        argc, argv, grid->benchId, grid->title, extra,
+        "  --grid=<id>        named grid to serve (default: fig5)\n"
+        "  --connect=<path>   bench_serve AF_UNIX socket (default:\n"
+        "                     embed an in-process server)\n"
+        "  --session=<name>   session name / load-mode name prefix\n"
+        "                     (default: s1)\n"
+        "  --sessions=<N>     load mode: N concurrent sessions with\n"
+        "                     RPC latency percentiles\n");
+
+    size_t nsessions = 0;
+    if (!sessionsArg.empty()) {
+        try {
+            nsessions =
+                static_cast<size_t>(parseStrictU64(sessionsArg, 1, 256));
+        } catch (const std::exception &err) {
+            std::fprintf(stderr,
+                         "bench_serve_load: bad value for --sessions: "
+                         "%s\n",
+                         err.what());
+            return kExitUsage;
+        }
+    }
+
+    std::unique_ptr<PredictionServer> local;
+    if (connectPath.empty()) {
+        ServeLimits limits = PredictionServer::defaultLimits();
+        limits.maxSessions = std::max(limits.maxSessions,
+                                      std::max<size_t>(nsessions, 1));
+        local = std::make_unique<PredictionServer>(limits,
+                                                   ctx.args().jobs);
+    }
+
+    try {
+        if (nsessions > 0) {
+            return runLoad(ctx, *grid, nsessions, connectPath,
+                           local.get(), sessionName);
+        }
+        Rpc rpc = local ? Rpc(*local) : Rpc(connectPath);
+        return runParity(ctx, *grid, rpc, sessionName);
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "bench_serve_load: %s\n", err.what());
+        return kExitFatal;
+    }
+}

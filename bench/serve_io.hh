@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Minimal AF_UNIX + line-framing plumbing shared by bench_serve (the
+ * daemon) and bench_serve_load (the client). The protocol itself is
+ * one JSON object per newline-terminated line (serve/protocol.hh);
+ * this header only moves those lines across a socket.
+ */
+
+#ifndef EV8_BENCH_SERVE_IO_HH
+#define EV8_BENCH_SERVE_IO_HH
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ev8
+{
+namespace serveio
+{
+
+/** Binds + listens on @p path (unlinked first). -1 + @p err on failure. */
+inline int
+listenUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + path;
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        err = "bind " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        err = "listen " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/**
+ * Accepts one connection, polling so the caller can re-check its
+ * shutdown flag. Returns the connection fd, -1 on poll timeout, -2 on
+ * a hard error.
+ */
+inline int
+acceptWithTimeout(int listen_fd, int timeout_ms)
+{
+    pollfd p{};
+    p.fd = listen_fd;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r == 0)
+        return -1;
+    if (r < 0)
+        return errno == EINTR ? -1 : -2;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    return fd < 0 ? -2 : fd;
+}
+
+/** Connects to @p path. -1 + @p err on failure. */
+inline int
+connectUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + path;
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = "connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Buffered line reader/writer over one fd. */
+class LineChannel
+{
+  public:
+    explicit LineChannel(int fd) : fd_(fd) {}
+
+    ~LineChannel()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    /** Reads one '\n'-terminated line (without the '\n'). False at EOF. */
+    bool
+    readLine(std::string &line)
+    {
+        for (;;) {
+            const size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                line.assign(buf_, 0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[4096];
+            const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+            if (n <= 0)
+                return false;
+            buf_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+    /** Writes @p line plus '\n', retrying short writes. */
+    bool
+    writeLine(const std::string &line)
+    {
+        std::string framed = line;
+        framed.push_back('\n');
+        size_t at = 0;
+        while (at < framed.size()) {
+            const ssize_t n =
+                ::write(fd_, framed.data() + at, framed.size() - at);
+            if (n <= 0)
+                return false;
+            at += static_cast<size_t>(n);
+        }
+        return true;
+    }
+
+  private:
+    int fd_;
+    std::string buf_;
+};
+
+} // namespace serveio
+} // namespace ev8
+
+#endif // EV8_BENCH_SERVE_IO_HH

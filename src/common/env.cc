@@ -1,0 +1,64 @@
+#include "common/env.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace ev8
+{
+
+uint64_t
+parseStrictU64(const std::string &text, uint64_t lo, uint64_t hi)
+{
+    if (text.empty())
+        throw std::invalid_argument("empty value; expected an integer");
+    for (const char ch : text) {
+        if (ch < '0' || ch > '9') {
+            throw std::invalid_argument("invalid value '" + text
+                                        + "'; expected an integer");
+        }
+    }
+    // Digits only from here on: strtoull cannot reject, only saturate,
+    // which the range check catches (hi < ULLONG_MAX in every caller).
+    const unsigned long long v = std::strtoull(text.c_str(), nullptr, 10);
+    if (v < lo || v > hi) {
+        throw std::invalid_argument(
+            "value '" + text + "' out of range [" + std::to_string(lo)
+            + ", " + std::to_string(hi) + "]");
+    }
+    return v;
+}
+
+uint64_t
+strictEnvU64(const char *name, uint64_t lo, uint64_t hi,
+             uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    try {
+        return parseStrictU64(env, lo, hi);
+    } catch (const std::invalid_argument &err) {
+        std::fprintf(stderr, "%s: %s\n", name, err.what());
+        std::exit(2);
+    }
+}
+
+bool
+strictEnvBool(const char *name, bool fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    if (env[0] != '\0' && env[1] == '\0') {
+        if (env[0] == '0')
+            return false;
+        if (env[0] == '1')
+            return true;
+    }
+    std::fprintf(stderr,
+                 "%s: invalid value '%s'; expected 0 or 1\n", name, env);
+    std::exit(2);
+}
+
+} // namespace ev8

@@ -1,0 +1,93 @@
+#include "serve/grids.hh"
+
+#include <stdexcept>
+
+#include "predictors/factory.hh"
+
+namespace ev8
+{
+
+namespace
+{
+
+/**
+ * Row labels and order are load-bearing: they must match the batch
+ * binaries byte for byte (export rows, CellFailure row_label, the
+ * checkpoint grid hash all carry them).
+ */
+const std::vector<GridSpec> &
+registry()
+{
+    static const std::vector<GridSpec> grids = {
+        {"fig5", "Fig. 5",
+         "Branch prediction accuracy for various global history schemes",
+         {
+             {"2Bc-gskew 4*32K (256Kb)", "fig5-2bcgskew256"},
+             {"2Bc-gskew 4*64K (512Kb)", "fig5-2bcgskew512"},
+             {"bi-mode 2x128K+16K (544Kb)", "fig5-bimode544"},
+             {"gshare 1M (2Mb)", "fig5-gshare2M"},
+             {"YAGS 288Kb", "fig5-yags288"},
+             {"YAGS 576Kb", "fig5-yags576"},
+         },
+         "ghist"},
+    };
+    return grids;
+}
+
+} // namespace
+
+const GridSpec *
+findGrid(const std::string &id)
+{
+    for (const GridSpec &g : registry())
+        if (g.id == id)
+            return &g;
+    return nullptr;
+}
+
+std::vector<std::string>
+knownGrids()
+{
+    std::vector<std::string> ids;
+    for (const GridSpec &g : registry())
+        ids.push_back(g.id);
+    return ids;
+}
+
+SimConfig
+baseConfig(const GridSpec &grid)
+{
+    if (grid.preset == "ghist")
+        return SimConfig::ghist();
+    if (grid.preset == "ev8")
+        return SimConfig::ev8();
+    throw std::invalid_argument("unknown SimConfig preset: "
+                                + grid.preset);
+}
+
+std::vector<GridRow>
+buildGridRows(const GridSpec &grid, const SimConfig &config)
+{
+    std::vector<GridRow> rows;
+    rows.reserve(grid.rows.size());
+    for (const GridRowSpec &r : grid.rows) {
+        rows.push_back(GridRow{
+            [spec = r.spec] { return makePredictor(spec); },
+            config,
+            r.label,
+        });
+    }
+    return rows;
+}
+
+std::vector<uint64_t>
+gridStorageBits(const GridSpec &grid)
+{
+    std::vector<uint64_t> bits;
+    bits.reserve(grid.rows.size());
+    for (const GridRowSpec &r : grid.rows)
+        bits.push_back(makePredictor(r.spec)->storageBits());
+    return bits;
+}
+
+} // namespace ev8

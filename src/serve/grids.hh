@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Named experiment grids: the shared vocabulary between the batch
+ * figure binaries and the serve protocol.
+ *
+ * A served client opens a session by grid *name* ("fig5"), not by
+ * shipping predictor constructors over the wire. For the served
+ * artifacts to be byte-identical to the batch binary's, both sides must
+ * agree on everything that feeds the export rows: the row labels, the
+ * row order, the predictor specs (hence storage bits) and the base
+ * SimConfig preset. This registry is that agreement -- the batch binary
+ * (bench_fig5_schemes) builds its rows from the same GridSpec the
+ * server resolves a session's grid name against.
+ *
+ * Rows reference predictors by factory spec string (makePredictor), so
+ * the registry stays a data table and the predictor zoo keeps one
+ * constructor surface.
+ */
+
+#ifndef EV8_SERVE_GRIDS_HH
+#define EV8_SERVE_GRIDS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sim/suite_runner.hh"
+
+namespace ev8
+{
+
+/** One labelled row of a named grid. */
+struct GridRowSpec
+{
+    std::string label; //!< export/report label, identical batch & served
+    std::string spec;  //!< makePredictor() spec string
+};
+
+/** One named grid: an id, its banner identity, and its rows in order. */
+struct GridSpec
+{
+    std::string id;      //!< wire / --grid name ("fig5")
+    std::string benchId; //!< experiment id for the banner ("Fig. 5")
+    std::string title;   //!< experiment title for the banner
+    std::vector<GridRowSpec> rows;
+
+    /**
+     * SimConfig preset name: "ghist" (SimConfig::ghist()) or "ev8"
+     * (SimConfig::ev8()). baseConfig() resolves it.
+     */
+    std::string preset;
+};
+
+/** The registry. @returns null for an unknown id. */
+const GridSpec *findGrid(const std::string &id);
+
+/** Registered grid ids, for --help / error messages. */
+std::vector<std::string> knownGrids();
+
+/** Resolves @p grid's preset to an uninstrumented SimConfig. */
+SimConfig baseConfig(const GridSpec &grid);
+
+/**
+ * Materializes @p grid's rows as engine GridRows over @p config (the
+ * instrumented per-caller config -- batch and served callers attach
+ * different sinks but identical simulation fields).
+ */
+std::vector<GridRow> buildGridRows(const GridSpec &grid,
+                                   const SimConfig &config);
+
+/** Storage bits of each row's predictor, in row order. */
+std::vector<uint64_t> gridStorageBits(const GridSpec &grid);
+
+} // namespace ev8
+
+#endif // EV8_SERVE_GRIDS_HH

@@ -1,0 +1,182 @@
+#include "serve/packet.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "frontend/fetch_block.hh"
+#include "trace/varint.hh"
+
+namespace ev8
+{
+
+namespace
+{
+
+/** Reads one varint from @p in, rethrowing truncation as PacketError. */
+uint64_t
+getVar(std::istringstream &in)
+{
+    try {
+        return getVarint(in);
+    } catch (const std::exception &) {
+        throw PacketError("truncated packet payload");
+    }
+}
+
+int
+getByte(std::istringstream &in)
+{
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof())
+        throw PacketError("truncated packet payload");
+    return c;
+}
+
+} // namespace
+
+StreamFramer::StreamFramer(const BlockStream &stream,
+                           size_t blocks_per_packet)
+    : stream_(stream),
+      blocksPerPacket_(blocks_per_packet != 0 ? blocks_per_packet : 1)
+{
+}
+
+bool
+StreamFramer::next(Packet &out)
+{
+    if (sentEnd_)
+        return false;
+    std::ostringstream body;
+    if (seq_ == 0) {
+        out.type = Packet::Type::Hello;
+        putVarint(body, stream_.name().size());
+        body.write(stream_.name().data(),
+                   static_cast<std::streamsize>(stream_.name().size()));
+        putVarint(body, stream_.instructions());
+        putVarint(body, stream_.blocks());
+        putVarint(body, stream_.branches());
+    } else if (nextBlock_ < stream_.blocks()) {
+        out.type = Packet::Type::Blocks;
+        const size_t count = std::min(blocksPerPacket_,
+                                      stream_.blocks() - nextBlock_);
+        putVarint(body, count);
+        for (size_t i = 0; i < count; ++i) {
+            const size_t b = nextBlock_ + i;
+            const uint64_t addr = stream_.blockAddr(b);
+            // Same delta discipline as the on-disk serializer: block
+            // addresses are instruction-aligned, so the delta divides
+            // evenly and zigzag keeps backward jumps small.
+            putVarint(body, zigzag((static_cast<int64_t>(addr)
+                                    - static_cast<int64_t>(prevAddr_))
+                                   / static_cast<int64_t>(kInstrBytes)));
+            body.put(static_cast<char>(
+                (stream_.blockInstrs(b) << 1)
+                | (stream_.blockEndsTaken(b) ? 1 : 0)));
+            const unsigned nbr = stream_.numBranches(b);
+            body.put(static_cast<char>(nbr));
+            for (unsigned k = 0; k < nbr; ++k)
+                body.put(static_cast<char>(
+                    stream_.branchRaw(stream_.branchBegin(b) + k)));
+            prevAddr_ = addr;
+        }
+        nextBlock_ += count;
+    } else {
+        out.type = Packet::Type::End;
+        putVarint(body, stream_.blocks());
+        putVarint(body, stream_.branches());
+        sentEnd_ = true;
+    }
+    out.seq = seq_++;
+    out.payload = std::move(body).str();
+    return true;
+}
+
+void
+StreamAssembler::accept(const Packet &p)
+{
+    if (done_)
+        throw PacketError("frame after End");
+    if (p.seq != nextSeq_) {
+        throw PacketError("frame out of order: got seq "
+                          + std::to_string(p.seq) + ", expected "
+                          + std::to_string(nextSeq_));
+    }
+    ++nextSeq_;
+    std::istringstream in(p.payload);
+
+    switch (p.type) {
+      case Packet::Type::Hello: {
+        if (started_)
+            throw PacketError("duplicate Hello frame");
+        started_ = true;
+        const uint64_t name_len = getVar(in);
+        if (name_len > (1u << 20))
+            throw PacketError("implausible stream name length");
+        stream_.name_.assign(static_cast<size_t>(name_len), '\0');
+        in.read(stream_.name_.data(),
+                static_cast<std::streamsize>(name_len));
+        if (!in)
+            throw PacketError("truncated stream name");
+        stream_.instructions_ = getVar(in);
+        expectBlocks_ = getVar(in);
+        expectBranches_ = getVar(in);
+        stream_.addr_.reserve(expectBlocks_);
+        stream_.info_.reserve(expectBlocks_);
+        stream_.branchBegin_.reserve(expectBlocks_ + 1);
+        stream_.branchSlot_.reserve(expectBranches_);
+        stream_.branchBegin_.push_back(0);
+        break;
+      }
+      case Packet::Type::Blocks: {
+        if (!started_)
+            throw PacketError("Blocks frame before Hello");
+        const uint64_t count = getVar(in);
+        for (uint64_t i = 0; i < count; ++i) {
+            const uint64_t addr = static_cast<uint64_t>(
+                static_cast<int64_t>(prevAddr_)
+                + unzigzag(getVar(in))
+                      * static_cast<int64_t>(kInstrBytes));
+            const int info = getByte(in);
+            const int nbr = getByte(in);
+            if (nbr > static_cast<int>(kFetchBlockInstrs))
+                throw PacketError("implausible branch count");
+            stream_.addr_.push_back(addr);
+            stream_.info_.push_back(static_cast<uint8_t>(info));
+            for (int k = 0; k < nbr; ++k)
+                stream_.branchSlot_.push_back(
+                    static_cast<uint8_t>(getByte(in)));
+            stream_.branchBegin_.push_back(
+                static_cast<uint32_t>(stream_.branchSlot_.size()));
+            prevAddr_ = addr;
+        }
+        if (stream_.addr_.size() > expectBlocks_)
+            throw PacketError("more blocks than Hello announced");
+        break;
+      }
+      case Packet::Type::End: {
+        if (!started_)
+            throw PacketError("End frame before Hello");
+        const uint64_t blocks = getVar(in);
+        const uint64_t branches = getVar(in);
+        if (blocks != stream_.addr_.size()
+            || branches != stream_.branchSlot_.size()
+            || blocks != expectBlocks_ || branches != expectBranches_) {
+            throw PacketError("stream totals mismatch at End");
+        }
+        done_ = true;
+        break;
+      }
+      default:
+        throw PacketError("unknown packet type");
+    }
+}
+
+BlockStream
+StreamAssembler::take()
+{
+    if (!done_)
+        throw PacketError("take() before End frame");
+    return std::move(stream_);
+}
+
+} // namespace ev8

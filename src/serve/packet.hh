@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Wire framing of decoded BlockStreams: the payload the serve transport
+ * rings carry.
+ *
+ * A served session does not simulate the producer's BlockStream object;
+ * it simulates a stream REASSEMBLED from framed packets, exactly as a
+ * networked deployment would. The framing reuses the on-disk stream
+ * serialization's per-block byte layout (delta-zigzag block address,
+ * packed info byte, branch bytes -- see block_stream.cc), chunked into
+ * bounded packets so the ring can apply backpressure:
+ *
+ *     Hello  { name, instructions, blocks, branches }
+ *     Blocks { count, per-block records }           (repeated)
+ *     End    { blocks, branches }                   (totals check)
+ *
+ * Packet payloads are self-contained byte strings; the sequence number
+ * establishes order and lets the assembler detect drops. Reassembly is
+ * exact: for any packet size, StreamAssembler::take() == the framed
+ * stream, bit for bit (operator== covers every field), so a simulation
+ * over the reassembled stream is byte-identical to a batch simulation
+ * over the original. That equality is the transport's determinism
+ * contract and is what the round-trip tests pin.
+ */
+
+#ifndef EV8_SERVE_PACKET_HH
+#define EV8_SERVE_PACKET_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/block_stream.hh"
+
+namespace ev8
+{
+
+/** Malformed / out-of-order / truncated frame. */
+class PacketError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One framed transport unit. */
+struct Packet
+{
+    enum class Type : uint8_t
+    {
+        Hello = 1,  //!< stream identity + totals
+        Blocks = 2, //!< a bounded chunk of fetch-block records
+        End = 3,    //!< totals check, closes the stream
+    };
+
+    Type type = Type::Hello;
+    uint64_t seq = 0;    //!< 0-based position within one stream's frames
+    std::string payload; //!< encoded body (see packet.cc)
+};
+
+/**
+ * Frames one BlockStream into a Hello / Blocks* / End packet sequence,
+ * one packet per next() call -- the producer loop is
+ * `while (framer.next(p)) ring.push(std::move(p))`, so at most one
+ * packet is in flight beyond what the ring holds.
+ */
+class StreamFramer
+{
+  public:
+    /** @param blocks_per_packet max fetch blocks per Blocks frame. */
+    StreamFramer(const BlockStream &stream, size_t blocks_per_packet);
+
+    /** Produces the next frame. False when the sequence is complete. */
+    bool next(Packet &out);
+
+    /** Frames emitted so far (== the next frame's seq). */
+    uint64_t framed() const { return seq_; }
+
+  private:
+    const BlockStream &stream_;
+    const size_t blocksPerPacket_;
+    uint64_t seq_ = 0;
+    size_t nextBlock_ = 0;
+    uint64_t prevAddr_ = 0;
+    bool sentEnd_ = false;
+};
+
+/**
+ * Rebuilds a BlockStream from its framed packets. accept() packets in
+ * seq order until done(), then take() the stream. Throws PacketError on
+ * any gap, duplicate, truncation or totals mismatch -- a transport
+ * fault must surface as a structured session failure, never as a
+ * silently different simulation.
+ */
+class StreamAssembler
+{
+  public:
+    /** Feeds one frame. @p p must be the next seq in order. */
+    void accept(const Packet &p);
+
+    /** Has the End frame been accepted and verified? */
+    bool done() const { return done_; }
+
+    /** The reassembled stream; valid once done(). */
+    BlockStream take();
+
+  private:
+    BlockStream stream_;
+    uint64_t nextSeq_ = 0;
+    uint64_t expectBlocks_ = 0;
+    uint64_t expectBranches_ = 0;
+    uint64_t prevAddr_ = 0;
+    bool started_ = false;
+    bool done_ = false;
+};
+
+} // namespace ev8
+
+#endif // EV8_SERVE_PACKET_HH

@@ -1,0 +1,163 @@
+#include "serve/protocol.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ev8
+{
+
+namespace
+{
+
+/** Member as bool; @p fallback when absent. Throws on a non-bool. */
+bool
+boolOr(const JsonValue &obj, const std::string &name, bool fallback)
+{
+    const JsonValue *v = obj.find(name);
+    if (!v)
+        return fallback;
+    if (v->kind != JsonValue::Kind::Bool)
+        throw std::runtime_error("field '" + name + "' must be a bool");
+    return v->boolean;
+}
+
+/** Member as string; throws when absent or not a string. */
+std::string
+stringField(const JsonValue &obj, const std::string &name)
+{
+    const JsonValue *v = obj.find(name);
+    if (!v || !v->isString())
+        throw std::runtime_error("missing string field '" + name + "'");
+    return v->text;
+}
+
+/** Parses a non-negative u64 serialized as a decimal string. */
+uint64_t
+u64Field(const JsonValue &v, const std::string &what)
+{
+    if (!v.isString())
+        throw std::runtime_error(what + " must be a decimal string");
+    try {
+        size_t used = 0;
+        const uint64_t value = std::stoull(v.text, &used, 10);
+        if (used != v.text.size() || v.text.empty())
+            throw std::invalid_argument(v.text);
+        return value;
+    } catch (const std::exception &) {
+        throw std::runtime_error("malformed u64 in " + what + ": '"
+                                 + v.text + "'");
+    }
+}
+
+} // namespace
+
+std::string
+encodeRequest(const ServeRequest &req)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("op");
+    w.value(req.op);
+    if (!req.session.empty()) {
+        w.key("session");
+        w.value(req.session);
+    }
+    if (req.op == "open") {
+        w.key("grid");
+        w.value(req.grid);
+        w.key("events");
+        w.value(req.wantEvents);
+        w.key("metrics");
+        w.value(req.wantMetrics);
+        w.key("timing");
+        w.value(req.timing);
+        w.key("generic");
+        w.value(req.forceGeneric);
+    }
+    w.endObject();
+    return std::move(out).str();
+}
+
+ServeRequest
+decodeRequest(const std::string &line)
+{
+    const JsonValue doc = parseJson(line);
+    if (!doc.isObject())
+        throw std::runtime_error("request is not a JSON object");
+
+    ServeRequest req;
+    req.op = stringField(doc, "op");
+    if (req.op == "open") {
+        req.session = stringField(doc, "session");
+        req.grid = stringField(doc, "grid");
+        req.wantEvents = boolOr(doc, "events", false);
+        req.wantMetrics = boolOr(doc, "metrics", true);
+        req.timing = boolOr(doc, "timing", true);
+        req.forceGeneric = boolOr(doc, "generic", false);
+    } else if (req.op == "start" || req.op == "snapshot"
+               || req.op == "wait") {
+        req.session = stringField(doc, "session");
+    } else if (req.op != "stats" && req.op != "shutdown") {
+        throw std::runtime_error("unknown op '" + req.op + "'");
+    }
+    return req;
+}
+
+std::string
+errorReply(const std::string &message)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("ok");
+    w.value(false);
+    w.key("error");
+    w.value(message);
+    w.endObject();
+    return std::move(out).str();
+}
+
+void
+writeFailure(JsonWriter &w, const CellFailure &f)
+{
+    w.beginObject();
+    w.key("row");
+    w.value(std::to_string(f.row));
+    w.key("row_label");
+    w.value(f.rowLabel);
+    w.key("bench");
+    w.value(f.bench);
+    w.key("attempts");
+    w.value(std::to_string(f.attempts));
+    w.key("error");
+    w.value(f.error);
+    w.key("attempt_ns");
+    w.beginArray();
+    for (const uint64_t ns : f.attemptNs)
+        w.value(std::to_string(ns));
+    w.endArray();
+    w.endObject();
+}
+
+CellFailure
+readFailure(const JsonValue &v)
+{
+    if (!v.isObject())
+        throw std::runtime_error("failure record is not an object");
+    CellFailure f;
+    f.row = static_cast<size_t>(u64Field(v.at("row"), "row"));
+    f.rowLabel = stringField(v, "row_label");
+    f.bench = stringField(v, "bench");
+    f.attempts = static_cast<unsigned>(
+        u64Field(v.at("attempts"), "attempts"));
+    f.error = stringField(v, "error");
+    const JsonValue &ns = v.at("attempt_ns");
+    if (!ns.isArray())
+        throw std::runtime_error("attempt_ns must be an array");
+    for (const JsonValue &item : ns.items)
+        f.attemptNs.push_back(u64Field(item, "attempt_ns"));
+    return f;
+}
+
+} // namespace ev8

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The serve transport's bounded SPSC ring.
+ *
+ * One producer thread (the session's trace framer) pushes packets, one
+ * consumer thread (the session's simulation loop) pops them. The ring
+ * has a fixed capacity chosen at construction: a producer that outruns
+ * its consumer BLOCKS in push() (backpressure -- the daemon's memory for
+ * one session is bounded by capacity * packet size, never by trace
+ * length), and a consumer that outruns its producer blocks in pop().
+ * Drain order is exactly push order (FIFO), which is what makes served
+ * simulation deterministic: the consumer reassembles the stream from
+ * the packets in the order the producer framed them, regardless of how
+ * the two threads interleave.
+ *
+ * Shutdown has two flavours:
+ *
+ *  - close(): the producer is done. pop() keeps returning queued
+ *    packets and then returns false -- a clean end-of-stream.
+ *  - abort(): either side bails (session killed, transport fault).
+ *    Both push() and pop() return false immediately and drop whatever
+ *    is queued.
+ *
+ * Blocked waits feed the "serve.stall" span phase (always-on coarse
+ * totals; full spans when a timeline is recording), so ring
+ * backpressure is visible in the Perfetto timeline next to the cells it
+ * delays. Stats() reports pushed/popped counts, both sides' cumulative
+ * stall time and the high-water depth.
+ *
+ * The implementation is a mutex + two condvars, not a lock-free ring:
+ * packets are kilobytes and the per-packet cost is dominated by
+ * framing/simulation, so contention here is noise -- and the blocking
+ * semantics (the whole point of the transport) come for free.
+ */
+
+#ifndef EV8_SERVE_RING_BUFFER_HH
+#define EV8_SERVE_RING_BUFFER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace_span.hh"
+
+namespace ev8
+{
+
+/** Counters one SpscRing accumulated over its lifetime. */
+struct RingStats
+{
+    uint64_t pushed = 0;      //!< packets accepted by push()
+    uint64_t popped = 0;      //!< packets returned by pop()
+    uint64_t pushStallNs = 0; //!< producer time blocked on a full ring
+    uint64_t popStallNs = 0;  //!< consumer time blocked on an empty ring
+    uint64_t maxDepth = 0;    //!< high-water queue depth
+};
+
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity max queued items; must be >= 1. */
+    explicit SpscRing(size_t capacity) : capacity_(capacity)
+    {
+        if (capacity_ == 0)
+            throw std::invalid_argument("ring capacity must be >= 1");
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /**
+     * Enqueues @p value, blocking while the ring is full. Returns false
+     * (value dropped) when the ring is aborted, or when close() was
+     * already called (a producer bug surfaced instead of hidden).
+     */
+    bool
+    push(T value)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (queue_.size() >= capacity_ && !aborted_ && !closed_)
+            stallWait(lock, notFull_, stats_.pushStallNs,
+                      "ring.push_wait", [&] {
+                          return queue_.size() < capacity_ || aborted_
+                              || closed_;
+                      });
+        if (aborted_ || closed_)
+            return false;
+        queue_.push_back(std::move(value));
+        ++stats_.pushed;
+        if (queue_.size() > stats_.maxDepth)
+            stats_.maxDepth = queue_.size();
+        lock.unlock();
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeues into @p out, blocking while the ring is empty and still
+     * open. Returns false at end-of-stream (closed and drained) or on
+     * abort (queued items are dropped).
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (queue_.empty() && !closed_ && !aborted_)
+            stallWait(lock, notEmpty_, stats_.popStallNs,
+                      "ring.pop_wait", [&] {
+                          return !queue_.empty() || closed_ || aborted_;
+                      });
+        if (aborted_ || queue_.empty())
+            return false;
+        out = std::move(queue_.front());
+        queue_.pop_front();
+        ++stats_.popped;
+        lock.unlock();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Producer is done: pop() drains the queue, then returns false. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    /** Tear down both sides immediately; queued items are dropped. */
+    void
+    abort()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            aborted_ = true;
+            queue_.clear();
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    bool
+    aborted() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return aborted_;
+    }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    size_t capacity() const { return capacity_; }
+
+    size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return queue_.size();
+    }
+
+    RingStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+  private:
+    /**
+     * Waits for @p ready under @p lock, attributing the blocked time to
+     * the "serve.stall" phase (and a named timeline span when one is
+     * being recorded).
+     */
+    template <typename Pred>
+    void
+    stallWait(std::unique_lock<std::mutex> &lock,
+              std::condition_variable &cv, uint64_t &stall_ns,
+              const char *span_name, Pred ready)
+    {
+        SpanTracer &tracer = SpanTracer::global();
+        const uint64_t start = tracer.nowNs();
+        cv.wait(lock, ready);
+        const uint64_t waited = tracer.nowNs() - start;
+        stall_ns += waited;
+        tracer.addPhase(SpanPhase::Stall, waited);
+        if (tracer.enabled())
+            tracer.record(SpanPhase::Stall, span_name, "", start, waited);
+    }
+
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> queue_;
+    bool closed_ = false;
+    bool aborted_ = false;
+    RingStats stats_;
+};
+
+} // namespace ev8
+
+#endif // EV8_SERVE_RING_BUFFER_HH

@@ -1,0 +1,686 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/env.hh"
+#include "obs/trace_span.hh"
+#include "serve/packet.hh"
+#include "serve/ring_buffer.hh"
+#include "sim/cell_executor.hh"
+#include "sim/checkpoint.hh"
+#include "sim/experiment.hh"
+#include "sim/fault_injection.hh"
+
+namespace ev8
+{
+
+namespace
+{
+
+/** Deterministic pause of an injected ring_stall fault. */
+constexpr auto kRingStallPause = std::chrono::milliseconds(25);
+
+/** Writes the ring counters as one JSON object member set. */
+void
+writeRingStats(JsonWriter &w, const RingStats &stats)
+{
+    w.beginObject();
+    w.key("pushed");
+    w.value(stats.pushed);
+    w.key("popped");
+    w.value(stats.popped);
+    w.key("push_stall_ns");
+    w.value(stats.pushStallNs);
+    w.key("pop_stall_ns");
+    w.value(stats.popStallNs);
+    w.key("max_depth");
+    w.value(stats.maxDepth);
+    w.endObject();
+}
+
+} // namespace
+
+/**
+ * One served session: a named grid streamed through the transport and
+ * executed by the shared cell core. The session owns its outputs; the
+ * server's scheduling (run slots, sibling sessions) cannot change a
+ * single byte of them.
+ */
+class PredictionServer::Session
+{
+  public:
+    Session(PredictionServer &server, ServeRequest open,
+            const GridSpec &grid)
+        : server_(server), open_(std::move(open)), grid_(grid),
+          name_(open_.session), nbench_(specint95Suite().size()),
+          ring_(server.limits().ringCapacity)
+    {
+        SimConfig config = baseConfig(grid_);
+        config.profileTiming = open_.timing;
+        config.forceGenericKernel = open_.forceGeneric;
+        rows_ = buildGridRows(grid_, config);
+        outputs_.resize(cells());
+        requests_.resize(cells());
+        for (size_t i = 0; i < cells(); ++i) {
+            const size_t r = i / nbench_;
+            const size_t b = i % nbench_;
+            CellRequest &req = requests_[i];
+            // The consumer repoints current_ at each benchmark's
+            // reassembled stream before running that benchmark's cells;
+            // retries of a cell re-read the same assembled stream.
+            req.stream = [this]() -> const BlockStream & {
+                return *current_;
+            };
+            req.profile = &specint95Suite()[b].profile;
+            req.factory = rows_[r].factory;
+            req.config = rows_[r].config;
+            req.wantEvents = open_.wantEvents;
+            req.wantMetrics = open_.wantMetrics;
+            req.rowLabel = rows_[r].label;
+            req.rowIndex = r;
+            // Per-session fault identity: lets EV8_FAULT_SPEC kill one
+            // session by name ("session_drop/s1/") while its siblings'
+            // occurrence counters stay untouched.
+            req.key = name_ + "/g0/r" + std::to_string(r) + "/"
+                + req.profile->name;
+            req.label = name_ + ":"
+                + (req.rowLabel.empty()
+                       ? req.profile->name
+                       : req.rowLabel + "/" + req.profile->name);
+            req.sessionFaults = true;
+        }
+    }
+
+    ~Session()
+    {
+        // A session destroyed mid-run (server teardown) finishes
+        // gracefully: both threads have bounded work left.
+        if (producer_.joinable())
+            producer_.join();
+        if (consumer_.joinable())
+            consumer_.join();
+    }
+
+    const std::string &name() const { return name_; }
+    size_t rows() const { return rows_.size(); }
+    size_t benches() const { return nbench_; }
+    size_t cells() const { return rows_.size() * nbench_; }
+
+    /** Launches the pipeline. Returns false when already started. */
+    bool
+    start()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (state_ != State::Open)
+                return false;
+            state_ = State::Running;
+        }
+        producer_ = std::thread([this] { produce(); });
+        consumer_ = std::thread([this] { consume(); });
+        return true;
+    }
+
+    /** Appends the live-progress members of a snapshot reply. */
+    void
+    writeSnapshot(JsonWriter &w)
+    {
+        ScopedSpan span(SpanPhase::Snapshot, "serve.snapshot");
+        span.arg("session", name_);
+        w.key("state");
+        w.value(stateName());
+        w.key("rows");
+        w.value(static_cast<uint64_t>(rows_.size()));
+        w.key("benches");
+        w.value(static_cast<uint64_t>(nbench_));
+        w.key("cells_total");
+        w.value(static_cast<uint64_t>(cells()));
+        w.key("cells_done");
+        w.value(cellsDone_.load(std::memory_order_relaxed));
+        w.key("failures");
+        w.value(failedCells_.load(std::memory_order_relaxed));
+        w.key("packets");
+        w.value(packetsFramed_.load(std::memory_order_relaxed));
+        w.key("ring");
+        writeRingStats(w, ring_.stats());
+    }
+
+    /** Blocks until the run finishes (no-op when never started/done). */
+    void
+    awaitDone()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return state_ != State::Running; });
+    }
+
+    bool
+    finished()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return state_ == State::Done;
+    }
+
+    /**
+     * Appends the full result members of a wait reply: one checkpoint
+     * codec record per cell, in cell-index (row-major) order -- the
+     * byte-exact payload the client merges -- plus the structured
+     * failures.
+     */
+    void
+    writeResults(JsonWriter &w)
+    {
+        w.key("cells");
+        w.beginArray();
+        for (size_t i = 0; i < outputs_.size(); ++i) {
+            const CellOutput &out = outputs_[i];
+            w.value(encodeCellRecord(i, out.result, out.metrics,
+                                     out.events));
+        }
+        w.endArray();
+        w.key("failures");
+        w.beginArray();
+        for (const CellFailure &f : failures_)
+            writeFailure(w, f);
+        w.endArray();
+    }
+
+  private:
+    enum class State
+    {
+        Open,
+        Running,
+        Done,
+    };
+
+    const char *
+    stateName()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        switch (state_) {
+          case State::Open:
+            return "open";
+          case State::Running:
+            return "running";
+          case State::Done:
+            return "done";
+        }
+        return "?";
+    }
+
+    /**
+     * Producer thread: frame every benchmark's pre-decoded stream, in
+     * suite order, into the ring. The ring's backpressure bounds how
+     * far this thread can run ahead of the simulation.
+     */
+    void
+    produce()
+    {
+        SpanTracer &tracer = SpanTracer::global();
+        tracer.setThreadName("serve:" + name_ + ":producer");
+        FaultInjector &faults = FaultInjector::global();
+        try {
+            for (size_t b = 0; b < nbench_; ++b) {
+                StreamFramer framer(server_.runner().blockStream(b),
+                                    server_.limits().blocksPerPacket);
+                Packet p;
+                while (framer.next(p)) {
+                    const uint64_t idx = packetsFramed_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (faults.enabled()
+                        && faults.fires(FaultPoint::RingStall,
+                                        name_ + "/p"
+                                            + std::to_string(idx))) {
+                        // Timing-only fault: the packet is merely late.
+                        const uint64_t t0 = tracer.nowNs();
+                        std::this_thread::sleep_for(kRingStallPause);
+                        tracer.addPhase(SpanPhase::Stall,
+                                        tracer.nowNs() - t0);
+                    }
+                    ScopedSpan span(SpanPhase::Enqueue, "serve.enqueue");
+                    if (!ring_.push(std::move(p)))
+                        return; // aborted: the consumer gave up
+                }
+            }
+            ring_.close();
+        } catch (const std::exception &err) {
+            noteTransportError(std::string("producer: ") + err.what());
+            ring_.abort();
+        }
+    }
+
+    /**
+     * Consumer thread: reassemble each benchmark from its frames, run
+     * that benchmark's cells through the shared executor, repeat. A
+     * transport fault fails this session's remaining cells and leaves
+     * every other session untouched.
+     */
+    void
+    consume()
+    {
+        SpanTracer::global().setThreadName("serve:" + name_);
+        server_.acquireRunSlot();
+        {
+            ScopedSpan span(SpanPhase::SessionRun, "serve.session_run");
+            span.arg("session", name_);
+            span.arg("grid", grid_.id);
+            span.arg("cells", static_cast<uint64_t>(cells()));
+            runCells();
+        }
+        server_.releaseRunSlot();
+
+        // Row-major failure sweep, mirroring the batch merge loop's
+        // submission-order CellFailure construction.
+        for (size_t i = 0; i < outputs_.size(); ++i) {
+            CellOutput &out = outputs_[i];
+            if (!out.failed)
+                continue;
+            CellFailure failure;
+            failure.row = i / nbench_;
+            failure.rowLabel = rows_[i / nbench_].label;
+            failure.bench = requests_[i].profile->name;
+            failure.attempts = out.attempts;
+            failure.error = out.error;
+            failure.attemptNs = out.attemptNs;
+            failures_.push_back(std::move(failure));
+        }
+        // Count the session done before waking its waiters, so a
+        // client that sequences wait -> stats always sees itself.
+        server_.noteSessionDone();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            state_ = State::Done;
+        }
+        done_.notify_all();
+    }
+
+    void
+    runCells()
+    {
+        CellExecutor executor;
+        const bool fused = ExperimentEngine::fusedEnabled();
+        const size_t laneCap = ExperimentEngine::fusedLaneCap();
+        for (size_t b = 0; b < nbench_; ++b) {
+            StreamAssembler assembler;
+            try {
+                Packet p;
+                while (!assembler.done()) {
+                    if (!ring_.pop(p)) {
+                        throw PacketError(
+                            "transport closed mid-stream");
+                    }
+                    assembler.accept(p);
+                }
+            } catch (const std::exception &err) {
+                failFrom(b, std::string("transport: ") + err.what());
+                ring_.abort();
+                return;
+            }
+            const BlockStream stream = assembler.take();
+            current_ = &stream;
+
+            // This benchmark's cells, in row order. All rows share one
+            // walk config (the grid's preset plus the open flags), so
+            // fused groups are just row-order chunks at the lane cap --
+            // the same groups the batch engine's fuse key yields.
+            std::vector<size_t> bench_cells;
+            bench_cells.reserve(rows_.size());
+            for (size_t r = 0; r < rows_.size(); ++r)
+                bench_cells.push_back(r * nbench_ + b);
+            if (!fused) {
+                for (const size_t i : bench_cells)
+                    executor.runGuarded(i, requests_[i], outputs_[i]);
+            } else {
+                for (size_t at = 0; at < bench_cells.size();
+                     at += laneCap) {
+                    const size_t end =
+                        std::min(at + laneCap, bench_cells.size());
+                    executor.runGroup(
+                        std::vector<size_t>(bench_cells.begin() + at,
+                                            bench_cells.begin() + end),
+                        requests_, outputs_);
+                }
+            }
+            current_ = nullptr;
+            for (const size_t i : bench_cells) {
+                if (outputs_[i].failed)
+                    failedCells_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            }
+            cellsDone_.fetch_add(bench_cells.size(),
+                                 std::memory_order_relaxed);
+        }
+    }
+
+    /** Fails every cell of benchmarks @p from_bench.. with @p error. */
+    void
+    failFrom(size_t from_bench, const std::string &error)
+    {
+        for (size_t b = from_bench; b < nbench_; ++b) {
+            for (size_t r = 0; r < rows_.size(); ++r) {
+                CellOutput &out = outputs_[r * nbench_ + b];
+                out.failed = true;
+                out.attempts = 0;
+                out.error = error;
+                failedCells_.fetch_add(1, std::memory_order_relaxed);
+            }
+            cellsDone_.fetch_add(rows_.size(),
+                                 std::memory_order_relaxed);
+        }
+    }
+
+    void
+    noteTransportError(const std::string &error)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (transportError_.empty())
+            transportError_ = error;
+    }
+
+    PredictionServer &server_;
+    const ServeRequest open_;
+    const GridSpec &grid_;
+    const std::string name_;
+    const size_t nbench_;
+
+    std::vector<GridRow> rows_;
+    std::vector<CellRequest> requests_;
+    std::vector<CellOutput> outputs_;
+    std::vector<CellFailure> failures_; //!< filled once, before Done
+
+    SpscRing<Packet> ring_;
+    const BlockStream *current_ = nullptr; //!< consumer-thread only
+    std::thread producer_;
+    std::thread consumer_;
+
+    std::atomic<uint64_t> cellsDone_{0};
+    std::atomic<uint64_t> failedCells_{0};
+    std::atomic<uint64_t> packetsFramed_{0};
+
+    std::mutex mutex_; //!< guards state_, transportError_
+    std::condition_variable done_;
+    State state_ = State::Open;
+    std::string transportError_;
+
+    friend class PredictionServer;
+};
+
+ServeLimits
+PredictionServer::defaultLimits()
+{
+    ServeLimits limits;
+    limits.maxSessions = static_cast<size_t>(
+        strictEnvU64("EV8_SERVE_MAX_SESSIONS", 1, 256, 8));
+    limits.ringCapacity = static_cast<size_t>(
+        strictEnvU64("EV8_SERVE_RING_CAP", 1, 65536, 64));
+    limits.blocksPerPacket = static_cast<size_t>(
+        strictEnvU64("EV8_SERVE_BLOCKS_PER_PACKET", 1, 1u << 20, 4096));
+    return limits;
+}
+
+PredictionServer::PredictionServer(ServeLimits limits, unsigned jobs)
+    : limits_(limits),
+      jobs_(jobs != 0 ? jobs : ExperimentEngine::defaultJobs())
+{
+}
+
+PredictionServer::PredictionServer()
+    : PredictionServer(defaultLimits())
+{
+}
+
+PredictionServer::~PredictionServer()
+{
+    // Session destructors join their threads; clearing under no lock is
+    // fine because handle() callers are gone once the owner tears the
+    // server down.
+    sessions_.clear();
+}
+
+bool
+PredictionServer::shutdownRequested() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_;
+}
+
+std::shared_ptr<PredictionServer::Session>
+PredictionServer::findSession(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessions_.find(name);
+    return it == sessions_.end() ? nullptr : it->second;
+}
+
+void
+PredictionServer::acquireRunSlot()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    slotFree_.wait(lock, [&] { return runningSlots_ < jobs_; });
+    ++runningSlots_;
+}
+
+void
+PredictionServer::releaseRunSlot()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --runningSlots_;
+    }
+    slotFree_.notify_one();
+}
+
+void
+PredictionServer::noteSessionDone()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++sessionsDone_;
+}
+
+uint64_t
+PredictionServer::failedCellsTotal() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (const auto &[name, session] : sessions_)
+        total += session->failedCells_.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::string
+PredictionServer::handleOpen(const ServeRequest &req)
+{
+    ScopedSpan span(SpanPhase::Accept, "serve.accept");
+    span.arg("session", req.session);
+    span.arg("grid", req.grid);
+
+    const GridSpec *grid = findGrid(req.grid);
+    if (!grid) {
+        std::string known;
+        for (const std::string &id : knownGrids())
+            known += (known.empty() ? "" : ", ") + id;
+        return errorReply("unknown grid '" + req.grid + "' (known: "
+                          + known + ")");
+    }
+
+    std::shared_ptr<Session> session;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdown_)
+            return errorReply("server is shutting down");
+        if (sessions_.count(req.session)) {
+            return errorReply("session '" + req.session
+                              + "' already exists");
+        }
+        if (sessions_.size() >= limits_.maxSessions) {
+            return errorReply(
+                "session limit reached ("
+                + std::to_string(limits_.maxSessions)
+                + "); admission refused");
+        }
+        session = std::make_shared<Session>(*this, req, *grid);
+        sessions_.emplace(req.session, session);
+        ++sessionsOpened_;
+    }
+
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("ok");
+    w.value(true);
+    w.key("schema");
+    w.value(kServeSchema);
+    w.key("session");
+    w.value(req.session);
+    w.key("grid");
+    w.value(grid->id);
+    w.key("experiment_id");
+    w.value(grid->benchId);
+    w.key("title");
+    w.value(grid->title);
+    w.key("rows");
+    w.value(static_cast<uint64_t>(session->rows()));
+    w.key("benches");
+    w.value(static_cast<uint64_t>(session->benches()));
+    w.key("cells");
+    w.value(static_cast<uint64_t>(session->cells()));
+    w.endObject();
+    return std::move(out).str();
+}
+
+std::string
+PredictionServer::handleStart(const ServeRequest &req)
+{
+    const std::shared_ptr<Session> session = findSession(req.session);
+    if (!session)
+        return errorReply("unknown session '" + req.session + "'");
+    if (!session->start())
+        return errorReply("session '" + req.session + "' already started");
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("ok");
+    w.value(true);
+    w.key("session");
+    w.value(req.session);
+    w.key("state");
+    w.value("running");
+    w.endObject();
+    return std::move(out).str();
+}
+
+std::string
+PredictionServer::handleSnapshot(const ServeRequest &req)
+{
+    const std::shared_ptr<Session> session = findSession(req.session);
+    if (!session)
+        return errorReply("unknown session '" + req.session + "'");
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("ok");
+    w.value(true);
+    w.key("session");
+    w.value(req.session);
+    session->writeSnapshot(w);
+    w.endObject();
+    return std::move(out).str();
+}
+
+std::string
+PredictionServer::handleWait(const ServeRequest &req)
+{
+    const std::shared_ptr<Session> session = findSession(req.session);
+    if (!session)
+        return errorReply("unknown session '" + req.session + "'");
+    session->awaitDone();
+    if (!session->finished()) {
+        return errorReply("session '" + req.session
+                          + "' was never started");
+    }
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("ok");
+    w.value(true);
+    w.key("session");
+    w.value(req.session);
+    w.key("state");
+    w.value("done");
+    session->writeResults(w);
+    w.endObject();
+    return std::move(out).str();
+}
+
+std::string
+PredictionServer::handleStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("ok");
+    w.value(true);
+    w.key("schema");
+    w.value(kServeSchema);
+    w.key("sessions_opened");
+    w.value(sessionsOpened_);
+    w.key("sessions_done");
+    w.value(sessionsDone_);
+    w.key("sessions_running");
+    w.value(static_cast<uint64_t>(runningSlots_));
+    w.key("max_sessions");
+    w.value(static_cast<uint64_t>(limits_.maxSessions));
+    w.key("ring_capacity");
+    w.value(static_cast<uint64_t>(limits_.ringCapacity));
+    w.key("blocks_per_packet");
+    w.value(static_cast<uint64_t>(limits_.blocksPerPacket));
+    w.key("jobs");
+    w.value(uint64_t{jobs_});
+    w.endObject();
+    return std::move(out).str();
+}
+
+std::string
+PredictionServer::handle(const std::string &line)
+{
+    ServeRequest req;
+    try {
+        req = decodeRequest(line);
+    } catch (const std::exception &err) {
+        return errorReply(err.what());
+    }
+    try {
+        if (req.op == "open")
+            return handleOpen(req);
+        if (req.op == "start")
+            return handleStart(req);
+        if (req.op == "snapshot")
+            return handleSnapshot(req);
+        if (req.op == "wait")
+            return handleWait(req);
+        if (req.op == "stats")
+            return handleStats();
+        // "shutdown" (decodeRequest rejected everything else)
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            shutdown_ = true;
+        }
+        std::ostringstream out;
+        JsonWriter w(out);
+        w.beginObject();
+        w.key("ok");
+        w.value(true);
+        w.key("state");
+        w.value("shutdown");
+        w.endObject();
+        return std::move(out).str();
+    } catch (const std::exception &err) {
+        return errorReply(err.what());
+    }
+}
+
+} // namespace ev8

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Prediction-as-a-service: the session layer behind bench_serve.
+ *
+ * A PredictionServer owns one SuiteRunner (so every session shares the
+ * trace/stream disk cache and in-memory decode -- N sessions over the
+ * same profile pay for one synthesis) and a set of named ClientSessions.
+ * Each session is one predictor grid evaluated over the suite, wired as
+ * a true streaming pipeline:
+ *
+ *     producer thread: blockStream(b) -> StreamFramer -> SpscRing
+ *     consumer thread: SpscRing -> StreamAssembler -> CellExecutor
+ *
+ * The consumer simulates the REASSEMBLED stream, never the producer's
+ * object, so the transport is on the critical path and its determinism
+ * contract (packet.hh) is exercised by every served cell. Cells run
+ * through the same CellExecutor core as batch grids -- fused lane
+ * groups, retry/backoff, fault hooks -- which is what makes a served
+ * session's cell outputs byte-identical to a batch run of the same
+ * grid.
+ *
+ * Concurrency and isolation:
+ *
+ *  - admission control: at most `maxSessions` sessions may exist at
+ *    once (EV8_SERVE_MAX_SESSIONS / --max-sessions); an open beyond the
+ *    limit is refused with a structured error, it never queues.
+ *  - `jobs` caps sessions simulating concurrently (their producers may
+ *    stream ahead into ring backpressure). Scheduling order cannot
+ *    change any session's artifact -- outputs are per-session state.
+ *  - a session that dies (injected session_drop faults, transport
+ *    errors) records structured CellFailures for its own cells only;
+ *    sibling sessions and the server keep running.
+ *
+ * The protocol front (protocol.hh) is transport-agnostic: handle() maps
+ * one request line to one reply line, and bench_serve pumps those lines
+ * over an AF_UNIX socket or a stdio loopback. handle() is thread-safe:
+ * connection threads may call it concurrently ("wait" blocks only its
+ * caller).
+ */
+
+#ifndef EV8_SERVE_SERVER_HH
+#define EV8_SERVE_SERVER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/grids.hh"
+#include "serve/protocol.hh"
+#include "sim/suite_runner.hh"
+
+namespace ev8
+{
+
+/** Transport/admission knobs, env-resolved once per server. */
+struct ServeLimits
+{
+    /** Max concurrently open sessions (admission control). */
+    size_t maxSessions = 8;
+
+    /** SpscRing capacity, in packets, per session. */
+    size_t ringCapacity = 64;
+
+    /** Fetch blocks per Blocks frame (packet granularity). */
+    size_t blocksPerPacket = 4096;
+};
+
+class PredictionServer
+{
+  public:
+    /**
+     * Limits from the environment, strictly parsed (a set-but-invalid
+     * value is stderr + exit 2, matching EV8_JOBS):
+     *
+     *     EV8_SERVE_MAX_SESSIONS      [1, 256]     default 8
+     *     EV8_SERVE_RING_CAP          [1, 65536]   default 64
+     *     EV8_SERVE_BLOCKS_PER_PACKET [1, 1048576] default 4096
+     */
+    static ServeLimits defaultLimits();
+
+    /**
+     * @param limits admission/transport knobs (see defaultLimits()).
+     * @param jobs max sessions simulating concurrently; 0 picks
+     *        ExperimentEngine::defaultJobs(). Artifacts do not depend
+     *        on it.
+     */
+    explicit PredictionServer(ServeLimits limits, unsigned jobs = 0);
+    PredictionServer();
+
+    /** Joins every session thread (graceful: running sessions finish). */
+    ~PredictionServer();
+
+    PredictionServer(const PredictionServer &) = delete;
+    PredictionServer &operator=(const PredictionServer &) = delete;
+
+    /**
+     * Executes one protocol request line and returns the reply line
+     * (no trailing newline). Never throws: protocol and server errors
+     * come back as {"ok":false,...} replies. "wait" blocks the calling
+     * thread until the session finishes.
+     */
+    std::string handle(const std::string &line);
+
+    /** Has a shutdown request been accepted? The accept loop's exit. */
+    bool shutdownRequested() const;
+
+    const ServeLimits &limits() const { return limits_; }
+    unsigned jobs() const { return jobs_; }
+
+    /** The shared suite runner (tests reach the trace cache via it). */
+    SuiteRunner &runner() { return runner_; }
+
+    /**
+     * Cells that failed across every session so far (live count). The
+     * daemon folds this into its exit code: any served failure makes
+     * the process exit kExitPartial, mirroring the batch binaries.
+     */
+    uint64_t failedCellsTotal() const;
+
+  private:
+    class Session;
+
+    std::string handleOpen(const ServeRequest &req);
+    std::string handleStart(const ServeRequest &req);
+    std::string handleSnapshot(const ServeRequest &req);
+    std::string handleWait(const ServeRequest &req);
+    std::string handleStats();
+
+    /** Locked lookup; null when @p name is unknown. */
+    std::shared_ptr<Session> findSession(const std::string &name);
+
+    /// @name Run-slot gate: at most jobs_ sessions simulate at once.
+    /// @{
+    void acquireRunSlot();
+    void releaseRunSlot();
+    /// @}
+
+    /** Session completion tap (the "stats" op's sessions_done). */
+    void noteSessionDone();
+
+    const ServeLimits limits_;
+    const unsigned jobs_;
+    SuiteRunner runner_;
+
+    mutable std::mutex mutex_; //!< guards sessions_, counters, shutdown_
+    std::condition_variable slotFree_;
+    std::map<std::string, std::shared_ptr<Session>> sessions_;
+    size_t runningSlots_ = 0;
+    bool shutdown_ = false;
+
+    // Lifetime counters for the "stats" op.
+    uint64_t sessionsOpened_ = 0;
+    uint64_t sessionsDone_ = 0;
+};
+
+} // namespace ev8
+
+#endif // EV8_SERVE_SERVER_HH

@@ -79,10 +79,12 @@ writeU64Array(JsonWriter &w, const std::vector<uint64_t> &values)
     w.endArray();
 }
 
+} // namespace
+
 std::string
-encodeRecord(size_t cell, const BenchResult &result,
-             const MetricRegistry &metrics,
-             const std::vector<MispredictEvent> &events)
+encodeCellRecord(size_t cell, const BenchResult &result,
+                 const MetricRegistry &metrics,
+                 const std::vector<MispredictEvent> &events)
 {
     std::ostringstream line;
     JsonWriter w(line);
@@ -181,10 +183,9 @@ encodeRecord(size_t cell, const BenchResult &result,
     return line.str();
 }
 
-/** Parses one record line; throws on any malformation. */
 size_t
-decodeRecord(const std::string &line, size_t cells,
-             GridCheckpoint::RestoredCell &out)
+decodeCellRecord(const std::string &line, size_t cells,
+                 GridCheckpoint::RestoredCell &out)
 {
     const JsonValue doc = parseJson(line);
     const size_t cell = parseU64(doc.at("cell"));
@@ -259,8 +260,6 @@ decodeRecord(const std::string &line, size_t cells,
     return cell;
 }
 
-} // namespace
-
 std::string
 GridCheckpoint::defaultDir()
 {
@@ -312,7 +311,7 @@ GridCheckpoint::load()
                     try {
                         RestoredCell cell;
                         const size_t i =
-                            decodeRecord(line, cells_, cell);
+                            decodeCellRecord(line, cells_, cell);
                         // First record wins; duplicates (a resumed run
                         // that re-ran a torn cell) are ignored.
                         restored.emplace(i, std::move(cell));
@@ -389,7 +388,7 @@ GridCheckpoint::append(size_t cell, const BenchResult &result,
         return;
     ScopedSpan span(SpanPhase::Checkpoint, "checkpoint:append");
     span.arg("cell", static_cast<uint64_t>(cell));
-    const std::string line = encodeRecord(cell, result, metrics, events);
+    const std::string line = encodeCellRecord(cell, result, metrics, events);
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (!writable_)

@@ -122,6 +122,27 @@ class GridCheckpoint
     bool warned_ = false;
 };
 
+/**
+ * Encodes one completed cell's full output -- BenchResult, private
+ * MetricRegistry and buffered misprediction events -- as a single JSONL
+ * record (no trailing newline). Scalars round-trip exactly (u64 as
+ * decimal strings, doubles as IEEE-754 bit-pattern hex), which is why
+ * the serve wire protocol reuses this codec verbatim: a cell shipped to
+ * a client and merged there produces the same bytes a local merge
+ * would.
+ */
+std::string encodeCellRecord(size_t cell, const BenchResult &result,
+                             const MetricRegistry &metrics,
+                             const std::vector<MispredictEvent> &events);
+
+/**
+ * Parses one encodeCellRecord() line into @p out and returns the cell
+ * index. Throws std::runtime_error on any malformation (including a
+ * cell index >= @p cells).
+ */
+size_t decodeCellRecord(const std::string &line, size_t cells,
+                        GridCheckpoint::RestoredCell &out);
+
 } // namespace ev8
 
 #endif // EV8_SIM_CHECKPOINT_HH

@@ -9,12 +9,14 @@
 #include <string>
 #include <tuple>
 
+#include "common/env.hh"
 #include "common/hash.hh"
 #include "obs/event_trace.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/progress.hh"
 #include "obs/trace_span.hh"
+#include "sim/cell_executor.hh"
 #include "sim/checkpoint.hh"
 #include "sim/fault_injection.hh"
 #include "workloads/synthetic_program.hh"
@@ -28,9 +30,6 @@ namespace
 /** Upper bound for parseJobs(): far above any sane pool or lane cap. */
 constexpr unsigned long long kMaxParsedJobs = 4096;
 
-/** Ceiling on one retry backoff sleep, whatever the attempt count. */
-constexpr uint64_t kMaxBackoffMs = 1000;
-
 /**
  * Bucket bounds (milliseconds) for the per-cell duration histogram the
  * telemetry block exports. Cells range from sub-millisecond unit-test
@@ -41,32 +40,6 @@ cellDurationBoundsMs()
 {
     return {1,    2,    5,    10,   25,   50,  100,
             250,  500,  1000, 2500, 5000, 10000};
-}
-
-/**
- * Strictly parses an unsigned environment knob: decimal digits only,
- * value in [lo, hi]. Throws std::invalid_argument otherwise.
- */
-unsigned
-parseEnvRange(const std::string &text, unsigned long long lo,
-              unsigned long long hi)
-{
-    if (text.empty())
-        throw std::invalid_argument("empty value; expected an integer");
-    for (const char ch : text) {
-        if (ch < '0' || ch > '9') {
-            throw std::invalid_argument("invalid value '" + text
-                                        + "'; expected an integer");
-        }
-    }
-    const unsigned long long v =
-        std::strtoull(text.c_str(), nullptr, 10);
-    if (v < lo || v > hi) {
-        throw std::invalid_argument(
-            "value '" + text + "' out of range [" + std::to_string(lo)
-            + ", " + std::to_string(hi) + "]");
-    }
-    return static_cast<unsigned>(v);
 }
 
 /**
@@ -161,36 +134,19 @@ ExperimentEngine::defaultJobs()
 bool
 ExperimentEngine::fusedEnabled()
 {
-    const char *env = std::getenv("EV8_FUSED");
-    return env == nullptr || !(env[0] == '0' && env[1] == '\0');
+    return strictEnvBool("EV8_FUSED", true);
 }
 
 unsigned
 ExperimentEngine::retryMax()
 {
-    if (const char *env = std::getenv("EV8_RETRY_MAX")) {
-        try {
-            return parseEnvRange(env, 1, 100);
-        } catch (const std::invalid_argument &err) {
-            std::fprintf(stderr, "EV8_RETRY_MAX: %s\n", err.what());
-            std::exit(2);
-        }
-    }
-    return 3;
+    return CellExecutor::retryMax();
 }
 
 unsigned
 ExperimentEngine::retryBaseMs()
 {
-    if (const char *env = std::getenv("EV8_RETRY_BASE_MS")) {
-        try {
-            return parseEnvRange(env, 0, 10000);
-        } catch (const std::invalid_argument &err) {
-            std::fprintf(stderr, "EV8_RETRY_BASE_MS: %s\n", err.what());
-            std::exit(2);
-        }
-    }
-    return 10;
+    return CellExecutor::retryBaseMs();
 }
 
 size_t
@@ -371,24 +327,13 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
     ProgressMeter &progress = ProgressMeter::global();
     const uint64_t gridStartNs = tracer.nowNs();
 
-    /** Everything one (benchmark, config) job produces in isolation. */
-    struct JobOutput
-    {
-        BenchResult result;
-        MetricRegistry metrics;
-        std::vector<MispredictEvent> events;
-        BranchClassMap classes; //!< owned here: cannot dangle (job-local)
-        bool failed = false;    //!< exhausted its retry budget
-        unsigned attempts = 0;
-        std::string error;      //!< what() of the last failed attempt
-        std::vector<uint64_t> attemptNs; //!< wall time of each attempt
-    };
-    std::vector<JobOutput> outputs(n);
+    std::vector<CellOutput> outputs(n);
     gridCells_ += n;
 
-    FaultInjector &faults = FaultInjector::global();
-    const unsigned retry_max = retryMax();
-    const unsigned retry_base_ms = retryBaseMs();
+    // The shared cell-execution core (sim/cell_executor.hh): served
+    // sessions run the exact same code; only the scheduling and the
+    // accounting hooks below are engine-specific.
+    CellExecutor executor;
 
     /**
      * Stable cell identity for fault matching and failure reports:
@@ -400,6 +345,37 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
             + std::to_string(i / nbench) + "/"
             + specint95Suite()[i % nbench].profile.name;
     };
+
+    /**
+     * Human/timeline label for cell @p i: "<row label>/<bench>", or
+     * just the benchmark for anonymous rows.
+     */
+    auto cell_label = [&](size_t i) {
+        const std::string &label = rows[i / nbench].label;
+        const std::string &bench =
+            specint95Suite()[i % nbench].profile.name;
+        return label.empty() ? bench : label + "/" + bench;
+    };
+
+    // Everything the executor needs to run cell i, caller-agnostic.
+    std::vector<CellRequest> requests(n);
+    for (size_t i = 0; i < n; ++i) {
+        const GridRow &row = rows[i / nbench];
+        const size_t b = i % nbench;
+        CellRequest &req = requests[i];
+        req.stream = [&runner, b]() -> const BlockStream & {
+            return runner.blockStream(b);
+        };
+        req.profile = &specint95Suite()[b].profile;
+        req.factory = row.factory;
+        req.config = row.config;
+        req.wantEvents = row.config.events != nullptr;
+        req.wantMetrics = row.config.metrics != nullptr;
+        req.rowLabel = row.label;
+        req.rowIndex = i / nbench;
+        req.key = cell_key(i);
+        req.label = cell_label(i);
+    }
 
     // Resume: load any journal for this exact grid and mark its cells
     // done before scheduling. The pc -> class maps are not journaled
@@ -418,7 +394,7 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         std::vector<char> haveClass(nbench, 0);
         auto restoredCells = checkpoint.load();
         for (auto &[i, cell] : restoredCells) {
-            JobOutput &out = outputs[i];
+            CellOutput &out = outputs[i];
             out.result = std::move(cell.result);
             out.metrics = std::move(cell.metrics);
             out.events = std::move(cell.events);
@@ -437,268 +413,18 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         }
     }
 
-    /** The original per-cell job body (the EV8_FUSED=0 path, and the
-     *  body of any fused group that ends up with a single lane). */
-    auto run_cell = [&](size_t i) {
-        const GridRow &row = rows[i / nbench];
-        const size_t b = i % nbench;
-        const Benchmark &bench = specint95Suite()[b];
-        JobOutput &out = outputs[i];
-        out.result.bench = bench.profile.name;
-
-        // The pre-decoded stream, not the trace: decode happens once per
-        // benchmark (and not at all with a warm on-disk stream cache),
-        // however many grid rows revisit it.
-        const BlockStream &stream = runner.blockStream(b);
-        PredictorPtr predictor = row.factory();
-
-        // Isolate the observability sinks: the shared registry/sink in
-        // row.config are merge *targets*, never touched by workers.
-        SimConfig config = row.config;
-        BufferedEventSink buffer;
-        config.events = row.config.events ? &buffer : nullptr;
-        config.metrics = row.config.metrics ? &out.metrics : nullptr;
-        if (row.config.events) {
-            out.classes = SyntheticProgram(bench.profile)
-                              .condBranchClasses();
-        }
-
-        out.result.sim = simulateStream(stream, *predictor, config);
-
-        if (config.metrics) {
-            predictor->publishMetrics(out.metrics,
-                                      "pred." + predictor->name());
-        }
-        out.events = buffer.take();
+    // Engine-side accounting, fed from whatever thread runs the cell.
+    executor.journal = [&checkpoint](size_t i, const CellOutput &out) {
+        checkpoint.append(i, out.result, out.metrics, out.events);
     };
-
-    /** One fused job: all cells share (benchmark, walk config); the
-     *  stream is walked once (per concrete predictor type) for all of
-     *  them, with per-cell sinks so the merge below is untouched. */
-    auto run_fused = [&](const std::vector<size_t> &cells) {
-        const size_t b = cells.front() % nbench;
-        const Benchmark &bench = specint95Suite()[b];
-        const BlockStream &stream = runner.blockStream(b);
-        const GridRow &lead = rows[cells.front() / nbench];
-        const bool want_events = lead.config.events != nullptr;
-        const bool want_metrics = lead.config.metrics != nullptr;
-
-        // The pc -> behaviour-class map is a function of the benchmark
-        // alone: build it once per fused job, copy per event-carrying
-        // cell (the per-cell path builds one per cell).
-        BranchClassMap classes;
-        if (want_events)
-            classes = SyntheticProgram(bench.profile).condBranchClasses();
-
-        std::vector<PredictorPtr> predictors;
-        predictors.reserve(cells.size());
-        std::vector<BufferedEventSink> buffers(cells.size());
-        std::vector<FusedLane> lanes(cells.size());
-        for (size_t k = 0; k < cells.size(); ++k) {
-            const size_t i = cells[k];
-            JobOutput &out = outputs[i];
-            out.result.bench = bench.profile.name;
-            predictors.push_back(rows[i / nbench].factory());
-            lanes[k].predictor = predictors.back().get();
-            lanes[k].metrics = want_metrics ? &out.metrics : nullptr;
-            lanes[k].events = want_events ? &buffers[k] : nullptr;
-            if (want_events)
-                out.classes = classes;
-        }
-
-        SimConfig config = lead.config;
-        config.metrics = nullptr; // sinks are per lane
-        config.events = nullptr;
-
-        std::vector<SimResult> sims =
-            simulateStreamFused(stream, lanes, config);
-
-        for (size_t k = 0; k < cells.size(); ++k) {
-            JobOutput &out = outputs[cells[k]];
-            out.result.sim = std::move(sims[k]);
-            if (want_metrics) {
-                predictors[k]->publishMetrics(
-                    out.metrics, "pred." + predictors[k]->name());
-            }
-            out.events = buffers[k].take();
-        }
+    executor.noteBusyNs = [this](uint64_t ns) {
+        busyNs_.fetch_add(ns, std::memory_order_relaxed);
     };
-
-    /** Bounded exponential backoff before re-attempting a cell. */
-    auto backoff = [&](unsigned attempt) {
-        if (retry_base_ms == 0)
-            return;
-        const uint64_t ms =
-            std::min<uint64_t>(uint64_t{retry_base_ms} << (attempt - 1),
-                               kMaxBackoffMs);
-        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    executor.noteCellMs = [this](double ms) {
+        cellDurationsMs_.observe(ms);
     };
-
-    /**
-     * run_cell under the failure-isolation contract: retry with
-     * backoff, journal on success, and convert an exhausted budget into
-     * a recorded failure instead of an escaping exception. Partial
-     * state from a failed attempt is discarded so a retry (or the
-     * merge) never sees it.
-     */
-    /**
-     * Human/timeline label for cell @p i: "<row label>/<bench>", or
-     * just the benchmark for anonymous rows.
-     */
-    auto cell_label = [&](size_t i) {
-        const std::string &label = rows[i / nbench].label;
-        const std::string &bench =
-            specint95Suite()[i % nbench].profile.name;
-        return label.empty() ? bench : label + "/" + bench;
-    };
-
-    /** One completed "cell" timeline span (per attempt, per lane). */
-    auto record_cell_span = [&](size_t i, unsigned attempt,
-                                size_t lanes, bool attempt_failed,
-                                uint64_t start_ns, uint64_t dur_ns) {
-        if (!tracer.enabled())
-            return;
-        const GridRow &row = rows[i / nbench];
-        std::string args = "\"bench\":\""
-            + escapeJson(specint95Suite()[i % nbench].profile.name)
-            + "\",\"config\":\"" + escapeJson(row.label)
-            + "\",\"row\":" + std::to_string(i / nbench)
-            + ",\"lanes\":" + std::to_string(lanes)
-            + ",\"attempt\":" + std::to_string(attempt);
-        if (attempt_failed)
-            args += ",\"failed\":true";
-        tracer.record(SpanPhase::Cell, cell_label(i), std::move(args),
-                      start_ns, dur_ns);
-    };
-
-    auto run_cell_guarded = [&](size_t i) {
-        JobOutput &out = outputs[i];
-        const std::string key = cell_key(i);
-        for (unsigned attempt = 1; attempt <= retry_max; ++attempt) {
-            out.attempts = attempt;
-            if (progress.enabled())
-                progress.noteCurrent(cell_label(i));
-            const uint64_t startNs = tracer.nowNs();
-            bool ok = false;
-            try {
-                faults.maybeKill(key);
-                faults.maybeThrow(FaultPoint::Job, key);
-                run_cell(i);
-                checkpoint.append(i, out.result, out.metrics,
-                                  out.events);
-                ok = true;
-            } catch (const std::exception &err) {
-                out.error = err.what();
-            } catch (...) {
-                out.error = "unknown exception";
-            }
-            const uint64_t durNs = tracer.nowNs() - startNs;
-            tracer.addPhase(SpanPhase::Cell, durNs);
-            record_cell_span(i, attempt, 1, !ok, startNs, durNs);
-            busyNs_.fetch_add(durNs, std::memory_order_relaxed);
-            out.attemptNs.push_back(durNs);
-            if (ok) {
-                cellDurationsMs_.observe(static_cast<double>(durNs)
-                                         / 1e6);
-                progress.noteDone(durNs, false);
-                return;
-            }
-            // Discard the torn attempt's partial state; only the
-            // failure bookkeeping survives into the next attempt.
-            const unsigned attempts = out.attempts;
-            std::string error = std::move(out.error);
-            std::vector<uint64_t> attemptNs = std::move(out.attemptNs);
-            out = JobOutput{};
-            out.attempts = attempts;
-            out.error = std::move(error);
-            out.attemptNs = std::move(attemptNs);
-            if (attempt < retry_max) {
-                cellsRetried_.fetch_add(1, std::memory_order_relaxed);
-                progress.noteRetried();
-                backoff(attempt);
-            }
-        }
-        out.failed = true;
-        progress.noteDone(
-            out.attemptNs.empty() ? 0 : out.attemptNs.back(), true);
-    };
-
-    /**
-     * One scheduled job: a single cell runs guarded; a fused group
-     * tries the shared walk once and, if *anything* in it throws, falls
-     * back to guarded per-cell execution -- the fused and per-cell
-     * paths are byte-identical by construction, so the fallback
-     * isolates the bad lane without changing any healthy lane's output.
-     */
-    auto run_group = [&](const std::vector<size_t> &cells) {
-        if (cells.size() == 1) {
-            run_cell_guarded(cells.front());
-            return;
-        }
-        const std::string &benchName =
-            specint95Suite()[cells.front() % nbench].profile.name;
-        if (progress.enabled()) {
-            progress.noteCurrent("fused:" + benchName + " x"
-                                 + std::to_string(cells.size()));
-        }
-        bool fused_ok = true;
-        const uint64_t startNs = tracer.nowNs();
-        try {
-            for (const size_t i : cells) {
-                const std::string key = cell_key(i);
-                faults.maybeKill(key);
-                faults.maybeThrow(FaultPoint::Job, key);
-            }
-            run_fused(cells);
-        } catch (...) {
-            fused_ok = false;
-        }
-        const uint64_t durNs = tracer.nowNs() - startNs;
-        tracer.addPhase(SpanPhase::FusedWalk, durNs);
-        busyNs_.fetch_add(durNs, std::memory_order_relaxed);
-        if (tracer.enabled()) {
-            tracer.record(SpanPhase::FusedWalk,
-                          "fused:" + benchName + " x"
-                              + std::to_string(cells.size()),
-                          "\"bench\":\"" + escapeJson(benchName)
-                              + "\",\"lanes\":"
-                              + std::to_string(cells.size()),
-                          startNs, durNs);
-        }
-        if (fused_ok) {
-            // One shared walk executed every lane: attribute each cell
-            // an equal amortized slice so the timeline (and the cell
-            // histogram) keeps one entry per grid cell in every mode.
-            const uint64_t slice = durNs / cells.size();
-            for (size_t k = 0; k < cells.size(); ++k) {
-                const size_t i = cells[k];
-                JobOutput &out = outputs[i];
-                out.attempts = 1;
-                checkpoint.append(i, out.result, out.metrics,
-                                  out.events);
-                record_cell_span(i, 1, cells.size(), false,
-                                 startNs + k * slice, slice);
-                cellDurationsMs_.observe(static_cast<double>(slice)
-                                         / 1e6);
-                progress.noteDone(slice, false);
-            }
-            return;
-        }
-        // Demotion: the walk threw, so the group falls back to guarded
-        // per-cell execution. Zero-duration marker span for the event.
-        tracer.addPhase(SpanPhase::FusedDemote, 0);
-        if (tracer.enabled()) {
-            tracer.record(SpanPhase::FusedDemote,
-                          "demote:" + benchName,
-                          "\"bench\":\"" + escapeJson(benchName)
-                              + "\",\"lanes\":"
-                              + std::to_string(cells.size()),
-                          tracer.nowNs(), 0);
-        }
-        for (const size_t i : cells) {
-            outputs[i] = JobOutput{}; // drop the torn fused attempt
-            run_cell_guarded(i);
-        }
+    executor.noteRetried = [this] {
+        cellsRetried_.fetch_add(1, std::memory_order_relaxed);
     };
 
     // Schedule only the cells the checkpoint did not restore.
@@ -711,8 +437,10 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
     progress.beginBatch(todo.size());
 
     if (!fusedEnabled()) {
-        parallelFor(todo.size(),
-                    [&](size_t t) { run_cell_guarded(todo[t]); });
+        parallelFor(todo.size(), [&](size_t t) {
+            executor.runGuarded(todo[t], requests[todo[t]],
+                                outputs[todo[t]]);
+        });
     } else {
         // Group cells sharing (benchmark, walk config) into fused jobs,
         // preserving submission order within each group, chunked at the
@@ -752,8 +480,9 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
                 }
             }
         }
-        parallelFor(groups.size(),
-                    [&](size_t g) { run_group(groups[g]); });
+        parallelFor(groups.size(), [&](size_t g) {
+            executor.runGroup(groups[g], requests, outputs);
+        });
     }
 
     // Deterministic merge, strictly in submission order (row-major over
@@ -769,7 +498,7 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
     mergeSpan.arg("cells", static_cast<uint64_t>(n));
     for (size_t i = 0; i < n; ++i) {
         const GridRow &row = rows[i / nbench];
-        JobOutput &out = outputs[i];
+        CellOutput &out = outputs[i];
         if (restored[i])
             ++outcome.resumedCells;
         if (out.failed) {

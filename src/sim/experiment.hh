@@ -48,6 +48,13 @@
  * an uninterrupted run's. EV8_FAULT_SPEC (see sim/fault_injection.hh)
  * deterministically injects faults at the cell, cache and checkpoint
  * seams to test all of the above.
+ *
+ * The per-cell execution core (isolated sinks, retry/backoff, fault
+ * hooks, spans) lives in sim/cell_executor.hh; the engine contributes
+ * scheduling (the pool, fused grouping), checkpoint restore, and the
+ * deterministic merge. Served sessions (serve/server.hh) reuse the same
+ * CellExecutor, which is what keeps served artifacts byte-identical to
+ * batch ones.
  */
 
 #ifndef EV8_SIM_EXPERIMENT_HH
@@ -93,9 +100,10 @@ class ExperimentEngine
 
     /**
      * Whether runGrid() fuses compatible grid cells into shared-walk
-     * jobs. On unless the EV8_FUSED environment variable is exactly
-     * "0" (the per-cell A/B escape hatch; both paths are byte-
-     * identical by construction and by CI gate).
+     * jobs. On by default; EV8_FUSED=0 forces the per-cell A/B escape
+     * hatch (both paths are byte-identical by construction and by CI
+     * gate). Strictly parsed: anything other than "0" or "1" is a hard
+     * usage error (stderr + exit 2), matching EV8_JOBS.
      */
     static bool fusedEnabled();
 

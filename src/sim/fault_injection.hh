@@ -21,6 +21,7 @@
  *     point          := job | die | cache_read | cache_write
  *                     | cache_rename | cache_short_write
  *                     | ckpt_read | ckpt_write | ckpt_corrupt
+ *                     | session_drop | ring_stall
  *
  *  - keysub selects which keys the entry applies to: a substring match
  *    against the site's key (a grid cell key like "g0/r2/gcc", or a
@@ -65,6 +66,15 @@
  *  - ckpt_read:         GridCheckpoint fails loading its journal
  *  - ckpt_write:        GridCheckpoint fails appending a record
  *  - ckpt_corrupt:      GridCheckpoint writes a torn (half) record
+ *  - session_drop:      a served ClientSession's cell body throws
+ *                       (consulted only for served cells, so batch
+ *                       grids never burn its occurrences); keys are the
+ *                       same "g<batch>/r<row>/<bench>" cell keys
+ *  - ring_stall:        the serve transport's producer stalls for a
+ *                       deterministic pause before pushing the matched
+ *                       packet -- a timing-only fault (artifacts are
+ *                       unchanged; backpressure/latency paths get
+ *                       exercised); keys are "<session>/p<packet#>"
  *
  * Note that the engine's fused path consumes one occurrence per armed
  * key at the fused attempt and more during the per-cell fallback and
@@ -106,6 +116,8 @@ enum class FaultPoint
     CkptRead,        //!< checkpoint journal load
     CkptWrite,       //!< checkpoint record append
     CkptCorrupt,     //!< checkpoint record torn mid-write
+    SessionDrop,     //!< served session cell body (serve/server.hh)
+    RingStall,       //!< serve transport producer pause (timing only)
 };
 
 class FaultInjector

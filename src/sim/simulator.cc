@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <type_traits>
 
+#include "common/env.hh"
 #include "core/ev8_predictor.hh"
 #include "frontend/bank_scheduler.hh"
 #include "obs/metrics.hh"
@@ -58,12 +59,12 @@ publishSimMetrics(MetricRegistry &registry, const SimResult &result,
 /**
  * Escape hatch for A/B-testing the devirtualized kernel against the
  * generic instantiation (the determinism gate in CI sets this).
+ * Strictly parsed: only "0"/"1" are accepted (exit 2 otherwise).
  */
 bool
 genericKernelForced()
 {
-    const char *env = std::getenv("EV8_GENERIC_KERNEL");
-    return env != nullptr && env[0] != '\0' && env[0] != '0';
+    return strictEnvBool("EV8_GENERIC_KERNEL", false);
 }
 
 } // namespace

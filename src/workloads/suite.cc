@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/env.hh"
+
 namespace ev8
 {
 
@@ -235,12 +237,10 @@ findBenchmark(const std::string &name)
 uint64_t
 branchesPerBenchmark()
 {
-    if (const char *env = std::getenv("EV8_BRANCHES_PER_BENCH")) {
-        const unsigned long long v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            return v;
-    }
-    return 1000000;
+    // Strict: a typo like "1e6" or "1,000,000" is a hard usage error
+    // (exit 2), never a silent fall-back to the default budget.
+    return strictEnvU64("EV8_BRANCHES_PER_BENCH", 1,
+                        uint64_t{1} << 40, 1000000);
 }
 
 } // namespace ev8

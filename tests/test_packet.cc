@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Wire framing tests for the serve transport: a BlockStream framed by
+ * StreamFramer and reassembled by StreamAssembler must round-trip
+ * bit-for-bit at any packet granularity (including one block per
+ * packet), and the assembler must reject every protocol violation --
+ * out-of-order sequence numbers, a duplicate Hello, Blocks before
+ * Hello, truncated payloads, totals that disagree -- with a
+ * PacketError rather than a corrupt stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/packet.hh"
+#include "sim/suite_runner.hh"
+
+namespace ev8
+{
+namespace
+{
+
+constexpr uint64_t kTinyScale = 3000;
+
+/** One shared tiny suite (trace synthesis amortized across tests). */
+SuiteRunner &
+runner()
+{
+    static SuiteRunner instance(kTinyScale, 2);
+    return instance;
+}
+
+/** Frames @p stream into packets at @p blocks_per_packet granularity. */
+std::vector<Packet>
+frameAll(const BlockStream &stream, size_t blocks_per_packet)
+{
+    StreamFramer framer(stream, blocks_per_packet);
+    std::vector<Packet> packets;
+    Packet p;
+    while (framer.next(p))
+        packets.push_back(p);
+    return packets;
+}
+
+BlockStream
+reassemble(const std::vector<Packet> &packets)
+{
+    StreamAssembler assembler;
+    for (const Packet &p : packets)
+        assembler.accept(p);
+    EXPECT_TRUE(assembler.done());
+    return assembler.take();
+}
+
+TEST(Packet, RoundTripsBitForBitAtSeveralGranularities)
+{
+    const BlockStream &original = runner().blockStream(0);
+    ASSERT_GT(original.blocks(), 0u);
+
+    for (const size_t bpp : {size_t{1}, size_t{7}, size_t{256},
+                             original.blocks(), original.blocks() + 100}) {
+        const std::vector<Packet> packets = frameAll(original, bpp);
+        ASSERT_GE(packets.size(), 3u) << bpp; // Hello + Blocks... + End
+        EXPECT_EQ(packets.front().type, Packet::Type::Hello);
+        EXPECT_EQ(packets.back().type, Packet::Type::End);
+        const BlockStream copy = reassemble(packets);
+        EXPECT_TRUE(copy == original) << "blocks_per_packet=" << bpp;
+    }
+}
+
+TEST(Packet, RoundTripsEveryBenchmark)
+{
+    for (size_t b = 0; b < runner().size(); ++b) {
+        const BlockStream &original = runner().blockStream(b);
+        const BlockStream copy =
+            reassemble(frameAll(original, 512));
+        EXPECT_TRUE(copy == original) << runner().name(b);
+    }
+}
+
+TEST(Packet, FramerIsExhaustedAfterEnd)
+{
+    StreamFramer framer(runner().blockStream(0), 128);
+    Packet p;
+    size_t frames = 0;
+    while (framer.next(p))
+        ++frames;
+    EXPECT_GT(frames, 0u);
+    EXPECT_FALSE(framer.next(p)); // stays exhausted
+}
+
+TEST(Packet, RejectsOutOfOrderSequence)
+{
+    const std::vector<Packet> packets =
+        frameAll(runner().blockStream(0), 64);
+    ASSERT_GE(packets.size(), 4u);
+    StreamAssembler assembler;
+    assembler.accept(packets[0]);
+    EXPECT_THROW(assembler.accept(packets[2]), PacketError); // skipped 1
+}
+
+TEST(Packet, RejectsDuplicateHello)
+{
+    const std::vector<Packet> packets =
+        frameAll(runner().blockStream(0), 64);
+    StreamAssembler assembler;
+    assembler.accept(packets[0]);
+    Packet again = packets[0];
+    again.seq = 1; // right sequence number, wrong packet type
+    EXPECT_THROW(assembler.accept(again), PacketError);
+}
+
+TEST(Packet, RejectsBlocksBeforeHello)
+{
+    const std::vector<Packet> packets =
+        frameAll(runner().blockStream(0), 64);
+    ASSERT_GE(packets.size(), 2u);
+    StreamAssembler assembler;
+    Packet blocks = packets[1];
+    blocks.seq = 0;
+    EXPECT_THROW(assembler.accept(blocks), PacketError);
+}
+
+TEST(Packet, RejectsTruncatedPayload)
+{
+    const std::vector<Packet> packets =
+        frameAll(runner().blockStream(0), 64);
+    StreamAssembler assembler;
+    assembler.accept(packets[0]);
+    Packet torn = packets[1];
+    ASSERT_GT(torn.payload.size(), 2u);
+    torn.payload.resize(torn.payload.size() / 2);
+    EXPECT_THROW(assembler.accept(torn), PacketError);
+}
+
+TEST(Packet, RejectsTotalsMismatch)
+{
+    // Frame a one-block-short prefix, then append the full stream's End
+    // packet: the accumulated totals disagree with the announced ones.
+    const BlockStream &original = runner().blockStream(0);
+    const std::vector<Packet> packets = frameAll(original, 1);
+    ASSERT_GE(packets.size(), 4u); // Hello, >=2 Blocks, End
+    StreamAssembler assembler;
+    const size_t lastBlocks = packets.size() - 2;
+    for (size_t i = 0; i < lastBlocks; ++i)
+        assembler.accept(packets[i]); // all but the last Blocks packet
+    Packet end = packets.back();
+    end.seq = lastBlocks; // re-sequenced so only the totals disagree
+    EXPECT_THROW(assembler.accept(end), PacketError);
+}
+
+TEST(Packet, TakeBeforeDoneThrows)
+{
+    const std::vector<Packet> packets =
+        frameAll(runner().blockStream(0), 64);
+    StreamAssembler assembler;
+    assembler.accept(packets[0]);
+    EXPECT_FALSE(assembler.done());
+    EXPECT_THROW(assembler.take(), PacketError);
+}
+
+} // namespace
+} // namespace ev8

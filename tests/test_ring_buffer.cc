@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Edge cases of the serve transport's bounded SPSC ring: FIFO drain
+ * order at capacity 1, producer backpressure against a slow consumer,
+ * clean end-of-stream via close(), shutdown of a blocked peer via
+ * abort() from either side, and a fast/slow stress run (which is also
+ * the ThreadSanitizer workload for the ring).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/ring_buffer.hh"
+
+namespace ev8
+{
+namespace
+{
+
+TEST(SpscRing, RejectsZeroCapacity)
+{
+    EXPECT_THROW(SpscRing<int>(0), std::invalid_argument);
+}
+
+TEST(SpscRing, CapacityOneDrainsInPushOrder)
+{
+    SpscRing<int> ring(1);
+    std::vector<int> got;
+
+    // With capacity 1 the producer can never run more than one item
+    // ahead: every push after the first blocks until the consumer pops.
+    std::thread producer([&] {
+        for (int i = 0; i < 100; ++i)
+            ASSERT_TRUE(ring.push(i));
+        ring.close();
+    });
+    int v = 0;
+    while (ring.pop(v))
+        got.push_back(v);
+    producer.join();
+
+    ASSERT_EQ(got.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(got[i], i);
+
+    const RingStats stats = ring.stats();
+    EXPECT_EQ(stats.pushed, 100u);
+    EXPECT_EQ(stats.popped, 100u);
+    EXPECT_EQ(stats.maxDepth, 1u);
+}
+
+TEST(SpscRing, FastProducerHitsBackpressure)
+{
+    SpscRing<int> ring(4);
+    std::atomic<bool> filled{false};
+
+    std::thread producer([&] {
+        // The first 4 pushes fill the ring without blocking; the fifth
+        // blocks until the (deliberately late) consumer starts popping.
+        for (int i = 0; i < 32; ++i)
+            ASSERT_TRUE(ring.push(i));
+        filled = true;
+        ring.close();
+    });
+
+    while (ring.depth() < 4)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_FALSE(filled.load());
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    int v = 0;
+    int expect = 0;
+    while (ring.pop(v))
+        EXPECT_EQ(v, expect++);
+    producer.join();
+
+    EXPECT_EQ(expect, 32);
+    const RingStats stats = ring.stats();
+    EXPECT_LE(stats.maxDepth, 4u);
+    EXPECT_GT(stats.pushStallNs, 0u);
+}
+
+TEST(SpscRing, CloseDrainsThenEndsStream)
+{
+    SpscRing<int> ring(8);
+    ASSERT_TRUE(ring.push(1));
+    ASSERT_TRUE(ring.push(2));
+    ring.close();
+
+    // Pushing after close is a producer bug: surfaced, not queued.
+    EXPECT_FALSE(ring.push(3));
+
+    int v = 0;
+    ASSERT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 1);
+    ASSERT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_FALSE(ring.pop(v)); // end of stream, nothing dropped
+}
+
+TEST(SpscRing, AbortDropsQueueAndUnblocksNothingPending)
+{
+    SpscRing<int> ring(8);
+    ASSERT_TRUE(ring.push(1));
+    ASSERT_TRUE(ring.push(2));
+    ring.abort();
+
+    int v = 0;
+    EXPECT_FALSE(ring.pop(v));  // queued items dropped, not delivered
+    EXPECT_FALSE(ring.push(3)); // both sides are dead
+    EXPECT_TRUE(ring.aborted());
+}
+
+TEST(SpscRing, AbortUnblocksAWaitingConsumer)
+{
+    SpscRing<int> ring(1);
+    std::atomic<bool> popReturned{false};
+
+    std::thread consumer([&] {
+        int v = 0;
+        EXPECT_FALSE(ring.pop(v)); // blocks on empty, then aborted
+        popReturned = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(popReturned.load());
+    ring.abort();
+    consumer.join();
+    EXPECT_TRUE(popReturned.load());
+}
+
+TEST(SpscRing, AbortUnblocksAWaitingProducer)
+{
+    SpscRing<int> ring(1);
+    ASSERT_TRUE(ring.push(0)); // ring now full
+    std::atomic<bool> pushReturned{false};
+
+    std::thread producer([&] {
+        EXPECT_FALSE(ring.push(1)); // blocks on full, then aborted
+        pushReturned = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushReturned.load());
+    ring.abort();
+    producer.join();
+    EXPECT_TRUE(pushReturned.load());
+}
+
+TEST(SpscRing, CloseUnblocksAWaitingConsumerAsEndOfStream)
+{
+    SpscRing<int> ring(1);
+    std::thread consumer([&] {
+        int v = 0;
+        EXPECT_FALSE(ring.pop(v));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ring.close();
+    consumer.join();
+}
+
+/**
+ * Stress: a tight producer against a consumer that alternates between
+ * keeping up and lagging, over a small ring. Every element must arrive
+ * exactly once, in order. Run under TSan in CI.
+ */
+TEST(SpscRing, StressFifoUnderContention)
+{
+    constexpr uint64_t kItems = 20000;
+    SpscRing<uint64_t> ring(3);
+
+    std::thread producer([&] {
+        for (uint64_t i = 0; i < kItems; ++i)
+            ASSERT_TRUE(ring.push(i));
+        ring.close();
+    });
+
+    uint64_t expect = 0;
+    uint64_t v = 0;
+    while (ring.pop(v)) {
+        ASSERT_EQ(v, expect);
+        ++expect;
+        if ((expect & 1023u) == 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    producer.join();
+
+    EXPECT_EQ(expect, kItems);
+    const RingStats stats = ring.stats();
+    EXPECT_EQ(stats.pushed, kItems);
+    EXPECT_EQ(stats.popped, kItems);
+    EXPECT_LE(stats.maxDepth, 3u);
+}
+
+} // namespace
+} // namespace ev8

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Session-layer tests for the prediction server, all in-process over
+ * handle():
+ *
+ *  - a served session's cell results are identical to a direct batch
+ *    runGrid() of the same grid (the transport is on the critical path,
+ *    so this also covers ring + packet framing end to end);
+ *  - snapshots report live structured state;
+ *  - protocol errors (unknown grid/session, duplicate open, admission
+ *    limit, wait before start) come back as {"ok":false,...};
+ *  - an injected session_drop kills exactly the targeted session's
+ *    cells as structured CellFailures while a sibling session on the
+ *    same server completes clean;
+ *  - an injected ring_stall perturbs timing only: results unchanged;
+ *  - the EV8_SERVE_* env knobs parse strictly (garbage exits 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "serve/grids.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+#include "sim/checkpoint.hh"
+#include "sim/suite_runner.hh"
+
+namespace ev8
+{
+namespace
+{
+
+constexpr const char *kTinyScale = "3000";
+
+/** Sets an environment variable for one scope, restoring on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            saved_ = old;
+        else
+            hadValue_ = false;
+        if (value)
+            ::setenv(name, value, /*overwrite=*/1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadValue_)
+            ::setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+    bool hadValue_ = true;
+};
+
+/** handle() round trip that must succeed. */
+JsonValue
+callOk(PredictionServer &server, const std::string &request)
+{
+    const std::string reply = server.handle(request);
+    JsonValue doc = parseJson(reply);
+    EXPECT_TRUE(doc.isObject()) << reply;
+    const JsonValue *ok = doc.find("ok");
+    EXPECT_TRUE(ok && ok->kind == JsonValue::Kind::Bool) << reply;
+    EXPECT_TRUE(ok->boolean) << reply;
+    return doc;
+}
+
+/** handle() round trip that must fail; returns the error message. */
+std::string
+callErr(PredictionServer &server, const std::string &request)
+{
+    const std::string reply = server.handle(request);
+    const JsonValue doc = parseJson(reply);
+    EXPECT_TRUE(doc.isObject()) << reply;
+    const JsonValue *ok = doc.find("ok");
+    EXPECT_TRUE(ok && !ok->boolean) << reply;
+    const JsonValue *err = doc.find("error");
+    return err && err->isString() ? err->text : std::string();
+}
+
+std::string
+openReq(const std::string &session, bool timing = false)
+{
+    ServeRequest req;
+    req.op = "open";
+    req.session = session;
+    req.grid = "fig5";
+    req.wantEvents = false;
+    req.wantMetrics = true;
+    req.timing = timing;
+    return encodeRequest(req);
+}
+
+std::string
+sessionReq(const std::string &op, const std::string &session)
+{
+    ServeRequest req;
+    req.op = op;
+    req.session = session;
+    return req.session.empty() ? std::string() : encodeRequest(req);
+}
+
+/** Opens, starts and waits @p session; returns the wait reply. */
+JsonValue
+runSession(PredictionServer &server, const std::string &session)
+{
+    callOk(server, openReq(session));
+    callOk(server, sessionReq("start", session));
+    return callOk(server, sessionReq("wait", session));
+}
+
+/** Decodes a wait reply's cells into index order. */
+std::vector<GridCheckpoint::RestoredCell>
+decodeCells(const JsonValue &done, size_t expect)
+{
+    const JsonValue &cells = done.at("cells");
+    EXPECT_TRUE(cells.isArray());
+    EXPECT_EQ(cells.items.size(), expect);
+    std::vector<GridCheckpoint::RestoredCell> out(expect);
+    for (const JsonValue &item : cells.items) {
+        GridCheckpoint::RestoredCell cell;
+        const size_t idx = decodeCellRecord(item.text, expect, cell);
+        out[idx] = std::move(cell);
+    }
+    return out;
+}
+
+TEST(Serve, ServedCellsMatchDirectBatchRun)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+    ScopedEnv noCkpt("EV8_CHECKPOINT_DIR", nullptr);
+
+    const GridSpec *grid = findGrid("fig5");
+    ASSERT_NE(grid, nullptr);
+
+    // Direct batch reference over the same grid definition.
+    SuiteRunner reference(3000, 2);
+    const size_t nbench = reference.size();
+    MetricRegistry registry;
+    SimConfig config = baseConfig(*grid);
+    config.metrics = &registry;
+    const GridOutcome direct =
+        reference.runGrid(buildGridRows(*grid, config));
+    ASSERT_TRUE(direct.ok());
+
+    PredictionServer server(ServeLimits{}, 2);
+    const JsonValue done = runSession(server, "s1");
+    const auto cells =
+        decodeCells(done, grid->rows.size() * nbench);
+    EXPECT_TRUE(done.at("failures").items.empty());
+
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const BenchResult &got = cells[i].result;
+        const BenchResult &want =
+            direct.results[i / nbench][i % nbench];
+        EXPECT_EQ(got.bench, want.bench) << i;
+        EXPECT_FALSE(got.failed) << i;
+        EXPECT_EQ(got.sim.stats.lookups(), want.sim.stats.lookups())
+            << i;
+        EXPECT_EQ(got.sim.stats.mispredictions(),
+                  want.sim.stats.mispredictions())
+            << i;
+        EXPECT_EQ(got.sim.condBranches, want.sim.condBranches) << i;
+        EXPECT_EQ(got.sim.fetchBlocks, want.sim.fetchBlocks) << i;
+    }
+    EXPECT_EQ(server.failedCellsTotal(), 0u);
+}
+
+TEST(Serve, SnapshotReportsStructuredLiveState)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+
+    PredictionServer server(ServeLimits{}, 2);
+    callOk(server, openReq("snap"));
+
+    // Before start: open state, nothing done.
+    JsonValue snap = callOk(server, sessionReq("snapshot", "snap"));
+    EXPECT_EQ(snap.at("state").text, "open");
+    EXPECT_EQ(snap.at("cells_done").number, 0.0);
+
+    callOk(server, sessionReq("start", "snap"));
+    callOk(server, sessionReq("wait", "snap"));
+
+    snap = callOk(server, sessionReq("snapshot", "snap"));
+    EXPECT_EQ(snap.at("state").text, "done");
+    const double total = snap.at("cells_total").number;
+    EXPECT_EQ(snap.at("cells_done").number, total);
+    EXPECT_GT(total, 0.0);
+    EXPECT_EQ(snap.at("failures").number, 0.0);
+    EXPECT_GT(snap.at("packets").number, 0.0);
+    // The ring saw every packet through.
+    const JsonValue &ring = snap.at("ring");
+    EXPECT_EQ(ring.at("pushed").number, ring.at("popped").number);
+}
+
+TEST(Serve, ProtocolErrorsAreStructured)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+
+    ServeLimits limits;
+    limits.maxSessions = 2;
+    PredictionServer server(limits, 2);
+
+    // Unknown grid lists the registered ones.
+    {
+        ServeRequest req;
+        req.op = "open";
+        req.session = "x";
+        req.grid = "nope";
+        const std::string err = callErr(server, encodeRequest(req));
+        EXPECT_NE(err.find("unknown grid"), std::string::npos);
+        EXPECT_NE(err.find("fig5"), std::string::npos);
+    }
+
+    // Unknown session, for every per-session op.
+    for (const char *op : {"start", "snapshot", "wait"}) {
+        const std::string err =
+            callErr(server, sessionReq(op, "ghost"));
+        EXPECT_NE(err.find("unknown session"), std::string::npos) << op;
+    }
+
+    // Malformed request line.
+    EXPECT_FALSE(callErr(server, "this is not json").empty());
+    EXPECT_NE(callErr(server, "{\"op\":\"frobnicate\"}").find("unknown"),
+              std::string::npos);
+
+    callOk(server, openReq("a"));
+
+    // Wait before start is an error, not a hang.
+    EXPECT_NE(callErr(server, sessionReq("wait", "a"))
+                  .find("never started"),
+              std::string::npos);
+
+    // Duplicate session name.
+    EXPECT_NE(callErr(server, openReq("a")).find("already"),
+              std::string::npos);
+
+    // Admission control: the limit refuses, it does not queue.
+    callOk(server, openReq("b"));
+    const std::string err = callErr(server, openReq("c"));
+    EXPECT_NE(err.find("session limit"), std::string::npos);
+
+    // Run the admitted sessions out so the dtor join is quick.
+    callOk(server, sessionReq("start", "a"));
+    callOk(server, sessionReq("start", "b"));
+    callOk(server, sessionReq("wait", "a"));
+    callOk(server, sessionReq("wait", "b"));
+}
+
+TEST(Serve, SessionDropFailsOnlyTheTargetedSession)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noWait("EV8_RETRY_BASE_MS", "0");
+    ScopedEnv noCkpt("EV8_CHECKPOINT_DIR", nullptr);
+
+    // Clean reference for the surviving session's cells.
+    std::vector<GridCheckpoint::RestoredCell> clean;
+    {
+        ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+        PredictionServer server(ServeLimits{}, 2);
+        const JsonValue done = runSession(server, "doomed");
+        clean = decodeCells(done, done.at("cells").items.size());
+    }
+
+    // Kill every cell of session "doomed" permanently; "healthy" runs
+    // on the same server and must not see a single occurrence.
+    ScopedEnv fault("EV8_FAULT_SPEC", "session_drop/doomed/+*");
+    PredictionServer server(ServeLimits{}, 2);
+
+    callOk(server, openReq("doomed"));
+    callOk(server, openReq("healthy"));
+    callOk(server, sessionReq("start", "doomed"));
+    callOk(server, sessionReq("start", "healthy"));
+    const JsonValue doomed = callOk(server, sessionReq("wait", "doomed"));
+    const JsonValue healthy =
+        callOk(server, sessionReq("wait", "healthy"));
+
+    // Every doomed cell is a structured CellFailure...
+    const size_t n = clean.size();
+    const JsonValue &failures = doomed.at("failures");
+    ASSERT_EQ(failures.items.size(), n);
+    const CellFailure f = readFailure(failures.items.front());
+    EXPECT_EQ(f.row, 0u);
+    EXPECT_GE(f.attempts, 1u);
+    EXPECT_NE(f.error.find("session"), std::string::npos);
+
+    // ...and the sibling's cells equal a fault-free run exactly.
+    const auto survived = decodeCells(healthy, n);
+    EXPECT_TRUE(healthy.at("failures").items.empty());
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(survived[i].result.sim.stats.mispredictions(),
+                  clean[i].result.sim.stats.mispredictions())
+            << i;
+        EXPECT_EQ(survived[i].result.sim.stats.lookups(),
+                  clean[i].result.sim.stats.lookups())
+            << i;
+    }
+
+    EXPECT_EQ(server.failedCellsTotal(), n);
+}
+
+TEST(Serve, RingStallIsTimingOnly)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noCkpt("EV8_CHECKPOINT_DIR", nullptr);
+
+    std::vector<GridCheckpoint::RestoredCell> clean;
+    {
+        ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+        PredictionServer server(ServeLimits{}, 2);
+        const JsonValue done = runSession(server, "s1");
+        clean = decodeCells(done, done.at("cells").items.size());
+    }
+
+    // Stall the producer on its first three packets: the consumer just
+    // waits; every simulated byte is unchanged.
+    ScopedEnv fault("EV8_FAULT_SPEC", "ring_stall/s1/p+3");
+    PredictionServer server(ServeLimits{}, 2);
+    const JsonValue done = runSession(server, "s1");
+    EXPECT_TRUE(done.at("failures").items.empty());
+    const auto stalled = decodeCells(done, clean.size());
+    for (size_t i = 0; i < clean.size(); ++i) {
+        EXPECT_EQ(stalled[i].result.sim.stats.mispredictions(),
+                  clean[i].result.sim.stats.mispredictions())
+            << i;
+        EXPECT_EQ(stalled[i].result.sim.stats.lookups(),
+                  clean[i].result.sim.stats.lookups())
+            << i;
+    }
+}
+
+TEST(Serve, ShutdownOpFlagsTheServer)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    PredictionServer server(ServeLimits{}, 2);
+    EXPECT_FALSE(server.shutdownRequested());
+    callOk(server, "{\"op\":\"shutdown\"}");
+    EXPECT_TRUE(server.shutdownRequested());
+    // Opens after shutdown are refused.
+    EXPECT_FALSE(callErr(server, openReq("late")).empty());
+}
+
+TEST(Serve, StatsOpReportsCountersAndLimits)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+    PredictionServer server(ServeLimits{}, 2);
+    runSession(server, "s1");
+    const JsonValue stats = callOk(server, "{\"op\":\"stats\"}");
+    EXPECT_EQ(stats.at("sessions_opened").number, 1.0);
+    EXPECT_EQ(stats.at("sessions_done").number, 1.0);
+}
+
+TEST(Serve, DefaultLimitsParseStrictly)
+{
+    {
+        ScopedEnv a("EV8_SERVE_MAX_SESSIONS", "16");
+        ScopedEnv b("EV8_SERVE_RING_CAP", "128");
+        ScopedEnv c("EV8_SERVE_BLOCKS_PER_PACKET", "512");
+        const ServeLimits limits = PredictionServer::defaultLimits();
+        EXPECT_EQ(limits.maxSessions, 16u);
+        EXPECT_EQ(limits.ringCapacity, 128u);
+        EXPECT_EQ(limits.blocksPerPacket, 512u);
+    }
+    {
+        ScopedEnv a("EV8_SERVE_MAX_SESSIONS", nullptr);
+        ScopedEnv b("EV8_SERVE_RING_CAP", nullptr);
+        ScopedEnv c("EV8_SERVE_BLOCKS_PER_PACKET", nullptr);
+        const ServeLimits limits = PredictionServer::defaultLimits();
+        EXPECT_EQ(limits.maxSessions, 8u);
+        EXPECT_EQ(limits.ringCapacity, 64u);
+        EXPECT_EQ(limits.blocksPerPacket, 4096u);
+    }
+}
+
+TEST(ServeDeathTest, GarbageEnvKnobsExitUsage)
+{
+    {
+        ScopedEnv bad("EV8_SERVE_MAX_SESSIONS", "many");
+        EXPECT_EXIT(PredictionServer::defaultLimits(),
+                    ::testing::ExitedWithCode(2),
+                    "EV8_SERVE_MAX_SESSIONS");
+    }
+    {
+        ScopedEnv bad("EV8_SERVE_RING_CAP", "0");
+        EXPECT_EXIT(PredictionServer::defaultLimits(),
+                    ::testing::ExitedWithCode(2), "EV8_SERVE_RING_CAP");
+    }
+    {
+        ScopedEnv bad("EV8_SERVE_BLOCKS_PER_PACKET", "-1");
+        EXPECT_EXIT(PredictionServer::defaultLimits(),
+                    ::testing::ExitedWithCode(2),
+                    "EV8_SERVE_BLOCKS_PER_PACKET");
+    }
+}
+
+} // namespace
+} // namespace ev8

@@ -98,10 +98,24 @@ TEST(Suite, BranchesPerBenchmarkReadsEnv)
 {
     ASSERT_EQ(setenv("EV8_BRANCHES_PER_BENCH", "12345", 1), 0);
     EXPECT_EQ(branchesPerBenchmark(), 12345u);
-    ASSERT_EQ(setenv("EV8_BRANCHES_PER_BENCH", "garbage", 1), 0);
-    EXPECT_EQ(branchesPerBenchmark(), 1000000u);
     ASSERT_EQ(unsetenv("EV8_BRANCHES_PER_BENCH"), 0);
     EXPECT_EQ(branchesPerBenchmark(), 1000000u);
+}
+
+TEST(Suite, BranchesPerBenchmarkRejectsGarbage)
+{
+    // Strict knob parsing: a set-but-invalid budget is a hard usage
+    // error (exit 2), never a silent fall-back to the default.
+    ASSERT_EQ(setenv("EV8_BRANCHES_PER_BENCH", "garbage", 1), 0);
+    EXPECT_EXIT(branchesPerBenchmark(), testing::ExitedWithCode(2),
+                "EV8_BRANCHES_PER_BENCH");
+    ASSERT_EQ(setenv("EV8_BRANCHES_PER_BENCH", "1e6", 1), 0);
+    EXPECT_EXIT(branchesPerBenchmark(), testing::ExitedWithCode(2),
+                "EV8_BRANCHES_PER_BENCH");
+    ASSERT_EQ(setenv("EV8_BRANCHES_PER_BENCH", "0", 1), 0);
+    EXPECT_EXIT(branchesPerBenchmark(), testing::ExitedWithCode(2),
+                "EV8_BRANCHES_PER_BENCH");
+    ASSERT_EQ(unsetenv("EV8_BRANCHES_PER_BENCH"), 0);
 }
 
 TEST(Suite, SeedsAreDistinct)
