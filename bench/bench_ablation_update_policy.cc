@@ -7,55 +7,29 @@
  */
 
 #include "bench_common.hh"
-#include "core/ev8_predictor.hh"
-#include "predictors/egskew.hh"
-#include "predictors/twobcgskew.hh"
+#include "serve/grids.hh"
 
 using namespace ev8;
 
 int
 main(int argc, char **argv)
 {
-    BenchContext ctx(argc, argv,
-                     "Ablation (Section 4.2)", "Partial vs. total "
-                                               "update policy");
+    // The rows come from the shared grid registry (serve/grids.hh) so
+    // the batch artifact and a served "ablation-update-policy" client's
+    // artifact are built from one definition of the labels, factories
+    // and per-row presets -- CI's serve gate compares the two.
+    const GridSpec *grid = findGrid("ablation-update-policy");
+    BenchContext ctx(argc, argv, grid->benchId, grid->title);
 
     SuiteRunner &runner = ctx.runner();
 
-    const std::vector<ExperimentRow> rows = {
-        {"EV8, partial update",
-         [] { return std::make_unique<Ev8Predictor>(); },
-         SimConfig::ev8()},
-        {"EV8, total update",
-         [] {
-             Ev8Config cfg;
-             cfg.partialUpdate = false;
-             cfg.label = "EV8-total";
-             return std::make_unique<Ev8Predictor>(cfg);
-         },
-         SimConfig::ev8()},
-        {"2Bc-gskew 512Kb, partial",
-         [] {
-             return std::make_unique<TwoBcGskewPredictor>(
-                 TwoBcGskewConfig::symmetric(16, 0, 13, 15, 21,
-                                             "gskew-partial"));
-         },
-         SimConfig::ghist()},
-        {"2Bc-gskew 512Kb, total",
-         [] {
-             auto cfg = TwoBcGskewConfig::symmetric(16, 0, 13, 15, 21,
-                                                    "gskew-total");
-             cfg.partialUpdate = false;
-             return std::make_unique<TwoBcGskewPredictor>(cfg);
-         },
-         SimConfig::ghist()},
-        {"e-gskew 3*64K, partial",
-         [] { return std::make_unique<EgskewPredictor>(16, 15, true); },
-         SimConfig::ghist()},
-        {"e-gskew 3*64K, total",
-         [] { return std::make_unique<EgskewPredictor>(16, 15, false); },
-         SimConfig::ghist()},
-    };
+    std::vector<ExperimentRow> rows;
+    rows.reserve(grid->rows.size());
+    for (const GridRowSpec &row : grid->rows) {
+        rows.push_back({row.label,
+                        [&row] { return makeRowPredictor(row); },
+                        rowBaseConfig(*grid, row)});
+    }
 
     runAndPrint(ctx, runner, rows);
 

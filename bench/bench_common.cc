@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/env.hh"
+#include "common/simd.hh"
 #include "common/table.hh"
 #include "obs/json.hh"
 #include "obs/progress.hh"
@@ -333,6 +334,10 @@ BenchContext::buildTelemetry() const
                    * static_cast<double>(tel.poolWallNs));
         }
     }
+
+    const simd::Backend backend = simd::activeBackend();
+    tel.simdBackend = simd::backendName(backend);
+    tel.simdLanes = simd::backendLanes(backend);
     return tel;
 }
 

@@ -85,17 +85,20 @@ main(int argc, char **argv)
     for (const auto &scheme : schemes) {
         if (!benchQuiet())
             std::fprintf(stderr, "  sweeping %s ...\n", scheme.label);
-        auto points =
-            sweepHistoryLengths(runner, scheme.make, lengths, ghist);
-        // Ensure the log2(size) point itself is part of the sweep.
+        // The log2(size) point rides in the same sweep -- and so in
+        // the same fused lane group -- as the candidate lengths: one
+        // more lane on the shared suite walk, where a separate sweep
+        // call would walk the whole suite again for that single
+        // configuration. Appending keeps the point order (and every
+        // artifact) identical to the two-call form.
+        std::vector<unsigned> sweep_lengths = lengths;
         bool have_log2 = false;
-        for (const auto &p : points)
-            have_log2 |= p.histLen == scheme.log2Size;
-        if (!have_log2) {
-            auto log2_pts = sweepHistoryLengths(
-                runner, scheme.make, {scheme.log2Size}, ghist);
-            points.push_back(std::move(log2_pts.front()));
-        }
+        for (unsigned len : lengths)
+            have_log2 |= len == scheme.log2Size;
+        if (!have_log2)
+            sweep_lengths.push_back(scheme.log2Size);
+        auto points = sweepHistoryLengths(runner, scheme.make,
+                                          sweep_lengths, ghist);
 
         const SweepPoint &best = bestPoint(points);
         double log2_value = 0;

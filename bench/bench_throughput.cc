@@ -10,11 +10,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/simd.hh"
 #include "core/ev8_predictor.hh"
 #include "predictors/factory.hh"
 #include "sim/block_stream.hh"
@@ -147,6 +149,51 @@ sweepLanePredictors()
     return preds;
 }
 
+/** Forces one fused-stepper SIMD backend for the benchmark's scope
+ *  (activeBackend() is resolved per walk, so setenv is enough). */
+class ScopedSimdBackend
+{
+  public:
+    explicit ScopedSimdBackend(const char *value)
+    {
+        if (const char *old = std::getenv("EV8_SIMD"))
+            saved_ = old;
+        else
+            hadValue_ = false;
+        ::setenv("EV8_SIMD", value, /*overwrite=*/1);
+    }
+
+    ~ScopedSimdBackend()
+    {
+        if (hadValue_)
+            ::setenv("EV8_SIMD", saved_.c_str(), 1);
+        else
+            ::unsetenv("EV8_SIMD");
+    }
+
+  private:
+    std::string saved_;
+    bool hadValue_ = true;
+};
+
+/** One fused walk over @p preds; returns total branches stepped. */
+uint64_t
+fusedWalk(std::vector<PredictorPtr> &preds, const SimConfig &config)
+{
+    const BlockStream &stream = benchStream();
+    std::vector<FusedLane> lanes;
+    lanes.reserve(preds.size());
+    for (auto &p : preds)
+        lanes.push_back({p.get(), nullptr, nullptr});
+    uint64_t branches = 0;
+    const auto results = simulateStreamFused(stream, lanes, config);
+    for (const SimResult &r : results) {
+        branches += r.condBranches;
+        benchmark::DoNotOptimize(r.stats.mispredictions());
+    }
+    return branches;
+}
+
 /**
  * A six-length gshare history sweep as one fused walk: the shape of a
  * bench_sweep_history column after grid fusion. Contrast with
@@ -157,25 +204,87 @@ sweepLanePredictors()
 void
 BM_FusedSweepGshare(benchmark::State &state)
 {
-    const BlockStream &stream = benchStream();
     const SimConfig config = SimConfig::ghist();
     uint64_t branches = 0;
     for (auto _ : state) {
         auto preds = sweepLanePredictors();
-        std::vector<FusedLane> lanes;
-        lanes.reserve(preds.size());
-        for (auto &p : preds)
-            lanes.push_back({p.get(), nullptr, nullptr});
-        const auto results = simulateStreamFused(stream, lanes, config);
-        for (const SimResult &r : results) {
-            branches += r.condBranches;
-            benchmark::DoNotOptimize(r.stats.mispredictions());
-        }
+        branches += fusedWalk(preds, config);
     }
     state.counters["branches/s"] = benchmark::Counter(
         static_cast<double>(branches), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FusedSweepGshare)->Apply(applyDefaults);
+
+/**
+ * The same fused sweep with EV8_SIMD=0: the tuned scalar per-lane
+ * steppers instead of the vector group stepper. The spread between
+ * this and BM_FusedSweepGshare is the SIMD win on the gshare/bimodal
+ * indexed path; read both as _min aggregates.
+ */
+void
+BM_FusedSweepGshareScalarSteppers(benchmark::State &state)
+{
+    ScopedSimdBackend simd("0");
+    const SimConfig config = SimConfig::ghist();
+    uint64_t branches = 0;
+    for (auto _ : state) {
+        auto preds = sweepLanePredictors();
+        branches += fusedWalk(preds, config);
+    }
+    state.counters["branches/s"] = benchmark::Counter(
+        static_cast<double>(branches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FusedSweepGshareScalarSteppers)->Apply(applyDefaults);
+
+/** A fig6-style 2Bc-gskew lane set: the masked-bitplane hot path. */
+std::vector<PredictorPtr>
+gskewSweepLanePredictors()
+{
+    std::vector<PredictorPtr> preds;
+    for (unsigned len : {8, 12, 16, 20, 24, 28}) {
+        const unsigned h1 = std::max(2u, len * 62 / 100);
+        const unsigned h2 = std::max(2u, len * 74 / 100);
+        preds.push_back(makePredictor(
+            "2bcgskew:15:0:" + std::to_string(h1) + ":"
+            + std::to_string(h2) + ":" + std::to_string(len)));
+    }
+    return preds;
+}
+
+/**
+ * Six 2Bc-gskew lanes as one fused walk, vector group stepper (the
+ * default backend): four tables' counter reads, the e-gskew vote and
+ * the masked bitplane counter updates all run as 4-lane vector ops.
+ */
+void
+BM_FusedSweep2BcGskew(benchmark::State &state)
+{
+    const SimConfig config = SimConfig::ghist();
+    uint64_t branches = 0;
+    for (auto _ : state) {
+        auto preds = gskewSweepLanePredictors();
+        branches += fusedWalk(preds, config);
+    }
+    state.counters["branches/s"] = benchmark::Counter(
+        static_cast<double>(branches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FusedSweep2BcGskew)->Apply(applyDefaults);
+
+/** The scalar-stepper side of the 2Bc-gskew A/B (EV8_SIMD=0). */
+void
+BM_FusedSweep2BcGskewScalarSteppers(benchmark::State &state)
+{
+    ScopedSimdBackend simd("0");
+    const SimConfig config = SimConfig::ghist();
+    uint64_t branches = 0;
+    for (auto _ : state) {
+        auto preds = gskewSweepLanePredictors();
+        branches += fusedWalk(preds, config);
+    }
+    state.counters["branches/s"] = benchmark::Counter(
+        static_cast<double>(branches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FusedSweep2BcGskewScalarSteppers)->Apply(applyDefaults);
 
 /** The same six-lane sweep as six independent walks (EV8_FUSED=0). */
 void

@@ -162,6 +162,14 @@ writeTelemetryMember(JsonWriter &w, const TelemetryExport &tel)
     w.value(tel.poolUtilization);
     w.endObject();
 
+    w.key("simd");
+    w.beginObject();
+    w.key("backend");
+    w.value(tel.simdBackend);
+    w.key("lanes");
+    w.value(static_cast<uint64_t>(tel.simdLanes));
+    w.endObject();
+
     w.endObject();
 }
 

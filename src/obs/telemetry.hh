@@ -72,6 +72,15 @@ struct TelemetryExport
     uint64_t poolBusyNs = 0;
     uint64_t poolWallNs = 0;
     double poolUtilization = 0.0;
+
+    /**
+     * Active fused-stepper SIMD backend ("off" / "scalar" / "avx2",
+     * simd::backendName) and the lanes one vector op covers. Not
+     * timing-dependent, but EV8_SIMD-dependent -- it lives in the
+     * masked telemetry block so A/B runs stay byte-comparable.
+     */
+    std::string simdBackend;
+    unsigned simdLanes = 0;
 };
 
 } // namespace ev8

@@ -28,6 +28,42 @@ BimodalPredictor::update(const BranchSnapshot &snap, bool taken, bool)
     table.update(index(snap.pc), taken);
 }
 
+BimodalPredictor::FusedGroup::FusedGroup(BimodalPredictor *const *preds,
+                                         size_t nlanes)
+{
+    lanes_.assign(preds, preds + nlanes);
+    backend_ = simd::activeBackend();
+    if (backend_ == simd::Backend::Off)
+        return;
+    constexpr size_t kW = simd::U64x4::kLanes;
+    paddedLanes_ = (nlanes + kW - 1) & ~(kW - 1);
+    idxMask_.resize(paddedLanes_);
+    wordBase_.resize(paddedLanes_);
+    for (size_t l = 0; l < paddedLanes_; ++l) {
+        const BimodalPredictor &p = *lanes_[l < nlanes ? l : 0];
+        idxMask_[l] = mask(p.log2Entries);
+        wordBase_[l] =
+            reinterpret_cast<uintptr_t>(p.table.wordsData());
+    }
+}
+
+void
+BimodalPredictor::FusedGroup::step(const BranchSnapshot &snap, bool taken,
+                                   uint64_t *misp)
+{
+    if (backend_ == simd::Backend::Off) {
+        // The per-lane two-phase step of the pre-vector fused kernel.
+        for (size_t l = 0; l < lanes_.size(); ++l) {
+            const size_t idx = lanes_[l]->laneIndex(snap);
+            misp[l] += lanes_[l]->applyAt(idx, taken) != taken;
+        }
+    } else if (backend_ == simd::Backend::Avx2) {
+        stepVecAvx2(snap, taken, misp);
+    } else {
+        stepVecScalar(snap, taken, misp);
+    }
+}
+
 uint64_t
 BimodalPredictor::storageBits() const
 {

@@ -7,6 +7,9 @@
 #ifndef EV8_PREDICTORS_BIMODAL_HH
 #define EV8_PREDICTORS_BIMODAL_HH
 
+#include <vector>
+
+#include "common/simd.hh"
 #include "predictors/predictor.hh"
 #include "predictors/tables.hh"
 
@@ -35,6 +38,32 @@ class BimodalPredictor final : public ConditionalBranchPredictor
     {
         return table.readAndUpdate(idx, taken);
     }
+
+    /** Group stepper; see GsharePredictor::FusedGroup. */
+    class FusedGroup
+    {
+      public:
+        FusedGroup(BimodalPredictor *const *preds, size_t nlanes);
+        FusedGroup(const FusedGroup &) = delete;
+        FusedGroup &operator=(const FusedGroup &) = delete;
+
+        /** Advances every lane over one branch; tallies into misp[l]. */
+        void step(const BranchSnapshot &snap, bool taken, uint64_t *misp);
+
+      private:
+        template <class Vec>
+        void stepVec(const BranchSnapshot &snap, bool taken,
+                     uint64_t *misp);
+        void stepVecScalar(const BranchSnapshot &snap, bool taken,
+                           uint64_t *misp);
+        void stepVecAvx2(const BranchSnapshot &snap, bool taken,
+                         uint64_t *misp);
+
+        simd::Backend backend_ = simd::Backend::Off;
+        std::vector<BimodalPredictor *> lanes_;
+        size_t paddedLanes_ = 0;
+        std::vector<uint64_t> idxMask_, wordBase_;
+    };
 
   private:
     size_t index(uint64_t pc) const;

@@ -1,5 +1,7 @@
 #include "predictors/gshare.hh"
 
+#include <cassert>
+
 #include "common/bits.hh"
 
 namespace ev8
@@ -31,6 +33,48 @@ void
 GsharePredictor::update(const BranchSnapshot &snap, bool taken, bool)
 {
     table.update(index(snap), taken);
+}
+
+GsharePredictor::FusedGroup::FusedGroup(GsharePredictor *const *preds,
+                                        size_t nlanes)
+{
+    lanes_.assign(preds, preds + nlanes);
+    backend_ = simd::activeBackend();
+    if (backend_ == simd::Backend::Off)
+        return;
+    constexpr size_t kW = simd::U64x4::kLanes;
+    paddedLanes_ = (nlanes + kW - 1) & ~(kW - 1);
+    n_.resize(paddedLanes_);
+    idxMask_.resize(paddedLanes_);
+    histMask_.resize(paddedLanes_);
+    wordBase_.resize(paddedLanes_);
+    for (size_t l = 0; l < paddedLanes_; ++l) {
+        const GsharePredictor &p = *lanes_[l < nlanes ? l : 0];
+        // The bounds index()'s xorFold() requires.
+        assert(p.log2Entries >= 1 && p.log2Entries < 64);
+        n_[l] = p.log2Entries;
+        idxMask_[l] = mask(p.log2Entries);
+        histMask_[l] = p.histLen == 0 ? 0 : mask(p.histLen);
+        wordBase_[l] =
+            reinterpret_cast<uintptr_t>(p.table.wordsData());
+    }
+}
+
+void
+GsharePredictor::FusedGroup::step(const BranchSnapshot &snap, bool taken,
+                                  uint64_t *misp)
+{
+    if (backend_ == simd::Backend::Off) {
+        // The per-lane two-phase step of the pre-vector fused kernel.
+        for (size_t l = 0; l < lanes_.size(); ++l) {
+            const size_t idx = lanes_[l]->laneIndex(snap);
+            misp[l] += lanes_[l]->applyAt(idx, taken) != taken;
+        }
+    } else if (backend_ == simd::Backend::Avx2) {
+        stepVecAvx2(snap, taken, misp);
+    } else {
+        stepVecScalar(snap, taken, misp);
+    }
 }
 
 uint64_t

@@ -11,6 +11,9 @@
 #ifndef EV8_PREDICTORS_GSHARE_HH
 #define EV8_PREDICTORS_GSHARE_HH
 
+#include <vector>
+
+#include "common/simd.hh"
 #include "predictors/predictor.hh"
 #include "predictors/tables.hh"
 
@@ -51,6 +54,41 @@ class GsharePredictor final : public ConditionalBranchPredictor
     {
         return table.readAndUpdate(idx, taken);
     }
+
+    /**
+     * Group stepper for the fused kernel: advances every gshare lane
+     * of a fused job through one branch. The vector path computes all
+     * lanes' history folds, table indices, counter reads and masked
+     * bitplane counter updates four lanes at a time; EV8_SIMD=0 falls
+     * back to the per-lane two-phase step. Table transitions and
+     * mispredict tallies are bit-identical either way.
+     */
+    class FusedGroup
+    {
+      public:
+        FusedGroup(GsharePredictor *const *preds, size_t nlanes);
+        FusedGroup(const FusedGroup &) = delete;
+        FusedGroup &operator=(const FusedGroup &) = delete;
+
+        /** Advances every lane over one branch; tallies into misp[l]. */
+        void step(const BranchSnapshot &snap, bool taken, uint64_t *misp);
+
+      private:
+        template <class Vec>
+        void stepVec(const BranchSnapshot &snap, bool taken,
+                     uint64_t *misp);
+        void stepVecScalar(const BranchSnapshot &snap, bool taken,
+                           uint64_t *misp);
+        void stepVecAvx2(const BranchSnapshot &snap, bool taken,
+                         uint64_t *misp);
+
+        simd::Backend backend_ = simd::Backend::Off;
+        std::vector<GsharePredictor *> lanes_;
+        size_t paddedLanes_ = 0;
+        //! Per lane (padded; padding aliases lane 0, never written):
+        //! index width, index mask, history mask, packed-word base.
+        std::vector<uint64_t> n_, idxMask_, histMask_, wordBase_;
+    };
 
   private:
     size_t index(const BranchSnapshot &snap) const;

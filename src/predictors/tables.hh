@@ -126,8 +126,49 @@ class TwoBitCounterTable
     /** Storage cost: 2 bits per entry. */
     uint64_t storageBits() const { return uint64_t{entries_} * 2; }
 
-  private:
     static constexpr size_t kPerWord = 32; //!< 2-bit counters per word
+
+    /** Raw packed-word access for the vector fused-group steppers. */
+    uint64_t *wordsData() { return words.data(); }
+    const uint64_t *wordsData() const { return words.data(); }
+
+    /**
+     * Saturating increment of every 2-bit counter whose bit0 is set in
+     * @p sel, as bitplane boolean arithmetic on the packed word: with
+     * b0/b1 the low/high bitplanes, counters not already at 3 flip b0,
+     * and those whose b0 was set carry into b1. Stray odd bits of
+     * @p sel are ignored. Templated over the word type so the same
+     * definition serves uint64_t (scalar, unit tests) and the simd.hh
+     * vector wrappers (the fused hot path); W needs a broadcasting
+     * W(uint64_t) constructor and &, |, ^, ~, <<1, >>1.
+     *
+     * Equivalent to update(idx, true) per selected counter -- the
+     * exhaustive state x mask check lives in tests/test_simd.cc.
+     */
+    template <class W>
+    static W
+    maskedSatIncWord(const W &w, const W &sel)
+    {
+        const W low(0x5555555555555555ULL);
+        const W b0 = w & low;
+        const W b1 = (w >> 1) & low;
+        const W eff = sel & low & ~(b0 & b1); // not saturated at 3
+        return w ^ eff ^ ((b0 & eff) << 1);   // flip b0, carry into b1
+    }
+
+    /** Saturating decrement counterpart of maskedSatIncWord(). */
+    template <class W>
+    static W
+    maskedSatDecWord(const W &w, const W &sel)
+    {
+        const W low(0x5555555555555555ULL);
+        const W b0 = w & low;
+        const W b1 = (w >> 1) & low;
+        const W eff = sel & low & (b0 | b1); // not saturated at 0
+        return w ^ eff ^ ((~b0 & eff) << 1); // flip b0, borrow from b1
+    }
+
+  private:
     /** 32 copies of weakly-not-taken (01 in every 2-bit lane). */
     static constexpr uint64_t kInitWord = 0x5555555555555555ULL;
 
@@ -227,6 +268,19 @@ class SplitCounterArray
     }
 
     uint8_t rawPred(size_t idx) const { return getBit(pred, idx); }
+
+    /**
+     * Raw bitplane words, for the vector fused-group steppers: the
+     * vote pass gathers one packed prediction word per lane and
+     * extracts the bit in-register, and the vector update-policy pass
+     * applies the 2-bit transition as masked bitplane arithmetic on
+     * both planes (pred' = p^(d&e), hyst' = p^(d&~e) with d = p^v,
+     * e = h^p -- exactly update()'s three cases; strengthen() is the
+     * d = 0 instance). tests/test_simd.cc pins the equivalence.
+     */
+    const uint64_t *predWords() const { return pred.data(); }
+    uint64_t *predWords() { return pred.data(); }
+    uint64_t *hystWords() { return hyst.data(); }
 
     uint8_t
     rawHyst(size_t idx) const

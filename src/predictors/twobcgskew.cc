@@ -203,6 +203,147 @@ TwoBcGskewPredictor::FusedGroup::FusedGroup(
                          static_cast<uint8_t>(geo.histLen));
         }
     }
+    backend_ = simd::activeBackend();
+    if (backend_ != simd::Backend::Off)
+        buildVectorState();
+}
+
+void
+TwoBcGskewPredictor::FusedGroup::buildVectorState()
+{
+    constexpr size_t kW = simd::U64x4::kLanes;
+    const auto pad = [](size_t n) { return (n + kW - 1) & ~(kW - 1); };
+    const uint64_t ones = ~uint64_t{0};
+
+    // Address slots. Padding slots get n = 63 so their fold loop
+    // terminates in one round, a zero mask so they contribute nothing,
+    // and zero chain masks so the H rounds leave them alone.
+    paddedAddr_ = pad(addrSlots_.size());
+    aN_.assign(paddedAddr_, 63);
+    aNm1_.assign(paddedAddr_, 62);
+    aMask_.assign(paddedAddr_, 0);
+    aSelBim_.assign(paddedAddr_, 0);
+    aSelGskew_.assign(paddedAddr_, 0);
+    aVal_.assign(paddedAddr_, 0);
+    for (auto &c : aChain_)
+        c.assign(paddedAddr_, 0);
+    for (size_t i = 0; i < addrSlots_.size(); ++i) {
+        const AddrSlot &s = addrSlots_[i];
+        aN_[i] = s.n;
+        aNm1_[i] = s.n - 1u;
+        aMask_[i] = mask(s.n);
+        aSelBim_[i] = s.foldKind == 1 ? ones : 0;
+        aSelGskew_[i] = s.foldKind == 2 ? ones : 0;
+        for (unsigned c = 0; c < aChain_.size(); ++c)
+            aChain_[c][i] = s.table > c ? ones : 0;
+    }
+
+    // History slots likewise. A len == 0 slot keeps its zero history
+    // mask, so the uniform vector arithmetic reproduces the scalar
+    // "constant 0" skip; its n may be 1 (BIM), making n - 2 wrap, but
+    // its chain masks are zero and srlv() zeroes counts >= 64, so the
+    // wrapped shift is computed and discarded, never observed.
+    paddedHist_ = pad(histSlots_.size());
+    hN_.assign(paddedHist_, 63);
+    hNm1_.assign(paddedHist_, 62);
+    hNm2_.assign(paddedHist_, 61);
+    hMask_.assign(paddedHist_, 0);
+    hLenMask_.assign(paddedHist_, 0);
+    hVal_.assign(paddedHist_, 0);
+    for (auto &c : hChain_)
+        c.assign(paddedHist_, 0);
+    for (size_t i = 0; i < histSlots_.size(); ++i) {
+        const HistSlot &s = histSlots_[i];
+        hN_[i] = s.n;
+        hNm1_[i] = s.n - 1u;
+        hNm2_[i] = s.n >= 2 ? s.n - 2u : 64;
+        hMask_[i] = mask(s.n);
+        hLenMask_[i] = s.len == 0 ? 0 : mask(s.len);
+        for (unsigned c = 0; c < hChain_.size(); ++c)
+            hChain_[c][i] = s.table > c ? ones : 0;
+    }
+
+    // Per-lane staging. Padding lanes alias lane 0: their composed
+    // indices and word gathers read live memory harmlessly, and the
+    // scalar update pass only walks real lanes, so nothing is ever
+    // written through them.
+    paddedLanes_ = pad(lanes_.size());
+    laneAddr_.resize(paddedLanes_, laneAddr_[0]);
+    laneHist_.resize(paddedLanes_, laneHist_[0]);
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        lanePredBase_[t].resize(paddedLanes_);
+        laneHystBase_[t].resize(paddedLanes_);
+        laneHystMask_[t].resize(paddedLanes_);
+        idxS_[t].resize(paddedLanes_);
+        for (size_t l = 0; l < paddedLanes_; ++l) {
+            const size_t src = l < lanes_.size() ? l : 0;
+            SplitCounterArray &bank = lanes_[src]->banksStorage[t];
+            lanePredBase_[t][l] =
+                reinterpret_cast<uintptr_t>(bank.predWords());
+            laneHystBase_[t][l] =
+                reinterpret_cast<uintptr_t>(bank.hystWords());
+            laneHystMask_[t][l] = bank.hystSize() - 1;
+        }
+    }
+    lanePartial_.resize(paddedLanes_);
+    for (size_t l = 0; l < paddedLanes_; ++l) {
+        const size_t src = l < lanes_.size() ? l : 0;
+        lanePartial_[l] = lanes_[src]->cfg.partialUpdate ? 1 : 0;
+    }
+    anyStats_ = false;
+    for (size_t l = 0; l < lanes_.size(); ++l)
+        anyStats_ |= statsOn_[l] != 0;
+    ovrS_.resize(paddedLanes_);
+    if (anyStats_) {
+        for (unsigned k = 0; k < 3; ++k) {
+            accConf_[k].assign(paddedLanes_, 0);
+            accAgree_[k].assign(paddedLanes_, 0);
+        }
+        accUnan_.assign(paddedLanes_, 0);
+        accMetaSel_.assign(paddedLanes_, 0);
+        accMisp_.assign(paddedLanes_, 0);
+    }
+}
+
+TwoBcGskewPredictor::FusedGroup::~FusedGroup()
+{
+    // accSteps_ only advances in the vector steppers; after scalar
+    // stepping (or an unobserved walk) everything here is zero.
+    if (accSteps_ == 0)
+        return;
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+        if (!statsOn_[l])
+            continue;
+        GskewVoteStats &st = lanes_[l]->stats;
+        st.updates += accSteps_;
+        for (unsigned k = 0; k < 3; ++k) {
+            GskewVoteStats::PerBank &bk = st.bank[k];
+            bk.lookups += accSteps_;
+            bk.conflicts += accConf_[k][l];
+            bk.agree += accAgree_[k][l];
+        }
+        // META's "selected component" is by definition the overall
+        // prediction, so its conflict count is the mispredict count.
+        GskewVoteStats::PerBank &bm = st.bank[META];
+        bm.lookups += accSteps_;
+        bm.conflicts += accMisp_[l];
+        bm.agree += accSteps_ - accMisp_[l];
+        st.unanimous += accUnan_[l];
+        st.metaSelectsGskew += accMetaSel_[l];
+        st.mispredicts += accMisp_[l];
+    }
+}
+
+void
+TwoBcGskewPredictor::FusedGroup::step(const BranchSnapshot &snap,
+                                      bool taken, uint64_t *misp)
+{
+    if (backend_ == simd::Backend::Off)
+        stepScalar(snap, taken, misp);
+    else if (backend_ == simd::Backend::Avx2)
+        stepVecAvx2(snap, taken, misp);
+    else
+        stepVecScalar(snap, taken, misp);
 }
 
 uint16_t
@@ -232,8 +373,8 @@ TwoBcGskewPredictor::FusedGroup::histSlot(uint8_t table, uint8_t n,
 }
 
 void
-TwoBcGskewPredictor::FusedGroup::step(const BranchSnapshot &snap,
-                                      bool taken, uint64_t *misp)
+TwoBcGskewPredictor::FusedGroup::stepScalar(const BranchSnapshot &snap,
+                                            bool taken, uint64_t *misp)
 {
     if (anyPathInfo_
         && (snap.hist.pathZ != pathZ_ || snap.hist.pathY != pathY_

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.hh"
 #include "predictors/gskew_policy.hh"
 #include "predictors/predictor.hh"
 #include "predictors/tables.hh"
@@ -140,6 +141,18 @@ class TwoBcGskewPredictor final : public ConditionalBranchPredictor
       public:
         FusedGroup(TwoBcGskewPredictor *const *preds, size_t nlanes);
 
+        // The vector staging below holds absolute pointers into this
+        // object's own slot-value arrays; copying would silently alias
+        // the source. The kernel constructs the group in place
+        // (guaranteed copy elision), so no copy or move is needed.
+        FusedGroup(const FusedGroup &) = delete;
+        FusedGroup &operator=(const FusedGroup &) = delete;
+
+        //! Flushes the vector steppers' per-walk vote-stat
+        //! accumulators into the lanes' GskewVoteStats (a no-op after
+        //! scalar stepping, which notes per step).
+        ~FusedGroup();
+
         /** Advances every lane over one branch; tallies into misp[l]. */
         void step(const BranchSnapshot &snap, bool taken, uint64_t *misp);
 
@@ -165,6 +178,29 @@ class TwoBcGskewPredictor final : public ConditionalBranchPredictor
         uint16_t addrSlot(uint8_t table, uint8_t fold_kind, uint8_t n);
         uint16_t histSlot(uint8_t table, uint8_t n, uint8_t len);
 
+        /** The pre-vector per-lane stepper; EV8_SIMD=0 keeps it hot. */
+        void stepScalar(const BranchSnapshot &snap, bool taken,
+                        uint64_t *misp);
+
+        /**
+         * The vector stepper, templated over a simd.hh vector type.
+         * Defined in fused_vec.hh; instantiated only by the two
+         * backend translation units (fused_vec_scalar.cc and, with
+         * -mavx2, fused_vec_avx2.cc), which expose it through the two
+         * out-of-line entry points below so no intrinsic code leaks
+         * into TUs built without -mavx2.
+         */
+        template <class Vec>
+        void stepVec(const BranchSnapshot &snap, bool taken,
+                     uint64_t *misp);
+        void stepVecScalar(const BranchSnapshot &snap, bool taken,
+                           uint64_t *misp);
+        void stepVecAvx2(const BranchSnapshot &snap, bool taken,
+                         uint64_t *misp);
+
+        /** Builds the padded SoA staging the vector stepper consumes. */
+        void buildVectorState();
+
         std::vector<TwoBcGskewPredictor *> lanes_;
         std::vector<uint8_t> statsOn_;
         std::vector<AddrSlot> addrSlots_;
@@ -179,6 +215,48 @@ class TwoBcGskewPredictor final : public ConditionalBranchPredictor
         bool anyPathInfo_ = false;
         uint64_t pathZ_ = 0, pathY_ = 0, pathX_ = 0;
         uint64_t bimFold_ = 0, gskewFold_ = 0;
+
+        //! Per-walk backend choice (EV8_SIMD / cpuid), made once in
+        //! the constructor so in-process env overrides take effect.
+        simd::Backend backend_ = simd::Backend::Off;
+
+        // ---- vector-path SoA staging (built when backend_ != Off),
+        // every array padded to a multiple of the vector width. The
+        // address-side slot constants (index width n, its chain
+        // companions n-1, the n-bit mask, all-ones fold-select masks
+        // per path-fold kind and per H-chain round) are splatted to
+        // one uint64_t per slot so the per-branch fold and chain
+        // loops run as unconditional masked vector arithmetic.
+        size_t paddedAddr_ = 0, paddedHist_ = 0, paddedLanes_ = 0;
+        std::vector<uint64_t> aN_, aNm1_, aMask_, aSelBim_, aSelGskew_;
+        std::vector<uint64_t> aVal_;
+        std::array<std::vector<uint64_t>, 3> aChain_;
+        std::vector<uint64_t> hN_, hNm1_, hNm2_, hMask_, hLenMask_;
+        std::vector<uint64_t> hVal_;
+        std::array<std::vector<uint64_t>, 3> hChain_;
+        //! Per table, per lane: bitplane base pointers and the
+        //! hysteresis index mask (hystSize-1, Section 4.4 sharing).
+        std::array<std::vector<uint64_t>, kNumTables> lanePredBase_;
+        std::array<std::vector<uint64_t>, kNumTables> laneHystBase_;
+        std::array<std::vector<uint64_t>, kNumTables> laneHystMask_;
+        //! All-ones for partial-update lanes, 0 for total-update ones.
+        std::vector<uint64_t> lanePartial_;
+        //! Per-branch scratch: composed indices for the vote+update
+        //! pass, and each lane's overall prediction for the mispredict
+        //! tally.
+        std::array<std::vector<uint64_t>, kNumTables> idxS_;
+        std::vector<uint64_t> ovrS_;
+        bool anyStats_ = false;
+
+        //! Per-walk vote-stat accumulators for metrics-observed
+        //! vector walks: every GskewVoteStats field is a sum of 0/1
+        //! lane predicates the vote pass already holds in registers,
+        //! so the vector steppers add them lane-wise per step and the
+        //! destructor flushes totals once, instead of running the
+        //! 20-odd scalar counter increments of note() per lane-step.
+        uint64_t accSteps_ = 0;
+        std::array<std::vector<uint64_t>, 3> accConf_, accAgree_;
+        std::vector<uint64_t> accUnan_, accMetaSel_, accMisp_;
     };
 
     /** Direct bank access for white-box tests. */

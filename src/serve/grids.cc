@@ -1,14 +1,145 @@
 #include "serve/grids.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "core/ev8_predictor.hh"
+#include "predictors/egskew.hh"
 #include "predictors/factory.hh"
+#include "predictors/twobcgskew.hh"
 
 namespace ev8
 {
 
 namespace
 {
+
+SimConfig
+presetConfig(const std::string &preset)
+{
+    if (preset == "ghist")
+        return SimConfig::ghist();
+    if (preset == "ev8")
+        return SimConfig::ev8();
+    throw std::invalid_argument("unknown SimConfig preset: " + preset);
+}
+
+/**
+ * The fig6 sweep rows for one scheme: the candidate history lengths
+ * plus the scheme's log2(size) point when the sweep does not already
+ * contain it -- the same point set (and order) bench_fig6_history_length
+ * walks, served as one labelled row per point.
+ */
+void
+appendSweepRows(std::vector<GridRowSpec> &rows, const std::string &label,
+                unsigned log2_size,
+                const std::function<std::string(unsigned)> &spec)
+{
+    std::vector<unsigned> lengths{8, 12, 16, 20, 24, 28};
+    if (std::find(lengths.begin(), lengths.end(), log2_size)
+        == lengths.end())
+        lengths.push_back(log2_size);
+    for (unsigned len : lengths) {
+        rows.push_back({label + " L=" + std::to_string(len), spec(len),
+                        nullptr, ""});
+    }
+}
+
+/** The fig6 2Bc-gskew length scaling (G0 ~ 0.62 L, Meta ~ 0.74 L). */
+std::string
+gskewSweepSpec(unsigned log2_entries, unsigned len)
+{
+    const unsigned g0 = std::max(2u, len * 62 / 100);
+    const unsigned meta = std::max(2u, len * 74 / 100);
+    return "2bcgskew:" + std::to_string(log2_entries) + ":0:"
+        + std::to_string(g0) + ":" + std::to_string(meta) + ":"
+        + std::to_string(len);
+}
+
+std::vector<GridRowSpec>
+fig6Rows()
+{
+    std::vector<GridRowSpec> rows;
+    appendSweepRows(rows, "2Bc-gskew 256Kb", 15, [](unsigned len) {
+        return gskewSweepSpec(15, len);
+    });
+    appendSweepRows(rows, "2Bc-gskew 512Kb", 16, [](unsigned len) {
+        return gskewSweepSpec(16, len);
+    });
+    appendSweepRows(rows, "gshare 2Mb", 20, [](unsigned len) {
+        return "gshare:20:" + std::to_string(len);
+    });
+    appendSweepRows(rows, "YAGS 288Kb", 14, [](unsigned len) {
+        return "yags:14:14:" + std::to_string(len);
+    });
+    appendSweepRows(rows, "bi-mode 544Kb", 17, [](unsigned len) {
+        return "bimode:17:14:" + std::to_string(len);
+    });
+    return rows;
+}
+
+/**
+ * The Section 4.2 update-policy ablation. The EV8 and non-default
+ * policy rows use direct factories (the spec grammar has no
+ * partial/total switch); the factories reproduce the historical
+ * bench_ablation_update_policy predictors -- labels included, since
+ * the labels prefix the exported metric names.
+ */
+std::vector<GridRowSpec>
+updatePolicyRows()
+{
+    return {
+        {"EV8, partial update", "",
+         [] { return std::make_unique<Ev8Predictor>(); }, "ev8"},
+        {"EV8, total update", "",
+         [] {
+             Ev8Config cfg;
+             cfg.partialUpdate = false;
+             cfg.label = "EV8-total";
+             return std::make_unique<Ev8Predictor>(cfg);
+         },
+         "ev8"},
+        {"2Bc-gskew 512Kb, partial", "",
+         [] {
+             return std::make_unique<TwoBcGskewPredictor>(
+                 TwoBcGskewConfig::symmetric(16, 0, 13, 15, 21,
+                                             "gskew-partial"));
+         },
+         "ghist"},
+        {"2Bc-gskew 512Kb, total", "",
+         [] {
+             auto cfg = TwoBcGskewConfig::symmetric(16, 0, 13, 15, 21,
+                                                    "gskew-total");
+             cfg.partialUpdate = false;
+             return std::make_unique<TwoBcGskewPredictor>(cfg);
+         },
+         "ghist"},
+        {"e-gskew 3*64K, partial", "",
+         [] { return std::make_unique<EgskewPredictor>(16, 15, true); },
+         "ghist"},
+        {"e-gskew 3*64K, total", "",
+         [] { return std::make_unique<EgskewPredictor>(16, 15, false); },
+         "ghist"},
+    };
+}
+
+/**
+ * The Section 6 banking ablation as a predictor grid: the banked EV8
+ * hardware arrays under the real EV8 information vector, against the
+ * same-size unconstrained 2Bc-gskew under the same vector (isolating
+ * the array constraints) and under ideal ghist (the full
+ * idealization).
+ */
+std::vector<GridRowSpec>
+bankingRows()
+{
+    return {
+        {"EV8 4x16K banked, lghist+path", "",
+         [] { return std::make_unique<Ev8Predictor>(); }, "ev8"},
+        {"2Bc-gskew EV8-size, lghist+path", "ev8size", nullptr, "ev8"},
+        {"2Bc-gskew EV8-size, ideal ghist", "ev8size", nullptr, "ghist"},
+    };
+}
 
 /**
  * Row labels and order are load-bearing: they must match the batch
@@ -22,14 +153,24 @@ registry()
         {"fig5", "Fig. 5",
          "Branch prediction accuracy for various global history schemes",
          {
-             {"2Bc-gskew 4*32K (256Kb)", "fig5-2bcgskew256"},
-             {"2Bc-gskew 4*64K (512Kb)", "fig5-2bcgskew512"},
-             {"bi-mode 2x128K+16K (544Kb)", "fig5-bimode544"},
-             {"gshare 1M (2Mb)", "fig5-gshare2M"},
-             {"YAGS 288Kb", "fig5-yags288"},
-             {"YAGS 576Kb", "fig5-yags576"},
+             {"2Bc-gskew 4*32K (256Kb)", "fig5-2bcgskew256", nullptr, ""},
+             {"2Bc-gskew 4*64K (512Kb)", "fig5-2bcgskew512", nullptr, ""},
+             {"bi-mode 2x128K+16K (544Kb)", "fig5-bimode544", nullptr,
+              ""},
+             {"gshare 1M (2Mb)", "fig5-gshare2M", nullptr, ""},
+             {"YAGS 288Kb", "fig5-yags288", nullptr, ""},
+             {"YAGS 576Kb", "fig5-yags576", nullptr, ""},
          },
          "ghist"},
+        {"fig6", "Fig. 6 (grid)",
+         "History length sweep points behind the fig6 best-vs-log2 "
+         "comparison",
+         fig6Rows(), "ghist"},
+        {"ablation-update-policy", "Ablation (Section 4.2)",
+         "Partial vs. total update policy", updatePolicyRows(), "ghist"},
+        {"ablation-banking", "Ablation (Section 6, grid)",
+         "Banked EV8 arrays vs. unconstrained tables", bankingRows(),
+         "ev8"},
     };
     return grids;
 }
@@ -57,12 +198,19 @@ knownGrids()
 SimConfig
 baseConfig(const GridSpec &grid)
 {
-    if (grid.preset == "ghist")
-        return SimConfig::ghist();
-    if (grid.preset == "ev8")
-        return SimConfig::ev8();
-    throw std::invalid_argument("unknown SimConfig preset: "
-                                + grid.preset);
+    return presetConfig(grid.preset);
+}
+
+SimConfig
+rowBaseConfig(const GridSpec &grid, const GridRowSpec &row)
+{
+    return presetConfig(row.preset.empty() ? grid.preset : row.preset);
+}
+
+PredictorPtr
+makeRowPredictor(const GridRowSpec &row)
+{
+    return row.make ? row.make() : makePredictor(row.spec);
 }
 
 std::vector<GridRow>
@@ -71,9 +219,16 @@ buildGridRows(const GridSpec &grid, const SimConfig &config)
     std::vector<GridRow> rows;
     rows.reserve(grid.rows.size());
     for (const GridRowSpec &r : grid.rows) {
+        SimConfig rowConfig = rowBaseConfig(grid, r);
+        rowConfig.metrics = config.metrics;
+        rowConfig.events = config.events;
+        rowConfig.profileTiming = config.profileTiming;
+        rowConfig.forceGenericKernel = config.forceGenericKernel;
         rows.push_back(GridRow{
-            [spec = r.spec] { return makePredictor(spec); },
-            config,
+            [make = r.make, spec = r.spec] {
+                return make ? make() : makePredictor(spec);
+            },
+            rowConfig,
             r.label,
         });
     }
@@ -86,7 +241,7 @@ gridStorageBits(const GridSpec &grid)
     std::vector<uint64_t> bits;
     bits.reserve(grid.rows.size());
     for (const GridRowSpec &r : grid.rows)
-        bits.push_back(makePredictor(r.spec)->storageBits());
+        bits.push_back(makeRowPredictor(r)->storageBits());
     return bits;
 }
 

@@ -34,6 +34,22 @@ struct GridRowSpec
 {
     std::string label; //!< export/report label, identical batch & served
     std::string spec;  //!< makePredictor() spec string
+
+    /**
+     * Direct factory for rows the spec grammar cannot express (the EV8
+     * hardware predictor, non-default update policies). When set it
+     * wins over @ref spec; the factory must be a pure function so the
+     * batch binary and the server build identical predictors.
+     */
+    PredictorFactory make;
+
+    /**
+     * Per-row SimConfig preset override ("ghist" / "ev8"); empty means
+     * the grid's preset. Lets one grid ablate across information
+     * vectors (the update-policy grid runs EV8 rows under the EV8
+     * vector and the unconstrained rows under ideal ghist).
+     */
+    std::string preset;
 };
 
 /** One named grid: an id, its banner identity, and its rows in order. */
@@ -61,9 +77,21 @@ std::vector<std::string> knownGrids();
 SimConfig baseConfig(const GridSpec &grid);
 
 /**
+ * Resolves @p row's effective preset (its own, else the grid's) to an
+ * uninstrumented SimConfig -- the per-row analogue of baseConfig(),
+ * used by registry-driven batch binaries.
+ */
+SimConfig rowBaseConfig(const GridSpec &grid, const GridRowSpec &row);
+
+/** @p row's predictor: the direct factory when set, else the spec. */
+PredictorPtr makeRowPredictor(const GridRowSpec &row);
+
+/**
  * Materializes @p grid's rows as engine GridRows over @p config (the
  * instrumented per-caller config -- batch and served callers attach
- * different sinks but identical simulation fields).
+ * different sinks but identical simulation fields). Rows with a preset
+ * override keep @p config's observability hooks but take their own
+ * preset's simulation fields.
  */
 std::vector<GridRow> buildGridRows(const GridSpec &grid,
                                    const SimConfig &config);

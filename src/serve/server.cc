@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <tuple>
 #include <sstream>
 #include <thread>
 
@@ -322,10 +324,13 @@ class PredictionServer::Session
             const BlockStream stream = assembler.take();
             current_ = &stream;
 
-            // This benchmark's cells, in row order. All rows share one
-            // walk config (the grid's preset plus the open flags), so
-            // fused groups are just row-order chunks at the lane cap --
-            // the same groups the batch engine's fuse key yields.
+            // This benchmark's cells, in row order. The open flags are
+            // session-wide, so a lane group is determined by the row's
+            // walk config (rows may override the grid preset); group by
+            // the same simulation-field key the batch engine's fuse key
+            // uses, preserving row order within each group and opening
+            // a fresh group at the lane cap, so the groups match the
+            // batch engine's byte for byte.
             std::vector<size_t> bench_cells;
             bench_cells.reserve(rows_.size());
             for (size_t r = 0; r < rows_.size(); ++r)
@@ -334,15 +339,25 @@ class PredictionServer::Session
                 for (const size_t i : bench_cells)
                     executor.runGuarded(i, requests_[i], outputs_[i]);
             } else {
-                for (size_t at = 0; at < bench_cells.size();
-                     at += laneCap) {
-                    const size_t end =
-                        std::min(at + laneCap, bench_cells.size());
-                    executor.runGroup(
-                        std::vector<size_t>(bench_cells.begin() + at,
-                                            bench_cells.begin() + end),
-                        requests_, outputs_);
+                using WalkKey = std::tuple<int, unsigned, bool>;
+                std::vector<std::vector<size_t>> groups;
+                std::map<WalkKey, size_t> open;
+                for (const size_t i : bench_cells) {
+                    const SimConfig &c = requests_[i].config;
+                    const WalkKey key{static_cast<int>(c.history),
+                                      c.historyAge, c.assignBanks};
+                    auto [it, inserted] =
+                        open.try_emplace(key, groups.size());
+                    if (inserted) {
+                        groups.emplace_back();
+                    } else if (groups[it->second].size() >= laneCap) {
+                        it->second = groups.size();
+                        groups.emplace_back();
+                    }
+                    groups[it->second].push_back(i);
                 }
+                for (const auto &cells : groups)
+                    executor.runGroup(cells, requests_, outputs_);
             }
             current_ = nullptr;
             for (const size_t i : bench_cells) {

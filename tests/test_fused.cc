@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.hh"
 #include "obs/event_trace.hh"
 #include "obs/export.hh"
 #include "obs/metrics.hh"
@@ -25,42 +26,14 @@
 #include "sim/suite_runner.hh"
 #include "workloads/suite.hh"
 
+#include "scoped_env.hh"
+
 namespace ev8
 {
 namespace
 {
 
 constexpr uint64_t kTinyScale = 3000;
-
-/** Sets an environment variable for one scope, restoring on exit. */
-class ScopedEnv
-{
-  public:
-    ScopedEnv(const char *name, const char *value) : name_(name)
-    {
-        if (const char *old = std::getenv(name))
-            saved_ = old;
-        else
-            hadValue_ = false;
-        if (value)
-            ::setenv(name, value, /*overwrite=*/1);
-        else
-            ::unsetenv(name);
-    }
-
-    ~ScopedEnv()
-    {
-        if (hadValue_)
-            ::setenv(name_.c_str(), saved_.c_str(), 1);
-        else
-            ::unsetenv(name_.c_str());
-    }
-
-  private:
-    std::string name_;
-    std::string saved_;
-    bool hadValue_ = true;
-};
 
 /** A mixed-type lane set: every fused dispatch bucket is exercised. */
 std::vector<std::string>
@@ -273,6 +246,37 @@ TEST(FusedEngine, LaneWidthDoesNotChangeAnyByte)
         ScopedEnv lanes("EV8_FUSED_LANES", cap);
         ObservedGrid capped = observedGrid(1);
         expectSameGrid(capped, reference);
+    }
+}
+
+/**
+ * The SIMD dispatch contract (ISSUE 8): sweeping the vector backend
+ * (EV8_SIMD), the lane cap and the worker count changes no byte of the
+ * grid results, the merged metric registry or the sampled event
+ * stream. The reference is the scalar per-lane steppers at the default
+ * lane width; "avx2" joins the sweep when the build and CPU allow it.
+ */
+TEST(FusedEngine, SimdBackendLaneCapJobsDoNotChangeAnyByte)
+{
+    ScopedEnv fused("EV8_FUSED", "1");
+    ObservedGrid reference;
+    {
+        ScopedEnv simd_env("EV8_SIMD", "0");
+        ScopedEnv lanes("EV8_FUSED_LANES", nullptr);
+        reference = observedGrid(1);
+    }
+    std::vector<const char *> backends{"0", "scalar"};
+    if (simd::builtWithAvx2() && simd::cpuHasAvx2())
+        backends.push_back("avx2");
+    for (const char *backend : backends) {
+        ScopedEnv simd_env("EV8_SIMD", backend);
+        for (const char *cap : {"1", "3", "8", "16", "64"}) {
+            ScopedEnv lanes("EV8_FUSED_LANES", cap);
+            for (const unsigned jobs : {1u, 4u}) {
+                const ObservedGrid run = observedGrid(jobs);
+                expectSameGrid(run, reference);
+            }
+        }
     }
 }
 

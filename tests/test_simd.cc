@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Unit tests for the SIMD layer under the vectorized fused kernel:
+ *
+ *  - the masked bitplane saturating inc/dec on packed 2-bit counter
+ *    words, checked exhaustively against the scalar per-counter
+ *    transition for all 4 states x mask patterns x slot positions
+ *    (the check promised by the doc comments in predictors/tables.hh);
+ *  - the split-counter bitplane transition formula (pred' = p^(d&e),
+ *    hyst' = p^(d&~e) with d = p^v, e = h^p) against
+ *    SplitCounterArray::update()'s three cases, per entry and as
+ *    whole-word plane arithmetic;
+ *  - the U64x4 emulation's instruction semantics (variable shifts
+ *    zeroing at counts >= 64, blend, gather on absolute addresses);
+ *  - the strict EV8_SIMD knob parse in simd::activeBackend().
+ *
+ * The AVX2-vs-emulation op equality lives in test_simd_avx2.cc, the
+ * one test TU built with -mavx2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/simd.hh"
+#include "predictors/tables.hh"
+
+#include "scoped_env.hh"
+
+namespace ev8
+{
+namespace
+{
+
+/** Per-counter scalar reference for the masked word operations. */
+uint64_t
+scalarMaskedStep(uint64_t word, uint64_t sel, bool increment)
+{
+    uint64_t out = 0;
+    for (unsigned slot = 0; slot < TwoBitCounterTable::kPerWord;
+         ++slot) {
+        uint64_t c = (word >> (2 * slot)) & 3;
+        if ((sel >> (2 * slot)) & 1) {
+            if (increment && c < 3)
+                ++c;
+            else if (!increment && c > 0)
+                --c;
+        }
+        out |= c << (2 * slot);
+    }
+    return out;
+}
+
+/** Deterministic xorshift64*; no libc rand in tests. */
+struct Rng
+{
+    uint64_t s = 0x9e3779b97f4a7c15ULL;
+
+    uint64_t
+    next()
+    {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        return s * 0x2545f4914f6cdd1dULL;
+    }
+};
+
+/**
+ * Every (state, neighbor state, mask pattern over the pair) for every
+ * slot position: saturation behaves per the scalar counter and no
+ * carry/borrow ever crosses a 2-bit lane boundary.
+ */
+TEST(MaskedBitplane, IncDecMatchScalarCounterExhaustively)
+{
+    constexpr unsigned kPerWord = TwoBitCounterTable::kPerWord;
+    for (unsigned slot = 0; slot < kPerWord; ++slot) {
+        const unsigned next = (slot + 1) % kPerWord;
+        for (uint64_t s0 = 0; s0 < 4; ++s0) {
+            for (uint64_t s1 = 0; s1 < 4; ++s1) {
+                for (uint64_t pick = 0; pick < 4; ++pick) {
+                    // Background alternates 00/11 lanes so stuck bits
+                    // in untouched counters would be caught too.
+                    uint64_t word = 0xccccccccccccccccULL >> 2;
+                    word &= ~((uint64_t{3} << (2 * slot)) |
+                              (uint64_t{3} << (2 * next)));
+                    word |= (s0 << (2 * slot)) | (s1 << (2 * next));
+                    const uint64_t sel =
+                        ((pick & 1) ? uint64_t{1} << (2 * slot) : 0) |
+                        ((pick & 2) ? uint64_t{1} << (2 * next) : 0);
+
+                    EXPECT_EQ(
+                        TwoBitCounterTable::maskedSatIncWord(word, sel),
+                        scalarMaskedStep(word, sel, true))
+                        << "inc slot=" << slot << " s0=" << s0
+                        << " s1=" << s1 << " pick=" << pick;
+                    EXPECT_EQ(
+                        TwoBitCounterTable::maskedSatDecWord(word, sel),
+                        scalarMaskedStep(word, sel, false))
+                        << "dec slot=" << slot << " s0=" << s0
+                        << " s1=" << s1 << " pick=" << pick;
+                }
+            }
+        }
+    }
+}
+
+/** Stray odd (bit1) select bits are documented as ignored. */
+TEST(MaskedBitplane, StrayOddSelectBitsAreIgnored)
+{
+    Rng rng;
+    for (int i = 0; i < 256; ++i) {
+        const uint64_t word = rng.next();
+        const uint64_t even_sel = rng.next() & 0x5555555555555555ULL;
+        const uint64_t noisy_sel = even_sel | (rng.next() &
+                                               0xaaaaaaaaaaaaaaaaULL);
+        EXPECT_EQ(TwoBitCounterTable::maskedSatIncWord(word, even_sel),
+                  TwoBitCounterTable::maskedSatIncWord(word, noisy_sel));
+        EXPECT_EQ(TwoBitCounterTable::maskedSatDecWord(word, even_sel),
+                  TwoBitCounterTable::maskedSatDecWord(word, noisy_sel));
+    }
+}
+
+/** Random words, and the template instantiated on the vector type. */
+TEST(MaskedBitplane, RandomWordsMatchScalarAndVectorInstantiation)
+{
+    Rng rng;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t words[4], sels[4], want_inc[4], want_dec[4];
+        for (int lane = 0; lane < 4; ++lane) {
+            words[lane] = rng.next();
+            sels[lane] = rng.next();
+            want_inc[lane] =
+                scalarMaskedStep(words[lane], sels[lane], true);
+            want_dec[lane] =
+                scalarMaskedStep(words[lane], sels[lane], false);
+            EXPECT_EQ(TwoBitCounterTable::maskedSatIncWord(
+                          words[lane], sels[lane]),
+                      want_inc[lane]);
+            EXPECT_EQ(TwoBitCounterTable::maskedSatDecWord(
+                          words[lane], sels[lane]),
+                      want_dec[lane]);
+        }
+        const simd::U64x4 w = simd::U64x4::load(words);
+        const simd::U64x4 sel = simd::U64x4::load(sels);
+        uint64_t got[4];
+        TwoBitCounterTable::maskedSatIncWord(w, sel).store(got);
+        for (int lane = 0; lane < 4; ++lane)
+            EXPECT_EQ(got[lane], want_inc[lane]) << "inc lane " << lane;
+        TwoBitCounterTable::maskedSatDecWord(w, sel).store(got);
+        for (int lane = 0; lane < 4; ++lane)
+            EXPECT_EQ(got[lane], want_dec[lane]) << "dec lane " << lane;
+    }
+}
+
+/** The masked word op agrees with TwoBitCounterTable::update(). */
+TEST(MaskedBitplane, MatchesTableUpdateAcrossWholeTable)
+{
+    constexpr size_t kEntries = 64; // two packed words
+    for (const bool taken : {true, false}) {
+        TwoBitCounterTable table(kEntries);
+        for (size_t i = 0; i < kEntries; ++i)
+            table.set(i, static_cast<uint8_t>(i % 4));
+
+        std::vector<uint64_t> words(
+            table.wordsData(),
+            table.wordsData() + kEntries / TwoBitCounterTable::kPerWord);
+        std::vector<uint64_t> sels(words.size(), 0);
+        for (size_t i = 0; i < kEntries; i += 3) { // every 3rd counter
+            table.update(i, taken);
+            sels[i / TwoBitCounterTable::kPerWord] |=
+                uint64_t{1}
+                << (2 * (i % TwoBitCounterTable::kPerWord));
+        }
+        for (size_t w = 0; w < words.size(); ++w) {
+            const uint64_t stepped =
+                taken ? TwoBitCounterTable::maskedSatIncWord(words[w],
+                                                             sels[w])
+                      : TwoBitCounterTable::maskedSatDecWord(words[w],
+                                                             sels[w]);
+            EXPECT_EQ(stepped, table.wordsData()[w])
+                << "word " << w << " taken=" << taken;
+        }
+    }
+}
+
+/**
+ * The bitplane transition formula the vector update pass applies,
+ * per entry: all 8 (p, h, v) combinations against update()'s cases,
+ * and strengthen() as the d = 0 instance.
+ */
+TEST(SplitBitplane, TransitionFormulaMatchesUpdatePerEntry)
+{
+    for (const size_t idx : {size_t{0}, size_t{63}, size_t{64}}) {
+        for (int bits = 0; bits < 8; ++bits) {
+            const bool p = bits & 1, h = bits & 2, v = bits & 4;
+            const bool d = p != v;      // mispredicted?
+            const bool e = h != p;      // weak?
+            const bool want_pred = p != (d && e);
+            const bool want_hyst = p != (d && !e);
+
+            SplitCounterArray counters(128, 128);
+            counters.setRaw(idx, p, h);
+            counters.update(idx, v);
+            EXPECT_EQ(counters.rawPred(idx) != 0, want_pred)
+                << "idx=" << idx << " p=" << p << " h=" << h
+                << " v=" << v;
+            EXPECT_EQ(counters.rawHyst(idx) != 0, want_hyst)
+                << "idx=" << idx << " p=" << p << " h=" << h
+                << " v=" << v;
+
+            // strengthen() is the formula at d = 0: pred stays,
+            // hysteresis snaps to the prediction bit.
+            SplitCounterArray strong(128, 128);
+            strong.setRaw(idx, p, h);
+            strong.strengthen(idx);
+            EXPECT_EQ(strong.rawPred(idx) != 0, p);
+            EXPECT_EQ(strong.rawHyst(idx) != 0, p);
+        }
+    }
+}
+
+/**
+ * Whole-word plane arithmetic: one masked word step updates 64
+ * counters at once exactly as 64 scalar update() calls do. Uses a
+ * full-size hysteresis array -- plane word math needs a 1:1 pred/hyst
+ * mapping, which is why the vector kernel gathers hysteresis through
+ * hystIndex() when the arrays share entries.
+ */
+TEST(SplitBitplane, TransitionFormulaMatchesUpdatePerWord)
+{
+    Rng rng;
+    for (int round = 0; round < 200; ++round) {
+        const uint64_t pw = rng.next();  // prediction plane word
+        const uint64_t hw = rng.next();  // hysteresis plane word
+        const uint64_t vw = rng.next();  // per-entry outcome bits
+        const uint64_t sel = rng.next(); // per-entry update mask
+
+        SplitCounterArray counters(64, 64);
+        for (size_t i = 0; i < 64; ++i)
+            counters.setRaw(i, (pw >> i) & 1, (hw >> i) & 1);
+        for (size_t i = 0; i < 64; ++i) {
+            if ((sel >> i) & 1)
+                counters.update(i, ((vw >> i) & 1) != 0);
+        }
+
+        const uint64_t d = pw ^ vw;
+        const uint64_t e = hw ^ pw;
+        const uint64_t pred2 = pw ^ (d & e & sel);
+        const uint64_t hyst2 =
+            ((pw ^ (d & ~e)) & sel) | (hw & ~sel);
+        EXPECT_EQ(counters.predWords()[0], pred2) << "round " << round;
+        EXPECT_EQ(counters.hystWords()[0], hyst2) << "round " << round;
+    }
+}
+
+/** Shared hysteresis: the formula holds through hystIndex() folding. */
+TEST(SplitBitplane, SharedHysteresisFollowsFormulaThroughFolding)
+{
+    constexpr size_t kPred = 128, kHyst = 32;
+    SplitCounterArray counters(kPred, kHyst);
+    uint64_t pred_model[2] = {0, 0};  // mirrors of the two planes
+    uint64_t hyst_model = ~uint64_t{0} & ((uint64_t{1} << kHyst) - 1);
+
+    Rng rng;
+    for (int step = 0; step < 2000; ++step) {
+        const size_t idx = rng.next() % kPred;
+        const bool v = (rng.next() & 1) != 0;
+        const size_t hi = counters.hystIndex(idx);
+        ASSERT_EQ(hi, idx % kHyst);
+
+        const bool p = (pred_model[idx / 64] >> (idx % 64)) & 1;
+        const bool h = (hyst_model >> hi) & 1;
+        const bool d = p != v, e = h != p;
+        const bool pred2 = p != (d && e);
+        const bool hyst2 = p != (d && !e);
+        pred_model[idx / 64] &= ~(uint64_t{1} << (idx % 64));
+        pred_model[idx / 64] |= uint64_t{pred2} << (idx % 64);
+        hyst_model &= ~(uint64_t{1} << hi);
+        hyst_model |= uint64_t{hyst2} << hi;
+
+        counters.update(idx, v);
+        ASSERT_EQ(counters.rawPred(idx) != 0, pred2) << "step " << step;
+        ASSERT_EQ(counters.rawHyst(idx) != 0, hyst2) << "step " << step;
+    }
+    EXPECT_EQ(counters.predWords()[0], pred_model[0]);
+    EXPECT_EQ(counters.predWords()[1], pred_model[1]);
+    EXPECT_EQ(counters.hystWords()[0] &
+                  ((uint64_t{1} << kHyst) - 1),
+              hyst_model);
+}
+
+/** The emulation's documented instruction semantics. */
+TEST(SimdVector, EmulationOpSemantics)
+{
+    using simd::U64x4;
+
+    const uint64_t xs[4] = {~uint64_t{0}, 0x123456789abcdef0ULL, 1, 0};
+    const uint64_t ns[4] = {0, 63, 64, 255}; // >= 64 must yield 0
+    const U64x4 x = U64x4::load(xs);
+    const U64x4 n = U64x4::load(ns);
+
+    uint64_t got[4];
+    U64x4::srlv(x, n).store(got);
+    EXPECT_EQ(got[0], ~uint64_t{0});
+    EXPECT_EQ(got[1], 0x123456789abcdef0ULL >> 63);
+    EXPECT_EQ(got[2], 0u);
+    EXPECT_EQ(got[3], 0u);
+
+    U64x4::sllv(x, n).store(got);
+    EXPECT_EQ(got[0], ~uint64_t{0});
+    EXPECT_EQ(got[1], 0x123456789abcdef0ULL << 63);
+    EXPECT_EQ(got[2], 0u);
+    EXPECT_EQ(got[3], 0u);
+
+    const uint64_t ms[4] = {~uint64_t{0}, 0, 0x00ff00ff00ff00ffULL, 1};
+    const U64x4 mask = U64x4::load(ms);
+    U64x4::blend(mask, U64x4(0xaaaaaaaaaaaaaaaaULL),
+                 U64x4(0x5555555555555555ULL))
+        .store(got);
+    EXPECT_EQ(got[0], 0xaaaaaaaaaaaaaaaaULL);
+    EXPECT_EQ(got[1], 0x5555555555555555ULL);
+    EXPECT_EQ(got[2], 0x55aa55aa55aa55aaULL);
+    EXPECT_EQ(got[3], 0x5555555555555554ULL);
+
+    uint64_t pool[4] = {11, 22, 33, 44};
+    uint64_t addrs[4];
+    for (int i = 0; i < 4; ++i) { // absolute addresses, reverse order
+        addrs[i] = reinterpret_cast<uintptr_t>(&pool[3 - i]);
+    }
+    U64x4::gather(U64x4::load(addrs)).store(got);
+    EXPECT_EQ(got[0], 44u);
+    EXPECT_EQ(got[1], 33u);
+    EXPECT_EQ(got[2], 22u);
+    EXPECT_EQ(got[3], 11u);
+
+    U64x4::add(U64x4(~uint64_t{0}), U64x4(1)).store(got);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(got[i], 0u); // wraparound, no lane carry
+
+    EXPECT_TRUE(U64x4::zero().allZero());
+    EXPECT_FALSE(U64x4(1).allZero());
+}
+
+/** The strict EV8_SIMD parse: valid values and the cpuid default. */
+TEST(SimdEnv, ActiveBackendParsesKnob)
+{
+    {
+        ScopedEnv simd_env("EV8_SIMD", "0");
+        EXPECT_EQ(simd::activeBackend(), simd::Backend::Off);
+    }
+    {
+        ScopedEnv simd_env("EV8_SIMD", "scalar");
+        EXPECT_EQ(simd::activeBackend(), simd::Backend::Scalar);
+    }
+    {
+        ScopedEnv simd_env("EV8_SIMD", nullptr);
+        const simd::Backend expect =
+            simd::builtWithAvx2() && simd::cpuHasAvx2()
+                ? simd::Backend::Avx2
+                : simd::Backend::Off;
+        EXPECT_EQ(simd::activeBackend(), expect);
+    }
+    if (simd::builtWithAvx2() && simd::cpuHasAvx2()) {
+        ScopedEnv simd_env("EV8_SIMD", "avx2");
+        EXPECT_EQ(simd::activeBackend(), simd::Backend::Avx2);
+    }
+
+    EXPECT_STREQ(simd::backendName(simd::Backend::Off), "off");
+    EXPECT_STREQ(simd::backendName(simd::Backend::Scalar), "scalar");
+    EXPECT_STREQ(simd::backendName(simd::Backend::Avx2), "avx2");
+    EXPECT_EQ(simd::backendLanes(simd::Backend::Off), 1u);
+    EXPECT_EQ(simd::backendLanes(simd::Backend::Scalar), 4u);
+    EXPECT_EQ(simd::backendLanes(simd::Backend::Avx2), 4u);
+}
+
+/** Invalid EV8_SIMD values are usage errors: exit code 2. */
+TEST(SimdEnvDeathTest, InvalidValueExitsWithUsageError)
+{
+    ScopedEnv simd_env("EV8_SIMD", "bogus");
+    EXPECT_EXIT(simd::activeBackend(), ::testing::ExitedWithCode(2),
+                "invalid value 'bogus'");
+}
+
+TEST(SimdEnvDeathTest, Avx2RequestWithoutSupportExitsWithUsageError)
+{
+    if (simd::builtWithAvx2() && simd::cpuHasAvx2())
+        GTEST_SKIP() << "host runs AVX2; the refusal path is "
+                        "unreachable here";
+    ScopedEnv simd_env("EV8_SIMD", "avx2");
+    EXPECT_EXIT(simd::activeBackend(), ::testing::ExitedWithCode(2),
+                "'avx2' requested but");
+}
+
+} // namespace
+} // namespace ev8
