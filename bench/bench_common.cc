@@ -44,6 +44,13 @@ printUsage(const char *prog)
         "                   misprediction (default 64)\n"
         "  --branches=<N>   per-benchmark dynamic conditional-branch\n"
         "                   budget (same as EV8_BRANCHES_PER_BENCH)\n"
+        "  --sample-mode=<m> off (default) or phase: stratified\n"
+        "                   phase-aware sampling over the pre-decoded\n"
+        "                   streams (same as EV8_SAMPLE_MODE)\n"
+        "  --sample-budget=<N> measured-branch budget for sampled mode,\n"
+        "                   scaled per benchmark like --branches (same\n"
+        "                   as EV8_SAMPLE_BUDGET; required with\n"
+        "                   --sample-mode=phase)\n"
         "  --jobs=<N>       simulation worker threads, 1..4096 (default:\n"
         "                   EV8_JOBS or hardware concurrency; results and\n"
         "                   artifacts are byte-identical for any N)\n"
@@ -66,6 +73,9 @@ printUsage(const char *prog)
         "artifacts are byte-identical to uninterrupted ones).\n"
         "EV8_RETRY_MAX / EV8_RETRY_BASE_MS tune per-cell retries;\n"
         "EV8_FAULT_SPEC injects deterministic faults (testing).\n"
+        "Sampled mode is tuned by EV8_SAMPLE_WINDOW / EV8_SAMPLE_WARMUP /\n"
+        "EV8_SAMPLE_SEED / EV8_SAMPLE_MAX_PHASES (strictly parsed; the\n"
+        "artifact gains a \"sampling\" block with per-cell 95%% CIs).\n"
         "\n"
         "exit codes:\n"
         "  0  success\n"
@@ -137,6 +147,14 @@ parseBenchArgs(int argc, char **argv, const BenchOptionHandler &extra,
         } else if (const char *v = optValue(arg, "--branches")) {
             const uint64_t n = parseCount(v, "--branches", prog);
             setenv("EV8_BRANCHES_PER_BENCH",
+                   std::to_string(n).c_str(), /*overwrite=*/1);
+        } else if (const char *v = optValue(arg, "--sample-mode")) {
+            // Validated (strictly) by sampleSpecFromEnv() when the
+            // runner is created, like every EV8_SAMPLE_* knob.
+            setenv("EV8_SAMPLE_MODE", v, /*overwrite=*/1);
+        } else if (const char *v = optValue(arg, "--sample-budget")) {
+            const uint64_t n = parseCount(v, "--sample-budget", prog);
+            setenv("EV8_SAMPLE_BUDGET",
                    std::to_string(n).c_str(), /*overwrite=*/1);
         } else if (const char *v = optValue(arg, "--jobs")) {
             // Strict shared parser: "0", "-1", "4x" and friends are
@@ -223,6 +241,21 @@ BenchContext::runner()
     if (!runner_) {
         runner_ = std::make_unique<SuiteRunner>(branchesPerBenchmark(),
                                                 args_.jobs);
+        // Strictly parsed (exit 2 on a bad knob) exactly once per
+        // binary, whether the mode came from the command line or the
+        // environment. Active sampling also stamps the artifact's
+        // "sampling" block header.
+        const SampleSpec spec = sampleSpecFromEnv();
+        if (spec.active) {
+            runner_->setSampleSpec(spec);
+            data_.sampling.active = true;
+            data_.sampling.mode = "phase";
+            data_.sampling.budget = spec.budget;
+            data_.sampling.windowBranches = spec.windowBranches;
+            data_.sampling.warmupBranches = spec.warmupBranches;
+            data_.sampling.seed = spec.seed;
+            data_.sampling.maxPhases = spec.maxPhases;
+        }
     }
     return *runner_;
 }
@@ -374,6 +407,18 @@ BenchContext::finish()
             e.error = f.error;
             e.attemptNs = f.attemptNs;
             data_.failures.push_back(std::move(e));
+        }
+        for (const SuiteRunner::SampledCell &c :
+             runner_->sampledCells()) {
+            SamplingCellExport cell;
+            cell.rowLabel = c.rowLabel;
+            cell.bench = c.bench;
+            cell.phases = c.info.phases;
+            cell.windowsTotal = c.info.windowsTotal;
+            cell.windowsSimulated = c.info.windowsSimulated;
+            cell.branchesSimulated = c.info.branchesSimulated;
+            cell.ci95MispKI = c.info.ci95MispKI;
+            data_.sampling.cells.push_back(std::move(cell));
         }
     }
 

@@ -8,61 +8,29 @@
  */
 
 #include "bench_common.hh"
-#include "predictors/twobcgskew.hh"
+#include "serve/grids.hh"
 
 using namespace ev8;
-
-namespace
-{
-
-PredictorFactory
-gskew64K(bool use_path, const char *label)
-{
-    return [use_path, label] {
-        // 4*64K entries; history lengths in the lghist-optimal range
-        // (Section 8.3: lghist optima are slightly shorter than the
-        // conventional-history ones).
-        TwoBcGskewConfig cfg =
-            TwoBcGskewConfig::symmetric(16, 0, 13, 15, 21, label);
-        cfg.usePathInfo = use_path;
-        return std::make_unique<TwoBcGskewPredictor>(cfg);
-    };
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    BenchContext ctx(argc, argv,
-                     "Fig. 7", "Impact of the information vector on "
-                               "branch prediction accuracy (4*64K "
-                               "2Bc-gskew)");
+    // The rows come from the shared "fig7" grid registry
+    // (serve/grids.hh): one definition of the labels, factories and
+    // per-row information-vector presets for the batch artifact and a
+    // served client's -- CI's serve gate compares the two.
+    const GridSpec *grid = findGrid("fig7");
+    BenchContext ctx(argc, argv, grid->benchId, grid->title);
 
     SuiteRunner &runner = ctx.runner();
 
-    SimConfig ghist = SimConfig::ghist();
-
-    SimConfig lghist_no_path;
-    lghist_no_path.history = HistoryMode::LghistNoPath;
-
-    SimConfig lghist_path;
-    lghist_path.history = HistoryMode::LghistPath;
-
-    SimConfig old3;
-    old3.history = HistoryMode::LghistPath;
-    old3.historyAge = 3;
-
-    const SimConfig ev8_vector = SimConfig::ev8(); // 3-old + path regs
-
-    const std::vector<ExperimentRow> rows = {
-        {"ghist (conventional)", gskew64K(false, "ghist"), ghist},
-        {"lghist, no path", gskew64K(false, "lghist-nopath"),
-         lghist_no_path},
-        {"lghist + path", gskew64K(false, "lghist-path"), lghist_path},
-        {"3-old lghist", gskew64K(false, "lghist-3old"), old3},
-        {"EV8 info vector", gskew64K(true, "ev8-vector"), ev8_vector},
-    };
+    std::vector<ExperimentRow> rows;
+    rows.reserve(grid->rows.size());
+    for (const GridRowSpec &row : grid->rows) {
+        rows.push_back({row.label,
+                        [&row] { return makeRowPredictor(row); },
+                        rowBaseConfig(*grid, row)});
+    }
 
     const auto results = runAndPrint(ctx, runner, rows);
     printBars("EV8 info vector, misp/KI per benchmark:", results[4]);

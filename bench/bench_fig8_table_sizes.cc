@@ -8,52 +8,31 @@
  */
 
 #include "bench_common.hh"
-#include "predictors/twobcgskew.hh"
+#include "serve/grids.hh"
 
 using namespace ev8;
-
-namespace
-{
-
-PredictorFactory
-configOf(unsigned log2_bim, bool half_hysteresis, const char *label)
-{
-    return [log2_bim, half_hysteresis, label] {
-        TwoBcGskewConfig cfg =
-            TwoBcGskewConfig::symmetric(16, 4, 13, 15, 21, label);
-        cfg.usePathInfo = true; // the EV8 information vector
-        cfg.tables[BIM].log2Pred = log2_bim;
-        cfg.tables[BIM].log2Hyst = log2_bim;
-        if (half_hysteresis) {
-            cfg.tables[G0].log2Hyst = 15;
-            cfg.tables[META].log2Hyst = 15;
-        }
-        return std::make_unique<TwoBcGskewPredictor>(cfg);
-    };
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    BenchContext ctx(argc, argv,
-                     "Fig. 8", "Adjusting table sizes in the predictor");
+    // The rows come from the shared "fig8" grid registry
+    // (serve/grids.hh) so the batch artifact and a served client's are
+    // built from one definition of the labels, factories and base
+    // config -- CI's serve gate compares the two.
+    const GridSpec *grid = findGrid("fig8");
+    BenchContext ctx(argc, argv, grid->benchId, grid->title);
 
     SuiteRunner &runner = ctx.runner();
-    const SimConfig ev8_vector = SimConfig::ev8();
 
-    const std::vector<ExperimentRow> rows = {
-        {"4*64K base (512Kb)", configOf(16, false, "base-512Kb"),
-         ev8_vector},
-        {"small BIM (16K)", configOf(14, false, "small-BIM"),
-         ev8_vector},
-        {"EV8 size (352Kb)", configOf(14, true, "EV8-size"),
-         ev8_vector},
-    };
+    std::vector<ExperimentRow> rows;
+    rows.reserve(grid->rows.size());
+    for (const GridRowSpec &row : grid->rows) {
+        rows.push_back({row.label,
+                        [&row] { return makeRowPredictor(row); },
+                        rowBaseConfig(*grid, row)});
+    }
 
-    const auto results = runAndPrint(ctx, runner, rows);
-    (void)results;
+    runAndPrint(ctx, runner, rows);
 
     printShapeNotes({
         "shrinking BIM from 64K to 16K entries has no impact: each "

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""CI guard: the serve daemon must not leak across client sessions.
+
+Starts one bench_serve daemon on an AF_UNIX socket, drives it with
+hundreds of sequential bench_serve_load sessions (fresh client process
+per session, unique session names -- the pattern a long-lived daemon
+sees in practice), and asserts the daemon's resident set stays flat:
+
+ * A warm-up batch of sessions first brings allocator pools, the trace
+   cache and per-grid state to steady state; RSS is sampled *after*
+   it, so one-time growth is not charged to the soak.
+ * During the soak RSS is sampled every few sessions (the trajectory
+   lands in the report); the gate compares the final sample against
+   the post-warm-up sample with a fixed slack.  The slack (default
+   8 MB) is far below what a per-session leak of even a few KB would
+   accumulate over 500 sessions, while tolerating allocator noise.
+ * The daemon is shut down through the protocol ({"op":"shutdown"})
+   and must exit cleanly; its stats must count every session served.
+
+RSS is read from /proc/<pid>/status (VmRSS), so this gate is
+Linux-only -- exactly where CI runs.
+
+--report writes a JSON summary with the RSS trajectory and verdict.
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def rss_kb(pid):
+    """VmRSS of @p pid in KB, from /proc/<pid>/status."""
+    with open(f"/proc/{pid}/status") as f:
+        for line in f:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    raise RuntimeError(f"no VmRSS line for pid {pid}")
+
+
+def daemon_call(sock_path, payload):
+    """One request/reply round-trip on the daemon socket."""
+    s = socket.socket(socket.AF_UNIX)
+    s.connect(sock_path)
+    s.sendall(json.dumps(payload).encode() + b"\n")
+    reply = json.loads(s.makefile().readline())
+    s.close()
+    return reply
+
+
+def run_session(load, grid, sock_path, name, branches, env):
+    """One sequential client session; raises on non-zero exit."""
+    subprocess.run(
+        [load, f"--grid={grid}", f"--connect={sock_path}",
+         f"--session={name}", f"--branches={branches}",
+         "--no-timing", "--quiet"],
+        check=True, env=env, stdout=subprocess.DEVNULL)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", required=True,
+                        help="path to bench_serve")
+    parser.add_argument("--load", required=True,
+                        help="path to bench_serve_load")
+    parser.add_argument("--grid", default="fig5",
+                        help="grid id each session runs (default fig5)")
+    parser.add_argument("--branches", type=int, default=1000,
+                        help="per-benchmark branch budget per session")
+    parser.add_argument("--warmup-sessions", type=int, default=50,
+                        help="sessions before the reference RSS sample")
+    parser.add_argument("--sessions", type=int, default=500,
+                        help="measured soak sessions after warm-up")
+    parser.add_argument("--slack-kb", type=int, default=8192,
+                        help="allowed RSS growth over the soak, in KB")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="daemon worker threads")
+    parser.add_argument("--report", default=None,
+                        help="write a JSON measurement report here")
+    args = parser.parse_args()
+
+    report = {
+        "grid": args.grid,
+        "branches": args.branches,
+        "warmup_sessions": args.warmup_sessions,
+        "sessions": args.sessions,
+        "slack_kb": args.slack_kb,
+        "rss_samples_kb": [],
+    }
+
+    def finish(code):
+        report["passed"] = code == 0
+        if args.report:
+            with open(args.report, "w") as f:
+                json.dump(report, f, indent=1, sort_keys=True)
+                f.write("\n")
+            print(f"report written to {args.report}")
+        return code
+
+    with tempfile.TemporaryDirectory(prefix="serve_soak_") as workdir:
+        env = dict(os.environ)
+        env["EV8_TRACE_CACHE_DIR"] = os.path.join(workdir, "trace_cache")
+        sock_path = os.path.join(workdir, "ev8.sock")
+
+        daemon = subprocess.Popen(
+            [args.serve, f"--socket={sock_path}", "--quiet",
+             f"--branches={args.branches}", f"--jobs={args.jobs}"],
+            env=env, stdout=subprocess.DEVNULL)
+        try:
+            for _ in range(100):
+                if os.path.exists(sock_path):
+                    break
+                time.sleep(0.1)
+            else:
+                print("FAIL: daemon socket never appeared",
+                      file=sys.stderr)
+                return finish(1)
+
+            for i in range(args.warmup_sessions):
+                run_session(args.load, args.grid, sock_path,
+                            f"warm{i}", args.branches, env)
+            base_kb = rss_kb(daemon.pid)
+            report["rss_after_warmup_kb"] = base_kb
+            print(f"RSS after {args.warmup_sessions} warm-up sessions: "
+                  f"{base_kb} KB")
+
+            sample_every = max(1, args.sessions // 10)
+            for i in range(args.sessions):
+                run_session(args.load, args.grid, sock_path,
+                            f"soak{i}", args.branches, env)
+                if (i + 1) % sample_every == 0:
+                    sample = rss_kb(daemon.pid)
+                    report["rss_samples_kb"].append(sample)
+                    print(f"session {i + 1}/{args.sessions}: "
+                          f"RSS {sample} KB")
+
+            final_kb = rss_kb(daemon.pid)
+            report["rss_final_kb"] = final_kb
+            growth = final_kb - base_kb
+            report["rss_growth_kb"] = growth
+
+            stats = daemon_call(sock_path, {"op": "stats"})
+            report["sessions_done"] = stats.get("sessions_done")
+            expected = args.warmup_sessions + args.sessions
+            if stats.get("sessions_done") != expected:
+                print(f"FAIL: daemon served "
+                      f"{stats.get('sessions_done')} sessions, "
+                      f"expected {expected}", file=sys.stderr)
+                return finish(1)
+
+            daemon_call(sock_path, {"op": "shutdown"})
+            daemon.wait(timeout=30)
+            report["daemon_exit"] = daemon.returncode
+            if daemon.returncode != 0:
+                print(f"FAIL: daemon exited {daemon.returncode}",
+                      file=sys.stderr)
+                return finish(1)
+
+            print(f"RSS growth over {args.sessions} sessions: "
+                  f"{growth} KB (slack {args.slack_kb} KB)")
+            if growth > args.slack_kb:
+                print(f"FAIL: daemon RSS grew {growth} KB over the "
+                      f"soak, above the {args.slack_kb} KB slack",
+                      file=sys.stderr)
+                return finish(1)
+            print("serve soak OK: RSS flat, every session served, "
+                  "clean shutdown")
+            return finish(0)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

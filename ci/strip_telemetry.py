@@ -65,9 +65,13 @@ def mask_member(text, key, open_ch, close_ch):
 
 
 def mask_timing_dependent(text):
-    """Mask the wall-clock members ("telemetry", "attempt_ns")."""
+    """Mask the wall-clock members ("telemetry", "attempt_ns") plus the
+    mode-dependent "sampling" block (present only in sampled runs, so
+    exact-vs-sampled comparisons need it masked; its values are
+    deterministic and compared directly by check_sampling_accuracy.py)."""
     text = mask_member(text, "telemetry", "{", "}")
     text = mask_member(text, "attempt_ns", "[", "]")
+    text = mask_member(text, "sampling", "{", "}")
     return text
 
 

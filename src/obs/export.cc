@@ -211,6 +211,46 @@ writeBenchJson(std::ostream &out, const BenchExport &data)
     w.endArray();
     w.endObject();
 
+    if (data.sampling.active) {
+        const SamplingExport &s = data.sampling;
+        w.key("sampling");
+        w.beginObject();
+        w.key("mode");
+        w.value(s.mode);
+        w.key("budget");
+        w.value(s.budget);
+        w.key("window_branches");
+        w.value(s.windowBranches);
+        w.key("warmup_branches");
+        w.value(s.warmupBranches);
+        w.key("seed");
+        w.value(s.seed);
+        w.key("max_phases");
+        w.value(s.maxPhases);
+        w.key("cells");
+        w.beginArray();
+        for (const auto &cell : s.cells) {
+            w.beginObject();
+            w.key("row_label");
+            w.value(cell.rowLabel);
+            w.key("bench");
+            w.value(cell.bench);
+            w.key("phases");
+            w.value(cell.phases);
+            w.key("windows_total");
+            w.value(cell.windowsTotal);
+            w.key("windows_simulated");
+            w.value(cell.windowsSimulated);
+            w.key("branches_simulated");
+            w.value(cell.branchesSimulated);
+            w.key("ci95_misp_ki");
+            w.value(cell.ci95MispKI);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+
     w.key("rows");
     w.beginArray();
     for (const auto &row : data.rows) {

@@ -13,6 +13,14 @@
  *       "experiment": {"id": "Fig. 5", "title": "..."},
  *       "workload": {"branches_per_benchmark": N,
  *                    "benchmarks": ["compress", ...]},
+ *       "sampling": {"mode": "phase", "budget": N,
+ *                    "window_branches": N, "warmup_branches": N,
+ *                    "seed": N, "max_phases": N,
+ *                    "cells": [{"row_label": "...", "bench": "...",
+ *                        "phases": N, "windows_total": N,
+ *                        "windows_simulated": N,
+ *                        "branches_simulated": N,
+ *                        "ci95_misp_ki": x}]},
  *       "rows": [{"label": "...", "storage_bits": N,
  *                 "values": {"compress": x, ..., "amean": x}}],
  *       "failures": [{"row_label": "...", "bench": "...",
@@ -93,6 +101,39 @@ struct BenchFailureExport
     std::vector<uint64_t> attemptNs;
 };
 
+/** One cell's sampled-run summary, in deterministic grid order. */
+struct SamplingCellExport
+{
+    std::string rowLabel;
+    std::string bench;
+    uint64_t phases = 0;
+    uint64_t windowsTotal = 0;
+    uint64_t windowsSimulated = 0;
+    uint64_t branchesSimulated = 0;
+    double ci95MispKI = 0.0;
+};
+
+/**
+ * The artifact's "sampling" block: the stratified-sampling knobs plus
+ * each cell's coverage and confidence interval. Present only when
+ * sampling is active, so exact-mode artifact bytes are untouched by
+ * the sampling layer. Every member is a deterministic function of the
+ * (trace, spec) inputs -- byte-identical across --jobs -- but the
+ * block is still masked in exact-vs-sampled byte-compare gates, like
+ * the telemetry block, because it only exists on one side.
+ */
+struct SamplingExport
+{
+    bool active = false;
+    std::string mode;             //!< "phase"
+    uint64_t budget = 0;          //!< suite-relative measured branches
+    uint64_t windowBranches = 0;
+    uint64_t warmupBranches = 0;
+    uint64_t seed = 0;
+    uint64_t maxPhases = 0;
+    std::vector<SamplingCellExport> cells;
+};
+
 /** Everything one bench binary exports. */
 struct BenchExport
 {
@@ -102,6 +143,7 @@ struct BenchExport
     std::vector<std::string> benchmarks;
     std::vector<BenchRowExport> rows;
     std::vector<BenchFailureExport> failures; //!< empty on a clean run
+    SamplingExport sampling; //!< written only when sampling.active
     const MetricRegistry *metrics = nullptr;  //!< optional
     SimTiming timing;                         //!< all-zero when unprofiled
 

@@ -96,6 +96,24 @@ ProgressMeter::finishLine()
     }
 }
 
+double
+ProgressMeter::etaSeconds(uint64_t total, uint64_t done, uint64_t failed,
+                          uint64_t sum_dur_ns, size_t workers)
+{
+    if (done < failed || total <= done || total == 1)
+        return -1.0;
+    const uint64_t completed = done - failed;
+    if (completed == 0 || sum_dur_ns == 0)
+        return -1.0;
+    const uint64_t remaining = total - done;
+    const uint64_t lanes =
+        std::min<uint64_t>(std::max<size_t>(workers, 1), remaining);
+    const double avgNs =
+        static_cast<double>(sum_dur_ns) / static_cast<double>(completed);
+    return avgNs * static_cast<double>(remaining)
+        / static_cast<double>(lanes) / 1e9;
+}
+
 void
 ProgressMeter::render(bool force)
 {
@@ -130,13 +148,9 @@ ProgressMeter::render(bool force)
         line.append(head, len > 0 ? static_cast<size_t>(len) : 0);
     }
 
-    const uint64_t completed = done - failed;
-    const size_t workers = std::max<size_t>(current_.size(), 1);
-    if (completed > 0 && total > done) {
-        const double avgNs =
-            static_cast<double>(sumDur) / static_cast<double>(completed);
-        const double etaSec = avgNs * static_cast<double>(total - done)
-            / static_cast<double>(workers) / 1e9;
+    const double etaSec =
+        etaSeconds(total, done, failed, sumDur, current_.size());
+    if (etaSec >= 0.0) {
         len = std::snprintf(head, sizeof(head), "  ETA %.0fs", etaSec);
         line.append(head, len > 0 ? static_cast<size_t>(len) : 0);
     }

@@ -58,6 +58,20 @@ class ProgressMeter
     /** Final render plus newline, so later output starts clean. */
     void finishLine();
 
+    /**
+     * Pure ETA estimate in seconds: the mean completed-cell duration
+     * extrapolated over the remaining cells, spread across the workers
+     * that can still run in parallel (never more than the cells left,
+     * so the tail of a wide grid is not underestimated). Returns a
+     * negative value when no meaningful estimate exists: nothing has
+     * completed successfully, no duration has been observed, nothing
+     * remains, or the grid is a single cell (the only sample would be
+     * the cell being predicted).
+     */
+    static double etaSeconds(uint64_t total, uint64_t done,
+                             uint64_t failed, uint64_t sum_dur_ns,
+                             size_t workers);
+
   private:
     void render(bool force);
 

@@ -21,6 +21,13 @@ presetConfig(const std::string &preset)
         return SimConfig::ghist();
     if (preset == "ev8")
         return SimConfig::ev8();
+    // The fig7 information-vector ladder between those two endpoints.
+    if (preset == "lghist-nopath")
+        return SimConfig{HistoryMode::LghistNoPath, 0, false};
+    if (preset == "lghist-path")
+        return SimConfig{HistoryMode::LghistPath, 0, false};
+    if (preset == "lghist-3old")
+        return SimConfig{HistoryMode::LghistPath, 3, false};
     throw std::invalid_argument("unknown SimConfig preset: " + preset);
 }
 
@@ -76,6 +83,78 @@ fig6Rows()
         return "bimode:17:14:" + std::to_string(len);
     });
     return rows;
+}
+
+/**
+ * One fig7 4*64K 2Bc-gskew (Section 8.3 information-vector study).
+ * Mirrors bench_fig7_info_vector: history lengths in the
+ * lghist-optimal range, path info only for the full EV8 vector row.
+ */
+PredictorFactory
+fig7Gskew64K(bool use_path, const char *label)
+{
+    return [use_path, label] {
+        TwoBcGskewConfig cfg =
+            TwoBcGskewConfig::symmetric(16, 0, 13, 15, 21, label);
+        cfg.usePathInfo = use_path;
+        return std::make_unique<TwoBcGskewPredictor>(cfg);
+    };
+}
+
+/**
+ * The Fig. 7 information-vector ladder: same predictor, five history
+ * vectors from conventional ghist to the full EV8 vector. Each row
+ * carries its own preset -- the row axis *is* the SimConfig.
+ */
+std::vector<GridRowSpec>
+fig7Rows()
+{
+    return {
+        {"ghist (conventional)", "", fig7Gskew64K(false, "ghist"),
+         "ghist"},
+        {"lghist, no path", "", fig7Gskew64K(false, "lghist-nopath"),
+         "lghist-nopath"},
+        {"lghist + path", "", fig7Gskew64K(false, "lghist-path"),
+         "lghist-path"},
+        {"3-old lghist", "", fig7Gskew64K(false, "lghist-3old"),
+         "lghist-3old"},
+        {"EV8 info vector", "", fig7Gskew64K(true, "ev8-vector"), "ev8"},
+    };
+}
+
+/**
+ * One fig8 table-size point (Section 8.4). Mirrors
+ * bench_fig8_table_sizes: base 512Kb 2Bc-gskew under the EV8 vector,
+ * optionally shrunk BIM and halved G0/Meta hysteresis.
+ */
+PredictorFactory
+fig8ConfigOf(unsigned log2_bim, bool half_hysteresis, const char *label)
+{
+    return [log2_bim, half_hysteresis, label] {
+        TwoBcGskewConfig cfg =
+            TwoBcGskewConfig::symmetric(16, 4, 13, 15, 21, label);
+        cfg.usePathInfo = true; // the EV8 information vector
+        cfg.tables[BIM].log2Pred = log2_bim;
+        cfg.tables[BIM].log2Hyst = log2_bim;
+        if (half_hysteresis) {
+            cfg.tables[G0].log2Hyst = 15;
+            cfg.tables[META].log2Hyst = 15;
+        }
+        return std::make_unique<TwoBcGskewPredictor>(cfg);
+    };
+}
+
+/** The Fig. 8 table-size walk down to the 352Kb hardware budget. */
+std::vector<GridRowSpec>
+fig8Rows()
+{
+    return {
+        {"4*64K base (512Kb)", "", fig8ConfigOf(16, false, "base-512Kb"),
+         ""},
+        {"small BIM (16K)", "", fig8ConfigOf(14, false, "small-BIM"),
+         ""},
+        {"EV8 size (352Kb)", "", fig8ConfigOf(14, true, "EV8-size"), ""},
+    };
 }
 
 /**
@@ -166,6 +245,12 @@ registry()
          "History length sweep points behind the fig6 best-vs-log2 "
          "comparison",
          fig6Rows(), "ghist"},
+        {"fig7", "Fig. 7",
+         "Impact of the information vector on branch prediction "
+         "accuracy (4*64K 2Bc-gskew)",
+         fig7Rows(), "ghist"},
+        {"fig8", "Fig. 8",
+         "Adjusting table sizes in the predictor", fig8Rows(), "ev8"},
         {"ablation-update-policy", "Ablation (Section 4.2)",
          "Partial vs. total update policy", updatePolicyRows(), "ghist"},
         {"ablation-banking", "Ablation (Section 6, grid)",

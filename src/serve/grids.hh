@@ -44,10 +44,12 @@ struct GridRowSpec
     PredictorFactory make;
 
     /**
-     * Per-row SimConfig preset override ("ghist" / "ev8"); empty means
-     * the grid's preset. Lets one grid ablate across information
-     * vectors (the update-policy grid runs EV8 rows under the EV8
-     * vector and the unconstrained rows under ideal ghist).
+     * Per-row SimConfig preset override ("ghist", "ev8", or one of
+     * the fig7 ladder presets "lghist-nopath" / "lghist-path" /
+     * "lghist-3old"); empty means the grid's preset. Lets one grid
+     * ablate across information vectors (the update-policy grid runs
+     * EV8 rows under the EV8 vector and the unconstrained rows under
+     * ideal ghist; the fig7 grid walks the whole ladder).
      */
     std::string preset;
 };
@@ -61,8 +63,10 @@ struct GridSpec
     std::vector<GridRowSpec> rows;
 
     /**
-     * SimConfig preset name: "ghist" (SimConfig::ghist()) or "ev8"
-     * (SimConfig::ev8()). baseConfig() resolves it.
+     * SimConfig preset name: "ghist" (SimConfig::ghist()), "ev8"
+     * (SimConfig::ev8()), or an information-vector ladder point
+     * ("lghist-nopath" / "lghist-path" / "lghist-3old").
+     * baseConfig() resolves it.
      */
     std::string preset;
 };

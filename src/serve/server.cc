@@ -167,6 +167,28 @@ class PredictionServer::Session
     }
 
     /**
+     * Finished AND a waiter has been handed the full results payload:
+     * the session holds nothing a client can still come back for, so
+     * admission may retire it to make room (handleOpen). Once a
+     * session's state is Done its threads touch no server state, so
+     * destroying it under the server mutex cannot deadlock.
+     */
+    bool
+    retirable()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return state_ == State::Done && delivered_;
+    }
+
+    /** Records that a wait reply carried the results (retire signal). */
+    void
+    markDelivered()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        delivered_ = true;
+    }
+
+    /**
      * Appends the full result members of a wait reply: one checkpoint
      * codec record per cell, in cell-index (row-major) order -- the
      * byte-exact payload the client merges -- plus the structured
@@ -415,9 +437,10 @@ class PredictionServer::Session
     std::atomic<uint64_t> failedCells_{0};
     std::atomic<uint64_t> packetsFramed_{0};
 
-    std::mutex mutex_; //!< guards state_, transportError_
+    std::mutex mutex_; //!< guards state_, delivered_, transportError_
     std::condition_variable done_;
     State state_ = State::Open;
+    bool delivered_ = false;
     std::string transportError_;
 
     friend class PredictionServer;
@@ -499,10 +522,27 @@ uint64_t
 PredictionServer::failedCellsTotal() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    uint64_t total = 0;
+    uint64_t total = retiredFailedCells_;
     for (const auto &[name, session] : sessions_)
         total += session->failedCells_.load(std::memory_order_relaxed);
     return total;
+}
+
+void
+PredictionServer::retireDeliveredSessions()
+{
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if (!it->second->retirable()) {
+            ++it;
+            continue;
+        }
+        // The daemon's exit fate must still see this session's
+        // failures after the session object is gone.
+        retiredFailedCells_ += it->second->failedCells_.load(
+            std::memory_order_relaxed);
+        ++sessionsRetired_;
+        it = sessions_.erase(it);
+    }
 }
 
 std::string
@@ -530,6 +570,12 @@ PredictionServer::handleOpen(const ServeRequest &req)
             return errorReply("session '" + req.session
                               + "' already exists");
         }
+        // Admission reclaims delivered sessions lazily: a long-lived
+        // daemon serving sequential clients would otherwise fill the
+        // session table with finished work and refuse every open past
+        // maxSessions (and its RSS would grow without bound).
+        if (sessions_.size() >= limits_.maxSessions)
+            retireDeliveredSessions();
         if (sessions_.size() >= limits_.maxSessions) {
             return errorReply(
                 "session limit reached ("
@@ -627,6 +673,9 @@ PredictionServer::handleWait(const ServeRequest &req)
     w.value("done");
     session->writeResults(w);
     w.endObject();
+    // The reply below carries the full payload: from here on the
+    // session is retirable when admission needs the slot.
+    session->markDelivered();
     return std::move(out).str();
 }
 
@@ -645,6 +694,8 @@ PredictionServer::handleStats()
     w.value(sessionsOpened_);
     w.key("sessions_done");
     w.value(sessionsDone_);
+    w.key("sessions_retired");
+    w.value(sessionsRetired_);
     w.key("sessions_running");
     w.value(static_cast<uint64_t>(runningSlots_));
     w.key("max_sessions");

@@ -23,7 +23,11 @@
  *
  *  - admission control: at most `maxSessions` sessions may exist at
  *    once (EV8_SERVE_MAX_SESSIONS / --max-sessions); an open beyond the
- *    limit is refused with a structured error, it never queues.
+ *    limit is refused with a structured error, it never queues. Before
+ *    refusing, admission retires finished sessions whose results were
+ *    already delivered to a waiter, so a long-lived daemon serving an
+ *    unbounded sequence of clients keeps a bounded session table (and
+ *    flat RSS -- ci/check_serve_soak.py holds it to that).
  *  - `jobs` caps sessions simulating concurrently (their producers may
  *    stream ahead into ring backpressure). Scheduling order cannot
  *    change any session's artifact -- outputs are per-session state.
@@ -133,6 +137,14 @@ class PredictionServer
     /** Locked lookup; null when @p name is unknown. */
     std::shared_ptr<Session> findSession(const std::string &name);
 
+    /**
+     * Erases every done-and-delivered session, folding its failure
+     * count into retiredFailedCells_. Caller holds mutex_; safe
+     * because a retirable session's threads touch no server state
+     * (see Session::retirable()).
+     */
+    void retireDeliveredSessions();
+
     /// @name Run-slot gate: at most jobs_ sessions simulate at once.
     /// @{
     void acquireRunSlot();
@@ -155,6 +167,11 @@ class PredictionServer
     // Lifetime counters for the "stats" op.
     uint64_t sessionsOpened_ = 0;
     uint64_t sessionsDone_ = 0;
+    uint64_t sessionsRetired_ = 0;
+
+    // Failures carried by sessions that have since been retired; the
+    // daemon's exit fate (failedCellsTotal) must not forget them.
+    uint64_t retiredFailedCells_ = 0;
 };
 
 } // namespace ev8

@@ -73,7 +73,10 @@ CellExecutor::runCell(const CellRequest &req, CellOutput &out) const
                           .condBranchClasses();
     }
 
-    out.result.sim = simulateStream(stream, *predictor, config);
+    const SamplePlan *plan = req.plan ? req.plan() : nullptr;
+    out.result.sim = plan
+        ? simulateStreamSampled(stream, *predictor, config, *plan)
+        : simulateStream(stream, *predictor, config);
 
     if (config.metrics) {
         predictor->publishMetrics(out.metrics,
@@ -199,8 +202,10 @@ CellExecutor::runFused(const std::vector<size_t> &cells,
     config.metrics = nullptr; // sinks are per lane
     config.events = nullptr;
 
-    std::vector<SimResult> sims =
-        simulateStreamFused(stream, lanes, config);
+    const SamplePlan *plan = lead.plan ? lead.plan() : nullptr;
+    std::vector<SimResult> sims = plan
+        ? simulateStreamFusedSampled(stream, lanes, config, *plan)
+        : simulateStreamFused(stream, lanes, config);
 
     for (size_t k = 0; k < cells.size(); ++k) {
         CellOutput &out = outputs[cells[k]];

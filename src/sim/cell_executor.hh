@@ -50,6 +50,7 @@ namespace ev8
 {
 
 class BlockStream; // sim/block_stream.hh
+struct SamplePlan; // sim/phase/sample_plan.hh
 
 /** Everything one cell produces in isolation. */
 struct CellOutput
@@ -88,6 +89,17 @@ struct CellRequest
     SimConfig config;
     bool wantEvents = false;
     bool wantMetrics = false;
+
+    /**
+     * Set: run only the returned stratified sample plan's windows and
+     * extrapolate (sim/phase/sample_plan.hh). Resolved per attempt
+     * like the stream (plan construction loads or builds the phase
+     * map, and a transient sidecar fault heals on retry). The plan is
+     * a property of the benchmark's stream, so every cell fused over
+     * one benchmark shares one plan; unset (or returning null) is the
+     * exact whole-stream walk.
+     */
+    std::function<const SamplePlan *()> plan;
 
     std::string rowLabel;   //!< grid row / session label ("" = anon)
     size_t rowIndex = 0;    //!< timeline "row" arg

@@ -116,6 +116,18 @@ encodeCellRecord(size_t cell, const BenchResult &result,
     writeU64Array(w, {sim.timing.lookup.calls, sim.timing.lookup.ns,
                       sim.timing.update.calls, sim.timing.update.ns,
                       sim.timing.history.calls, sim.timing.history.ns});
+    // Written only for sampled cells so exact-mode journal bytes are
+    // untouched by the sampling layer.
+    if (sim.sampled.active) {
+        w.key("sampled");
+        writeU64Array(w, {uint64_t{sim.sampled.phases},
+                          sim.sampled.windowsTotal,
+                          sim.sampled.windowsSimulated,
+                          sim.sampled.branchesSimulated,
+                          sim.sampled.warmupBranches});
+        w.key("sampled_ci95");
+        w.value(f64s(sim.sampled.ci95MispKI));
+    }
     w.endObject();
 
     const auto entries = metrics.entries();
@@ -215,6 +227,18 @@ decodeCellRecord(const std::string &line, size_t cells,
     r.timing.update.ns = parseU64(timing.items[3]);
     r.timing.history.calls = parseU64(timing.items[4]);
     r.timing.history.ns = parseU64(timing.items[5]);
+    if (const JsonValue *sampled = sim.find("sampled")) {
+        if (!sampled->isArray() || sampled->items.size() != 5)
+            throw std::runtime_error("malformed sampled array");
+        r.sampled.active = true;
+        r.sampled.phases =
+            static_cast<uint32_t>(parseU64(sampled->items[0]));
+        r.sampled.windowsTotal = parseU64(sampled->items[1]);
+        r.sampled.windowsSimulated = parseU64(sampled->items[2]);
+        r.sampled.branchesSimulated = parseU64(sampled->items[3]);
+        r.sampled.warmupBranches = parseU64(sampled->items[4]);
+        r.sampled.ci95MispKI = parseF64(sim.at("sampled_ci95"));
+    }
 
     for (const auto &[name, v] : doc.at("counters").members)
         out.metrics.counter(name).inc(parseU64(v));

@@ -66,6 +66,19 @@ gridHash(SuiteRunner &runner, const std::vector<GridRow> &rows,
         h.u64(TraceCache::profileHash(bench.profile));
         h.u64(bench.branchesAt(runner.baseBranches()));
     }
+    // Sampled and exact grids must never share a checkpoint. Hashed
+    // only when active so every pre-sampling checkpoint name (and the
+    // exact mode's) is untouched.
+    const SampleSpec &sample = runner.sampleSpec();
+    if (sample.active) {
+        h.str("sampling");
+        h.u64(sample.budget);
+        h.u64(sample.windowBranches);
+        h.u64(sample.warmupBranches);
+        h.u64(sample.seed);
+        h.u64(sample.maxPhases);
+        h.u64(PhaseMap::kFormatVersion);
+    }
     for (const GridRow &row : rows) {
         h.str(row.label);
         const PredictorPtr probe = row.factory();
@@ -366,6 +379,11 @@ ExperimentEngine::runGrid(SuiteRunner &runner,
         req.stream = [&runner, b]() -> const BlockStream & {
             return runner.blockStream(b);
         };
+        if (runner.sampleSpec().active) {
+            req.plan = [&runner, b]() -> const SamplePlan * {
+                return runner.samplePlan(b);
+            };
+        }
         req.profile = &specint95Suite()[b].profile;
         req.factory = row.factory;
         req.config = row.config;

@@ -22,6 +22,7 @@
  *                     | cache_rename | cache_short_write
  *                     | ckpt_read | ckpt_write | ckpt_corrupt
  *                     | session_drop | ring_stall
+ *                     | sidecar_read | sidecar_write
  *
  *  - keysub selects which keys the entry applies to: a substring match
  *    against the site's key (a grid cell key like "g0/r2/gcc", or a
@@ -75,6 +76,10 @@
  *                       packet -- a timing-only fault (artifacts are
  *                       unchanged; backpressure/latency paths get
  *                       exercised); keys are "<session>/p<packet#>"
+ *  - sidecar_read:      TraceCache fails an attempted phase-map sidecar
+ *                       read (the map is rebuilt from the stream)
+ *  - sidecar_write:     TraceCache fails a phase-map sidecar write (the
+ *                       in-memory map stays valid; only caching is lost)
  *
  * Note that the engine's fused path consumes one occurrence per armed
  * key at the fused attempt and more during the per-cell fallback and
@@ -118,6 +123,8 @@ enum class FaultPoint
     CkptCorrupt,     //!< checkpoint record torn mid-write
     SessionDrop,     //!< served session cell body (serve/server.hh)
     RingStall,       //!< serve transport producer pause (timing only)
+    SidecarRead,     //!< phase-map sidecar file read (trace cache)
+    SidecarWrite,    //!< phase-map sidecar file write (trace cache)
 };
 
 class FaultInjector

@@ -44,18 +44,53 @@
 #include <stdexcept>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "frontend/bank_scheduler.hh"
 #include "frontend/lghist.hh"
 #include "obs/event_trace.hh"
 #include "obs/timer.hh"
 #include "sim/block_stream.hh"
+#include "sim/phase/sample_plan.hh"
 #include "sim/simulator.hh"
 
 namespace ev8
 {
 namespace detail
 {
+
+/**
+ * The shared history machinery of one stream walk, lifted out of the
+ * kernels so a walk can span multiple [begin, end) block ranges: the
+ * sampled-simulation layer runs a warmup range and a measured range
+ * (or several contiguous windows) over one evolving state. The exact
+ * path constructs a fresh state and walks [0, blocks()) -- bit-for-bit
+ * the old single-call behaviour. The kernels copy the members into
+ * locals at entry and write them back at exit, so the hot-loop codegen
+ * is unchanged.
+ */
+struct KernelWalkState
+{
+    KernelWalkState(bool lghist_path, unsigned history_age)
+        : lghist(lghist_path), delayed(history_age)
+    {
+    }
+
+    HistoryRegister ghist;
+    LghistTracker lghist;
+    DelayedHistory delayed;
+    /** Path registers: addresses of the last three fetch blocks. */
+    uint64_t pathZ = 0, pathY = 0, pathX = 0;
+};
+
+/** Measured tallies of one sampled window (one lane's view). */
+struct SampledWindowTally
+{
+    uint32_t phaseId = 0;
+    uint64_t branches = 0;
+    uint64_t instrs = 0;
+    uint64_t mispredictions = 0;
+};
 
 /** Builds the sampled-trace record for one misprediction. */
 inline MispredictEvent
@@ -95,26 +130,33 @@ makeMispredictEvent(uint64_t branch_seq, const BranchSnapshot &snap,
  * last-three-blocks path registers, and the bank-number recurrence.
  */
 template <class Predictor, bool LghistMode, bool Timed, bool HasEvents>
-SimResult
-runStreamKernel(const BlockStream &stream, Predictor &predictor,
-                const SimConfig &config, BankScheduler &bank_sched)
+void
+runStreamKernelRange(const BlockStream &stream, Predictor &predictor,
+                     const SimConfig &config, BankScheduler &bank_sched,
+                     size_t begin_block, size_t end_block,
+                     KernelWalkState &walk, uint64_t branch_seq_base,
+                     SimResult &result)
 {
-    SimResult result;
-    result.stats.setInstructions(stream.instructions());
-
-    const bool lghist_path = config.history == HistoryMode::LghistPath;
     const bool assign_banks = config.assignBanks;
 
-    HistoryRegister ghist;
-    LghistTracker lghist(lghist_path);
-    DelayedHistory delayed(config.historyAge);
+    // Walk state lives in locals for the duration of the range (the
+    // compiler keeps them in registers exactly as when they were
+    // declared here) and is written back at exit so a later range
+    // continues where this one stopped.
+    HistoryRegister ghist = walk.ghist;
+    LghistTracker lghist = walk.lghist;
+    DelayedHistory delayed = walk.delayed;
+    uint64_t path_z = walk.pathZ, path_y = walk.pathY,
+             path_x = walk.pathX;
 
-    // Path registers: addresses of the last three fetch blocks.
-    uint64_t path_z = 0, path_y = 0, path_x = 0;
+    // Event records carry the branch's absolute sequence number in the
+    // whole stream; for the exact walk the base is 0 and this equals
+    // the running condBranches tally.
+    uint64_t branch_seq = branch_seq_base;
 
     BranchSnapshot snap;
-    const size_t nblocks = stream.blocks();
-    for (size_t b = 0; b < nblocks; ++b) {
+    const size_t nblocks = end_block;
+    for (size_t b = begin_block; b < nblocks; ++b) {
         ++result.fetchBlocks;
         const uint32_t first = stream.branchBegin(b);
         const uint32_t last = stream.branchBegin(b + 1);
@@ -156,7 +198,7 @@ runStreamKernel(const BlockStream &stream, Predictor &predictor,
             if constexpr (HasEvents) {
                 if (predicted != br_taken) {
                     config.events->onMispredict(makeMispredictEvent(
-                        result.condBranches, snap, br_taken, predicted,
+                        branch_seq, snap, br_taken, predicted,
                         predictor.lastVotes()));
                 }
             }
@@ -169,6 +211,7 @@ runStreamKernel(const BlockStream &stream, Predictor &predictor,
             }
 
             ghist.push(br_taken);
+            ++branch_seq;
             ++result.condBranches;
         }
 
@@ -194,6 +237,80 @@ runStreamKernel(const BlockStream &stream, Predictor &predictor,
         path_z = block_addr;
     }
 
+    walk.ghist = ghist;
+    walk.lghist = lghist;
+    walk.delayed = delayed;
+    walk.pathZ = path_z;
+    walk.pathY = path_y;
+    walk.pathX = path_x;
+}
+
+/** The exact (whole-stream) walk: fresh state, every block. */
+template <class Predictor, bool LghistMode, bool Timed, bool HasEvents>
+SimResult
+runStreamKernel(const BlockStream &stream, Predictor &predictor,
+                const SimConfig &config, BankScheduler &bank_sched)
+{
+    SimResult result;
+    result.stats.setInstructions(stream.instructions());
+    KernelWalkState walk(config.history == HistoryMode::LghistPath,
+                         config.historyAge);
+    runStreamKernelRange<Predictor, LghistMode, Timed, HasEvents>(
+        stream, predictor, config, bank_sched, 0, stream.blocks(), walk,
+        0, result);
+    return result;
+}
+
+/**
+ * The sampled walk: the plan's windows in stream order, each primed by
+ * a warmup range (stats gated off, events and timers disabled) when
+ * the walk is not already contiguous with the previous window. The
+ * predictor is never reset between windows -- its table state carries
+ * over, a second warming layer on top of the explicit prefix -- while
+ * the shared history state resets at each discontinuity and is primed
+ * by the warmup range. Per-window measured tallies land in @p tallies
+ * for the stratified extrapolation.
+ */
+template <class Predictor, bool LghistMode, bool Timed, bool HasEvents>
+SimResult
+runSampledStreamKernel(const BlockStream &stream, Predictor &predictor,
+                       const SimConfig &config,
+                       BankScheduler &bank_sched, const SamplePlan &plan,
+                       std::vector<SampledWindowTally> &tallies)
+{
+    const bool lghist_path = config.history == HistoryMode::LghistPath;
+    const bool want_stats = config.metrics != nullptr;
+
+    SimResult result;
+    SimResult warm_sink;
+    KernelWalkState walk(lghist_path, config.historyAge);
+    uint64_t next_block = ~uint64_t{0};
+    for (const SampledWindow &w : plan.windows) {
+        if (w.blockBegin != next_block) {
+            walk = KernelWalkState(lghist_path, config.historyAge);
+            bank_sched = BankScheduler();
+            if (w.warmupBlockBegin < w.blockBegin) {
+                predictor.enableStats(false);
+                runStreamKernelRange<Predictor, LghistMode, false,
+                                     false>(
+                    stream, predictor, config, bank_sched,
+                    static_cast<size_t>(w.warmupBlockBegin),
+                    static_cast<size_t>(w.blockBegin), walk, 0,
+                    warm_sink);
+                predictor.enableStats(want_stats);
+            }
+        }
+        const uint64_t misp0 = result.stats.mispredictions();
+        runStreamKernelRange<Predictor, LghistMode, Timed, HasEvents>(
+            stream, predictor, config, bank_sched,
+            static_cast<size_t>(w.blockBegin),
+            static_cast<size_t>(w.blockEnd), walk, w.branchSeqBase,
+            result);
+        tallies.push_back(
+            {w.phaseId, w.branches, w.instrs,
+             result.stats.mispredictions() - misp0});
+        next_block = w.blockEnd;
+    }
     return result;
 }
 
@@ -212,6 +329,38 @@ dispatchStreamKernel(const BlockStream &stream, Predictor &predictor,
                                decltype(timed_c)::value,
                                decltype(events_c)::value>(
             stream, predictor, config, bank_sched);
+    };
+    using F = std::false_type;
+    using T = std::true_type;
+    if (lg) {
+        if (timed)
+            return events ? run(T{}, T{}, T{}) : run(T{}, T{}, F{});
+        return events ? run(T{}, F{}, T{}) : run(T{}, F{}, F{});
+    }
+    if (timed)
+        return events ? run(F{}, T{}, T{}) : run(F{}, T{}, F{});
+    return events ? run(F{}, F{}, T{}) : run(F{}, F{}, F{});
+}
+
+/** Resolves the runtime flags for the sampled per-cell walk. */
+template <class Predictor>
+SimResult
+dispatchSampledStreamKernel(const BlockStream &stream,
+                            Predictor &predictor,
+                            const SimConfig &config,
+                            BankScheduler &bank_sched,
+                            const SamplePlan &plan,
+                            std::vector<SampledWindowTally> &tallies)
+{
+    const bool lg = config.history != HistoryMode::Ghist;
+    const bool timed = config.profileTiming;
+    const bool events = config.events != nullptr;
+
+    auto run = [&](auto lg_c, auto timed_c, auto events_c) {
+        return runSampledStreamKernel<Predictor, decltype(lg_c)::value,
+                                      decltype(timed_c)::value,
+                                      decltype(events_c)::value>(
+            stream, predictor, config, bank_sched, plan, tallies);
     };
     using F = std::false_type;
     using T = std::true_type;
@@ -272,6 +421,14 @@ struct FusedLaneState
     Predictor *predictor = nullptr;
     SimResult *result = nullptr;
     MispredictSink *events = nullptr; //!< may be null per lane
+
+    /**
+     * Whether this lane's predictor wants internal stats on (metrics
+     * attached). Only the sampled walk consults it -- it must gate
+     * stats off during warmup ranges and back on per lane afterwards;
+     * the exact walk sets stats once up front in simulateStreamFused.
+     */
+    bool statsWanted = false;
 };
 
 /**
@@ -289,15 +446,15 @@ struct FusedLaneState
  * is timed once and merged into every lane with the same call count a
  * per-cell run would record.
  */
-template <class Predictor, bool LghistMode, bool Timed, bool HasEvents>
+/**
+ * Throwing lane-set validation shared by the fused entry points: a
+ * malformed lane set must be a recoverable cell failure (caught,
+ * retried, reported) in release builds too, not silent UB.
+ */
+template <class Predictor>
 void
-runFusedStreamKernel(const BlockStream &stream,
-                     FusedLaneState<Predictor> *lanes, size_t nlanes,
-                     const SimConfig &config, BankScheduler &bank_sched)
+checkFusedLanes(const FusedLaneState<Predictor> *lanes, size_t nlanes)
 {
-    // Throwing checks rather than asserts: a malformed lane set must be
-    // a recoverable cell failure (caught, retried, reported) in release
-    // builds too, not silent UB.
     if (nlanes < 1 || nlanes > kMaxFusedLanes) {
         throw std::invalid_argument(
             "fused kernel lane count " + std::to_string(nlanes)
@@ -311,14 +468,22 @@ runFusedStreamKernel(const BlockStream &stream,
                 + " has a null predictor or result slot");
         }
     }
+}
 
+template <class Predictor, bool LghistMode, bool Timed, bool HasEvents>
+void
+runFusedStreamKernelRange(const BlockStream &stream,
+                          FusedLaneState<Predictor> *lanes,
+                          size_t nlanes, const SimConfig &config,
+                          BankScheduler &bank_sched, size_t begin_block,
+                          size_t end_block, KernelWalkState &walk,
+                          uint64_t branch_seq_base)
+{
     // SoA hot state: dense predictor pointers and mispredict tallies.
     Predictor *preds[kMaxFusedLanes];
     uint64_t misp[kMaxFusedLanes] = {};
-    for (size_t l = 0; l < nlanes; ++l) {
+    for (size_t l = 0; l < nlanes; ++l)
         preds[l] = lanes[l].predictor;
-        lanes[l].result->stats.setInstructions(stream.instructions());
-    }
 
     // Group stepper, built once per walk; only the untimed, event-free
     // instantiations of group-steppable predictors ever use it (the
@@ -331,22 +496,23 @@ runFusedStreamKernel(const BlockStream &stream,
     }();
     (void)group;
 
-    const bool lghist_path = config.history == HistoryMode::LghistPath;
     const bool assign_banks = config.assignBanks;
 
-    HistoryRegister ghist;
-    LghistTracker lghist(lghist_path);
-    DelayedHistory delayed(config.historyAge);
-    uint64_t path_z = 0, path_y = 0, path_x = 0;
+    HistoryRegister ghist = walk.ghist;
+    LghistTracker lghist = walk.lghist;
+    DelayedHistory delayed = walk.delayed;
+    uint64_t path_z = walk.pathZ, path_y = walk.pathY,
+             path_x = walk.pathX;
 
     // Walk tallies, computed once and fanned out to every lane.
     uint64_t fetch_blocks = 0, cond_branches = 0, lghist_bits = 0;
+    uint64_t branch_seq = branch_seq_base;
     std::array<uint64_t, 9> per_block{};
     TimingStat hist_time;
 
     BranchSnapshot snap;
-    const size_t nblocks = stream.blocks();
-    for (size_t b = 0; b < nblocks; ++b) {
+    const size_t nblocks = end_block;
+    for (size_t b = begin_block; b < nblocks; ++b) {
         ++fetch_blocks;
         const uint32_t first = stream.branchBegin(b);
         const uint32_t last = stream.branchBegin(b + 1);
@@ -389,7 +555,7 @@ runFusedStreamKernel(const BlockStream &stream,
                         if (predicted != br_taken && lanes[l].events) {
                             lanes[l].events->onMispredict(
                                 makeMispredictEvent(
-                                    cond_branches, snap, br_taken,
+                                    branch_seq, snap, br_taken,
                                     predicted, preds[l]->lastVotes()));
                         }
                     }
@@ -425,6 +591,7 @@ runFusedStreamKernel(const BlockStream &stream,
             }
 
             ghist.push(br_taken);
+            ++branch_seq;
             ++cond_branches;
         }
 
@@ -453,16 +620,111 @@ runFusedStreamKernel(const BlockStream &stream,
         path_z = block_addr;
     }
 
+    walk.ghist = ghist;
+    walk.lghist = lghist;
+    walk.delayed = delayed;
+    walk.pathZ = path_z;
+    walk.pathY = path_y;
+    walk.pathX = path_x;
+
+    // Accumulating fan-out: a whole-stream walk starts from zeroed
+    // results (so += here equals the old overwrite), and the sampled
+    // walk adds each measured window into the same lane results.
     for (size_t l = 0; l < nlanes; ++l) {
         SimResult &r = *lanes[l].result;
         if constexpr (!(Timed || HasEvents))
             r.stats.tally(cond_branches, misp[l]);
-        r.fetchBlocks = fetch_blocks;
-        r.condBranches = cond_branches;
-        r.lghistBits = lghist_bits;
-        r.branchesPerBlock = per_block;
+        r.fetchBlocks += fetch_blocks;
+        r.condBranches += cond_branches;
+        r.lghistBits += lghist_bits;
+        for (size_t k = 0; k < per_block.size(); ++k)
+            r.branchesPerBlock[k] += per_block[k];
         if constexpr (Timed)
             r.timing.history.merge(hist_time);
+    }
+}
+
+/** The exact (whole-stream) fused walk: fresh state, every block. */
+template <class Predictor, bool LghistMode, bool Timed, bool HasEvents>
+void
+runFusedStreamKernel(const BlockStream &stream,
+                     FusedLaneState<Predictor> *lanes, size_t nlanes,
+                     const SimConfig &config, BankScheduler &bank_sched)
+{
+    checkFusedLanes(lanes, nlanes);
+    for (size_t l = 0; l < nlanes; ++l)
+        lanes[l].result->stats.setInstructions(stream.instructions());
+    KernelWalkState walk(config.history == HistoryMode::LghistPath,
+                         config.historyAge);
+    runFusedStreamKernelRange<Predictor, LghistMode, Timed, HasEvents>(
+        stream, lanes, nlanes, config, bank_sched, 0, stream.blocks(),
+        walk, 0);
+}
+
+/**
+ * The sampled fused walk: the plan's windows in stream order over one
+ * shared walk state, all lanes stepped together. Warmup ranges run on
+ * the untimed, event-free instantiation into throwaway results with
+ * per-lane stats gated off, so the fused group steppers (and the SIMD
+ * lane stepping under them) serve warmup and measurement unchanged.
+ * Per-window, per-lane measured tallies land in @p tallies
+ * (tallies[lane][window]) for the stratified extrapolation.
+ */
+template <class Predictor, bool LghistMode, bool Timed, bool HasEvents>
+void
+runSampledFusedKernel(
+    const BlockStream &stream, FusedLaneState<Predictor> *lanes,
+    size_t nlanes, const SimConfig &config, BankScheduler &bank_sched,
+    const SamplePlan &plan,
+    std::vector<std::vector<SampledWindowTally>> &tallies)
+{
+    checkFusedLanes(lanes, nlanes);
+    tallies.assign(nlanes, {});
+
+    const bool lghist_path = config.history == HistoryMode::LghistPath;
+
+    // Warmup lanes: same predictors, throwaway results, no events.
+    std::vector<SimResult> warm_sinks(nlanes);
+    std::vector<FusedLaneState<Predictor>> warm_lanes(nlanes);
+    for (size_t l = 0; l < nlanes; ++l) {
+        warm_lanes[l].predictor = lanes[l].predictor;
+        warm_lanes[l].result = &warm_sinks[l];
+    }
+
+    KernelWalkState walk(lghist_path, config.historyAge);
+    uint64_t next_block = ~uint64_t{0};
+    for (const SampledWindow &w : plan.windows) {
+        if (w.blockBegin != next_block) {
+            walk = KernelWalkState(lghist_path, config.historyAge);
+            bank_sched = BankScheduler();
+            if (w.warmupBlockBegin < w.blockBegin) {
+                for (size_t l = 0; l < nlanes; ++l)
+                    lanes[l].predictor->enableStats(false);
+                runFusedStreamKernelRange<Predictor, LghistMode, false,
+                                          false>(
+                    stream, warm_lanes.data(), nlanes, config,
+                    bank_sched,
+                    static_cast<size_t>(w.warmupBlockBegin),
+                    static_cast<size_t>(w.blockBegin), walk, 0);
+                for (size_t l = 0; l < nlanes; ++l)
+                    lanes[l].predictor->enableStats(
+                        lanes[l].statsWanted);
+            }
+        }
+        uint64_t misp0[kMaxFusedLanes];
+        for (size_t l = 0; l < nlanes; ++l)
+            misp0[l] = lanes[l].result->stats.mispredictions();
+        runFusedStreamKernelRange<Predictor, LghistMode, Timed,
+                                  HasEvents>(
+            stream, lanes, nlanes, config, bank_sched,
+            static_cast<size_t>(w.blockBegin),
+            static_cast<size_t>(w.blockEnd), walk, w.branchSeqBase);
+        for (size_t l = 0; l < nlanes; ++l) {
+            tallies[l].push_back(
+                {w.phaseId, w.branches, w.instrs,
+                 lanes[l].result->stats.mispredictions() - misp0[l]});
+        }
+        next_block = w.blockEnd;
     }
 }
 
@@ -484,6 +746,39 @@ dispatchFusedKernel(const BlockStream &stream,
                              decltype(timed_c)::value,
                              decltype(events_c)::value>(
             stream, lanes, nlanes, config, bank_sched);
+    };
+    using F = std::false_type;
+    using T = std::true_type;
+    if (lg) {
+        if (timed)
+            return events ? run(T{}, T{}, T{}) : run(T{}, T{}, F{});
+        return events ? run(T{}, F{}, T{}) : run(T{}, F{}, F{});
+    }
+    if (timed)
+        return events ? run(F{}, T{}, T{}) : run(F{}, T{}, F{});
+    return events ? run(F{}, F{}, T{}) : run(F{}, F{}, F{});
+}
+
+/** Resolves the runtime flags for the sampled fused walk. */
+template <class Predictor>
+void
+dispatchSampledFusedKernel(
+    const BlockStream &stream, FusedLaneState<Predictor> *lanes,
+    size_t nlanes, const SimConfig &config, BankScheduler &bank_sched,
+    const SamplePlan &plan,
+    std::vector<std::vector<SampledWindowTally>> &tallies)
+{
+    const bool lg = config.history != HistoryMode::Ghist;
+    const bool timed = config.profileTiming;
+    bool events = false;
+    for (size_t l = 0; l < nlanes; ++l)
+        events |= lanes[l].events != nullptr;
+
+    auto run = [&](auto lg_c, auto timed_c, auto events_c) {
+        runSampledFusedKernel<Predictor, decltype(lg_c)::value,
+                              decltype(timed_c)::value,
+                              decltype(events_c)::value>(
+            stream, lanes, nlanes, config, bank_sched, plan, tallies);
     };
     using F = std::false_type;
     using T = std::true_type;

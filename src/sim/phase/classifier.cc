@@ -1,0 +1,46 @@
+#include "sim/phase/classifier.hh"
+
+#include <limits>
+
+namespace ev8
+{
+
+PhaseClassifier::PhaseClassifier(uint32_t max_phases, double threshold)
+    : maxPhases_(max_phases > 0 ? max_phases : 1), threshold_(threshold)
+{
+}
+
+uint32_t
+PhaseClassifier::classify(const WindowFeatures &features)
+{
+    size_t best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < leaders_.size(); ++i) {
+        const double d = featureDistance(leaders_[i].centroid, features);
+        if (d < best_dist) {
+            best_dist = d;
+            best = i;
+        }
+    }
+
+    if (best_dist > threshold_ && leaders_.size() < maxPhases_) {
+        leaders_.push_back(Leader{features, 1});
+        return static_cast<uint32_t>(leaders_.size() - 1);
+    }
+
+    // Join the nearest leader; the centroid follows as a running mean
+    // so a slowly drifting phase keeps its identity.
+    Leader &leader = leaders_[best];
+    const double n = static_cast<double>(leader.members);
+    const double w = 1.0 / (n + 1.0);
+    auto blend = [&](double &c, double v) { c += (v - c) * w; };
+    blend(leader.centroid.takenRate, features.takenRate);
+    blend(leader.centroid.transitionRate, features.transitionRate);
+    blend(leader.centroid.entropy, features.entropy);
+    for (size_t i = 0; i < kPhaseSignatureBins; ++i)
+        blend(leader.centroid.signature[i], features.signature[i]);
+    ++leader.members;
+    return static_cast<uint32_t>(best);
+}
+
+} // namespace ev8

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Online leader-follower phase classifier.
+ *
+ * Windows are presented in execution order; the first window whose
+ * feature vector is farther than the join threshold from every existing
+ * leader founds a new phase (up to the cap), otherwise it joins its
+ * nearest leader and pulls that leader's centroid toward itself by a
+ * running mean. Once the cap is reached every window joins its nearest
+ * leader unconditionally.
+ *
+ * The single sequential pass makes the assignment deterministic: phase
+ * IDs are founding order, and the centroid updates depend only on the
+ * window sequence, never on thread scheduling or container iteration
+ * order. That determinism is what lets the sampled artifacts be
+ * byte-identical across --jobs widths.
+ */
+
+#ifndef EV8_SIM_PHASE_CLASSIFIER_HH
+#define EV8_SIM_PHASE_CLASSIFIER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/phase/features.hh"
+
+namespace ev8
+{
+
+class PhaseClassifier
+{
+  public:
+    /** The default join threshold (featureDistance units). */
+    static constexpr double kDefaultThreshold = 0.12;
+
+    /**
+     * @param max_phases hard cap on founded phases (>= 1)
+     * @param threshold  join distance; smaller splits more phases
+     */
+    explicit PhaseClassifier(uint32_t max_phases,
+                             double threshold = kDefaultThreshold);
+
+    /**
+     * Assigns @p features to a phase and returns its ID (IDs are dense,
+     * founding order, starting at 0). Sequential use only.
+     */
+    uint32_t classify(const WindowFeatures &features);
+
+    /** Phases founded so far. */
+    uint32_t phases() const
+    {
+        return static_cast<uint32_t>(leaders_.size());
+    }
+
+  private:
+    struct Leader
+    {
+        WindowFeatures centroid;
+        uint64_t members = 0;
+    };
+
+    std::vector<Leader> leaders_;
+    uint32_t maxPhases_;
+    double threshold_;
+};
+
+} // namespace ev8
+
+#endif // EV8_SIM_PHASE_CLASSIFIER_HH

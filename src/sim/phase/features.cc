@@ -1,0 +1,128 @@
+#include "sim/phase/features.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/block_stream.hh"
+#include "trace/branch_record.hh"
+
+namespace ev8
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: spreads branch PCs across signature bins. */
+uint64_t
+mixPc(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Binary entropy of p in [0,1], normalized so h(0.5) == 1. */
+double
+binaryEntropy(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        return 0.0;
+    return -(p * std::log2(p) + (1.0 - p) * std::log2(1.0 - p));
+}
+
+struct StaticBranch
+{
+    uint64_t occurrences = 0;
+    uint64_t taken = 0;
+    uint64_t transitions = 0;
+    bool lastTaken = false;
+};
+
+} // namespace
+
+WindowFeatures
+extractWindowFeatures(const BlockStream &stream, size_t block_begin,
+                      size_t block_end)
+{
+    std::unordered_map<uint64_t, StaticBranch> statics;
+
+    uint64_t branches = 0, taken = 0;
+    for (size_t b = block_begin; b < block_end; ++b) {
+        const uint64_t block_addr = stream.blockAddr(b);
+        const uint32_t first = stream.branchBegin(b);
+        const uint32_t last = stream.branchBegin(b + 1);
+        for (uint32_t j = first; j < last; ++j) {
+            const uint8_t raw = stream.branchRaw(j);
+            const bool br_taken = (raw & 1) != 0;
+            const uint64_t pc =
+                block_addr + uint64_t(raw >> 1) * kInstrBytes;
+            StaticBranch &s = statics[pc];
+            if (s.occurrences > 0 && s.lastTaken != br_taken)
+                ++s.transitions;
+            ++s.occurrences;
+            s.taken += br_taken;
+            s.lastTaken = br_taken;
+            ++branches;
+            taken += br_taken;
+        }
+    }
+
+    WindowFeatures f;
+    if (branches == 0)
+        return f;
+    f.takenRate =
+        static_cast<double>(taken) / static_cast<double>(branches);
+
+    // Per-static aggregation runs in PC order: floating-point sums must
+    // not depend on hash-map iteration order.
+    std::vector<std::pair<uint64_t, const StaticBranch *>> ordered;
+    ordered.reserve(statics.size());
+    for (const auto &kv : statics)
+        ordered.emplace_back(kv.first, &kv.second);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+
+    uint64_t transitions = 0, transition_chances = 0;
+    double entropy = 0.0;
+    for (const auto &[pc, s] : ordered) {
+        transitions += s->transitions;
+        transition_chances += s->occurrences - 1;
+        const double p = static_cast<double>(s->taken)
+            / static_cast<double>(s->occurrences);
+        entropy += static_cast<double>(s->occurrences)
+            * binaryEntropy(p);
+        f.signature[mixPc(pc) % kPhaseSignatureBins] +=
+            static_cast<double>(s->occurrences);
+    }
+    if (transition_chances > 0) {
+        f.transitionRate = static_cast<double>(transitions)
+            / static_cast<double>(transition_chances);
+    }
+    f.entropy = entropy / static_cast<double>(branches);
+    for (double &bin : f.signature)
+        bin /= static_cast<double>(branches);
+    return f;
+}
+
+double
+featureDistance(const WindowFeatures &a, const WindowFeatures &b)
+{
+    double d2 = 0.0;
+    auto add = [&](double x, double y) {
+        const double d = x - y;
+        d2 += d * d;
+    };
+    add(a.takenRate, b.takenRate);
+    add(a.transitionRate, b.transitionRate);
+    add(a.entropy, b.entropy);
+    for (size_t i = 0; i < kPhaseSignatureBins; ++i)
+        add(a.signature[i], b.signature[i]);
+    return std::sqrt(d2);
+}
+
+} // namespace ev8

@@ -1,0 +1,199 @@
+#include "sim/phase/sample_plan.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/env.hh"
+
+namespace ev8
+{
+
+namespace
+{
+
+/** splitmix64 finalizer for the deterministic in-phase offset. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+SampleSpec
+sampleSpecFromEnv()
+{
+    SampleSpec spec;
+    const char *mode = std::getenv("EV8_SAMPLE_MODE");
+    if (mode == nullptr || std::strcmp(mode, "off") == 0) {
+        spec.active = false;
+    } else if (std::strcmp(mode, "phase") == 0) {
+        spec.active = true;
+    } else {
+        std::fprintf(stderr,
+                     "EV8_SAMPLE_MODE: invalid value '%s'; expected "
+                     "'off' or 'phase'\n",
+                     mode);
+        std::exit(2);
+    }
+
+    spec.windowBranches = strictEnvU64(
+        "EV8_SAMPLE_WINDOW", 256, uint64_t{1} << 24,
+        SampleSpec::kDefaultWindowBranches);
+    spec.warmupBranches = strictEnvU64(
+        "EV8_SAMPLE_WARMUP", 0, uint64_t{1} << 26, spec.windowBranches);
+    spec.seed =
+        strictEnvU64("EV8_SAMPLE_SEED", 0, uint64_t{1} << 62, 1);
+    spec.maxPhases = static_cast<uint32_t>(
+        strictEnvU64("EV8_SAMPLE_MAX_PHASES", 1, 256, 16));
+    spec.budget =
+        strictEnvU64("EV8_SAMPLE_BUDGET", 1, uint64_t{1} << 40, 0);
+    if (spec.active && spec.budget == 0) {
+        std::fprintf(stderr,
+                     "EV8_SAMPLE_MODE=phase requires EV8_SAMPLE_BUDGET "
+                     "(or --sample-budget): the measured-branch budget "
+                     "per benchmark\n");
+        std::exit(2);
+    }
+    return spec;
+}
+
+SamplePlan
+buildSamplePlan(const PhaseMap &map, const SampleSpec &spec,
+                uint64_t budget)
+{
+    SamplePlan plan;
+    plan.phases = map.phases;
+    plan.windowsTotal = map.windows.size();
+    plan.budget = budget;
+    plan.warmupBranches = spec.warmupBranches;
+    plan.seed = spec.seed;
+    plan.totalBranches = map.branches;
+    plan.totalInstructions = map.instructions;
+    plan.totals.resize(map.phases);
+    if (map.windows.empty())
+        return plan;
+
+    std::vector<std::vector<uint32_t>> members(map.phases);
+    for (size_t i = 0; i < map.windows.size(); ++i) {
+        const PhaseWindow &w = map.windows[i];
+        SamplePlan::PhaseTotals &t = plan.totals[w.phaseId];
+        ++t.windows;
+        t.branches += w.branches;
+        t.instrs += w.instrs;
+        members[w.phaseId].push_back(static_cast<uint32_t>(i));
+    }
+
+    // Window count the budget buys, clamped to the map.
+    const uint64_t window_branches =
+        map.windowBranches > 0 ? map.windowBranches : 1;
+    uint64_t target = budget / window_branches;
+    if (target < 1)
+        target = 1;
+    if (target > map.windows.size())
+        target = map.windows.size();
+
+    // Proportional allocation by dynamic-branch weight, largest
+    // remainder. Ties break toward the lower phase ID: deterministic.
+    std::vector<uint64_t> alloc(map.phases, 0);
+    std::vector<std::pair<double, uint32_t>> remainder;
+    uint64_t allocated = 0;
+    for (uint32_t p = 0; p < map.phases; ++p) {
+        if (plan.totals[p].windows == 0)
+            continue;
+        const double share = static_cast<double>(target)
+            * static_cast<double>(plan.totals[p].branches)
+            / static_cast<double>(map.branches);
+        alloc[p] = static_cast<uint64_t>(share);
+        allocated += alloc[p];
+        remainder.emplace_back(share - static_cast<double>(alloc[p]), p);
+    }
+    std::sort(remainder.begin(), remainder.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    for (const auto &[frac, p] : remainder) {
+        if (allocated >= target)
+            break;
+        ++alloc[p];
+        ++allocated;
+    }
+
+    // Every represented phase gets at least one window while the
+    // target allows, stealing from the largest allocation; then cap
+    // each phase at its window population.
+    auto largest = [&]() {
+        uint32_t best = 0;
+        uint64_t best_n = 0;
+        for (uint32_t p = 0; p < map.phases; ++p) {
+            if (alloc[p] > best_n) {
+                best_n = alloc[p];
+                best = p;
+            }
+        }
+        return best;
+    };
+    for (uint32_t p = 0; p < map.phases; ++p) {
+        if (plan.totals[p].windows == 0 || alloc[p] > 0)
+            continue;
+        const uint32_t donor = largest();
+        if (alloc[donor] >= 2) {
+            --alloc[donor];
+            alloc[p] = 1;
+        }
+    }
+    for (uint32_t p = 0; p < map.phases; ++p)
+        alloc[p] = std::min<uint64_t>(alloc[p], members[p].size());
+
+    // Evenly spaced in-phase picks with a seeded, phase-keyed offset:
+    // representative coverage across the phase's lifetime without
+    // always anchoring at its first occurrence.
+    for (uint32_t p = 0; p < map.phases; ++p) {
+        const uint64_t k = alloc[p];
+        if (k == 0)
+            continue;
+        const uint64_t m = members[p].size();
+        const uint64_t offset =
+            mix64(spec.seed ^ (uint64_t{p} * 0x9e3779b97f4a7c15ULL))
+            % m;
+        for (uint64_t i = 0; i < k; ++i) {
+            const uint64_t pick = (offset + i * m / k) % m;
+            const uint32_t widx = members[p][pick];
+            const PhaseWindow &w = map.windows[widx];
+            SampledWindow s;
+            s.index = widx;
+            s.phaseId = p;
+            s.blockBegin = w.blockBegin;
+            s.blockEnd = w.blockEnd;
+            s.branchSeqBase = w.branchBegin;
+            s.branches = w.branches;
+            s.instrs = w.instrs;
+
+            // Warmup prefix: walk earlier windows back until the
+            // warmup branch budget is covered (or the stream starts).
+            uint64_t warm = 0;
+            size_t first = widx;
+            while (first > 0 && warm < spec.warmupBranches) {
+                --first;
+                warm += map.windows[first].branches;
+            }
+            s.warmupBlockBegin = map.windows[first].blockBegin;
+            plan.windows.push_back(s);
+        }
+    }
+
+    std::sort(plan.windows.begin(), plan.windows.end(),
+              [](const SampledWindow &a, const SampledWindow &b) {
+                  return a.blockBegin < b.blockBegin;
+              });
+    return plan;
+}
+
+} // namespace ev8

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Stratified sampling plans over a PhaseMap.
+ *
+ * Given a measured-branch budget, the planner allocates windows to
+ * phases proportionally to each phase's dynamic-branch weight (largest
+ * remainder, every represented phase guaranteed at least one window
+ * when the budget allows), picks evenly spaced representatives inside
+ * each phase with a seeded deterministic offset, and prepends each
+ * selected window with a warmup prefix of earlier blocks so the
+ * predictor (and the shared history machinery) is primed before stats
+ * are gated on.
+ *
+ * The plan is a pure function of (PhaseMap, SampleSpec): identical for
+ * any --jobs width, which is what makes sampled artifacts
+ * byte-identical for a fixed seed.
+ *
+ * Knobs (all strictly parsed; a malformed value is a usage error, exit
+ * 2, matching EV8_SIMD / EV8_JOBS):
+ *
+ *  - EV8_SAMPLE_MODE:       "off" (default) or "phase"
+ *  - EV8_SAMPLE_BUDGET:     measured branches per benchmark at the
+ *                           base scale (required when mode=phase;
+ *                           rescaled per benchmark exactly like
+ *                           --branches)
+ *  - EV8_SAMPLE_WINDOW:     branches per window (default 16384)
+ *  - EV8_SAMPLE_WARMUP:     warmup branches before each measured
+ *                           window (default: one window)
+ *  - EV8_SAMPLE_SEED:       in-phase placement seed (default 1)
+ *  - EV8_SAMPLE_MAX_PHASES: classifier phase cap (default 16, 1..256)
+ */
+
+#ifndef EV8_SIM_PHASE_SAMPLE_PLAN_HH
+#define EV8_SIM_PHASE_SAMPLE_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/phase/phase_map.hh"
+
+namespace ev8
+{
+
+/** The sampling configuration, shared by a whole grid run. */
+struct SampleSpec
+{
+    static constexpr uint64_t kDefaultWindowBranches = 16384;
+
+    bool active = false;         //!< mode == "phase"
+    uint64_t budget = 0;         //!< measured branches (base scale)
+    uint64_t windowBranches = kDefaultWindowBranches;
+    uint64_t warmupBranches = kDefaultWindowBranches;
+    uint64_t seed = 1;
+    uint32_t maxPhases = 16;
+
+    bool operator==(const SampleSpec &) const = default;
+};
+
+/**
+ * Reads the EV8_SAMPLE_* knobs. Unset mode (or "off") returns an
+ * inactive spec; mode=phase without EV8_SAMPLE_BUDGET, or any
+ * malformed knob, is a hard usage error (stderr + exit 2).
+ */
+SampleSpec sampleSpecFromEnv();
+
+/** One selected window plus its warmup prefix. */
+struct SampledWindow
+{
+    uint32_t index = 0;           //!< index into PhaseMap::windows
+    uint32_t phaseId = 0;
+    uint64_t warmupBlockBegin = 0; //!< warmup runs [this, blockBegin)
+    uint64_t blockBegin = 0;       //!< measured blocks [begin, end)
+    uint64_t blockEnd = 0;
+    uint64_t branchSeqBase = 0;    //!< flat branch index at blockBegin
+    uint64_t branches = 0;         //!< measured branches
+    uint64_t instrs = 0;           //!< measured instructions
+};
+
+struct SamplePlan
+{
+    /** Per-phase whole-trace totals (indexed by phase ID). */
+    struct PhaseTotals
+    {
+        uint64_t windows = 0;
+        uint64_t branches = 0;
+        uint64_t instrs = 0;
+    };
+
+    uint32_t phases = 0;           //!< phases in the map
+    uint64_t windowsTotal = 0;     //!< windows in the map
+    uint64_t budget = 0;           //!< scaled measured-branch budget
+    uint64_t warmupBranches = 0;   //!< spec echo
+    uint64_t seed = 0;             //!< spec echo
+    uint64_t totalBranches = 0;    //!< stream branch total
+    uint64_t totalInstructions = 0;
+    std::vector<PhaseTotals> totals;
+    std::vector<SampledWindow> windows; //!< sorted by blockBegin
+
+    /** Measured branches the plan will actually simulate. */
+    uint64_t
+    measuredBranches() const
+    {
+        uint64_t n = 0;
+        for (const SampledWindow &w : windows)
+            n += w.branches;
+        return n;
+    }
+};
+
+/**
+ * Builds the plan for @p map at measured budget @p budget (already
+ * rescaled for this benchmark). Deterministic in (map, budget, spec
+ * seed/warmup). At least one window is always selected.
+ */
+SamplePlan buildSamplePlan(const PhaseMap &map, const SampleSpec &spec,
+                           uint64_t budget);
+
+} // namespace ev8
+
+#endif // EV8_SIM_PHASE_SAMPLE_PLAN_HH

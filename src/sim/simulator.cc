@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdlib>
 #include <type_traits>
 
@@ -17,6 +18,7 @@
 #include "predictors/yags.hh"
 #include "sim/block_stream.hh"
 #include "sim/kernel.hh"
+#include "sim/phase/sample_plan.hh"
 
 namespace ev8
 {
@@ -65,6 +67,96 @@ bool
 genericKernelForced()
 {
     return strictEnvBool("EV8_GENERIC_KERNEL", false);
+}
+
+/**
+ * Turns the measured-window tallies of a sampled walk into the
+ * whole-trace estimate (stratified by phase).
+ *
+ * Each phase's misprediction *rate* (mispredictions per instruction)
+ * is pooled over its measured windows and scaled by the phase's
+ * whole-trace instruction total; a phase the plan could not afford a
+ * window for falls back to the overall measured rate. The 95%
+ * confidence half-width follows the standard stratified estimator:
+ * per-phase sample variance of the window rates, weighted by the
+ * squared phase instruction total over the window count. Everything
+ * iterates in deterministic (phase, window) order so the extrapolated
+ * artifact bytes are stable across --jobs and lane packing.
+ */
+void
+finalizeSampledResult(SimResult &result, const SamplePlan &plan,
+                      const std::vector<detail::SampledWindowTally>
+                          &tallies)
+{
+    struct PhaseAcc
+    {
+        uint64_t misp = 0;
+        uint64_t instrs = 0;
+        std::vector<double> rates; //!< per-window misp per instr
+    };
+    std::vector<PhaseAcc> acc(plan.phases);
+    uint64_t misp_measured = 0;
+    uint64_t instrs_measured = 0;
+    uint64_t branches_measured = 0;
+    for (const detail::SampledWindowTally &t : tallies) {
+        PhaseAcc &a = acc[t.phaseId];
+        a.misp += t.mispredictions;
+        a.instrs += t.instrs;
+        a.rates.push_back(t.instrs == 0
+                              ? 0.0
+                              : static_cast<double>(t.mispredictions)
+                                    / static_cast<double>(t.instrs));
+        misp_measured += t.mispredictions;
+        instrs_measured += t.instrs;
+        branches_measured += t.branches;
+    }
+    const double overall_rate = instrs_measured == 0
+        ? 0.0
+        : static_cast<double>(misp_measured)
+            / static_cast<double>(instrs_measured);
+
+    double est_misp = 0.0;
+    double variance = 0.0;
+    for (uint32_t p = 0; p < plan.phases; ++p) {
+        const PhaseAcc &a = acc[p];
+        const double phase_instrs =
+            static_cast<double>(plan.totals[p].instrs);
+        const double rate = a.instrs == 0
+            ? overall_rate
+            : static_cast<double>(a.misp)
+                / static_cast<double>(a.instrs);
+        est_misp += rate * phase_instrs;
+        const size_t n = a.rates.size();
+        if (n >= 2) {
+            double mean = 0.0;
+            for (double r : a.rates)
+                mean += r;
+            mean /= static_cast<double>(n);
+            double s2 = 0.0;
+            for (double r : a.rates)
+                s2 += (r - mean) * (r - mean);
+            s2 /= static_cast<double>(n - 1);
+            variance += phase_instrs * phase_instrs * s2
+                / static_cast<double>(n);
+        }
+    }
+
+    result.stats = PredictionStats{};
+    result.stats.tally(
+        plan.totalBranches,
+        static_cast<uint64_t>(std::llround(std::max(est_misp, 0.0))));
+    result.stats.setInstructions(plan.totalInstructions);
+
+    result.sampled.active = true;
+    result.sampled.phases = plan.phases;
+    result.sampled.windowsTotal = plan.windowsTotal;
+    result.sampled.windowsSimulated = tallies.size();
+    result.sampled.branchesSimulated = branches_measured;
+    result.sampled.warmupBranches = plan.warmupBranches;
+    result.sampled.ci95MispKI = plan.totalInstructions == 0
+        ? 0.0
+        : 1.96 * std::sqrt(variance)
+            / static_cast<double>(plan.totalInstructions) * 1000.0;
 }
 
 } // namespace
@@ -177,6 +269,140 @@ simulateStreamFused(const BlockStream &stream,
             BankScheduler sched;
             detail::dispatchFusedKernel<P>(stream, state.data(), cnt,
                                            config, sched);
+            if (!have_sched) {
+                metrics_sched = sched;
+                have_sched = true;
+            }
+        }
+    };
+
+    const bool generic =
+        config.forceGenericKernel || genericKernelForced();
+    if (!generic) {
+        run_bucket(std::type_identity<TwoBcGskewPredictor>{});
+        run_bucket(std::type_identity<GsharePredictor>{});
+        run_bucket(std::type_identity<Ev8Predictor>{});
+        run_bucket(std::type_identity<EgskewPredictor>{});
+        run_bucket(std::type_identity<BimodalPredictor>{});
+        run_bucket(std::type_identity<YagsPredictor>{});
+        run_bucket(std::type_identity<BimodePredictor>{});
+    }
+    run_bucket(std::type_identity<ConditionalBranchPredictor>{});
+
+    for (size_t i = 0; i < n; ++i) {
+        if (lanes[i].metrics) {
+            publishSimMetrics(*lanes[i].metrics, results[i], config,
+                              metrics_sched);
+        }
+    }
+    return results;
+}
+
+SimResult
+simulateStreamSampled(const BlockStream &stream,
+                      ConditionalBranchPredictor &predictor,
+                      const SimConfig &config, const SamplePlan &plan)
+{
+    predictor.enableStats(config.metrics != nullptr);
+
+    BankScheduler bank_sched;
+    std::vector<detail::SampledWindowTally> tallies;
+    SimResult result;
+
+    // Same devirtualization ladder as simulateStream(): the sampled
+    // walk reuses the exact kernel's range core, so every predictor
+    // class that has a specialized exact walk has a specialized
+    // sampled one too.
+    const bool generic =
+        config.forceGenericKernel || genericKernelForced();
+    if (generic) {
+        result = detail::dispatchSampledStreamKernel(
+            stream, predictor, config, bank_sched, plan, tallies);
+    } else if (auto *p = dynamic_cast<TwoBcGskewPredictor *>(&predictor)) {
+        result = detail::dispatchSampledStreamKernel(
+            stream, *p, config, bank_sched, plan, tallies);
+    } else if (auto *p = dynamic_cast<GsharePredictor *>(&predictor)) {
+        result = detail::dispatchSampledStreamKernel(
+            stream, *p, config, bank_sched, plan, tallies);
+    } else if (auto *p = dynamic_cast<Ev8Predictor *>(&predictor)) {
+        result = detail::dispatchSampledStreamKernel(
+            stream, *p, config, bank_sched, plan, tallies);
+    } else if (auto *p = dynamic_cast<EgskewPredictor *>(&predictor)) {
+        result = detail::dispatchSampledStreamKernel(
+            stream, *p, config, bank_sched, plan, tallies);
+    } else if (auto *p = dynamic_cast<BimodalPredictor *>(&predictor)) {
+        result = detail::dispatchSampledStreamKernel(
+            stream, *p, config, bank_sched, plan, tallies);
+    } else {
+        result = detail::dispatchSampledStreamKernel(
+            stream, predictor, config, bank_sched, plan, tallies);
+    }
+
+    finalizeSampledResult(result, plan, tallies);
+
+    if (config.metrics)
+        publishSimMetrics(*config.metrics, result, config, bank_sched);
+
+    return result;
+}
+
+std::vector<SimResult>
+simulateStreamFusedSampled(const BlockStream &stream,
+                           const std::vector<FusedLane> &lanes,
+                           const SimConfig &config,
+                           const SamplePlan &plan)
+{
+    const size_t n = lanes.size();
+    std::vector<SimResult> results(n);
+    if (n == 0)
+        return results;
+
+    for (const FusedLane &lane : lanes)
+        lane.predictor->enableStats(lane.metrics != nullptr);
+
+    std::vector<char> claimed(n, 0);
+
+    BankScheduler metrics_sched;
+    bool have_sched = false;
+
+    auto run_bucket = [&]<class P>(std::type_identity<P>) {
+        std::vector<size_t> members;
+        for (size_t i = 0; i < n; ++i) {
+            if (claimed[i])
+                continue;
+            if constexpr (std::is_same_v<P, ConditionalBranchPredictor>) {
+                members.push_back(i);
+                claimed[i] = 1;
+            } else if (dynamic_cast<P *>(lanes[i].predictor)) {
+                members.push_back(i);
+                claimed[i] = 1;
+            }
+        }
+        for (size_t beg = 0; beg < members.size();
+             beg += kMaxFusedLanes) {
+            const size_t cnt =
+                std::min(kMaxFusedLanes, members.size() - beg);
+            std::array<detail::FusedLaneState<P>, kMaxFusedLanes> state;
+            for (size_t k = 0; k < cnt; ++k) {
+                const size_t i = members[beg + k];
+                state[k].predictor =
+                    static_cast<P *>(lanes[i].predictor);
+                state[k].result = &results[i];
+                state[k].events = lanes[i].events;
+                // The sampled walk toggles stats off for warmup
+                // ranges and back to this after.
+                state[k].statsWanted = lanes[i].metrics != nullptr;
+            }
+            BankScheduler sched;
+            std::vector<std::vector<detail::SampledWindowTally>>
+                tallies;
+            detail::dispatchSampledFusedKernel<P>(
+                stream, state.data(), cnt, config, sched, plan,
+                tallies);
+            for (size_t k = 0; k < cnt; ++k) {
+                finalizeSampledResult(results[members[beg + k]], plan,
+                                      tallies[k]);
+            }
             if (!have_sched) {
                 metrics_sched = sched;
                 have_sched = true;

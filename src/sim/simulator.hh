@@ -33,6 +33,7 @@ namespace ev8
 class BlockStream;    // sim/block_stream.hh
 class MetricRegistry; // obs/metrics.hh
 class MispredictSink; // obs/event_trace.hh
+struct SamplePlan;    // sim/phase/sample_plan.hh
 
 /** Which history register feeds hist.indexHist (Fig. 7's axis). */
 enum class HistoryMode
@@ -91,6 +92,24 @@ struct SimConfig
     }
 };
 
+/**
+ * Per-cell summary of a sampled (stratified) run. Inactive (all zeros)
+ * for exact runs, so exact-mode artifacts are unchanged by presence of
+ * the sampling layer.
+ */
+struct SampledCellInfo
+{
+    bool active = false;
+    uint32_t phases = 0;            //!< phases in the trace's map
+    uint64_t windowsTotal = 0;      //!< windows in the trace's map
+    uint64_t windowsSimulated = 0;  //!< measured windows run
+    uint64_t branchesSimulated = 0; //!< measured branches run
+    uint64_t warmupBranches = 0;    //!< warmup budget per window
+    double ci95MispKI = 0.0;        //!< stratified 95% CI half-width
+
+    bool operator==(const SampledCellInfo &) const = default;
+};
+
 /** Result of one (trace, predictor, config) simulation. */
 struct SimResult
 {
@@ -98,6 +117,15 @@ struct SimResult
     uint64_t fetchBlocks = 0;    //!< fetch blocks reconstructed
     uint64_t lghistBits = 0;     //!< history bits inserted (Table 3)
     uint64_t condBranches = 0;   //!< conditional branches simulated
+
+    /**
+     * Sampled-mode summary. When active, `stats` carries the
+     * whole-trace extrapolation (lookups = the full branch total,
+     * mispredictions = the stratified estimate) while fetchBlocks /
+     * lghistBits / condBranches / branchesPerBlock tally only the
+     * measured windows.
+     */
+    SampledCellInfo sampled;
 
     /** Fetch blocks holding exactly k conditional branches (k = 0..8). */
     std::array<uint64_t, 9> branchesPerBlock{};
@@ -173,6 +201,26 @@ struct FusedLane
 std::vector<SimResult> simulateStreamFused(
     const BlockStream &stream, const std::vector<FusedLane> &lanes,
     const SimConfig &config);
+
+/**
+ * Sampled sibling of simulateStream(): runs only @p plan's windows
+ * (each primed by its warmup prefix, stats gated off during warmup)
+ * and extrapolates whole-trace stats per phase, with a stratified 95%
+ * confidence interval in SimResult::sampled. Same devirtualized
+ * dispatch as the exact path.
+ */
+SimResult simulateStreamSampled(const BlockStream &stream,
+                                ConditionalBranchPredictor &predictor,
+                                const SimConfig &config,
+                                const SamplePlan &plan);
+
+/**
+ * Sampled sibling of simulateStreamFused(): one windowed walk drives
+ * every lane, group steppers and SIMD lane stepping unchanged.
+ */
+std::vector<SimResult> simulateStreamFusedSampled(
+    const BlockStream &stream, const std::vector<FusedLane> &lanes,
+    const SimConfig &config, const SamplePlan &plan);
 
 } // namespace ev8
 

@@ -35,6 +35,33 @@ SuiteRunner::blockStream(size_t i)
     return cache_.stream(bench.profile, bench.branchesAt(baseBranches_));
 }
 
+const SamplePlan *
+SuiteRunner::samplePlan(size_t i)
+{
+    if (!sampleSpec_.active)
+        return nullptr;
+    PlanEntry *entry;
+    {
+        std::lock_guard<std::mutex> lock(planMutex_);
+        if (planEntries_.size() < size())
+            planEntries_.resize(size());
+        if (!planEntries_[i])
+            planEntries_[i] = std::make_unique<PlanEntry>();
+        entry = planEntries_[i].get();
+    }
+    std::call_once(entry->once, [&] {
+        const Benchmark &bench = specint95Suite()[i];
+        const PhaseMap &map = cache_.phases(
+            bench.profile, bench.branchesAt(baseBranches_),
+            sampleSpec_.windowBranches, sampleSpec_.maxPhases);
+        // The measured-branch budget scales per benchmark by the same
+        // Table 2 weight as the branch budget itself.
+        entry->plan = buildSamplePlan(
+            map, sampleSpec_, bench.branchesAt(sampleSpec_.budget));
+    });
+    return &entry->plan;
+}
+
 ExperimentEngine &
 SuiteRunner::engine()
 {
@@ -67,6 +94,17 @@ SuiteRunner::runGrid(const std::vector<GridRow> &rows)
     failures_.insert(failures_.end(), outcome.failures.begin(),
                      outcome.failures.end());
     resumedCells_ += outcome.resumedCells;
+    // Sampled-cell summaries accumulate row-major like failures, so
+    // the exported "sampling.cells" order is deterministic whatever
+    // the pool width or fuse grouping.
+    for (size_t ri = 0; ri < rows.size(); ++ri) {
+        for (const BenchResult &r : outcome.results[ri]) {
+            if (!r.failed && r.sim.sampled.active) {
+                sampledCells_.push_back(
+                    {rows[ri].label, r.bench, r.sim.sampled});
+            }
+        }
+    }
     return outcome;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "predictors/predictor.hh"
+#include "sim/phase/sample_plan.hh"
 #include "sim/simulator.hh"
 #include "sim/trace_cache.hh"
 #include "trace/trace.hh"
@@ -169,6 +170,24 @@ class SuiteRunner
      */
     const std::vector<CellFailure> &failures() const { return failures_; }
 
+    /**
+     * One sampled cell's identity plus its coverage/CI summary, in
+     * submission order across batches -- the artifact's
+     * "sampling.cells" rows. Empty in exact mode.
+     */
+    struct SampledCell
+    {
+        std::string rowLabel;
+        std::string bench;
+        SampledCellInfo info;
+    };
+
+    const std::vector<SampledCell> &
+    sampledCells() const
+    {
+        return sampledCells_;
+    }
+
     /** Cells restored from checkpoint journals, across batches. */
     uint64_t resumedCells() const { return resumedCells_; }
 
@@ -189,6 +208,28 @@ class SuiteRunner
     uint64_t baseBranches() const { return baseBranches_; }
 
     /**
+     * Switches subsequent grids between exact and sampled execution.
+     * An active spec makes every cell run only its benchmark's sample
+     * plan windows (phase maps come from the trace cache's sidecar
+     * layer; plans are built once per benchmark). The spec's budget is
+     * the *suite-relative* measured-branch target: each benchmark's
+     * share is scaled by its Table 2 weight exactly like the branch
+     * budget itself, so `--sample-budget N` is comparable to
+     * `--branches N`. Call before the first run; switching between
+     * batches is allowed (plans cache per spec-independent key).
+     */
+    void setSampleSpec(const SampleSpec &spec) { sampleSpec_ = spec; }
+
+    const SampleSpec &sampleSpec() const { return sampleSpec_; }
+
+    /**
+     * The i-th benchmark's stratified sample plan, or null when
+     * sampling is off. Built (and its phase map loaded or computed)
+     * on first use; thread-safe like trace().
+     */
+    const SamplePlan *samplePlan(size_t i);
+
+    /**
      * Arithmetic mean of misp/KI over a result set, skipping failed
      * cells. NaN when every cell failed (exporters render that as
      * JSON null / CSV "--"); 0.0 on an empty set.
@@ -196,13 +237,23 @@ class SuiteRunner
     static double averageMispKI(const std::vector<BenchResult> &results);
 
   private:
+    struct PlanEntry
+    {
+        std::once_flag once;
+        SamplePlan plan;
+    };
+
     uint64_t baseBranches_;
     unsigned jobs_; //!< requested width; 0 = engine default
     TraceCache cache_;
     std::once_flag engineOnce_;
     std::unique_ptr<ExperimentEngine> engine_;
     std::vector<CellFailure> failures_; //!< cumulative across batches
+    std::vector<SampledCell> sampledCells_; //!< cumulative, in order
     uint64_t resumedCells_ = 0;
+    SampleSpec sampleSpec_;
+    std::mutex planMutex_; //!< guards planEntries_ map shape only
+    std::vector<std::unique_ptr<PlanEntry>> planEntries_;
 };
 
 } // namespace ev8

@@ -143,7 +143,8 @@ TraceCache::noteWriteError(const std::string &path,
 void
 TraceCache::persist(
     const std::string &path,
-    const std::function<void(const std::string &)> &write) const
+    const std::function<void(const std::string &)> &write,
+    FaultPoint write_point) const
 {
     // Best effort: a read-only or full cache directory must not fail
     // the experiment. Temp file + rename keeps concurrent processes
@@ -156,7 +157,7 @@ TraceCache::persist(
         fs::create_directories(dir_);
         const std::string tmp =
             path + ".tmp." + std::to_string(::getpid());
-        faults.maybeThrow(FaultPoint::CacheWrite, path);
+        faults.maybeThrow(write_point, path);
         write(tmp);
         if (faults.fires(FaultPoint::CacheShortWrite, path)) {
             // Publish a torn file under the real name: the verifying
@@ -237,7 +238,7 @@ TraceCache::load(const WorkloadProfile &profile, uint64_t branches) const
     if (!path.empty()) {
         persist(path, [&](const std::string &tmp) {
             writeTraceFile(tmp, trace);
-        });
+        }, FaultPoint::CacheWrite);
     }
     return trace;
 }
@@ -284,9 +285,96 @@ TraceCache::loadStream(const WorkloadProfile &profile, uint64_t branches)
     if (!path.empty()) {
         persist(path, [&](const std::string &tmp) {
             writeBlockStreamFile(tmp, stream);
-        });
+        }, FaultPoint::CacheWrite);
     }
     return stream;
+}
+
+std::string
+TraceCache::phaseFilePath(const WorkloadProfile &profile,
+                          uint64_t branches, uint64_t window_branches,
+                          uint32_t max_phases) const
+{
+    if (dir_.empty())
+        return "";
+    char tail[128];
+    std::snprintf(tail, sizeof(tail),
+                  "-%016llx-b%llu-w%llu-p%u-v%u.ev8p",
+                  static_cast<unsigned long long>(profileHash(profile)),
+                  static_cast<unsigned long long>(branches),
+                  static_cast<unsigned long long>(window_branches),
+                  max_phases, PhaseMap::kFormatVersion);
+    return dir_ + "/phase-" + profile.name + tail;
+}
+
+PhaseMap
+TraceCache::loadPhases(const WorkloadProfile &profile, uint64_t branches,
+                       uint64_t window_branches, uint32_t max_phases)
+{
+    const std::string path =
+        phaseFilePath(profile, branches, window_branches, max_phases);
+    ScopedSpan span(SpanPhase::CacheLoad);
+    span.rename("cache:phases:" + profile.name);
+    span.arg("kind", "phases");
+    span.arg("bench", profile.name);
+
+    if (!path.empty()) {
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec) && !ec) {
+            try {
+                FaultInjector::global().maybeThrow(
+                    FaultPoint::SidecarRead, path);
+                PhaseMap map = readPhaseMapFile(path);
+                // Trust but verify: the name encodes the content key,
+                // but a torn write or a hand-edited sidecar must be
+                // rejected and rebuilt, never poison the sampler.
+                if (map.name == profile.name
+                    && map.branches == branches
+                    && map.windowBranches == window_branches
+                    && map.maxPhases == max_phases) {
+                    span.arg("hit", uint64_t{1});
+                    return map;
+                }
+                noteReadError(path, "key/content mismatch");
+            } catch (const std::exception &err) {
+                noteReadError(path, err.what());
+            }
+        }
+    }
+
+    // Sidecar miss: rebuild from the stream (which has its own cache
+    // layers, so a warm .ev8s still skips synthesis and decode).
+    span.arg("hit", uint64_t{0});
+    PhaseMap map = buildPhaseMap(stream(profile, branches),
+                                 window_branches, max_phases);
+
+    if (!path.empty()) {
+        persist(path, [&](const std::string &tmp) {
+            writePhaseMapFile(tmp, map);
+        }, FaultPoint::SidecarWrite);
+    }
+    return map;
+}
+
+const PhaseMap &
+TraceCache::phases(const WorkloadProfile &profile, uint64_t branches,
+                   uint64_t window_branches, uint32_t max_phases)
+{
+    PhaseEntry *entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::unique_ptr<PhaseEntry> &slot =
+            phaseEntries_[{profileHash(profile), branches,
+                           window_branches, max_phases}];
+        if (!slot)
+            slot = std::make_unique<PhaseEntry>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&] {
+        entry->map = loadPhases(profile, branches, window_branches,
+                                max_phases);
+    });
+    return entry->map;
 }
 
 void

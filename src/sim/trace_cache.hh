@@ -47,16 +47,19 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <utility>
 
 #include "sim/block_stream.hh"
+#include "sim/phase/phase_map.hh"
 #include "trace/trace.hh"
 #include "workloads/synthetic_program.hh"
 
 namespace ev8
 {
 
-class MetricRegistry; // obs/metrics.hh
+class MetricRegistry;  // obs/metrics.hh
+enum class FaultPoint; // sim/fault_injection.hh
 
 class TraceCache
 {
@@ -115,6 +118,22 @@ class TraceCache
                               uint64_t branches);
 
     /**
+     * The phase map of @p profile's stream at @p branches, tiled at
+     * @p window_branches per window and classified with at most
+     * @p max_phases phases. Built exactly once per key (once_flag) and
+     * persisted as a `phase-...` sidecar next to the .ev8s file when
+     * the disk layer is on: content-hash keyed, atomic temp-file +
+     * rename writes, trust-but-verify reads. A stale or corrupt
+     * sidecar is discarded (readErrorCount()) and rebuilt from the
+     * stream; the sidecar_read/sidecar_write fault points exercise
+     * both paths. Thread-safe; the reference stays valid for the
+     * cache's lifetime.
+     */
+    const PhaseMap &phases(const WorkloadProfile &profile,
+                           uint64_t branches, uint64_t window_branches,
+                           uint32_t max_phases);
+
+    /**
      * The cache file this (profile, budget) key maps to, or "" when the
      * disk layer is disabled. Exposed for tests and tooling.
      */
@@ -124,6 +143,12 @@ class TraceCache
     /** Like filePath(), for the pre-decoded block stream (.ev8s). */
     std::string streamFilePath(const WorkloadProfile &profile,
                                uint64_t branches) const;
+
+    /** Like filePath(), for the phase-map sidecar (.ev8p). */
+    std::string phaseFilePath(const WorkloadProfile &profile,
+                              uint64_t branches,
+                              uint64_t window_branches,
+                              uint32_t max_phases) const;
 
     const std::string &dir() const { return dir_; }
 
@@ -187,18 +212,29 @@ class TraceCache
         BlockStream stream;
     };
 
+    struct PhaseEntry
+    {
+        std::once_flag once;
+        PhaseMap map;
+    };
+
     Trace load(const WorkloadProfile &profile, uint64_t branches) const;
     BlockStream loadStream(const WorkloadProfile &profile,
                            uint64_t branches);
+    PhaseMap loadPhases(const WorkloadProfile &profile,
+                        uint64_t branches, uint64_t window_branches,
+                        uint32_t max_phases);
 
     /**
      * Best-effort persist: @p write fills a temp file that is atomically
      * renamed to @p path. Any failure (including injected faults) is
-     * counted, warned about once, and swallowed.
+     * counted, warned about once, and swallowed. @p write_point is the
+     * fault-injection hook consulted before the write (CacheWrite for
+     * trace/stream files, SidecarWrite for phase sidecars).
      */
     void persist(const std::string &path,
-                 const std::function<void(const std::string &)> &write)
-        const;
+                 const std::function<void(const std::string &)> &write,
+                 FaultPoint write_point) const;
 
     void noteReadError(const std::string &path,
                        const std::string &why) const;
@@ -212,6 +248,9 @@ class TraceCache
         entries_;
     std::map<std::pair<uint64_t, uint64_t>, std::unique_ptr<StreamEntry>>
         streamEntries_;
+    std::map<std::tuple<uint64_t, uint64_t, uint64_t, uint32_t>,
+             std::unique_ptr<PhaseEntry>>
+        phaseEntries_;
     mutable std::atomic<uint64_t> generated_{0};
     mutable std::atomic<uint64_t> diskHits_{0};
     mutable std::atomic<uint64_t> decoded_{0};

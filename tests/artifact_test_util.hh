@@ -72,14 +72,18 @@ maskJsonMember(std::string s, const std::string &key, char open,
 
 /**
  * Masks the timing-dependent artifact members ("telemetry" objects,
- * "attempt_ns" arrays) so the rest of the document can be compared byte
- * for byte across worker counts, kernels, caches and resumes.
+ * "attempt_ns" arrays) plus the mode-dependent "sampling" block (its
+ * values are deterministic but it exists only in sampled runs, so
+ * exact-vs-sampled comparisons must ignore it) so the rest of the
+ * document can be compared byte for byte across worker counts,
+ * kernels, caches and resumes.
  */
 inline std::string
 maskTimingDependent(std::string json)
 {
     json = maskJsonMember(std::move(json), "telemetry", '{', '}');
     json = maskJsonMember(std::move(json), "attempt_ns", '[', ']');
+    json = maskJsonMember(std::move(json), "sampling", '{', '}');
     return json;
 }
 

@@ -71,7 +71,7 @@ TEST(FaultInjector, ParsesEveryPointName)
     for (const char *spec :
          {"job", "die", "cache_read", "cache_write", "cache_rename",
           "cache_short_write", "ckpt_read", "ckpt_write",
-          "ckpt_corrupt"}) {
+          "ckpt_corrupt", "sidecar_read", "sidecar_write"}) {
         EXPECT_TRUE(FaultInjector{std::string(spec)}.enabled()) << spec;
     }
 }
@@ -162,6 +162,10 @@ TEST(FaultInjector, PointNamesMatchSpecSpelling)
                  "cache_short_write");
     EXPECT_STREQ(FaultInjector::pointName(FaultPoint::CkptCorrupt),
                  "ckpt_corrupt");
+    EXPECT_STREQ(FaultInjector::pointName(FaultPoint::SidecarRead),
+                 "sidecar_read");
+    EXPECT_STREQ(FaultInjector::pointName(FaultPoint::SidecarWrite),
+                 "sidecar_write");
 }
 
 TEST(FaultInjector, ProbabilityIsDeterministicPerSeed)

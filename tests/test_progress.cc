@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the --progress ETA formatter. The estimate is a pure
+ * function of the meter's counters, so the edge cases that used to
+ * produce nonsense output -- nothing completed yet, a single-cell
+ * grid, more workers than remaining cells -- are pinned down here
+ * without spawning any threads or rendering to stderr.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/progress.hh"
+
+namespace ev8
+{
+namespace
+{
+
+constexpr uint64_t kSecNs = 1'000'000'000;
+
+TEST(ProgressEtaTest, NoEstimateBeforeFirstCompletion)
+{
+    EXPECT_LT(ProgressMeter::etaSeconds(10, 0, 0, 0, 4), 0.0);
+}
+
+TEST(ProgressEtaTest, NoEstimateWhenOnlyFailuresCompleted)
+{
+    // Two cells done, both failed: no duration sample exists.
+    EXPECT_LT(ProgressMeter::etaSeconds(10, 2, 2, 0, 4), 0.0);
+}
+
+TEST(ProgressEtaTest, NoEstimateOnSingleCellGrid)
+{
+    // The only sample would be the cell being predicted.
+    EXPECT_LT(ProgressMeter::etaSeconds(1, 0, 0, 0, 4), 0.0);
+    EXPECT_LT(ProgressMeter::etaSeconds(1, 1, 0, kSecNs, 4), 0.0);
+}
+
+TEST(ProgressEtaTest, NoEstimateWhenNothingRemains)
+{
+    EXPECT_LT(ProgressMeter::etaSeconds(8, 8, 0, 8 * kSecNs, 4), 0.0);
+}
+
+TEST(ProgressEtaTest, NoEstimateOnZeroCellBatch)
+{
+    EXPECT_LT(ProgressMeter::etaSeconds(0, 0, 0, 0, 4), 0.0);
+}
+
+TEST(ProgressEtaTest, NoEstimateWithoutObservedDuration)
+{
+    // A completed cell whose measured duration rounded to zero gives
+    // no basis for extrapolation (and must not print "ETA 0s").
+    EXPECT_LT(ProgressMeter::etaSeconds(10, 1, 0, 0, 4), 0.0);
+}
+
+TEST(ProgressEtaTest, ExtrapolatesMeanOverRemainingCells)
+{
+    // 4 done at 2s each, 6 remaining, 1 worker: 12s.
+    EXPECT_DOUBLE_EQ(
+        ProgressMeter::etaSeconds(10, 4, 0, 4 * 2 * kSecNs, 1), 12.0);
+}
+
+TEST(ProgressEtaTest, SpreadsRemainingWorkAcrossWorkers)
+{
+    // 6 remaining over 3 workers: two waves of 2s.
+    EXPECT_DOUBLE_EQ(
+        ProgressMeter::etaSeconds(10, 4, 0, 4 * 2 * kSecNs, 3), 4.0);
+}
+
+TEST(ProgressEtaTest, WorkersClampedToRemainingCells)
+{
+    // 1 cell left: 8 idle workers cannot speed it up.
+    EXPECT_DOUBLE_EQ(
+        ProgressMeter::etaSeconds(10, 9, 0, 9 * 2 * kSecNs, 8), 2.0);
+}
+
+TEST(ProgressEtaTest, ZeroWorkersTreatedAsOne)
+{
+    // Before any worker registered a current cell the slot list is
+    // empty; the estimate still assumes one lane.
+    EXPECT_DOUBLE_EQ(
+        ProgressMeter::etaSeconds(4, 2, 0, 2 * kSecNs, 0), 2.0);
+}
+
+TEST(ProgressEtaTest, FailedCellsExcludedFromMean)
+{
+    // 3 done but 1 failed: mean over the 2 successes (3s each).
+    EXPECT_DOUBLE_EQ(
+        ProgressMeter::etaSeconds(5, 3, 1, 2 * 3 * kSecNs, 1), 6.0);
+}
+
+TEST(ProgressEtaTest, DefensiveOnInconsistentCounters)
+{
+    // failed > done cannot happen via the public hooks; the formatter
+    // still refuses rather than underflowing.
+    EXPECT_LT(ProgressMeter::etaSeconds(10, 1, 2, kSecNs, 4), 0.0);
+}
+
+} // namespace
+} // namespace ev8

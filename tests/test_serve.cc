@@ -93,12 +93,13 @@ callErr(PredictionServer &server, const std::string &request)
 }
 
 std::string
-openReq(const std::string &session, bool timing = false)
+openReq(const std::string &session, bool timing = false,
+        const std::string &grid = "fig5")
 {
     ServeRequest req;
     req.op = "open";
     req.session = session;
-    req.grid = "fig5";
+    req.grid = grid;
     req.wantEvents = false;
     req.wantMetrics = true;
     req.timing = timing;
@@ -139,13 +140,19 @@ decodeCells(const JsonValue &done, size_t expect)
     return out;
 }
 
-TEST(Serve, ServedCellsMatchDirectBatchRun)
+/**
+ * Serve parity for one registered grid: a served session's cells must
+ * be identical to a direct batch runGrid() over the same definition.
+ */
+void
+expectServeParity(const std::string &grid_id)
 {
+    SCOPED_TRACE(grid_id);
     ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
     ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
     ScopedEnv noCkpt("EV8_CHECKPOINT_DIR", nullptr);
 
-    const GridSpec *grid = findGrid("fig5");
+    const GridSpec *grid = findGrid(grid_id);
     ASSERT_NE(grid, nullptr);
 
     // Direct batch reference over the same grid definition.
@@ -159,7 +166,9 @@ TEST(Serve, ServedCellsMatchDirectBatchRun)
     ASSERT_TRUE(direct.ok());
 
     PredictionServer server(ServeLimits{}, 2);
-    const JsonValue done = runSession(server, "s1");
+    callOk(server, openReq("s1", false, grid_id));
+    callOk(server, sessionReq("start", "s1"));
+    const JsonValue done = callOk(server, sessionReq("wait", "s1"));
     const auto cells =
         decodeCells(done, grid->rows.size() * nbench);
     EXPECT_TRUE(done.at("failures").items.empty());
@@ -179,6 +188,58 @@ TEST(Serve, ServedCellsMatchDirectBatchRun)
         EXPECT_EQ(got.sim.fetchBlocks, want.sim.fetchBlocks) << i;
     }
     EXPECT_EQ(server.failedCellsTotal(), 0u);
+}
+
+TEST(Serve, ServedCellsMatchDirectBatchRun)
+{
+    expectServeParity("fig5");
+}
+
+TEST(Serve, Fig7GridServesWithBatchParity)
+{
+    expectServeParity("fig7");
+}
+
+TEST(Serve, Fig8GridServesWithBatchParity)
+{
+    expectServeParity("fig8");
+}
+
+TEST(Serve, Fig7PresetsResolveTheInformationVectorLadder)
+{
+    const GridSpec *grid = findGrid("fig7");
+    ASSERT_NE(grid, nullptr);
+    ASSERT_EQ(grid->rows.size(), 5u);
+
+    const SimConfig ghist = rowBaseConfig(*grid, grid->rows[0]);
+    EXPECT_EQ(ghist.history, HistoryMode::Ghist);
+
+    const SimConfig nopath = rowBaseConfig(*grid, grid->rows[1]);
+    EXPECT_EQ(nopath.history, HistoryMode::LghistNoPath);
+    EXPECT_EQ(nopath.historyAge, 0u);
+
+    const SimConfig path = rowBaseConfig(*grid, grid->rows[2]);
+    EXPECT_EQ(path.history, HistoryMode::LghistPath);
+    EXPECT_EQ(path.historyAge, 0u);
+
+    const SimConfig old3 = rowBaseConfig(*grid, grid->rows[3]);
+    EXPECT_EQ(old3.history, HistoryMode::LghistPath);
+    EXPECT_EQ(old3.historyAge, 3u);
+    EXPECT_FALSE(old3.assignBanks);
+
+    const SimConfig ev8 = rowBaseConfig(*grid, grid->rows[4]);
+    EXPECT_EQ(ev8.history, HistoryMode::LghistPath);
+    EXPECT_EQ(ev8.historyAge, 3u);
+    EXPECT_TRUE(ev8.assignBanks);
+
+    // Fig. 8 rows all share the grid's EV8 preset; the three table
+    // sizes must be strictly decreasing in storage.
+    const GridSpec *fig8 = findGrid("fig8");
+    ASSERT_NE(fig8, nullptr);
+    const std::vector<uint64_t> bits = gridStorageBits(*fig8);
+    ASSERT_EQ(bits.size(), 3u);
+    EXPECT_GT(bits[0], bits[1]);
+    EXPECT_GT(bits[1], bits[2]);
 }
 
 TEST(Serve, SnapshotReportsStructuredLiveState)
@@ -262,6 +323,47 @@ TEST(Serve, ProtocolErrorsAreStructured)
     callOk(server, sessionReq("start", "b"));
     callOk(server, sessionReq("wait", "a"));
     callOk(server, sessionReq("wait", "b"));
+}
+
+TEST(Serve, DeliveredSessionsRetireToAdmitNewClients)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+    ScopedEnv noCkpt("EV8_CHECKPOINT_DIR", nullptr);
+
+    ServeLimits limits;
+    limits.maxSessions = 2;
+    PredictionServer server(limits, 2);
+
+    // Sequential clients far past the admission limit: every wait
+    // delivers the full payload, so each open past the limit retires
+    // a finished session instead of refusing admission.
+    for (int i = 0; i < 5; ++i)
+        runSession(server, "seq" + std::to_string(i));
+
+    const JsonValue stats = callOk(server, "{\"op\":\"stats\"}");
+    EXPECT_EQ(stats.at("sessions_opened").number, 5.0);
+    EXPECT_EQ(stats.at("sessions_done").number, 5.0);
+    // At least the opens beyond the limit forced a retirement.
+    EXPECT_GE(stats.at("sessions_retired").number, 3.0);
+
+    // A retired session is gone: its per-session ops say so, and its
+    // name is free for reuse.
+    EXPECT_NE(callErr(server, sessionReq("wait", "seq0"))
+                  .find("unknown session"),
+              std::string::npos);
+    runSession(server, "seq0");
+
+    // Sessions that never delivered results are not retirable: two
+    // undelivered opens pin the table and the third is refused.
+    callOk(server, openReq("pin0"));
+    callOk(server, openReq("pin1"));
+    EXPECT_NE(callErr(server, openReq("pin2")).find("session limit"),
+              std::string::npos);
+    for (const char *pinned : {"pin0", "pin1"}) {
+        callOk(server, sessionReq("start", pinned));
+        callOk(server, sessionReq("wait", pinned));
+    }
 }
 
 TEST(Serve, SessionDropFailsOnlyTheTargetedSession)

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/block_stream.hh"
+#include "sim/phase/phase_map.hh"
 #include "sim/trace_cache.hh"
 #include "trace/trace_io.hh"
 #include "workloads/suite.hh"
@@ -412,6 +413,134 @@ TEST(TraceCacheFaults, TornStreamWriteIsRejectedOnReloadAndHealed)
     EXPECT_GE(reader.readErrorCount(), 1u);
     // And the reload healed the on-disk copy.
     EXPECT_TRUE(readBlockStreamFile(path) == expected);
+}
+
+constexpr uint64_t kPhaseWindow = 256;
+constexpr uint32_t kPhaseCap = 4;
+
+TEST(TraceCachePhases, SidecarPersistsAndReloads)
+{
+    ScratchDir dir("ev8_phase_sidecar_roundtrip");
+    PhaseMap expected;
+    std::string path;
+    {
+        TraceCache writer(dir.str());
+        expected = writer.phases(testProfile(), kTinyBranches,
+                                 kPhaseWindow, kPhaseCap);
+        path = writer.phaseFilePath(testProfile(), kTinyBranches,
+                                    kPhaseWindow, kPhaseCap);
+        ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    }
+    TraceCache reader(dir.str());
+    const PhaseMap &loaded = reader.phases(testProfile(), kTinyBranches,
+                                           kPhaseWindow, kPhaseCap);
+    EXPECT_EQ(loaded, expected);
+    EXPECT_EQ(reader.readErrorCount(), 0u);
+}
+
+TEST(TraceCachePhases, BuiltOncePerKeyAndDistinctPerKnobs)
+{
+    TraceCache cache("");
+    const PhaseMap &a =
+        cache.phases(testProfile(), kTinyBranches, kPhaseWindow, kPhaseCap);
+    const PhaseMap &b =
+        cache.phases(testProfile(), kTinyBranches, kPhaseWindow, kPhaseCap);
+    EXPECT_EQ(&a, &b);
+    // A different window budget or phase cap is a different map.
+    const PhaseMap &c = cache.phases(testProfile(), kTinyBranches,
+                                     2 * kPhaseWindow, kPhaseCap);
+    EXPECT_NE(&a, &c);
+    EXPECT_NE(a.windows.size(), c.windows.size());
+}
+
+TEST(TraceCachePhases, CorruptSidecarIsRebuiltAndHealed)
+{
+    ScratchDir dir("ev8_phase_sidecar_corrupt");
+    PhaseMap expected;
+    std::string path;
+    {
+        TraceCache writer(dir.str());
+        expected = writer.phases(testProfile(), kTinyBranches,
+                                 kPhaseWindow, kPhaseCap);
+        path = writer.phaseFilePath(testProfile(), kTinyBranches,
+                                    kPhaseWindow, kPhaseCap);
+    }
+    {
+        std::ofstream out(path, std::ios::trunc | std::ios::binary);
+        out << "EV8Pgarbage-not-a-phase-map";
+    }
+    TraceCache reader(dir.str());
+    const PhaseMap &recovered = reader.phases(
+        testProfile(), kTinyBranches, kPhaseWindow, kPhaseCap);
+    EXPECT_EQ(recovered, expected);
+    EXPECT_GE(reader.readErrorCount(), 1u);
+    // The rebuild healed the on-disk copy.
+    EXPECT_EQ(readPhaseMapFile(path), expected);
+}
+
+TEST(TraceCachePhases, StaleKeyMismatchSidecarIsRejected)
+{
+    ScratchDir dir("ev8_phase_sidecar_stale");
+    TraceCache writer(dir.str());
+    const PhaseMap expected = writer.phases(
+        testProfile(), kTinyBranches, kPhaseWindow, kPhaseCap);
+    const std::string path = writer.phaseFilePath(
+        testProfile(), kTinyBranches, kPhaseWindow, kPhaseCap);
+
+    // A well-formed sidecar whose *content* disagrees with the key its
+    // filename claims (window budget swapped) -- e.g. a hand-copied
+    // file. Must be rejected by verification, not trusted.
+    PhaseMap impostor = expected;
+    impostor.windowBranches = 2 * kPhaseWindow;
+    writePhaseMapFile(path, impostor);
+
+    TraceCache reader(dir.str());
+    const PhaseMap &recovered = reader.phases(
+        testProfile(), kTinyBranches, kPhaseWindow, kPhaseCap);
+    EXPECT_EQ(recovered, expected);
+    EXPECT_GE(reader.readErrorCount(), 1u);
+}
+
+TEST(TraceCachePhases, SidecarReadFaultRebuildsWithoutPoisoningExactPath)
+{
+    ScratchDir dir("ev8_phase_sidecar_read_fault");
+    PhaseMap expected;
+    BlockStream stream;
+    {
+        TraceCache writer(dir.str());
+        expected = writer.phases(testProfile(), kTinyBranches,
+                                 kPhaseWindow, kPhaseCap);
+        stream = writer.stream(testProfile(), kTinyBranches);
+    }
+
+    // Every sidecar read attempt fails; the stream cache is untouched.
+    ScopedEnv spec("EV8_FAULT_SPEC", "sidecar_read+*");
+    TraceCache reader(dir.str());
+    const PhaseMap &rebuilt = reader.phases(
+        testProfile(), kTinyBranches, kPhaseWindow, kPhaseCap);
+    EXPECT_EQ(rebuilt, expected);
+    EXPECT_GE(reader.readErrorCount(), 1u);
+    // The exact path still loads from its own disk layer: the sidecar
+    // fault never forces trace regeneration or stream re-decode.
+    EXPECT_TRUE(reader.stream(testProfile(), kTinyBranches) == stream);
+    EXPECT_EQ(reader.streamDiskHitCount(), 1u);
+    EXPECT_EQ(reader.generatedCount(), 0u);
+}
+
+TEST(TraceCachePhases, SidecarWriteFaultKeepsMapInMemory)
+{
+    ScratchDir dir("ev8_phase_sidecar_write_fault");
+    ScopedEnv spec("EV8_FAULT_SPEC", "sidecar_write+*");
+    TraceCache cache(dir.str());
+    const PhaseMap &map = cache.phases(
+        testProfile(), kTinyBranches, kPhaseWindow, kPhaseCap);
+    EXPECT_EQ(map.branches, kTinyBranches);
+    EXPECT_GE(cache.writeErrorCount(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(cache.phaseFilePath(
+        testProfile(), kTinyBranches, kPhaseWindow, kPhaseCap)));
+    // The exact-path artifacts still persisted normally.
+    EXPECT_TRUE(std::filesystem::exists(
+        cache.streamFilePath(testProfile(), kTinyBranches)));
 }
 
 } // namespace
