@@ -3,15 +3,33 @@
  * Prediction-as-a-service daemon: the experiment engine behind a
  * streaming protocol (serve/protocol.hh, schema ev8-serve-v1).
  *
- * Two transports share one PredictionServer:
+ * Three transports share one PredictionServer:
  *
- *  - `--socket=<path>`: listen on an AF_UNIX stream socket; each
- *    accepted connection gets its own thread, so N clients can open,
- *    stream and wait on sessions concurrently. The accept loop exits
- *    after a client sends {"op":"shutdown"}.
- *  - no `--socket`: stdio loopback -- requests on stdin, one reply per
- *    line on stdout, until EOF or shutdown. Combine with `--quiet` so
- *    the human banner does not interleave with protocol output.
+ *  - `--socket=<path>`: listen on an AF_UNIX stream socket.
+ *  - `--tcp=<host:port>`: listen on a TCP socket (port 0 binds an
+ *    ephemeral port; `--port-file` writes the bound port for scripts).
+ *    May be combined with `--socket` -- both listeners feed the same
+ *    accept loop and the same server, and the wire bytes are
+ *    identical, so artifacts cannot depend on the transport.
+ *  - neither: stdio loopback -- requests on stdin, one reply per line
+ *    on stdout, until EOF or shutdown. Combine with `--quiet` so the
+ *    human banner does not interleave with protocol output.
+ *
+ * Each accepted connection gets its own thread, so N clients can open,
+ * stream and wait on sessions concurrently. The accept loop exits
+ * after a client sends {"op":"shutdown"} -- or on SIGTERM/SIGINT,
+ * which triggers a graceful drain: no new sessions are admitted
+ * (typed "draining" refusals), in-flight sessions finish inside
+ * EV8_SERVE_DRAIN_MS (default 5000; stragglers past the deadline are
+ * force-expired with structured failure records), and the process
+ * exits by the usual fate table below -- 0 when everything served
+ * cleanly, 3 when any cell failed (including drain force-expiry).
+ *
+ * Hostile peers are survivable by construction: request lines are
+ * bounded (1 MiB) and NUL-free or the connection gets a typed error
+ * reply and is closed; with EV8_SERVE_IDLE_TIMEOUT_MS armed, vanished
+ * clients' connections and session leases are reclaimed on the
+ * EV8_SERVE_HEARTBEAT_MS cadence.
  *
  * The uniform bench surface applies: `--trace-out` captures the
  * serve.accept / serve.enqueue / serve.stall / serve.session_run /
@@ -21,77 +39,37 @@
  *
  * Exit codes (the shared bench table):
  *
- *     0  clean shutdown, every served cell completed
+ *     0  clean shutdown/drain, every served cell completed
  *     2  bad command line or environment knob
  *     3  served sessions recorded cell failures (partial results were
- *        delivered to their clients)
+ *        delivered to their clients, or a drain/lease expiry failed
+ *        abandoned cells)
  *     4  fatal transport error (socket bind/accept, artifact I/O)
  */
 
-#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "bench_common.hh"
 #include "common/env.hh"
+#include "serve/daemon.hh"
 #include "serve/server.hh"
-#include "serve_io.hh"
+#include "serve/transport.hh"
 
 using namespace ev8;
 
 namespace
 {
 
-/** One accepted connection: pump request lines until the peer hangs up. */
+volatile std::sig_atomic_t g_stop = 0;
+
 void
-serveConnection(PredictionServer &server, int fd)
+onStopSignal(int)
 {
-    serveio::LineChannel channel(fd);
-    std::string line;
-    while (channel.readLine(line)) {
-        if (!channel.writeLine(server.handle(line)))
-            return;
-        if (server.shutdownRequested())
-            return;
-    }
-}
-
-int
-runSocketDaemon(PredictionServer &server, const std::string &path)
-{
-    std::string err;
-    const int listen_fd = serveio::listenUnix(path, err);
-    if (listen_fd < 0) {
-        std::fprintf(stderr, "bench_serve: %s\n", err.c_str());
-        return kExitFatal;
-    }
-    if (!benchQuiet())
-        std::fprintf(stderr, "listening on %s\n", path.c_str());
-
-    std::vector<std::thread> connections;
-    int fate = kExitOk;
-    while (!server.shutdownRequested()) {
-        const int fd = serveio::acceptWithTimeout(listen_fd, 200);
-        if (fd == -1)
-            continue; // poll timeout: re-check the shutdown flag
-        if (fd == -2) {
-            std::fprintf(stderr, "bench_serve: accept: %s\n",
-                         std::strerror(errno));
-            fate = kExitFatal;
-            break;
-        }
-        connections.emplace_back(
-            [&server, fd] { serveConnection(server, fd); });
-    }
-    for (std::thread &t : connections)
-        t.join();
-    ::close(listen_fd);
-    ::unlink(path.c_str());
-    return fate;
+    g_stop = 1;
 }
 
 int
@@ -114,6 +92,8 @@ int
 main(int argc, char **argv)
 {
     std::string socketPath;
+    std::string tcpSpec;
+    std::string portFile;
     std::string maxSessions;
     const BenchOptionHandler extra = [&](const char *arg) {
         const auto value = [&](const char *opt) -> const char * {
@@ -124,6 +104,14 @@ main(int argc, char **argv)
         };
         if (const char *v = value("--socket")) {
             socketPath = v;
+            return true;
+        }
+        if (const char *v = value("--tcp")) {
+            tcpSpec = v;
+            return true;
+        }
+        if (const char *v = value("--port-file")) {
+            portFile = v;
             return true;
         }
         if (const char *v = value("--max-sessions")) {
@@ -137,6 +125,10 @@ main(int argc, char **argv)
         argc, argv, "Serve", "Prediction-as-a-service daemon", extra,
         "  --socket=<path>    listen on an AF_UNIX socket (default:\n"
         "                     stdio loopback; use with --quiet)\n"
+        "  --tcp=<host:port>  listen on a TCP socket (port 0 = pick an\n"
+        "                     ephemeral port); combinable with --socket\n"
+        "  --port-file=<path> write the bound TCP port, for scripts\n"
+        "                     that passed --tcp with port 0\n"
         "  --max-sessions=<N> admission limit, overrides\n"
         "                     EV8_SERVE_MAX_SESSIONS\n");
 
@@ -153,11 +145,71 @@ main(int argc, char **argv)
             return kExitUsage;
         }
     }
+
+    DaemonOptions opts;
+    opts.unixPath = socketPath;
+    opts.drainMs = strictEnvU64("EV8_SERVE_DRAIN_MS", 0, 600000, 5000);
+    opts.stopFlag = &g_stop;
+    if (!tcpSpec.empty()) {
+        std::string err;
+        if (!serveio::parseHostPort(tcpSpec, opts.tcpHost, opts.tcpPort,
+                                    err)) {
+            std::fprintf(stderr, "bench_serve: bad --tcp value: %s\n",
+                         err.c_str());
+            return kExitUsage;
+        }
+    }
+
     PredictionServer server(limits, ctx.args().jobs);
 
-    const int fate = socketPath.empty()
-        ? runStdioLoopback(server)
-        : runSocketDaemon(server, socketPath);
+    int fate = kExitOk;
+    if (socketPath.empty() && tcpSpec.empty()) {
+        fate = runStdioLoopback(server);
+    } else {
+        ServeDaemon daemon(server, opts);
+        std::string err;
+        if (!daemon.listen(err)) {
+            std::fprintf(stderr, "bench_serve: %s\n", err.c_str());
+            return kExitFatal;
+        }
+        if (!portFile.empty()) {
+            FILE *f = std::fopen(portFile.c_str(), "w");
+            if (!f) {
+                std::fprintf(stderr,
+                             "bench_serve: cannot write %s: %s\n",
+                             portFile.c_str(), std::strerror(errno));
+                return kExitFatal;
+            }
+            std::fprintf(f, "%u\n", unsigned{daemon.boundTcpPort()});
+            std::fclose(f);
+        }
+        if (!benchQuiet()) {
+            if (!socketPath.empty())
+                std::fprintf(stderr, "listening on %s\n",
+                             socketPath.c_str());
+            if (!tcpSpec.empty())
+                std::fprintf(stderr, "listening on %s:%u\n",
+                             opts.tcpHost.c_str(),
+                             unsigned{daemon.boundTcpPort()});
+        }
+
+        // Graceful drain on the conventional daemon stop signals. The
+        // handler only sets a flag; the accept loop notices within one
+        // poll tick.
+        std::signal(SIGTERM, onStopSignal);
+        std::signal(SIGINT, onStopSignal);
+
+        if (!daemon.run()) {
+            std::fprintf(stderr, "bench_serve: accept failed\n");
+            fate = kExitFatal;
+        }
+        if (g_stop && !benchQuiet()) {
+            std::fprintf(stderr, "drained on signal (%s)\n",
+                         daemon.drainedClean()
+                             ? "all sessions finished"
+                             : "stragglers force-expired");
+        }
+    }
 
     const uint64_t failed = server.failedCellsTotal();
     if (!benchQuiet()) {

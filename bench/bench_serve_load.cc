@@ -15,13 +15,26 @@
  *    snapshots while they run, and report aggregate throughput plus
  *    p50/p95/p99 RPC latency. The artifact rows carry the numbers.
  *
- * `--connect=<socket>` talks to a daemon; without it the client embeds
- * its own PredictionServer, which is the loopback used by tests (same
- * transport framing: the ring + packet codec still carry every block).
+ * `--connect=<socket>` talks to a daemon over AF_UNIX and
+ * `--connect-tcp=<host:port>` over TCP; without either the client
+ * embeds its own PredictionServer, which is the loopback used by tests
+ * (same transport framing: the ring + packet codec still carry every
+ * block). The artifacts are byte-identical across all three.
+ *
+ * Hostile-network behavior: connects retry with bounded exponential
+ * backoff (the EV8_RETRY_MAX / EV8_RETRY_BASE_MS envelope the cell
+ * executor already obeys); a typed busy refusal is retried after the
+ * server's retry_after_ms hint, up to EV8_RETRY_MAX times; a draining
+ * refusal is terminal ("go elsewhere"); and `--timeout=<ms>` puts an
+ * overall deadline on the run, enforced at every socket read.
  *
  * Exit codes: 0 clean, 2 bad usage/env, 3 the served session reported
  * cell failures (artifacts written, partial), 4 transport or artifact
- * I/O failure.
+ * I/O failure mid-run (the connection existed and then broke), 5 the
+ * daemon could not be reached at all (connection refused after
+ * retries), 6 the --timeout deadline expired, 7 the daemon shed the
+ * client (busy past retries, or draining). In load mode, when workers
+ * fail in different classes the highest-numbered class wins.
  */
 
 #include <algorithm>
@@ -43,7 +56,8 @@
 #include "serve/grids.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
-#include "serve_io.hh"
+#include "serve/transport.hh"
+#include "sim/cell_executor.hh"
 #include "sim/checkpoint.hh"
 #include "workloads/synthetic_program.hh"
 
@@ -52,27 +66,116 @@ using namespace ev8;
 namespace
 {
 
+// This binary's exit-code extensions past the shared bench table:
+// refused / timed out / shed are operationally different failures (is
+// the daemon down, is the network slow, or is it overloaded?) and
+// scripts branch on them.
+constexpr int kExitRefused = 5; //!< could not connect at all
+constexpr int kExitTimeout = 6; //!< the --timeout deadline expired
+constexpr int kExitShed = 7;    //!< daemon busy past retries / draining
+
+/** Connection could never be established (exit kExitRefused). */
+class RefusedError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The --timeout deadline expired (exit kExitTimeout). */
+class TimeoutError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The daemon shed the client: busy or draining (exit kExitShed). */
+class ShedError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** A typed {"ok":false,"busy":true,...} reply (internal; retried). */
+class BusyError : public std::runtime_error
+{
+  public:
+    BusyError(const std::string &what, uint64_t retry_after_ms)
+        : std::runtime_error(what), retryAfterMs(retry_after_ms)
+    {
+    }
+
+    uint64_t retryAfterMs;
+};
+
+using Clock = std::chrono::steady_clock;
+
+/** Where the daemon lives; neither field set = in-process loopback. */
+struct Endpoint
+{
+    std::string unixPath;
+    std::string tcpHost;
+    uint16_t tcpPort = 0;
+
+    bool tcp() const { return !tcpHost.empty(); }
+    bool remote() const { return tcp() || !unixPath.empty(); }
+
+    std::string
+    describe() const
+    {
+        return tcp() ? tcpHost + ":" + std::to_string(tcpPort)
+                     : unixPath;
+    }
+};
+
 /** One request/reply lane: in-process handle() or a socket channel. */
 class Rpc
 {
   public:
-    /** In-process lane over @p local. */
+    /** In-process lane over @p local (--timeout does not apply). */
     explicit Rpc(PredictionServer &local) : local_(&local) {}
 
-    /** Socket lane; throws std::runtime_error when connect fails. */
-    explicit Rpc(const std::string &path)
+    /**
+     * Socket lane. Connects with bounded exponential-backoff retries
+     * (EV8_RETRY_MAX attempts, EV8_RETRY_BASE_MS base); throws
+     * RefusedError when every attempt fails, TimeoutError when
+     * @p deadline (time_point{} = none) expires first.
+     */
+    Rpc(const Endpoint &endpoint, Clock::time_point deadline)
+        : endpoint_(endpoint), deadline_(deadline)
     {
+        const unsigned attempts = CellExecutor::retryMax();
+        const unsigned baseMs = CellExecutor::retryBaseMs();
         std::string err;
-        const int fd = serveio::connectUnix(path, err);
-        if (fd < 0)
-            throw std::runtime_error(err);
-        channel_ = std::make_unique<serveio::LineChannel>(fd);
+        for (unsigned a = 1;; ++a) {
+            const int fd = endpoint_.tcp()
+                ? serveio::connectTcp(endpoint_.tcpHost,
+                                      endpoint_.tcpPort, err)
+                : serveio::connectUnix(endpoint_.unixPath, err);
+            if (fd >= 0) {
+                channel_ = std::make_unique<serveio::LineChannel>(
+                    fd, serveio::kMaxReplyLine);
+                return;
+            }
+            if (a >= attempts) {
+                throw RefusedError("cannot connect to "
+                                   + endpoint_.describe() + " after "
+                                   + std::to_string(attempts)
+                                   + " attempt(s): " + err);
+            }
+            checkDeadline("connect");
+            // The cell executor's backoff discipline, reused verbatim:
+            // base << (attempt-1), capped at 1 s.
+            const uint64_t ms = std::min<uint64_t>(
+                uint64_t{baseMs} << (a - 1), 1000);
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        }
     }
 
     /**
      * Round-trips one request and returns the parsed reply object.
-     * Throws std::runtime_error on transport loss, malformed replies,
-     * and {"ok":false,...} errors.
+     * Throws std::runtime_error on transport loss and plain
+     * {"ok":false,...} errors, BusyError / ShedError on the typed
+     * refusals, TimeoutError past the deadline.
      */
     JsonValue
     call(const ServeRequest &req)
@@ -82,10 +185,20 @@ class Rpc
         if (local_) {
             reply = local_->handle(line);
         } else {
-            if (!channel_->writeLine(line)
-                || !channel_->readLine(reply)) {
+            if (!channel_->writeLine(line)) {
                 throw std::runtime_error(
                     "server connection lost during '" + req.op + "'");
+            }
+            const serveio::LineStatus st =
+                channel_->readLine(reply, remainingMs());
+            if (st == serveio::LineStatus::Timeout) {
+                throw TimeoutError("deadline expired waiting for '"
+                                   + req.op + "' reply");
+            }
+            if (st != serveio::LineStatus::Ok) {
+                throw std::runtime_error(
+                    "server connection lost during '" + req.op + "' ("
+                    + serveio::lineStatusName(st) + ")");
             }
         }
         JsonValue doc = parseJson(reply);
@@ -96,18 +209,79 @@ class Rpc
             throw std::runtime_error("reply lacks an 'ok' field");
         if (!ok->boolean) {
             const JsonValue *err = doc.find("error");
-            throw std::runtime_error("server error: "
-                                     + (err && err->isString()
-                                            ? err->text
-                                            : std::string("unknown")));
+            const std::string message = err && err->isString()
+                ? err->text
+                : std::string("unknown");
+            const JsonValue *draining = doc.find("draining");
+            if (draining && draining->kind == JsonValue::Kind::Bool
+                && draining->boolean) {
+                throw ShedError("server is draining: " + message);
+            }
+            const JsonValue *busy = doc.find("busy");
+            if (busy && busy->kind == JsonValue::Kind::Bool
+                && busy->boolean) {
+                const JsonValue *hint = doc.find("retry_after_ms");
+                const uint64_t after = hint && hint->isNumber()
+                    ? static_cast<uint64_t>(hint->number)
+                    : 250;
+                throw BusyError(message, after);
+            }
+            throw std::runtime_error("server error: " + message);
         }
         return doc;
     }
 
   private:
+    /** Poll budget until the deadline; -1 = no deadline (block). */
+    int
+    remainingMs() const
+    {
+        if (deadline_ == Clock::time_point{})
+            return -1;
+        const auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline_ - Clock::now());
+        return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+    }
+
+    void
+    checkDeadline(const char *what) const
+    {
+        if (remainingMs() == 0) {
+            throw TimeoutError(std::string("deadline expired during ")
+                               + what);
+        }
+    }
+
     PredictionServer *local_ = nullptr;
+    Endpoint endpoint_;
+    Clock::time_point deadline_{};
     std::unique_ptr<serveio::LineChannel> channel_;
 };
+
+/**
+ * An "open" with overload manners: a typed busy refusal is retried
+ * after the server's retry_after_ms hint, up to EV8_RETRY_MAX tries,
+ * then surfaces as ShedError. Draining refusals pass straight through
+ * (Rpc::call already throws ShedError for them).
+ */
+JsonValue
+callAdmitting(Rpc &rpc, const ServeRequest &open)
+{
+    const unsigned attempts = CellExecutor::retryMax();
+    for (unsigned a = 1;; ++a) {
+        try {
+            return rpc.call(open);
+        } catch (const BusyError &busy) {
+            if (a >= attempts) {
+                throw ShedError("admission refused after "
+                                + std::to_string(attempts)
+                                + " attempt(s): " + busy.what());
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(busy.retryAfterMs));
+        }
+    }
+}
 
 ServeRequest
 sessionOp(const std::string &op, const std::string &session)
@@ -267,7 +441,7 @@ runParity(BenchContext &ctx, const GridSpec &grid, Rpc &rpc,
     open.wantEvents = ctx.eventSink() != nullptr;
     open.wantMetrics = true;
     open.timing = ctx.args().timing && ctx.args().wantsArtifacts();
-    rpc.call(open);
+    callAdmitting(rpc, open);
     rpc.call(sessionOp("start", session));
 
     if (ctx.args().progress) {
@@ -302,7 +476,8 @@ struct LoadResult
     uint64_t branches = 0;
     uint64_t failedCells = 0;
     std::vector<double> rpcMs;
-    std::string error; //!< non-empty when the worker died
+    std::string error;  //!< non-empty when the worker died
+    int errorExit = 0;  //!< the exit class of that death
 };
 
 double
@@ -324,10 +499,9 @@ percentile(std::vector<double> sorted, double p)
  */
 int
 runLoad(BenchContext &ctx, const GridSpec &grid, size_t nsessions,
-        const std::string &connectPath, PredictionServer *local,
-        const std::string &sessionBase)
+        const Endpoint &endpoint, PredictionServer *local,
+        const std::string &sessionBase, Clock::time_point deadline)
 {
-    using Clock = std::chrono::steady_clock;
     const auto ms = [](Clock::duration d) {
         return std::chrono::duration<double, std::milli>(d).count();
     };
@@ -338,9 +512,9 @@ runLoad(BenchContext &ctx, const GridSpec &grid, size_t nsessions,
         const std::string session =
             sessionBase + "." + std::to_string(k + 1);
         try {
-            std::unique_ptr<Rpc> rpc =
-                local ? std::make_unique<Rpc>(*local)
-                      : std::make_unique<Rpc>(connectPath);
+            std::unique_ptr<Rpc> rpc = local
+                ? std::make_unique<Rpc>(*local)
+                : std::make_unique<Rpc>(endpoint, deadline);
             const auto timed = [&](const ServeRequest &req) {
                 const auto t0 = Clock::now();
                 JsonValue reply = rpc->call(req);
@@ -354,7 +528,11 @@ runLoad(BenchContext &ctx, const GridSpec &grid, size_t nsessions,
             open.wantEvents = false;
             open.wantMetrics = true;
             open.timing = false;
-            timed(open);
+            {
+                const auto t0 = Clock::now();
+                callAdmitting(*rpc, open);
+                out.rpcMs.push_back(ms(Clock::now() - t0));
+            }
             timed(sessionOp("start", session));
             for (;;) {
                 const JsonValue snap =
@@ -377,8 +555,18 @@ runLoad(BenchContext &ctx, const GridSpec &grid, size_t nsessions,
                 out.branches += cell.result.sim.condBranches;
             }
             out.failedCells = done.at("failures").items.size();
+        } catch (const RefusedError &err) {
+            out.error = err.what();
+            out.errorExit = kExitRefused;
+        } catch (const TimeoutError &err) {
+            out.error = err.what();
+            out.errorExit = kExitTimeout;
+        } catch (const ShedError &err) {
+            out.error = err.what();
+            out.errorExit = kExitShed;
         } catch (const std::exception &err) {
             out.error = err.what();
+            out.errorExit = kExitFatal;
         }
     };
 
@@ -394,11 +582,13 @@ runLoad(BenchContext &ctx, const GridSpec &grid, size_t nsessions,
     uint64_t branches = 0;
     uint64_t failedCells = 0;
     size_t errors = 0;
+    int errorExit = 0;
     std::vector<double> rpc;
     for (size_t k = 0; k < nsessions; ++k) {
         const LoadResult &r = results[k];
         if (!r.error.empty()) {
             ++errors;
+            errorExit = std::max(errorExit, r.errorExit);
             std::fprintf(stderr, "bench_serve_load: session %zu: %s\n",
                          k + 1, r.error.c_str());
             continue;
@@ -438,7 +628,7 @@ runLoad(BenchContext &ctx, const GridSpec &grid, size_t nsessions,
 
     const int artifacts = ctx.finish();
     if (errors > 0)
-        return kExitFatal;
+        return errorExit != 0 ? errorExit : kExitFatal;
     if (artifacts != kExitOk)
         return artifacts;
     return failedCells == 0 ? kExitOk : kExitPartial;
@@ -467,9 +657,11 @@ main(int argc, char **argv)
         return kExitUsage;
     }
 
-    std::string connectPath;
+    Endpoint endpoint;
+    std::string connectTcp;
     std::string sessionName = "s1";
     std::string sessionsArg;
+    std::string timeoutArg;
     const BenchOptionHandler extra = [&](const char *arg) {
         const auto value = [&](const char *opt) -> const char * {
             const size_t len = std::strlen(opt);
@@ -479,8 +671,12 @@ main(int argc, char **argv)
         };
         if (value("--grid"))
             return true; // pre-scanned above
+        if (const char *v = value("--connect-tcp")) {
+            connectTcp = v;
+            return true;
+        }
         if (const char *v = value("--connect")) {
-            connectPath = v;
+            endpoint.unixPath = v;
             return true;
         }
         if (const char *v = value("--session")) {
@@ -491,6 +687,10 @@ main(int argc, char **argv)
             sessionsArg = v;
             return true;
         }
+        if (const char *v = value("--timeout")) {
+            timeoutArg = v;
+            return true;
+        }
         return false;
     };
 
@@ -499,10 +699,48 @@ main(int argc, char **argv)
         "  --grid=<id>        named grid to serve (default: fig5)\n"
         "  --connect=<path>   bench_serve AF_UNIX socket (default:\n"
         "                     embed an in-process server)\n"
+        "  --connect-tcp=<host:port>\n"
+        "                     bench_serve TCP endpoint\n"
         "  --session=<name>   session name / load-mode name prefix\n"
         "                     (default: s1)\n"
         "  --sessions=<N>     load mode: N concurrent sessions with\n"
-        "                     RPC latency percentiles\n");
+        "                     RPC latency percentiles\n"
+        "  --timeout=<ms>     overall deadline for socket modes\n"
+        "                     (default 0 = none); expiry exits 6\n");
+
+    if (!connectTcp.empty()) {
+        if (!endpoint.unixPath.empty()) {
+            std::fprintf(stderr,
+                         "bench_serve_load: --connect and "
+                         "--connect-tcp are mutually exclusive\n");
+            return kExitUsage;
+        }
+        std::string err;
+        if (!serveio::parseHostPort(connectTcp, endpoint.tcpHost,
+                                    endpoint.tcpPort, err)) {
+            std::fprintf(stderr,
+                         "bench_serve_load: bad --connect-tcp value: "
+                         "%s\n",
+                         err.c_str());
+            return kExitUsage;
+        }
+    }
+
+    Clock::time_point deadline{};
+    if (!timeoutArg.empty()) {
+        try {
+            const uint64_t ms =
+                parseStrictU64(timeoutArg, 0, 86400000);
+            if (ms > 0)
+                deadline = Clock::now() + std::chrono::milliseconds(ms);
+        } catch (const std::exception &err) {
+            std::fprintf(stderr,
+                         "bench_serve_load: bad value for --timeout: "
+                         "%s\n",
+                         err.what());
+            return kExitUsage;
+        }
+    }
 
     size_t nsessions = 0;
     if (!sessionsArg.empty()) {
@@ -519,7 +757,7 @@ main(int argc, char **argv)
     }
 
     std::unique_ptr<PredictionServer> local;
-    if (connectPath.empty()) {
+    if (!endpoint.remote()) {
         ServeLimits limits = PredictionServer::defaultLimits();
         limits.maxSessions = std::max(limits.maxSessions,
                                       std::max<size_t>(nsessions, 1));
@@ -529,11 +767,24 @@ main(int argc, char **argv)
 
     try {
         if (nsessions > 0) {
-            return runLoad(ctx, *grid, nsessions, connectPath,
-                           local.get(), sessionName);
+            return runLoad(ctx, *grid, nsessions, endpoint, local.get(),
+                           sessionName, deadline);
         }
-        Rpc rpc = local ? Rpc(*local) : Rpc(connectPath);
+        Rpc rpc = local ? Rpc(*local) : Rpc(endpoint, deadline);
         return runParity(ctx, *grid, rpc, sessionName);
+    } catch (const RefusedError &err) {
+        std::fprintf(stderr,
+                     "bench_serve_load: connection refused: %s\n",
+                     err.what());
+        return kExitRefused;
+    } catch (const TimeoutError &err) {
+        std::fprintf(stderr, "bench_serve_load: timed out: %s\n",
+                     err.what());
+        return kExitTimeout;
+    } catch (const ShedError &err) {
+        std::fprintf(stderr, "bench_serve_load: shed by server: %s\n",
+                     err.what());
+        return kExitShed;
     } catch (const std::exception &err) {
         std::fprintf(stderr, "bench_serve_load: %s\n", err.what());
         return kExitFatal;

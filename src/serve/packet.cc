@@ -120,6 +120,15 @@ StreamAssembler::accept(const Packet &p)
         stream_.instructions_ = getVar(in);
         expectBlocks_ = getVar(in);
         expectBranches_ = getVar(in);
+        // A corrupted Hello must not turn announced totals into a giant
+        // reserve: reject anything orders of magnitude beyond a real
+        // suite stream before touching the allocator.
+        constexpr uint64_t kImplausibleTotal = uint64_t{1} << 32;
+        if (stream_.instructions_ > (kImplausibleTotal << 8)
+            || expectBlocks_ > kImplausibleTotal
+            || expectBranches_ > kImplausibleTotal) {
+            throw PacketError("implausible stream totals in Hello");
+        }
         stream_.addr_.reserve(expectBlocks_);
         stream_.info_.reserve(expectBlocks_);
         stream_.branchBegin_.reserve(expectBlocks_ + 1);

@@ -96,7 +96,7 @@ decodeRequest(const std::string &line)
         req.timing = boolOr(doc, "timing", true);
         req.forceGeneric = boolOr(doc, "generic", false);
     } else if (req.op == "start" || req.op == "snapshot"
-               || req.op == "wait") {
+               || req.op == "wait" || req.op == "ping") {
         req.session = stringField(doc, "session");
     } else if (req.op != "stats" && req.op != "shutdown") {
         throw std::runtime_error("unknown op '" + req.op + "'");
@@ -112,6 +112,40 @@ errorReply(const std::string &message)
     w.beginObject();
     w.key("ok");
     w.value(false);
+    w.key("error");
+    w.value(message);
+    w.endObject();
+    return std::move(out).str();
+}
+
+std::string
+busyReply(const std::string &message, uint64_t retry_after_ms)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("ok");
+    w.value(false);
+    w.key("busy");
+    w.value(true);
+    w.key("retry_after_ms");
+    w.value(retry_after_ms);
+    w.key("error");
+    w.value(message);
+    w.endObject();
+    return std::move(out).str();
+}
+
+std::string
+drainingReply(const std::string &message)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("ok");
+    w.value(false);
+    w.key("draining");
+    w.value(true);
     w.key("error");
     w.value(message);
     w.endObject();

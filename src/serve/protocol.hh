@@ -22,8 +22,21 @@
  *              full per-cell output records (the checkpoint codec,
  *              sim/checkpoint.hh, one encoded line per cell in index
  *              order) and the structured CellFailures.
+ *     ping     {"op":"ping","session":S}
+ *              renews session S's lease (see EV8_SERVE_IDLE_TIMEOUT_MS)
+ *              and echoes its state. The cheap keep-alive for a client
+ *              that is neither polling nor waiting.
  *     stats    {"op":"stats"}          server-level counters.
  *     shutdown {"op":"shutdown"}       stop accepting; daemon exits.
+ *
+ * Typed refusals: an open refused by admission control comes back as
+ * {"ok":false,"busy":true,"retry_after_ms":N,"error":...} -- the client
+ * should back off N ms and retry. An open refused because the daemon is
+ * draining (SIGTERM received) comes back as
+ * {"ok":false,"draining":true,"error":...} -- the client should go
+ * elsewhere; this daemon is on its way down. Plain {"ok":false,
+ * "error":...} replies stay what they always were: protocol or server
+ * errors with no retry semantics.
  *
  * The cell records are the byte-exact transport: a client that decodes
  * them and merges in index order reproduces the batch binary's
@@ -50,7 +63,7 @@ inline constexpr const char *kServeSchema = "ev8-serve-v1";
 /** One parsed client request (op-specific fields defaulted). */
 struct ServeRequest
 {
-    std::string op;      //!< open|start|snapshot|wait|stats|shutdown
+    std::string op;      //!< open|start|snapshot|wait|ping|stats|shutdown
     std::string session; //!< every per-session op
     std::string grid;    //!< open: named grid id ("fig5")
 
@@ -74,6 +87,15 @@ ServeRequest decodeRequest(const std::string &line);
 
 /** A complete {"ok":false,"error":...} reply line. */
 std::string errorReply(const std::string &message);
+
+/**
+ * An admission-refused reply: {"ok":false,"busy":true,
+ * "retry_after_ms":N,"error":...}. The typed overload-shedding signal.
+ */
+std::string busyReply(const std::string &message, uint64_t retry_after_ms);
+
+/** A drain-refused reply: {"ok":false,"draining":true,"error":...}. */
+std::string drainingReply(const std::string &message);
 
 /**
  * Writes @p f as a JSON object into @p w (attempt_ns as decimal

@@ -12,6 +12,7 @@
 #include "obs/trace_span.hh"
 #include "serve/packet.hh"
 #include "serve/ring_buffer.hh"
+#include "serve/transport.hh"
 #include "sim/cell_executor.hh"
 #include "sim/checkpoint.hh"
 #include "sim/experiment.hh"
@@ -149,15 +150,118 @@ class PredictionServer::Session
         w.value(packetsFramed_.load(std::memory_order_relaxed));
         w.key("ring");
         writeRingStats(w, ring_.stats());
+        w.key("expired");
+        w.value(wasExpired());
     }
 
-    /** Blocks until the run finishes (no-op when never started/done). */
+    /**
+     * Blocks until the run finishes (no-op when never started/done).
+     * The blocked waiter pins the session's lease -- a client stuck in
+     * "wait" IS the heartbeat, so the reaper must not expire it under
+     * them -- and the lease is renewed when the wait returns.
+     */
     void
     awaitDone()
     {
         std::unique_lock<std::mutex> lock(mutex_);
+        ++waiters_;
         done_.wait(lock, [&] { return state_ != State::Running; });
+        --waiters_;
+        lastTouch_ = std::chrono::steady_clock::now();
     }
+
+    /** Renews the lease. Called by every client op naming the session. */
+    void
+    touch()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        lastTouch_ = std::chrono::steady_clock::now();
+    }
+
+    /**
+     * Has the lease lapsed? True for a session that no client op has
+     * renewed within @p timeout and no blocked waiter is pinning --
+     * including one that reached Done but whose results nobody ever
+     * collected (a wait reply marks delivery; without it the vanished
+     * client's slot would be pinned forever).
+     */
+    bool
+    leaseStale(std::chrono::steady_clock::time_point now,
+               std::chrono::milliseconds timeout)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (state_ == State::Done && delivered_)
+            return false; // already retirable; nothing to expire
+        return !expired_ && waiters_ == 0
+            && now - lastTouch_ > timeout;
+    }
+
+    /**
+     * Force-expires the session: its remaining cells fail with
+     * @p reason as structured CellFailures and it reaches Done in
+     * bounded time, after which it is retirable (the vanished client's
+     * ring, threads and admission slot get reclaimed). Idempotent. A
+     * session already Done just gets the expired mark -- its results
+     * were computed but abandoned, and the mark makes it retirable.
+     */
+    void
+    expire(const std::string &reason)
+    {
+        bool failNow = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (expired_)
+                return;
+            if (state_ == State::Done) {
+                if (!delivered_) {
+                    expired_ = true;
+                    expireError_ = reason;
+                }
+                return;
+            }
+            expired_ = true;
+            expireError_ = reason;
+            if (state_ == State::Open) {
+                // Claim the never-started session (a racing start() is
+                // refused); no threads exist, so fail the cells here.
+                state_ = State::Running;
+                failNow = true;
+            }
+        }
+        if (failNow) {
+            failFrom(0, reason);
+            sweepFailures();
+            server_.noteSessionDone();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                state_ = State::Done;
+            }
+            done_.notify_all();
+        } else {
+            // Running: abort the transport; the consumer fails the
+            // remaining cells (with the expiry reason -- see
+            // runCells()) and settles to Done on its own.
+            ring_.abort();
+        }
+    }
+
+    /** Was the session force-expired (lease lapse or drain deadline)? */
+    bool
+    wasExpired()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return expired_;
+    }
+
+    /** The expiry reason; "" when not expired. */
+    std::string
+    expireError()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return expired_ ? expireError_ : std::string();
+    }
+
+    const std::string &gridId() const { return grid_.id; }
 
     bool
     finished()
@@ -167,9 +271,10 @@ class PredictionServer::Session
     }
 
     /**
-     * Finished AND a waiter has been handed the full results payload:
-     * the session holds nothing a client can still come back for, so
-     * admission may retire it to make room (handleOpen). Once a
+     * Finished AND either a waiter has been handed the full results
+     * payload or the session was force-expired: it holds nothing a
+     * client can still come back for, so admission may retire it to
+     * make room (handleOpen) and the reaper may reclaim it. Once a
      * session's state is Done its threads touch no server state, so
      * destroying it under the server mutex cannot deadlock.
      */
@@ -177,7 +282,7 @@ class PredictionServer::Session
     retirable()
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        return state_ == State::Done && delivered_;
+        return state_ == State::Done && (delivered_ || expired_);
     }
 
     /** Records that a wait reply carried the results (retire signal). */
@@ -251,19 +356,52 @@ class PredictionServer::Session
                 StreamFramer framer(server_.runner().blockStream(b),
                                     server_.limits().blocksPerPacket);
                 Packet p;
+                // A garbage_frame fault on a Blocks frame drops it and
+                // rebases every later seq so the gap is invisible until
+                // End's totals check -- the corruption the assembler
+                // can only catch by accounting, not by ordering.
+                uint64_t seqBias = 0;
                 while (framer.next(p)) {
                     const uint64_t idx = packetsFramed_.fetch_add(
                         1, std::memory_order_relaxed);
-                    if (faults.enabled()
-                        && faults.fires(FaultPoint::RingStall,
-                                        name_ + "/p"
-                                            + std::to_string(idx))) {
-                        // Timing-only fault: the packet is merely late.
-                        const uint64_t t0 = tracer.nowNs();
-                        std::this_thread::sleep_for(kRingStallPause);
-                        tracer.addPhase(SpanPhase::Stall,
-                                        tracer.nowNs() - t0);
+                    bool dropFrame = false;
+                    if (faults.enabled()) {
+                        const std::string key =
+                            name_ + "/p" + std::to_string(idx);
+                        if (faults.fires(FaultPoint::RingStall, key)) {
+                            // Timing-only: the packet is merely late.
+                            const uint64_t t0 = tracer.nowNs();
+                            std::this_thread::sleep_for(kRingStallPause);
+                            tracer.addPhase(SpanPhase::Stall,
+                                            tracer.nowNs() - t0);
+                        }
+                        if (faults.fires(FaultPoint::PartialWrite, key)) {
+                            // Torn frame: half the payload vanished.
+                            p.payload.resize(p.payload.size() / 2);
+                        }
+                        if (faults.fires(FaultPoint::GarbageFrame, key)) {
+                            switch (p.type) {
+                              case Packet::Type::Hello:
+                                // Byte garbage: the header no longer
+                                // parses.
+                                for (char &c : p.payload)
+                                    c = static_cast<char>(0xFF);
+                                break;
+                              case Packet::Type::Blocks:
+                                dropFrame = true;
+                                break;
+                              case Packet::Type::End:
+                                // Out-of-order End (reorder detection).
+                                p.seq += 1;
+                                break;
+                            }
+                        }
                     }
+                    if (dropFrame) {
+                        ++seqBias;
+                        continue;
+                    }
+                    p.seq -= std::min<uint64_t>(seqBias, p.seq);
                     ScopedSpan span(SpanPhase::Enqueue, "serve.enqueue");
                     if (!ring_.push(std::move(p)))
                         return; // aborted: the consumer gave up
@@ -296,21 +434,7 @@ class PredictionServer::Session
         }
         server_.releaseRunSlot();
 
-        // Row-major failure sweep, mirroring the batch merge loop's
-        // submission-order CellFailure construction.
-        for (size_t i = 0; i < outputs_.size(); ++i) {
-            CellOutput &out = outputs_[i];
-            if (!out.failed)
-                continue;
-            CellFailure failure;
-            failure.row = i / nbench_;
-            failure.rowLabel = rows_[i / nbench_].label;
-            failure.bench = requests_[i].profile->name;
-            failure.attempts = out.attempts;
-            failure.error = out.error;
-            failure.attemptNs = out.attemptNs;
-            failures_.push_back(std::move(failure));
-        }
+        sweepFailures();
         // Count the session done before waking its waiters, so a
         // client that sequences wait -> stats always sees itself.
         server_.noteSessionDone();
@@ -339,7 +463,12 @@ class PredictionServer::Session
                     assembler.accept(p);
                 }
             } catch (const std::exception &err) {
-                failFrom(b, std::string("transport: ") + err.what());
+                // An abort caused by a force-expiry surfaces as the
+                // expiry reason, not as a generic transport error.
+                const std::string reason = expireError();
+                failFrom(b, reason.empty()
+                                ? std::string("transport: ") + err.what()
+                                : reason);
                 ring_.abort();
                 return;
             }
@@ -409,6 +538,29 @@ class PredictionServer::Session
         }
     }
 
+    /**
+     * Row-major failure sweep, mirroring the batch merge loop's
+     * submission-order CellFailure construction. Called exactly once,
+     * by whichever path finishes the session (consume() or expire()).
+     */
+    void
+    sweepFailures()
+    {
+        for (size_t i = 0; i < outputs_.size(); ++i) {
+            CellOutput &out = outputs_[i];
+            if (!out.failed)
+                continue;
+            CellFailure failure;
+            failure.row = i / nbench_;
+            failure.rowLabel = rows_[i / nbench_].label;
+            failure.bench = requests_[i].profile->name;
+            failure.attempts = out.attempts;
+            failure.error = out.error;
+            failure.attemptNs = out.attemptNs;
+            failures_.push_back(std::move(failure));
+        }
+    }
+
     void
     noteTransportError(const std::string &error)
     {
@@ -437,11 +589,18 @@ class PredictionServer::Session
     std::atomic<uint64_t> failedCells_{0};
     std::atomic<uint64_t> packetsFramed_{0};
 
-    std::mutex mutex_; //!< guards state_, delivered_, transportError_
+    std::mutex mutex_; //!< guards state_, delivered_, lease fields
     std::condition_variable done_;
     State state_ = State::Open;
     bool delivered_ = false;
     std::string transportError_;
+
+    // Lease state (guarded by mutex_).
+    std::chrono::steady_clock::time_point lastTouch_ =
+        std::chrono::steady_clock::now();
+    size_t waiters_ = 0;    //!< blocked awaitDone() callers (lease pin)
+    bool expired_ = false;  //!< force-expired (lease lapse or drain)
+    std::string expireError_;
 
     friend class PredictionServer;
 };
@@ -456,6 +615,10 @@ PredictionServer::defaultLimits()
         strictEnvU64("EV8_SERVE_RING_CAP", 1, 65536, 64));
     limits.blocksPerPacket = static_cast<size_t>(
         strictEnvU64("EV8_SERVE_BLOCKS_PER_PACKET", 1, 1u << 20, 4096));
+    limits.idleTimeoutMs =
+        strictEnvU64("EV8_SERVE_IDLE_TIMEOUT_MS", 0, 3600000, 0);
+    limits.heartbeatMs =
+        strictEnvU64("EV8_SERVE_HEARTBEAT_MS", 10, 60000, 250);
     return limits;
 }
 
@@ -463,6 +626,21 @@ PredictionServer::PredictionServer(ServeLimits limits, unsigned jobs)
     : limits_(limits),
       jobs_(jobs != 0 ? jobs : ExperimentEngine::defaultJobs())
 {
+    if (limits_.idleTimeoutMs > 0) {
+        reaper_ = std::thread([this] {
+            SpanTracer::global().setThreadName("serve:reaper");
+            std::unique_lock<std::mutex> lock(mutex_);
+            while (!reaperStop_) {
+                reaperWake_.wait_for(
+                    lock, std::chrono::milliseconds(limits_.heartbeatMs));
+                if (reaperStop_)
+                    break;
+                lock.unlock();
+                reapExpiredSessions();
+                lock.lock();
+            }
+        });
+    }
 }
 
 PredictionServer::PredictionServer()
@@ -472,6 +650,14 @@ PredictionServer::PredictionServer()
 
 PredictionServer::~PredictionServer()
 {
+    if (reaper_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            reaperStop_ = true;
+        }
+        reaperWake_.notify_all();
+        reaper_.join();
+    }
     // Session destructors join their threads; clearing under no lock is
     // fine because handle() callers are gone once the owner tears the
     // server down.
@@ -483,6 +669,94 @@ PredictionServer::shutdownRequested() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return shutdown_;
+}
+
+void
+PredictionServer::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+}
+
+bool
+PredictionServer::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_ || shutdown_;
+}
+
+bool
+PredictionServer::drainWait(uint64_t deadline_ms)
+{
+    beginDrain();
+    const auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::milliseconds(deadline_ms);
+    const auto allDone = [this] {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[name, session] : sessions_) {
+            if (!session->finished())
+                return false;
+        }
+        return true;
+    };
+    while (!allDone()) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+            // Deadline lapsed: force-expire the stragglers (their
+            // remaining cells fail as structured records) and give the
+            // aborted pipelines a moment to settle -- that wait is
+            // bounded because an aborted consumer fails fast.
+            std::vector<std::shared_ptr<Session>> laggards;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                for (const auto &[name, session] : sessions_) {
+                    if (!session->finished())
+                        laggards.push_back(session);
+                }
+            }
+            for (const std::shared_ptr<Session> &session : laggards) {
+                session->expire("session expired by drain deadline ("
+                                + std::to_string(deadline_ms) + " ms)");
+            }
+            while (!allDone()) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return true;
+}
+
+void
+PredictionServer::reapExpiredSessions()
+{
+    const auto now = std::chrono::steady_clock::now();
+    const std::chrono::milliseconds timeout(limits_.idleTimeoutMs);
+    std::vector<std::shared_ptr<Session>> stale;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[name, session] : sessions_) {
+            if (session->leaseStale(now, timeout))
+                stale.push_back(session);
+        }
+    }
+    // expire() outside the server mutex: the Open-state path re-enters
+    // server state (noteSessionDone) and must not deadlock.
+    for (const std::shared_ptr<Session> &session : stale) {
+        session->expire("session lease expired: no client op within "
+                        + std::to_string(limits_.idleTimeoutMs)
+                        + " ms (client vanished?)");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    retireDeliveredSessions();
+}
+
+uint64_t
+PredictionServer::sessionsExpired() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sessionsExpired_;
 }
 
 std::shared_ptr<PredictionServer::Session>
@@ -536,6 +810,23 @@ PredictionServer::retireDeliveredSessions()
             ++it;
             continue;
         }
+        Session &session = *it->second;
+        if (session.wasExpired()) {
+            // Surface the reclamation: the client vanished, so nobody
+            // will ever "wait" for these failures -- the stats op's
+            // expired records are where an operator finds them.
+            ++sessionsExpired_;
+            SessionRecord rec;
+            rec.session = session.name();
+            rec.grid = session.gridId();
+            rec.error = session.expireError();
+            rec.failedCells =
+                session.failedCells_.load(std::memory_order_relaxed);
+            expiredRecords_.push_back(std::move(rec));
+            constexpr size_t kMaxExpiredRecords = 32;
+            if (expiredRecords_.size() > kMaxExpiredRecords)
+                expiredRecords_.pop_front();
+        }
         // The daemon's exit fate must still see this session's
         // failures after the session object is gone.
         retiredFailedCells_ += it->second->failedCells_.load(
@@ -566,9 +857,19 @@ PredictionServer::handleOpen(const ServeRequest &req)
         std::lock_guard<std::mutex> lock(mutex_);
         if (shutdown_)
             return errorReply("server is shutting down");
-        if (sessions_.count(req.session)) {
-            return errorReply("session '" + req.session
-                              + "' already exists");
+        if (draining_) {
+            return drainingReply(
+                "server is draining; not admitting new sessions");
+        }
+        if (auto it = sessions_.find(req.session);
+            it != sessions_.end()) {
+            // A reconnecting client may reuse its name immediately
+            // after collecting results; only a live session blocks.
+            if (!it->second->retirable()) {
+                return errorReply("session '" + req.session
+                                  + "' already exists");
+            }
+            retireDeliveredSessions();
         }
         // Admission reclaims delivered sessions lazily: a long-lived
         // daemon serving sequential clients would otherwise fill the
@@ -577,10 +878,11 @@ PredictionServer::handleOpen(const ServeRequest &req)
         if (sessions_.size() >= limits_.maxSessions)
             retireDeliveredSessions();
         if (sessions_.size() >= limits_.maxSessions) {
-            return errorReply(
-                "session limit reached ("
-                + std::to_string(limits_.maxSessions)
-                + "); admission refused");
+            ++sessionsShed_;
+            return busyReply("session limit reached ("
+                                 + std::to_string(limits_.maxSessions)
+                                 + "); admission refused",
+                             kRetryAfterMs);
         }
         session = std::make_shared<Session>(*this, req, *grid);
         sessions_.emplace(req.session, session);
@@ -618,6 +920,7 @@ PredictionServer::handleStart(const ServeRequest &req)
     const std::shared_ptr<Session> session = findSession(req.session);
     if (!session)
         return errorReply("unknown session '" + req.session + "'");
+    session->touch();
     if (!session->start())
         return errorReply("session '" + req.session + "' already started");
     std::ostringstream out;
@@ -639,6 +942,7 @@ PredictionServer::handleSnapshot(const ServeRequest &req)
     const std::shared_ptr<Session> session = findSession(req.session);
     if (!session)
         return errorReply("unknown session '" + req.session + "'");
+    session->touch();
     std::ostringstream out;
     JsonWriter w(out);
     w.beginObject();
@@ -657,6 +961,7 @@ PredictionServer::handleWait(const ServeRequest &req)
     const std::shared_ptr<Session> session = findSession(req.session);
     if (!session)
         return errorReply("unknown session '" + req.session + "'");
+    session->touch();
     session->awaitDone();
     if (!session->finished()) {
         return errorReply("session '" + req.session
@@ -680,6 +985,26 @@ PredictionServer::handleWait(const ServeRequest &req)
 }
 
 std::string
+PredictionServer::handlePing(const ServeRequest &req)
+{
+    const std::shared_ptr<Session> session = findSession(req.session);
+    if (!session)
+        return errorReply("unknown session '" + req.session + "'");
+    session->touch();
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("ok");
+    w.value(true);
+    w.key("session");
+    w.value(req.session);
+    w.key("state");
+    w.value(session->stateName());
+    w.endObject();
+    return std::move(out).str();
+}
+
+std::string
 PredictionServer::handleStats()
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -696,6 +1021,10 @@ PredictionServer::handleStats()
     w.value(sessionsDone_);
     w.key("sessions_retired");
     w.value(sessionsRetired_);
+    w.key("sessions_expired");
+    w.value(sessionsExpired_);
+    w.key("sessions_shed");
+    w.value(sessionsShed_);
     w.key("sessions_running");
     w.value(static_cast<uint64_t>(runningSlots_));
     w.key("max_sessions");
@@ -706,6 +1035,27 @@ PredictionServer::handleStats()
     w.value(static_cast<uint64_t>(limits_.blocksPerPacket));
     w.key("jobs");
     w.value(uint64_t{jobs_});
+    w.key("idle_timeout_ms");
+    w.value(limits_.idleTimeoutMs);
+    w.key("heartbeat_ms");
+    w.value(limits_.heartbeatMs);
+    w.key("draining");
+    w.value(draining_ || shutdown_);
+    w.key("expired");
+    w.beginArray();
+    for (const SessionRecord &rec : expiredRecords_) {
+        w.beginObject();
+        w.key("session");
+        w.value(rec.session);
+        w.key("grid");
+        w.value(rec.grid);
+        w.key("error");
+        w.value(rec.error);
+        w.key("cells_failed");
+        w.value(rec.failedCells);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
     return std::move(out).str();
 }
@@ -713,6 +1063,17 @@ PredictionServer::handleStats()
 std::string
 PredictionServer::handle(const std::string &line)
 {
+    // Framing hygiene, enforced even on the stdio loopback (the socket
+    // paths already reject these at the transport): a request line this
+    // long or carrying NUL bytes is hostile, not a protocol mistake.
+    if (line.size() > serveio::kMaxRequestLine) {
+        return errorReply(
+            "request line exceeds "
+            + std::to_string(serveio::kMaxRequestLine) + " bytes");
+    }
+    if (line.find('\0') != std::string::npos)
+        return errorReply("request line embeds a NUL byte");
+
     ServeRequest req;
     try {
         req = decodeRequest(line);
@@ -728,6 +1089,8 @@ PredictionServer::handle(const std::string &line)
             return handleSnapshot(req);
         if (req.op == "wait")
             return handleWait(req);
+        if (req.op == "ping")
+            return handlePing(req);
         if (req.op == "stats")
             return handleStats();
         // "shutdown" (decodeRequest rejected everything else)

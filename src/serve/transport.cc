@@ -1,0 +1,360 @@
+#include "serve/transport.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ev8
+{
+namespace serveio
+{
+
+namespace
+{
+
+/** Resolves @p host to an IPv4 address. False + @p err on failure. */
+bool
+resolveIpv4(const std::string &host, in_addr &out, std::string &err)
+{
+    if (::inet_pton(AF_INET, host.c_str(), &out) == 1)
+        return true;
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+    if (rc != 0 || !res) {
+        err = "cannot resolve host '" + host + "': "
+            + (rc != 0 ? ::gai_strerror(rc) : "no address");
+        if (res)
+            ::freeaddrinfo(res);
+        return false;
+    }
+    out = reinterpret_cast<const sockaddr_in *>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+    return true;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + path;
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        err = "bind " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        err = "listen " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+listenTcp(const std::string &host, uint16_t port, uint16_t &bound_port,
+          std::string &err)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (!resolveIpv4(host, addr.sin_addr, err))
+        return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        err = "bind " + host + ":" + std::to_string(port) + ": "
+            + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        err = "listen " + host + ":" + std::to_string(port) + ": "
+            + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len)
+        != 0) {
+        err = std::string("getsockname: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    bound_port = ntohs(bound.sin_port);
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        err = "socket path too long: " + path;
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = "connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &host, uint16_t port, std::string &err)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (!resolveIpv4(host, addr.sin_addr, err))
+        return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    // The protocol is strict request/reply lines; Nagle only adds
+    // latency to the small request frames.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        err = "connect " + host + ":" + std::to_string(port) + ": "
+            + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+parseHostPort(const std::string &spec, std::string &host, uint16_t &port,
+              std::string &err)
+{
+    const size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0
+        || colon + 1 == spec.size()) {
+        err = "expected host:port, got '" + spec + "'";
+        return false;
+    }
+    host = spec.substr(0, colon);
+    const std::string digits = spec.substr(colon + 1);
+    uint64_t value = 0;
+    for (const char ch : digits) {
+        if (ch < '0' || ch > '9') {
+            err = "malformed port in '" + spec + "'";
+            return false;
+        }
+        value = value * 10 + static_cast<uint64_t>(ch - '0');
+        if (value > 65535) {
+            err = "port out of range in '" + spec + "'";
+            return false;
+        }
+    }
+    port = static_cast<uint16_t>(value);
+    return true;
+}
+
+int
+acceptWithTimeout(const std::vector<int> &listen_fds, int timeout_ms)
+{
+    std::vector<pollfd> fds;
+    fds.reserve(listen_fds.size());
+    for (const int fd : listen_fds) {
+        pollfd p{};
+        p.fd = fd;
+        p.events = POLLIN;
+        fds.push_back(p);
+    }
+    const int r =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (r == 0)
+        return -1;
+    if (r < 0)
+        return errno == EINTR ? -1 : -2;
+    for (const pollfd &p : fds) {
+        if (!(p.revents & POLLIN))
+            continue;
+        const int fd = ::accept(p.fd, nullptr, nullptr);
+        if (fd >= 0)
+            return fd;
+        // A raced-away connection is a timeout-shaped non-event; only
+        // a structurally broken listener is a hard error.
+        return errno == ECONNABORTED || errno == EINTR ? -1 : -2;
+    }
+    return -1;
+}
+
+int
+acceptWithTimeout(int listen_fd, int timeout_ms)
+{
+    return acceptWithTimeout(std::vector<int>{listen_fd}, timeout_ms);
+}
+
+const char *
+lineStatusName(LineStatus status)
+{
+    switch (status) {
+      case LineStatus::Ok:
+        return "ok";
+      case LineStatus::Eof:
+        return "eof";
+      case LineStatus::Timeout:
+        return "timeout";
+      case LineStatus::TooLong:
+        return "too_long";
+      case LineStatus::BadByte:
+        return "bad_byte";
+      case LineStatus::Error:
+        return "error";
+    }
+    return "?";
+}
+
+LineChannel::~LineChannel()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+LineStatus
+LineChannel::scanBuffer(std::string &line, size_t from)
+{
+    // NUL bytes never appear in a JSON line; one in the stream means a
+    // corrupted or hostile peer, and passing it onward would let it
+    // truncate C-string handling downstream. Reject before splitting.
+    const size_t nul = buf_.find('\0', from);
+    const size_t nl = buf_.find('\n', from);
+    if (nul != std::string::npos
+        && (nl == std::string::npos || nul < nl))
+        return LineStatus::BadByte;
+    if (nl != std::string::npos) {
+        if (nl > maxLine_)
+            return LineStatus::TooLong;
+        line.assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        return LineStatus::Ok;
+    }
+    if (buf_.size() > maxLine_)
+        return LineStatus::TooLong;
+    return LineStatus::Timeout; // incomplete: caller decides to wait
+}
+
+LineStatus
+LineChannel::readLine(std::string &line, int timeout_ms)
+{
+    // Violations poison the channel: the buffer is left as-is, so the
+    // caller sees the same answer until it closes the connection.
+    LineStatus st = scanBuffer(line, 0);
+    if (st != LineStatus::Timeout)
+        return st;
+
+    for (;;) {
+        pollfd p{};
+        p.fd = fd_;
+        p.events = POLLIN;
+        const int r = ::poll(&p, 1, timeout_ms);
+        if (r == 0)
+            return LineStatus::Timeout;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return LineStatus::Error;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n == 0)
+            return buf_.empty() ? LineStatus::Eof : LineStatus::Error;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return LineStatus::Error;
+        }
+        const size_t scanned = buf_.size();
+        buf_.append(chunk, static_cast<size_t>(n));
+        st = scanBuffer(line, scanned);
+        if (st != LineStatus::Timeout)
+            return st;
+    }
+}
+
+bool
+LineChannel::writeLine(const std::string &line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t at = 0;
+    while (at < framed.size()) {
+        const ssize_t n = ::send(fd_, framed.data() + at,
+                                 framed.size() - at, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        at += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+void
+LineChannel::writePartialAndShutdown(const std::string &line,
+                                     size_t bytes)
+{
+    const size_t cut = bytes < line.size() ? bytes : line.size();
+    size_t at = 0;
+    while (at < cut) {
+        const ssize_t n =
+            ::send(fd_, line.data() + at, cut - at, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        at += static_cast<size_t>(n);
+    }
+    ::shutdown(fd_, SHUT_RDWR);
+}
+
+} // namespace serveio
+} // namespace ev8

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The serve connection transport: AF_UNIX and TCP stream sockets plus
+ * the bounded line framing both ends of the ev8-serve-v1 protocol pump
+ * (serve/protocol.hh -- one JSON object per newline-terminated line).
+ *
+ * The daemon listens on either transport (or both at once); the wire
+ * bytes are identical, so a served artifact cannot depend on which one
+ * carried it. Everything here is written for a hostile network:
+ *
+ *  - line framing is BOUNDED: a peer that streams bytes without ever
+ *    sending a newline hits the per-channel line limit and gets a
+ *    typed LineStatus::TooLong instead of growing the daemon's heap;
+ *  - embedded NUL bytes inside a line are rejected at the framing
+ *    layer (LineStatus::BadByte) before any parser sees them;
+ *  - reads take a poll() deadline, so handshake/idle timeouts and
+ *    client-side --timeout deadlines are enforced at the seam where a
+ *    vanished or glacial peer actually manifests;
+ *  - short writes are retried; a closed peer surfaces as a clean
+ *    false/Error, never SIGPIPE (send with MSG_NOSIGNAL).
+ *
+ * Nothing in this header owns protocol semantics: garbage bytes in a
+ * line are still delivered (minus the framing violations above) so the
+ * server can answer with a typed error reply -- a malformed frame must
+ * produce a clean session failure, never a crash or a wedged sibling.
+ */
+
+#ifndef EV8_SERVE_TRANSPORT_HH
+#define EV8_SERVE_TRANSPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ev8
+{
+namespace serveio
+{
+
+/** Default request-line bound (daemon side): 1 MiB. */
+inline constexpr size_t kMaxRequestLine = 1u << 20;
+
+/**
+ * Default reply-line bound (client side). Wait replies carry the full
+ * per-cell payload and are legitimately large; this is an OOM guard,
+ * not a protocol limit.
+ */
+inline constexpr size_t kMaxReplyLine = size_t{1} << 30;
+
+/** Binds + listens on AF_UNIX @p path (unlinked first). -1 + @p err. */
+int listenUnix(const std::string &path, std::string &err);
+
+/**
+ * Binds + listens on TCP @p host : @p port (IPv4 dotted quad or a name
+ * resolving to one). @p port 0 picks an ephemeral port; the bound port
+ * is returned through @p bound_port either way. -1 + @p err on failure.
+ */
+int listenTcp(const std::string &host, uint16_t port,
+              uint16_t &bound_port, std::string &err);
+
+/** Connects to AF_UNIX @p path. -1 + @p err on failure. */
+int connectUnix(const std::string &path, std::string &err);
+
+/** Connects to TCP @p host : @p port. -1 + @p err on failure. */
+int connectTcp(const std::string &host, uint16_t port, std::string &err);
+
+/**
+ * Splits "host:port" (e.g. "127.0.0.1:7517"). Returns false (with
+ * @p err set) on a missing/garbage port or empty host; port 0 is
+ * accepted (ephemeral bind).
+ */
+bool parseHostPort(const std::string &spec, std::string &host,
+                   uint16_t &port, std::string &err);
+
+/**
+ * Waits for a connection on any of @p listen_fds, polling so the
+ * caller can re-check its shutdown flag. Returns the accepted
+ * connection fd, -1 on poll timeout or EINTR, -2 on a hard error.
+ */
+int acceptWithTimeout(const std::vector<int> &listen_fds, int timeout_ms);
+
+/** Single-listener convenience overload. */
+int acceptWithTimeout(int listen_fd, int timeout_ms);
+
+/** What one bounded, deadlined readLine() attempt produced. */
+enum class LineStatus
+{
+    Ok,      //!< a complete line is in the out-parameter
+    Eof,     //!< orderly close, no buffered partial line pending
+    Timeout, //!< the poll deadline expired before a newline arrived
+    TooLong, //!< the peer exceeded the line bound without a newline
+    BadByte, //!< the line embeds a NUL byte
+    Error,   //!< hard read error (connection reset, bad fd)
+};
+
+/** The human spelling of @p status ("ok", "eof", "too_long", ...). */
+const char *lineStatusName(LineStatus status);
+
+/**
+ * Buffered line reader/writer over one stream socket. Owns the fd.
+ * One reader and one writer thread at most (the protocol is strictly
+ * request/reply, so in practice it is one thread).
+ */
+class LineChannel
+{
+  public:
+    /**
+     * @param fd connected stream socket; the channel closes it.
+     * @param max_line line bound in bytes, newline excluded
+     *        (kMaxRequestLine for a daemon, kMaxReplyLine for a
+     *        client).
+     */
+    explicit LineChannel(int fd, size_t max_line = kMaxRequestLine)
+        : fd_(fd), maxLine_(max_line)
+    {
+    }
+
+    ~LineChannel();
+
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    /**
+     * Reads one '\n'-terminated line (without the '\n') into @p line.
+     * Blocks at most @p timeout_ms (-1 = forever). On TooLong/BadByte
+     * the connection is poisoned: the offending bytes stay buffered
+     * and every later read reports the same violation, so the caller
+     * must reply and close. On Timeout the partial line stays buffered
+     * and the next call resumes it.
+     */
+    LineStatus readLine(std::string &line, int timeout_ms = -1);
+
+    /**
+     * Writes @p line plus '\n', retrying short writes. False when the
+     * peer is gone (EPIPE/reset) -- never raises SIGPIPE.
+     */
+    bool writeLine(const std::string &line);
+
+    /**
+     * Writes the first @p bytes bytes of @p line (no newline) and then
+     * shuts the socket down -- a torn frame, for fault injection and
+     * tests only.
+     */
+    void writePartialAndShutdown(const std::string &line, size_t bytes);
+
+    int fd() const { return fd_; }
+
+  private:
+    /** Scans buf_[from..) for framing violations / a complete line. */
+    LineStatus scanBuffer(std::string &line, size_t from);
+
+    int fd_;
+    const size_t maxLine_;
+    std::string buf_;
+};
+
+} // namespace serveio
+} // namespace ev8
+
+#endif // EV8_SERVE_TRANSPORT_HH

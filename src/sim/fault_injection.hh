@@ -23,6 +23,8 @@
  *                     | ckpt_read | ckpt_write | ckpt_corrupt
  *                     | session_drop | ring_stall
  *                     | sidecar_read | sidecar_write
+ *                     | conn_drop | slow_peer
+ *                     | partial_write | garbage_frame
  *
  *  - keysub selects which keys the entry applies to: a substring match
  *    against the site's key (a grid cell key like "g0/r2/gcc", or a
@@ -80,6 +82,27 @@
  *                       read (the map is rebuilt from the stream)
  *  - sidecar_write:     TraceCache fails a phase-map sidecar write (the
  *                       in-memory map stays valid; only caching is lost)
+ *  - conn_drop:         the serve daemon closes the client connection
+ *                       after handling the matched request, before the
+ *                       reply is written -- the peer simply vanishes;
+ *                       keys are "<session>/<op>" ("-" when the
+ *                       request names no session)
+ *  - slow_peer:         the serve daemon sleeps for a deterministic
+ *                       pause before writing the matched reply -- a
+ *                       glacial network, timing-only; same keys as
+ *                       conn_drop
+ *  - partial_write:     the serve transport producer truncates the
+ *                       matched frame's payload to half before pushing
+ *                       it (a torn frame; StreamAssembler detects the
+ *                       truncation); keys are "<session>/p<packet#>"
+ *  - garbage_frame:     the serve transport producer corrupts the
+ *                       matched frame, type-dependently so every
+ *                       assembler defense is reachable: a Hello frame
+ *                       gets byte garbage (parse failure), a Blocks
+ *                       frame is dropped with later seqs rewritten (a
+ *                       totals mismatch at End), an End frame gets a
+ *                       perturbed seq (reorder detection); keys are
+ *                       "<session>/p<packet#>"
  *
  * Note that the engine's fused path consumes one occurrence per armed
  * key at the fused attempt and more during the per-cell fallback and
@@ -125,6 +148,10 @@ enum class FaultPoint
     RingStall,       //!< serve transport producer pause (timing only)
     SidecarRead,     //!< phase-map sidecar file read (trace cache)
     SidecarWrite,    //!< phase-map sidecar file write (trace cache)
+    ConnDrop,        //!< serve daemon drops the client connection
+    SlowPeer,        //!< serve daemon delays one reply (timing only)
+    PartialWrite,    //!< serve transport frame truncated (torn frame)
+    GarbageFrame,    //!< serve transport frame corrupted
 };
 
 class FaultInjector

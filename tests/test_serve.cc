@@ -18,14 +18,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.hh"
 #include "serve/grids.hh"
 #include "serve/protocol.hh"
 #include "serve/server.hh"
+#include "serve/transport.hh"
 #include "sim/checkpoint.hh"
 #include "sim/suite_runner.hh"
 
@@ -366,6 +369,33 @@ TEST(Serve, DeliveredSessionsRetireToAdmitNewClients)
     }
 }
 
+TEST(Serve, DeliveredSessionNameIsImmediatelyReusable)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+    ScopedEnv noCkpt("EV8_CHECKPOINT_DIR", nullptr);
+
+    ServeLimits limits;
+    PredictionServer server(limits, 2);
+
+    // A reconnecting client reopens its default session name right
+    // after collecting results -- well below the admission limit, so
+    // only the collision path (not capacity pressure) can retire it.
+    runSession(server, "s1");
+    runSession(server, "s1");
+
+    const JsonValue stats = callOk(server, "{\"op\":\"stats\"}");
+    EXPECT_EQ(stats.at("sessions_opened").number, 2.0);
+    EXPECT_GE(stats.at("sessions_retired").number, 1.0);
+
+    // A live (undelivered) session still blocks its name.
+    callOk(server, openReq("s1"));
+    EXPECT_NE(callErr(server, openReq("s1")).find("already exists"),
+              std::string::npos);
+    callOk(server, sessionReq("start", "s1"));
+    callOk(server, sessionReq("wait", "s1"));
+}
+
 TEST(Serve, SessionDropFailsOnlyTheTargetedSession)
 {
     ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
@@ -489,6 +519,254 @@ TEST(Serve, DefaultLimitsParseStrictly)
         EXPECT_EQ(limits.maxSessions, 8u);
         EXPECT_EQ(limits.ringCapacity, 64u);
         EXPECT_EQ(limits.blocksPerPacket, 4096u);
+    }
+}
+
+/** handle() round trip that must fail; returns the whole reply. */
+JsonValue
+callFail(PredictionServer &server, const std::string &request)
+{
+    const std::string reply = server.handle(request);
+    JsonValue doc = parseJson(reply);
+    EXPECT_TRUE(doc.isObject()) << reply;
+    const JsonValue *ok = doc.find("ok");
+    EXPECT_TRUE(ok && !ok->boolean) << reply;
+    return doc;
+}
+
+TEST(Serve, PingRenewsTheLeaseAndEchoesState)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+    PredictionServer server(ServeLimits{}, 2);
+    callOk(server, openReq("p"));
+    JsonValue pong = callOk(server, sessionReq("ping", "p"));
+    EXPECT_EQ(pong.at("state").text, "open");
+    callOk(server, sessionReq("start", "p"));
+    callOk(server, sessionReq("wait", "p"));
+    pong = callOk(server, sessionReq("ping", "p"));
+    EXPECT_EQ(pong.at("state").text, "done");
+    EXPECT_FALSE(callErr(server, sessionReq("ping", "ghost")).empty());
+}
+
+TEST(Serve, AdmissionRefusalIsATypedBusyReply)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+    ServeLimits limits;
+    limits.maxSessions = 1;
+    PredictionServer server(limits, 2);
+    callOk(server, openReq("pinned"));
+
+    const JsonValue busy = callFail(server, openReq("refused"));
+    EXPECT_TRUE(busy.at("busy").boolean);
+    EXPECT_GT(busy.at("retry_after_ms").number, 0.0);
+    EXPECT_NE(busy.at("error").text.find("session limit"),
+              std::string::npos);
+
+    const JsonValue stats = callOk(server, "{\"op\":\"stats\"}");
+    EXPECT_EQ(stats.at("sessions_shed").number, 1.0);
+
+    callOk(server, sessionReq("start", "pinned"));
+    callOk(server, sessionReq("wait", "pinned"));
+}
+
+TEST(Serve, DrainRefusesOpensButServesExistingSessions)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+    PredictionServer server(ServeLimits{}, 2);
+    callOk(server, openReq("early"));
+    callOk(server, sessionReq("start", "early"));
+
+    server.beginDrain();
+    EXPECT_TRUE(server.draining());
+    const JsonValue refused = callFail(server, openReq("late"));
+    EXPECT_TRUE(refused.at("draining").boolean);
+
+    // The in-flight session is untouched by the drain mark.
+    const JsonValue done = callOk(server, sessionReq("wait", "early"));
+    EXPECT_TRUE(done.at("failures").items.empty());
+    EXPECT_TRUE(server.drainWait(5000)); // nothing left: clean drain
+}
+
+TEST(Serve, HandleRejectsHostileFramingInline)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    PredictionServer server(ServeLimits{}, 2);
+
+    std::string flood(serveio::kMaxRequestLine + 1, 'x');
+    EXPECT_NE(callErr(server, flood).find("exceeds"),
+              std::string::npos);
+
+    std::string evil = "{\"op\":\"stats\"}";
+    evil[4] = '\0';
+    EXPECT_NE(callErr(server, evil).find("NUL"), std::string::npos);
+}
+
+TEST(Serve, LeaseExpiryReclaimsAbandonedSessions)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+    ScopedEnv noCkpt("EV8_CHECKPOINT_DIR", nullptr);
+
+    ServeLimits limits;
+    limits.maxSessions = 2;
+    limits.idleTimeoutMs = 150;
+    limits.heartbeatMs = 30;
+    PredictionServer server(limits, 2);
+
+    // One session runs to completion but is never collected; another
+    // is opened and then abandoned before start. Both leases lapse.
+    callOk(server, openReq("ran"));
+    callOk(server, sessionReq("start", "ran"));
+    callOk(server, openReq("stillborn"));
+
+    JsonValue stats;
+    bool reclaimed = false;
+    for (int i = 0; i < 400 && !reclaimed; ++i) {
+        stats = callOk(server, "{\"op\":\"stats\"}");
+        reclaimed = stats.at("sessions_expired").number >= 2.0;
+        if (!reclaimed)
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ASSERT_TRUE(reclaimed);
+
+    const JsonValue &records = stats.at("expired");
+    ASSERT_EQ(records.items.size(), 2u);
+    for (const JsonValue &rec : records.items) {
+        EXPECT_NE(rec.at("error").text.find("lease expired"),
+                  std::string::npos);
+        if (rec.at("session").text == "ran") {
+            // Completed cleanly, merely abandoned: no failed cells.
+            EXPECT_EQ(rec.at("cells_failed").number, 0.0);
+        } else {
+            // Never started: every cell failed structurally.
+            EXPECT_EQ(rec.at("session").text, "stillborn");
+            EXPECT_GT(rec.at("cells_failed").number, 0.0);
+        }
+    }
+
+    // Both slots are reclaimed: two fresh sessions are admitted and a
+    // retired name is reusable.
+    runSession(server, "ran");
+    runSession(server, "fresh");
+}
+
+TEST(Serve, WaitersPinTheLeaseAgainstExpiry)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+    ScopedEnv noCkpt("EV8_CHECKPOINT_DIR", nullptr);
+
+    ServeLimits limits;
+    limits.idleTimeoutMs = 60; // shorter than any real session run
+    limits.heartbeatMs = 20;
+    PredictionServer server(limits, 2);
+
+    // A blocked wait() renews by pinning: even though the run takes
+    // much longer than the idle timeout, the session must NOT expire
+    // under the waiting client.
+    callOk(server, openReq("pinned"));
+    callOk(server, sessionReq("start", "pinned"));
+    const JsonValue done = callOk(server, sessionReq("wait", "pinned"));
+    EXPECT_TRUE(done.at("failures").items.empty());
+    const JsonValue stats = callOk(server, "{\"op\":\"stats\"}");
+    EXPECT_EQ(stats.at("sessions_expired").number, 0.0);
+}
+
+/**
+ * Runs @p victim with @p spec armed next to a clean sibling on the
+ * same server; returns the victim's wait reply after asserting the
+ * sibling matched @p clean exactly.
+ */
+JsonValue
+runWithPacketFault(const char *spec, const std::string &victim,
+                   const std::vector<GridCheckpoint::RestoredCell> &clean)
+{
+    ScopedEnv fault("EV8_FAULT_SPEC", spec);
+    PredictionServer server(ServeLimits{}, 2);
+    callOk(server, openReq(victim));
+    callOk(server, openReq("sibling"));
+    callOk(server, sessionReq("start", victim));
+    callOk(server, sessionReq("start", "sibling"));
+    const JsonValue hurt = callOk(server, sessionReq("wait", victim));
+    const JsonValue fine = callOk(server, sessionReq("wait", "sibling"));
+
+    EXPECT_TRUE(fine.at("failures").items.empty()) << spec;
+    const auto survived = decodeCells(fine, clean.size());
+    for (size_t i = 0; i < clean.size(); ++i) {
+        EXPECT_EQ(survived[i].result.sim.stats.mispredictions(),
+                  clean[i].result.sim.stats.mispredictions())
+            << spec << " cell " << i;
+    }
+    return hurt;
+}
+
+TEST(Serve, PacketFaultsFailStructurallyWithSiblingParity)
+{
+    ScopedEnv scale("EV8_BRANCHES_PER_BENCH", kTinyScale);
+    ScopedEnv noCkpt("EV8_CHECKPOINT_DIR", nullptr);
+    ScopedEnv noWait("EV8_RETRY_BASE_MS", "0");
+
+    // Clean reference cells and the session's packet count (the frame
+    // sequence is deterministic, so the last frame -- the final End --
+    // has packet index N-1 on every identically-configured run).
+    std::vector<GridCheckpoint::RestoredCell> clean;
+    uint64_t packets = 0;
+    {
+        ScopedEnv noFault("EV8_FAULT_SPEC", nullptr);
+        PredictionServer server(ServeLimits{}, 2);
+        const JsonValue done = runSession(server, "v");
+        clean = decodeCells(done, done.at("cells").items.size());
+        const JsonValue snap =
+            callOk(server, sessionReq("snapshot", "v"));
+        packets = static_cast<uint64_t>(snap.at("packets").number);
+    }
+    ASSERT_GE(packets, 3u); // Hello, at least one Blocks, End
+
+    // A torn Blocks frame (half the payload) is caught by the payload
+    // decoder.
+    {
+        const JsonValue hurt =
+            runWithPacketFault("partial_write/=v/p1", "v", clean);
+        ASSERT_FALSE(hurt.at("failures").items.empty());
+        EXPECT_NE(readFailure(hurt.at("failures").items.front())
+                      .error.find("truncated"),
+                  std::string::npos);
+    }
+
+    // A garbage Hello no longer parses.
+    {
+        const JsonValue hurt =
+            runWithPacketFault("garbage_frame/=v/p0", "v", clean);
+        ASSERT_FALSE(hurt.at("failures").items.empty());
+        EXPECT_NE(readFailure(hurt.at("failures").items.front())
+                      .error.find("transport"),
+                  std::string::npos);
+    }
+
+    // A dropped Blocks frame with rebased seqs is invisible to the
+    // ordering check -- only the End totals accounting catches it.
+    {
+        const JsonValue hurt =
+            runWithPacketFault("garbage_frame/=v/p1", "v", clean);
+        ASSERT_FALSE(hurt.at("failures").items.empty());
+        EXPECT_NE(readFailure(hurt.at("failures").items.front())
+                      .error.find("totals mismatch"),
+                  std::string::npos);
+    }
+
+    // A perturbed End seq is a reorder, caught immediately.
+    {
+        const std::string spec =
+            "garbage_frame/=v/p" + std::to_string(packets - 1);
+        const JsonValue hurt =
+            runWithPacketFault(spec.c_str(), "v", clean);
+        ASSERT_FALSE(hurt.at("failures").items.empty());
+        EXPECT_NE(readFailure(hurt.at("failures").items.back())
+                      .error.find("out of order"),
+                  std::string::npos);
     }
 }
 
